@@ -1,0 +1,37 @@
+/**
+ * @file
+ * Fig. 1: percentage of conventional, computational, and stacked
+ * computational CIS designs per ISSCC/IEDM survey year (2000-2022).
+ * Expected shape: the computational share rises from single digits to
+ * >40%, with stacked designs emerging after 2012.
+ */
+
+#include <cstdio>
+
+#include "survey/dataset.h"
+
+using namespace camj;
+
+int
+main()
+{
+    std::printf("Fig. 1 | Computational CIS share per survey year\n");
+    std::printf("%-6s %7s %15s %12s %13s\n", "year", "papers",
+                "imaging[%]", "comput.[%]", "stacked[%]");
+
+    for (const YearShare &ys : sharesByYear()) {
+        double comp = ys.computationalPct();
+        double stacked = ys.stackedPct();
+        std::printf("%-6d %7d %15.1f %12.1f %13.1f\n", ys.year,
+                    ys.total, 100.0 - comp, comp, stacked);
+    }
+
+    auto shares = sharesByYear();
+    double first = shares.front().computationalPct();
+    double last = shares.back().computationalPct();
+    std::printf("\nshape check: computational share %.1f%% (2000) -> "
+                "%.1f%% (2022)%s\n", first, last,
+                last > first + 15.0 ? "  [rising, as in the paper]"
+                                    : "  [UNEXPECTED]");
+    return 0;
+}

@@ -1,0 +1,221 @@
+/**
+ * @file
+ * Fig. 2: the CIS architecture evolution — (a) traditional 2D
+ * imaging CIS, (b) analog in-sensor processing, (c) digital
+ * in-sensor processing, (d) stacked computational CIS — plus the
+ * three-layer pixel/DRAM/logic stack of Sec. 2.1 (Sony IMX400
+ * class), all evaluated on one 640x480 feature-extraction workload.
+ * Expected shape: each architecture step trades MIPI volume against
+ * on-sensor compute/memory energy, and the stacked variants shrink
+ * the compute tax.
+ */
+
+#include <cstdio>
+#include <memory>
+
+#include "common/units.h"
+#include "core/design.h"
+#include "memmodel/dram.h"
+#include "tech/process_node.h"
+#include "tech/scaling.h"
+#include "usecases/explorer.h"
+
+using namespace camj;
+
+namespace
+{
+
+constexpr int64_t kWidth = 640, kHeight = 480;
+constexpr double kFps = 30.0;
+
+void
+addFrontEnd(Design &d, bool analog_conv)
+{
+    SwGraph &sw = d.sw();
+    StageId in = sw.addStage({.name = "Input", .op = StageOp::Input,
+                              .outputSize = {kWidth, kHeight, 1}});
+    StageId conv = sw.addStage({.name = "Feature",
+                                .op = StageOp::Conv2d,
+                                .inputSize = {kWidth, kHeight, 1},
+                                .outputSize = {319, 239, 1},
+                                .kernel = {4, 4, 1},
+                                .stride = {2, 2, 1}});
+    sw.connect(in, conv);
+
+    ApsParams aps;
+    aps.vdda = nodeParams(65).vdda;
+    AnalogArrayParams pa;
+    pa.name = "PixelArray";
+    pa.numComponents = {kWidth, kHeight, 1};
+    pa.inputShape = {1, kWidth, 1};
+    pa.outputShape = {1, kWidth, 1};
+    pa.componentArea = 9.0 * units::um2;
+    d.addAnalogArray(AnalogArray(pa, makeAps4T(aps)),
+                     AnalogRole::Sensing);
+
+    if (analog_conv) {
+        AnalogArrayParams ma;
+        ma.name = "AnalogMac";
+        ma.numComponents = {kWidth, 1, 1};
+        ma.inputShape = {1, kWidth, 1};
+        ma.outputShape = {1, kWidth, 1};
+        ma.componentArea = 2e-10;
+        d.addAnalogArray(AnalogArray(ma, makeSwitchedCapMac()),
+                         AnalogRole::AnalogCompute);
+    }
+
+    AnalogArrayParams aa;
+    aa.name = "Adc";
+    aa.numComponents = {kWidth, 1, 1};
+    aa.inputShape = {1, kWidth, 1};
+    aa.outputShape = {1, kWidth, 1};
+    aa.componentArea = 1e-9;
+    d.addAnalogArray(AnalogArray(aa, makeColumnAdc({.bits = 8})),
+                     AnalogRole::Adc);
+    d.setMipi(makeMipiCsi2());
+}
+
+void
+addDigitalConv(Design &d, Layer layer, int nm)
+{
+    d.addMemory(makeSramMemory("LineBuf", layer,
+                               MemoryKind::LineBuffer, 4 * kWidth, 8,
+                               nm, 0.5));
+    ComputeUnitParams cu;
+    cu.name = "ConvUnit";
+    cu.layer = layer;
+    cu.inputPixelsPerCycle = {4, 4, 1};
+    cu.outputPixelsPerCycle = {1, 1, 1};
+    cu.energyPerCycle = 16.0 * macEnergy8bit(nm);
+    cu.numStages = 4;
+    cu.opsPerCycle = 16;
+    d.addComputeUnit(ComputeUnit(cu));
+    d.setAdcOutput("LineBuf");
+    d.connectMemoryToUnit("LineBuf", "ConvUnit");
+    d.mapping().map("Feature", "ConvUnit");
+}
+
+/** (a) Imaging-only: full frame out, feature extraction on the SoC. */
+std::shared_ptr<Design>
+imagingOnly()
+{
+    auto d = std::make_shared<Design>(
+        DesignParams{"fig2a-imaging", kFps, 100e6});
+    addFrontEnd(*d, false);
+    addDigitalConv(*d, Layer::OffChip, 22);
+    d->mapping().map("Input", "PixelArray");
+    return d;
+}
+
+/** (b) Analog in-sensor processing. */
+std::shared_ptr<Design>
+analogCompute()
+{
+    auto d = std::make_shared<Design>(
+        DesignParams{"fig2b-analog", kFps, 100e6});
+    addFrontEnd(*d, true);
+    d->mapping().map("Input", "PixelArray");
+    d->mapping().map("Feature", "AnalogMac");
+    d->setPipelineOutputBytes(319 * 239);
+    return d;
+}
+
+/** (c) Digital in-sensor processing on the sensor die. */
+std::shared_ptr<Design>
+digitalCompute()
+{
+    auto d = std::make_shared<Design>(
+        DesignParams{"fig2c-digital", kFps, 100e6});
+    addFrontEnd(*d, false);
+    addDigitalConv(*d, Layer::Sensor, 65);
+    d->mapping().map("Input", "PixelArray");
+    d->setPipelineOutputBytes(319 * 239);
+    return d;
+}
+
+/** (d) Two-layer stack: digital processing on a 22 nm die. */
+std::shared_ptr<Design>
+stackedCompute()
+{
+    auto d = std::make_shared<Design>(
+        DesignParams{"fig2d-stacked", kFps, 100e6});
+    addFrontEnd(*d, false);
+    addDigitalConv(*d, Layer::Compute, 22);
+    d->setTsv(makeMicroTsv());
+    d->mapping().map("Input", "PixelArray");
+    d->setPipelineOutputBytes(319 * 239);
+    return d;
+}
+
+/** Three-layer pixel/DRAM/logic stack (IMX400 class): the frame is
+ *  buffered in a stacked DRAM die between readout and processing. */
+std::shared_ptr<Design>
+threeLayerDram()
+{
+    auto d = std::make_shared<Design>(
+        DesignParams{"fig2e-3layer-dram", kFps, 100e6});
+    addFrontEnd(*d, false);
+
+    // Middle DRAM die as the frame store; model its per-access
+    // energy with the DRAMPower-substitute numbers.
+    DramParams dp;
+    DigitalMemoryParams mp;
+    mp.name = "DramFrameStore";
+    mp.layer = Layer::Dram;
+    mp.kind = MemoryKind::FrameBuffer;
+    mp.capacityWords = kWidth * kHeight;
+    mp.wordBits = 8;
+    mp.readEnergyPerWord = dp.readBurstEnergy / dp.burstBytes;
+    mp.writeEnergyPerWord = dp.writeBurstEnergy / dp.burstBytes;
+    mp.leakagePower = dp.backgroundPower;
+    mp.activeFraction = 0.25; // self-refresh outside the burst window
+    mp.area = 4.0e-6;         // a small DRAM die
+    mp.readPorts = 2;
+    mp.writePorts = 2;
+    d->addMemory(DigitalMemory(mp));
+
+    ComputeUnitParams cu;
+    cu.name = "ConvUnit";
+    cu.layer = Layer::Compute;
+    cu.inputPixelsPerCycle = {4, 4, 1};
+    cu.outputPixelsPerCycle = {1, 1, 1};
+    cu.energyPerCycle = 16.0 * macEnergy8bit(22);
+    cu.numStages = 4;
+    cu.opsPerCycle = 16;
+    d->addComputeUnit(ComputeUnit(cu));
+    d->setAdcOutput("DramFrameStore");
+    d->connectMemoryToUnit("DramFrameStore", "ConvUnit");
+    d->setTsv(makeMicroTsv());
+    d->mapping().map("Input", "PixelArray");
+    d->mapping().map("Feature", "ConvUnit");
+    d->setPipelineOutputBytes(319 * 239);
+    return d;
+}
+
+} // namespace
+
+int
+main()
+{
+    setLoggingEnabled(false);
+    std::printf("Fig. 2 | CIS architecture evolution on one "
+                "640x480 feature-extraction workload\n\n");
+
+    std::vector<BreakdownRow> rows;
+    for (auto &builder :
+         {imagingOnly(), analogCompute(), digitalCompute(),
+          stackedCompute(), threeLayerDram()}) {
+        EnergyReport r = builder->simulate();
+        rows.push_back(breakdownOf(r.designName, r));
+    }
+    std::printf("%s", formatBreakdownTable(rows).c_str());
+
+    std::printf("\nshape check: every in-sensor variant cuts the "
+                "MIPI column vs (a); the stacked variants (d)/(e) "
+                "cut the COMP-D column vs (c). The three-layer "
+                "DRAM stack pays heavily in MEM-D background power — "
+                "consistent with such sensors existing for burst "
+                "capture (960 fps slow-mo), not for energy "
+                "efficiency [the Sec. 2 design-trend argument]\n");
+    return 0;
+}

@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Fig. 3: CIS process node vs. the IRDS CMOS roadmap vs. pixel pitch.
+ * Expected shape: CIS nodes plateau near 65 nm-class while IRDS CMOS
+ * scales to single-digit nanometers, and the CIS node trend slope
+ * tracks the pixel-pitch slope.
+ */
+
+#include <cmath>
+#include <cstdio>
+
+#include "survey/dataset.h"
+
+using namespace camj;
+
+int
+main()
+{
+    LinearFit node = cisNodeTrend();
+    LinearFit pitch = pixelPitchTrend();
+
+    std::printf("Fig. 3 | CIS node vs IRDS CMOS node vs pixel pitch\n");
+    std::printf("%-6s %14s %14s %15s\n", "year", "CIS-node[nm]",
+                "IRDS-node[nm]", "pixel-pitch[um]");
+    for (int year = 2000; year <= 2022; year += 2) {
+        std::printf("%-6d %14.1f %14.1f %15.2f\n", year,
+                    std::pow(2.0, node(year)), irdsCmosNode(year),
+                    std::pow(2.0, pitch(year)));
+    }
+
+    std::printf("\ntrend slopes [log2 per year]: CIS node %.4f, "
+                "pixel pitch %.4f (ratio %.2f)\n", node.slope,
+                pitch.slope, pitch.slope / node.slope);
+    std::printf("gap in 2022: CIS node is %.0fx the IRDS CMOS node\n",
+                std::pow(2.0, node(2022.0)) / irdsCmosNode(2022));
+    std::printf("shape check: %s\n",
+                (node.slope < 0.0 && pitch.slope < 0.0 &&
+                 std::pow(2.0, node(2022.0)) / irdsCmosNode(2022) > 5.0)
+                    ? "CIS lags CMOS and tracks pixel scaling "
+                      "[as in the paper]"
+                    : "[UNEXPECTED]");
+    return 0;
+}

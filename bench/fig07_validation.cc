@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Fig. 7: the Sec. 5 validation against nine CIS chips. Prints the
+ * Fig. 7a correlation series (estimated vs reported energy/pixel)
+ * and the per-chip component breakdowns of Fig. 7b-7j. Expected
+ * shape: Pearson >= 0.999, MAPE in the 7.5% class, values spanning
+ * several orders of magnitude.
+ */
+
+#include <cstdio>
+
+#include "validation/harness.h"
+
+using namespace camj;
+
+int
+main()
+{
+    setLoggingEnabled(false);
+    ValidationSummary s = runValidation();
+
+    std::printf("Fig. 7a | Estimated vs reported energy per pixel\n");
+    std::printf("%-11s %15s %15s %10s\n", "chip", "estimated[pJ]",
+                "reported[pJ]", "error[%]");
+    for (const ChipValidation &c : s.chips) {
+        double err = 100.0 *
+                     (c.estimatedPJPerPixel - c.reportedPJPerPixel) /
+                     c.reportedPJPerPixel;
+        std::printf("%-11s %15.2f %15.2f %+10.1f\n", c.id.c_str(),
+                    c.estimatedPJPerPixel, c.reportedPJPerPixel, err);
+    }
+    std::printf("\nPearson correlation: %.4f   (paper: 0.9999)\n",
+                s.pearson);
+    std::printf("MAPE:                %.2f%%  (paper: 7.5%%)\n",
+                s.mapePct);
+
+    std::printf("\nFig. 7b-7j | Per-chip component breakdowns "
+                "[pJ/px]\n");
+    for (const ChipValidation &c : s.chips) {
+        std::printf("\n  %s\n", c.id.c_str());
+        std::printf("    %-12s %12s %12s\n", "component", "estimated",
+                    "reported");
+        for (const GroupComparison &g : c.groups) {
+            std::printf("    %-12s %12.4f %12.4f\n", g.label.c_str(),
+                        g.estimatedPJPerPixel, g.reportedPJPerPixel);
+        }
+    }
+
+    std::printf("\nshape check: %s\n",
+                (s.pearson >= 0.999 && s.mapePct < 10.0)
+                    ? "correlation and MAPE in the paper's class"
+                    : "[UNEXPECTED]");
+    return 0;
+}

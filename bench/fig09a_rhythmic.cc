@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Fig. 9a: Rhythmic Pixel Regions under 2D-In / 2D-Off / 3D-In at
+ * 130 nm and 65 nm CIS nodes. Expected shape (paper): 2D-In saves
+ * 14.5% (130 nm) and 33.4% (65 nm) over 2D-Off; 3D-In saves a
+ * further ~16% on average; MIPI dominates the off-sensor design.
+ */
+
+#include <cstdio>
+
+#include "common/units.h"
+#include "usecases/explorer.h"
+#include "usecases/rhythmic.h"
+
+using namespace camj;
+
+int
+main()
+{
+    setLoggingEnabled(false);
+    std::printf("Fig. 9a | Rhythmic Pixel Regions energy per frame\n\n");
+
+    for (int nm : {130, 65}) {
+        std::vector<BreakdownRow> rows;
+        double off = 0.0, in2d = 0.0, in3d = 0.0;
+        for (SensorVariant v : {SensorVariant::TwoDOff,
+                                SensorVariant::TwoDIn,
+                                SensorVariant::ThreeDIn}) {
+            EnergyReport r = buildRhythmic(v, nm)->simulate();
+            rows.push_back(breakdownOf(
+                std::string(sensorVariantName(v)) + "(" +
+                    std::to_string(nm) + "nm)",
+                r));
+            double t = r.total() / units::uJ;
+            if (v == SensorVariant::TwoDOff)
+                off = t;
+            else if (v == SensorVariant::TwoDIn)
+                in2d = t;
+            else
+                in3d = t;
+        }
+        std::printf("%s", formatBreakdownTable(rows).c_str());
+        std::printf("  2D-In saves %.1f%% vs 2D-Off (paper: %s); "
+                    "3D-In saves %.1f%% vs 2D-In\n\n",
+                    100.0 * (off - in2d) / off,
+                    nm == 130 ? "14.5%" : "33.4%",
+                    100.0 * (in2d - in3d) / in2d);
+    }
+
+    std::printf("shape check: in-sensor wins for this communication-"
+                "dominated workload, more at 65 nm; stacking adds a "
+                "further saving [Findings 1-2]\n");
+    return 0;
+}

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Fig. 12: normalized per-stage energy (S1 downsample, S2 frame
+ * subtraction, S3 ROI DNN) for digital vs mixed-signal in-sensor
+ * Ed-Gaze. Expected shape (paper): S3 becomes the dominant stage
+ * after moving S1/S2 into the analog domain.
+ */
+
+#include <cstdio>
+
+#include "common/units.h"
+#include "usecases/edgaze.h"
+
+using namespace camj;
+
+namespace
+{
+
+struct StageSplit
+{
+    double s1 = 0.0, s2 = 0.0, s3 = 0.0;
+
+    double total() const { return s1 + s2 + s3; }
+};
+
+/** Attribute per-unit energies to the three algorithm stages.
+ *  SEN (pixel/ADC) is shared sensing and excluded, as in Fig. 12. */
+StageSplit
+splitStages(const EnergyReport &r, bool mixed)
+{
+    StageSplit s;
+    if (mixed) {
+        // S1 binning lives in the pixel array (SEN); the analog
+        // frame buffer + PE array implement S2.
+        s.s2 = r.energyOf("AnalogFrameBuffer") +
+               r.energyOf("AnalogPeArray");
+    } else {
+        s.s1 = r.energyOf("DownsampleUnit") + r.energyOf("LineBuffer");
+        s.s2 = r.energyOf("SubtractUnit") + r.energyOf("PixFifo") +
+               r.energyOf("FrameBuffer");
+    }
+    s.s3 = r.energyOf("DnnArray") + r.energyOf("DnnBuffer");
+    return s;
+}
+
+} // namespace
+
+int
+main()
+{
+    setLoggingEnabled(false);
+    std::printf("Fig. 12 | Normalized stage energy breakdown "
+                "(S1/S2/S3)\n\n");
+    std::printf("%-24s %8s %8s %8s\n", "config", "S1[%]", "S2[%]",
+                "S3[%]");
+
+    double mixed_s3_share = 0.0;
+    for (int nm : {130, 65}) {
+        EnergyReport digital =
+            buildEdgaze(EdgazeVariant::TwoDIn, nm)->simulate();
+        EnergyReport mixed =
+            buildEdgaze(EdgazeVariant::TwoDInMixed, nm)->simulate();
+
+        StageSplit d = splitStages(digital, false);
+        StageSplit m = splitStages(mixed, true);
+        std::printf("2D-In(%dnm)%*s %8.1f %8.1f %8.1f\n", nm,
+                    nm == 65 ? 13 : 12, "", 100.0 * d.s1 / d.total(),
+                    100.0 * d.s2 / d.total(),
+                    100.0 * d.s3 / d.total());
+        std::printf("2D-In-Mixed(%dnm)%*s %8.1f %8.1f %8.1f\n", nm,
+                    nm == 65 ? 7 : 6, "", 100.0 * m.s1 / m.total(),
+                    100.0 * m.s2 / m.total(),
+                    100.0 * m.s3 / m.total());
+        mixed_s3_share = 100.0 * m.s3 / m.total();
+    }
+
+    std::printf("\nshape check: S3 (the DNN) %s the mixed design "
+                "(%.0f%% at 65 nm) [as in the paper's Fig. 12]\n",
+                mixed_s3_share > 60.0 ? "dominates" : "does NOT dominate",
+                mixed_s3_share);
+    return 0;
+}

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Fig. 13: compute vs memory energy of the first two Ed-Gaze stages,
+ * digital vs mixed-signal. Expected shape (paper): the memory energy
+ * collapses when S1/S2 move to the analog domain, while the compute
+ * energy INCREASES — maintaining 8-bit precision makes the opamps
+ * expensive (Eq. 6).
+ */
+
+#include <cstdio>
+
+#include "common/units.h"
+#include "usecases/edgaze.h"
+
+using namespace camj;
+
+int
+main()
+{
+    setLoggingEnabled(false);
+    std::printf("Fig. 13 | S1+S2 compute vs memory energy [uJ]\n\n");
+    std::printf("%-24s %12s %12s\n", "config", "compute", "memory");
+
+    bool compute_rises = true, memory_drops = true;
+    for (int nm : {130, 65}) {
+        EnergyReport digital =
+            buildEdgaze(EdgazeVariant::TwoDIn, nm)->simulate();
+        EnergyReport mixed =
+            buildEdgaze(EdgazeVariant::TwoDInMixed, nm)->simulate();
+
+        double dig_comp = (digital.energyOf("DownsampleUnit") +
+                           digital.energyOf("SubtractUnit")) /
+                          units::uJ;
+        double dig_mem = (digital.energyOf("FrameBuffer") +
+                          digital.energyOf("LineBuffer") +
+                          digital.energyOf("PixFifo")) /
+                         units::uJ;
+        double mix_comp = mixed.energyOf("AnalogPeArray") / units::uJ;
+        double mix_mem =
+            mixed.energyOf("AnalogFrameBuffer") / units::uJ;
+
+        std::printf("digital S1+S2 (%3dnm)    %12.3f %12.3f\n", nm,
+                    dig_comp, dig_mem);
+        std::printf("mixed   S1+S2 (%3dnm)    %12.3f %12.3f\n", nm,
+                    mix_comp, mix_mem);
+        compute_rises = compute_rises && mix_comp > dig_comp;
+        memory_drops = memory_drops && mix_mem < dig_mem;
+    }
+
+    std::printf("\nshape check: memory %s, compute %s in mixed mode "
+                "[the paper's Finding 3: the 8-bit opamps cost more "
+                "than the digital datapaths they replace]\n",
+                memory_drops ? "drops" : "does NOT drop",
+                compute_rises ? "rises" : "does NOT rise");
+    return 0;
+}

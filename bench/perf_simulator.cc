@@ -1,0 +1,113 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks for the simulator itself: how fast
+ * CamJ evaluates designs. Useful when embedding the framework in a
+ * design-space-exploration loop (thousands of simulate() calls).
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "common/logging.h"
+#include "digital/cyclesim.h"
+#include "functional/executor.h"
+#include "usecases/edgaze.h"
+#include "usecases/rhythmic.h"
+#include "validation/harness.h"
+
+using namespace camj;
+
+namespace
+{
+
+void
+BM_RhythmicSimulate(benchmark::State &state)
+{
+    setLoggingEnabled(false);
+    auto d = buildRhythmic(SensorVariant::TwoDIn, 130);
+    for (auto _ : state) {
+        EnergyReport r = d->simulate();
+        benchmark::DoNotOptimize(r.total());
+    }
+}
+BENCHMARK(BM_RhythmicSimulate)->Unit(benchmark::kMillisecond);
+
+void
+BM_EdgazeSimulate(benchmark::State &state)
+{
+    setLoggingEnabled(false);
+    auto d = buildEdgaze(EdgazeVariant::ThreeDIn, 65);
+    for (auto _ : state) {
+        EnergyReport r = d->simulate();
+        benchmark::DoNotOptimize(r.total());
+    }
+}
+BENCHMARK(BM_EdgazeSimulate)->Unit(benchmark::kMillisecond);
+
+void
+BM_FullValidationSuite(benchmark::State &state)
+{
+    setLoggingEnabled(false);
+    for (auto _ : state) {
+        ValidationSummary s = runValidation();
+        benchmark::DoNotOptimize(s.pearson);
+    }
+}
+BENCHMARK(BM_FullValidationSuite)->Unit(benchmark::kMillisecond);
+
+void
+BM_CycleSimThroughput(benchmark::State &state)
+{
+    const int64_t words = state.range(0);
+    for (auto _ : state) {
+        CycleSim sim;
+        int m = sim.addMemory({.name = "m", .capacityWords = 4096});
+        sim.addSource({.name = "s", .totalWords = words,
+                       .wordsPerCycle = 4.0, .memIdx = m});
+        SimUnit u;
+        u.name = "u";
+        u.inputs.push_back({.memIdx = m, .needWords = 4,
+                            .readWords = 4, .retireWords = 4.0,
+                            .expectedWords =
+                                static_cast<double>(words)});
+        u.outMemIdx = -1;
+        u.outWords = 1;
+        u.totalFires = words / 4;
+        u.latency = 2;
+        sim.addUnit(u);
+        CycleSimResult r = sim.run();
+        benchmark::DoNotOptimize(r.cycles);
+    }
+    state.SetItemsProcessed(state.iterations() * words);
+}
+BENCHMARK(BM_CycleSimThroughput)->Arg(1 << 14)->Arg(1 << 18)
+    ->Unit(benchmark::kMillisecond);
+
+void
+BM_FunctionalConvolution(benchmark::State &state)
+{
+    SwGraph g;
+    StageId in = g.addStage({.name = "in", .op = StageOp::Input,
+                             .outputSize = {128, 128, 1}});
+    StageId conv = g.addStage({.name = "conv", .op = StageOp::Conv2d,
+                               .inputSize = {128, 128, 1},
+                               .outputSize = {126, 126, 8},
+                               .kernel = {3, 3, 1},
+                               .stride = {1, 1, 1}});
+    g.connect(in, conv);
+
+    std::map<StageId, Image> inputs;
+    Image img({128, 128, 1});
+    img.fillPattern(3);
+    inputs.emplace(in, std::move(img));
+
+    for (auto _ : state) {
+        Executor ex(g);
+        ex.run(inputs);
+        benchmark::DoNotOptimize(ex.stats(conv).ops);
+    }
+}
+BENCHMARK(BM_FunctionalConvolution)->Unit(benchmark::kMillisecond);
+
+} // namespace
+
+BENCHMARK_MAIN();

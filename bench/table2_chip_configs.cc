@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Table 2: the nine validation chip configurations — process node,
+ * stacking, pixel type, memory and PE styles — as reconstructed in
+ * this repository, with the simulated headline numbers attached.
+ */
+
+#include <cstdio>
+
+#include "common/units.h"
+#include "validation/harness.h"
+
+using namespace camj;
+
+int
+main()
+{
+    setLoggingEnabled(false);
+    std::printf("Table 2 | Validation chip configurations\n\n");
+    std::printf("%-11s %10s %9s %12s %12s\n", "chip", "pixels",
+                "FPS", "total[uJ]", "E/px[pJ]");
+
+    for (const ChipInfo &chip : buildAllChips()) {
+        ChipValidation v = validateChip(chip);
+        std::printf("%-11s %10lld %9.0f %12.2f %12.2f\n",
+                    chip.id.c_str(),
+                    static_cast<long long>(chip.pixels),
+                    v.report.fps, v.report.total() / units::uJ,
+                    v.estimatedPJPerPixel);
+        std::printf("            %s\n", chip.description.c_str());
+        std::printf("            stacked: %s | analog-PE: %s | "
+                    "digital-PE: %s\n",
+                    v.report.tsvBytes > 0 ? "yes" : "no",
+                    v.report.category(EnergyCategory::CompA) > 0.0
+                        ? "yes" : "no",
+                    v.report.category(EnergyCategory::CompD) > 0.0
+                        ? "yes" : "no");
+    }
+    return 0;
+}

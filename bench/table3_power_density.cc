@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Table 3: power density [mW/mm^2] of the Sec. 6 variants. Expected
+ * shape (paper): Rhythmic varies little across variants; Ed-Gaze
+ * 3D-In more than doubles the 2D-Off density at 130/22 nm; the 65 nm
+ * 2D-In is the densest Ed-Gaze cell (leakage); all values orders of
+ * magnitude below CPU/GPU-class densities.
+ */
+
+#include <cstdio>
+
+#include "usecases/edgaze.h"
+#include "usecases/explorer.h"
+#include "usecases/rhythmic.h"
+
+using namespace camj;
+
+int
+main()
+{
+    setLoggingEnabled(false);
+    std::printf("Table 3 | Power density [mW/mm^2]\n\n");
+    std::printf("%-14s %-10s %8s %8s %8s\n", "node (CIS/SoC)",
+                "workload", "2D-Off", "2D-In", "3D-In");
+
+    for (int nm : {130, 65}) {
+        double r[3], e[3];
+        const SensorVariant sv[3] = {SensorVariant::TwoDOff,
+                                     SensorVariant::TwoDIn,
+                                     SensorVariant::ThreeDIn};
+        const EdgazeVariant ev[3] = {EdgazeVariant::TwoDOff,
+                                     EdgazeVariant::TwoDIn,
+                                     EdgazeVariant::ThreeDIn};
+        for (int i = 0; i < 3; ++i) {
+            r[i] = powerDensityMwPerMm2(
+                buildRhythmic(sv[i], nm)->simulate());
+            e[i] = powerDensityMwPerMm2(
+                buildEdgaze(ev[i], nm)->simulate());
+        }
+        std::printf("%3d/22nm       %-10s %8.3f %8.3f %8.3f\n", nm,
+                    "rhythmic", r[0], r[1], r[2]);
+        std::printf("%3d/22nm       %-10s %8.3f %8.3f %8.3f\n", nm,
+                    "edgaze", e[0], e[1], e[2]);
+    }
+
+    std::printf("\npaper reference:\n");
+    std::printf("  130/22nm rhythmic 0.05 0.09 0.06 | edgaze 0.19 "
+                "0.30 0.78\n");
+    std::printf("   65/22nm rhythmic 0.03 0.05 0.04 | edgaze 0.11 "
+                "2.24 0.70\n");
+    std::printf("\nshape check: Ed-Gaze 3D-In > 2D-In > 2D-Off at "
+                "130 nm; 65 nm 2D-In densest (leakage); everything "
+                "<< CPU-class 1000 mW/mm^2 [Finding 2]\n");
+    return 0;
+}

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Example: the Ed-Gaze gaze-tracking pipeline (Sec. 6.1-6.3),
+ * including the mixed-signal variant of Fig. 10 where downsampling
+ * and frame subtraction move into the analog domain.
+ *
+ * Demonstrates three CamJ capabilities on one workload:
+ *   1. placement exploration (in vs off sensor, 2D vs 3D),
+ *   2. memory-technology exploration (SRAM vs STT-RAM), and
+ *   3. signal-domain exploration (digital vs mixed-signal S1/S2).
+ *
+ * Build & run:  ./build/examples/gaze_tracking
+ */
+
+#include <cstdio>
+#include <vector>
+
+#include "common/units.h"
+#include "usecases/edgaze.h"
+#include "usecases/explorer.h"
+
+using namespace camj;
+
+int
+main()
+{
+    setLoggingEnabled(false);
+
+    std::printf("Ed-Gaze: 640x400 @ 30 fps, 2x2 downsample -> frame "
+                "subtract -> ROI DNN (%.1fM MACs/frame)\n\n",
+                static_cast<double>(edgazeDnnMacs()) / 1e6);
+
+    const EdgazeVariant variants[] = {
+        EdgazeVariant::TwoDOff, EdgazeVariant::TwoDIn,
+        EdgazeVariant::ThreeDIn, EdgazeVariant::ThreeDInStt,
+        EdgazeVariant::TwoDInMixed,
+    };
+
+    for (int cis_node : {130, 65}) {
+        std::printf("--- CIS node %d nm (SoC/stacked die at 22 nm) "
+                    "---\n", cis_node);
+        std::vector<BreakdownRow> rows;
+        for (EdgazeVariant v : variants) {
+            EnergyReport r = buildEdgaze(v, cis_node)->simulate();
+            rows.push_back(breakdownOf(edgazeVariantName(v), r));
+        }
+        std::printf("%s\n", formatBreakdownTable(rows).c_str());
+    }
+
+    // Drill into one report to show the per-unit view.
+    std::printf("--- per-unit drill-down: 2D-In-Mixed @ 65 nm ---\n");
+    EnergyReport mixed =
+        buildEdgaze(EdgazeVariant::TwoDInMixed, 65)->simulate();
+    std::printf("%s\n", mixed.pretty().c_str());
+
+    std::printf("takeaways:\n");
+    std::printf("  * compute-heavy pipelines do NOT belong in a "
+                "plain 2D sensor (Finding 1);\n");
+    std::printf("  * the 65 nm node loses to 130 nm in-sensor: the "
+                "retained frame buffer leaks all frame long;\n");
+    std::printf("  * STT-RAM or analog frame buffers remove that "
+                "leakage (Findings 2-3).\n");
+    return 0;
+}

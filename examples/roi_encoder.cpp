@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Example: exploring in-sensor vs off-sensor placement for an
+ * ROI-based image encoder (the Rhythmic Pixel Regions workload of
+ * Sec. 6.1).
+ *
+ * This is the core CamJ loop a designer runs: build the workload
+ * once, then re-simulate it under different placements and process
+ * nodes, comparing the category breakdowns. The decoupled
+ * algorithm/hardware/mapping descriptions make each variant a
+ * one-line change.
+ *
+ * Build & run:  ./build/examples/roi_encoder
+ */
+
+#include <cstdio>
+#include <vector>
+
+#include "common/units.h"
+#include "usecases/explorer.h"
+#include "usecases/rhythmic.h"
+
+using namespace camj;
+
+int
+main()
+{
+    setLoggingEnabled(false);
+
+    std::printf("ROI encoder placement exploration (1280x720 @ 30 "
+                "fps, ~7.4M ops/frame, ROI halves the output)\n\n");
+
+    std::vector<BreakdownRow> rows;
+    double best_total = 1e30;
+    std::string best_name;
+
+    for (int cis_node : {130, 65}) {
+        for (SensorVariant variant : {SensorVariant::TwoDOff,
+                                      SensorVariant::TwoDIn,
+                                      SensorVariant::ThreeDIn}) {
+            auto design = buildRhythmic(variant, cis_node);
+            EnergyReport report = design->simulate();
+
+            std::string label = std::string(sensorVariantName(variant)) +
+                                " @" + std::to_string(cis_node) + "nm";
+            rows.push_back(breakdownOf(label, report));
+
+            if (report.total() < best_total) {
+                best_total = report.total();
+                best_name = label;
+            }
+        }
+    }
+
+    std::printf("%s\n", formatBreakdownTable(rows).c_str());
+    std::printf("cheapest configuration: %s (%.1f uJ/frame, %.2f mW "
+                "at 30 fps)\n", best_name.c_str(),
+                best_total / units::uJ, best_total * 30.0 / units::mW);
+
+    std::printf("\ntakeaway: for this communication-dominated "
+                "workload, cutting the MIPI volume in half inside the "
+                "sensor beats shipping the full frame to the SoC — "
+                "and a stacked compute die removes the old-node "
+                "compute tax on top (the paper's Finding 1/2).\n");
+    return 0;
+}

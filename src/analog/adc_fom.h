@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Walden figure-of-merit survey model for ADCs and comparators.
+ *
+ * The paper estimates non-linear A-Cells (ADCs, comparators) from the
+ * Murmann ADC survey: "given the ADC sampling rate we use the median
+ * energy-per-conversion at that sampling rate" (Eq. 12). The survey is
+ * not shippable offline, so this module encodes the survey's median
+ * Walden FoM [J per conversion-step] as a piecewise log-log curve with
+ * the well-known shape: roughly flat tens of fJ/step through the
+ * kS/s-100 MS/s range, degrading at GS/s speeds.
+ */
+
+#ifndef CAMJ_ANALOG_ADC_FOM_H
+#define CAMJ_ANALOG_ADC_FOM_H
+
+#include "common/units.h"
+
+namespace camj
+{
+
+/**
+ * Median Walden FoM at a sampling rate [J per conversion-step].
+ *
+ * @param sample_rate Samples per second; must be in [1, 1e12]. Values
+ *        outside the surveyed range [1e2, 1e11] are clamped to the
+ *        nearest surveyed point.
+ * @throws ConfigError for non-positive or absurd rates.
+ */
+Energy waldenFomMedian(Frequency sample_rate);
+
+/**
+ * Median energy of one full conversion of a @p bits ADC (Eq. 12):
+ * FoM(rate) * 2^bits.
+ *
+ * @param bits Resolution in [1, 16]. A comparator is bits == 1.
+ * @throws ConfigError on out-of-range resolution or rate.
+ */
+Energy adcEnergyPerConversion(int bits, Frequency sample_rate);
+
+} // namespace camj
+
+#endif // CAMJ_ANALOG_ADC_FOM_H

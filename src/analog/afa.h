@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Analog Functional Arrays (AFA): arrays of identical A-Components
+ * (Sec. 3.3 "Analog Units"). Implements the Eq. 3 access-count model
+ * (ops mapped to the array divided evenly over its components) and the
+ * per-frame energy aggregation over component accesses.
+ */
+
+#ifndef CAMJ_ANALOG_AFA_H
+#define CAMJ_ANALOG_AFA_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "analog/acomponent.h"
+#include "common/layer.h"
+#include "common/shape.h"
+
+namespace camj
+{
+
+/** Construction parameters of an analog array. */
+struct AnalogArrayParams
+{
+    std::string name;
+    Layer layer = Layer::Sensor;
+    /** Array dimensions in components (e.g. {16, 16} pixels). */
+    Shape numComponents = {1, 1, 1};
+    /** Signals consumed per unit step (throughput declaration). */
+    Shape inputShape = {1, 1, 1};
+    /** Signals produced per unit step. */
+    Shape outputShape = {1, 1, 1};
+    /** Estimated silicon area of one component [m^2] (0 = unknown);
+     *  used by the power-density footprint model. */
+    Area componentArea = 0.0;
+};
+
+/** Per-frame energy result of one analog array. */
+struct AnalogArrayEnergy
+{
+    /** Total energy this frame [J]. */
+    Energy total = 0.0;
+    /** Per-op (access-scoped) part. */
+    Energy perOpPart = 0.0;
+    /** Frame-scoped part (e.g. memory hold buffers). */
+    Energy perFramePart = 0.0;
+    /** Accesses per component (Eq. 3). */
+    double accessesPerComponent = 0.0;
+    /** Delay allocated to one component operation [s]. */
+    Time opDelay = 0.0;
+};
+
+/**
+ * An array of identical A-Components plus the Eq. 3 access-count
+ * logic. The unit's per-frame time budget (T_A from the Sec. 4.1
+ * delay estimation) is supplied by the core framework.
+ */
+class AnalogArray
+{
+  public:
+    /**
+     * @throws ConfigError on invalid shapes or an empty name.
+     */
+    AnalogArray(AnalogArrayParams params, AComponent component);
+
+    const std::string &name() const { return params_.name; }
+    Layer layer() const { return params_.layer; }
+    const Shape &numComponents() const { return params_.numComponents; }
+    const Shape &inputShape() const { return params_.inputShape; }
+    const Shape &outputShape() const { return params_.outputShape; }
+    const AComponent &component() const { return component_; }
+
+    SignalDomain inputDomain() const { return component_.inputDomain(); }
+    SignalDomain outputDomain() const { return component_.outputDomain(); }
+
+    /**
+     * Accesses per component for @p ops operations mapped to this
+     * array (Eq. 3).
+     *
+     * @throws ConfigError if ops is negative.
+     */
+    double accessesPerComponent(int64_t ops) const;
+
+    /**
+     * Per-frame energy when @p ops operations run on this array
+     * within time budget @p unit_time (the array's T_A slot) out of a
+     * frame of @p frame_time seconds.
+     *
+     * @throws ConfigError on non-positive times or negative ops.
+     */
+    AnalogArrayEnergy energyPerFrame(int64_t ops, Time unit_time,
+                                     Time frame_time) const;
+
+    /** Total array area [m^2]; 0 when unknown. */
+    Area area() const;
+
+  private:
+    AnalogArrayParams params_;
+    AComponent component_;
+};
+
+} // namespace camj
+
+#endif // CAMJ_ANALOG_AFA_H

@@ -1,0 +1,32 @@
+/**
+ * @file
+ * Signal domains for analog functional arrays.
+ *
+ * The paper's pre-simulation viability check requires the output
+ * domain of a producer AFA to match the input domain of its consumer
+ * (Sec. 3.3); an ADC is the only legal crossing into Digital.
+ */
+
+#ifndef CAMJ_ANALOG_DOMAIN_H
+#define CAMJ_ANALOG_DOMAIN_H
+
+namespace camj
+{
+
+/** Physical representation of a signal between analog units. */
+enum class SignalDomain
+{
+    Optical,
+    Charge,
+    Voltage,
+    Current,
+    Time,
+    Digital,
+};
+
+/** Human-readable domain name. */
+const char *signalDomainName(SignalDomain d);
+
+} // namespace camj
+
+#endif // CAMJ_ANALOG_DOMAIN_H

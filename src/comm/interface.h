@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Communication interfaces (Sec. 4.4, Eq. 17): the MIPI CSI-2 link
+ * that carries data out of the sensor package (~100 pJ/B) and the
+ * micro through-silicon vias between stacked dies (~1 pJ/B). Both
+ * are characterized by an energy per byte, with defaults from the
+ * Meta AR/VR system papers the CamJ paper cites.
+ */
+
+#ifndef CAMJ_COMM_INTERFACE_H
+#define CAMJ_COMM_INTERFACE_H
+
+#include <cstdint>
+#include <string>
+
+#include "common/units.h"
+
+namespace camj
+{
+
+/** Kind of communication link. */
+enum class CommKind
+{
+    /** MIPI CSI-2: sensor package to host SoC. */
+    MipiCsi2,
+    /** Micro-TSV / hybrid bond between stacked dies. */
+    MicroTsv,
+};
+
+/** Human-readable kind name. */
+const char *commKindName(CommKind kind);
+
+/** Default energy per byte of MIPI CSI-2 [J/B] (Liu et al., ISSCC'22). */
+constexpr Energy mipiDefaultEnergyPerByte = 100e-12;
+
+/** Default energy per byte of a uTSV crossing [J/B]. */
+constexpr Energy tsvDefaultEnergyPerByte = 1e-12;
+
+/** A point-to-point communication link. */
+class CommInterface
+{
+  public:
+    /**
+     * @param energy_per_byte Transfer energy [J/B]; must be positive.
+     * @throws ConfigError on invalid parameters.
+     */
+    CommInterface(std::string name, CommKind kind,
+                  Energy energy_per_byte);
+
+    const std::string &name() const { return name_; }
+    CommKind kind() const { return kind_; }
+    Energy energyPerByte() const { return energyPerByte_; }
+
+    /**
+     * Eq. 17 contribution: energy to move @p bytes across this link.
+     *
+     * @throws ConfigError on negative byte counts.
+     */
+    Energy energyForBytes(int64_t bytes) const;
+
+  private:
+    std::string name_;
+    CommKind kind_;
+    Energy energyPerByte_;
+};
+
+/** MIPI CSI-2 link with the surveyed default energy. */
+CommInterface makeMipiCsi2(Energy energy_per_byte =
+                               mipiDefaultEnergyPerByte);
+
+/** uTSV link with the surveyed default energy. */
+CommInterface makeMicroTsv(Energy energy_per_byte =
+                               tsvDefaultEnergyPerByte);
+
+} // namespace camj
+
+#endif // CAMJ_COMM_INTERFACE_H

@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Physical placement of a hardware unit: on the sensor die, on a
+ * stacked compute die, or off-sensor on the host SoC. Drives the
+ * communication-energy accounting (uTSV between stacked layers, MIPI
+ * CSI-2 off sensor) and the power-density footprint model.
+ */
+
+#ifndef CAMJ_COMMON_LAYER_H
+#define CAMJ_COMMON_LAYER_H
+
+namespace camj
+{
+
+/** Die/location a hardware unit lives on. */
+enum class Layer
+{
+    /** The pixel (sensor) die. */
+    Sensor,
+    /** A 3D-stacked compute die under the sensor die. */
+    Compute,
+    /** A 3D-stacked memory die (the middle DRAM layer of
+     *  three-layer sensors like the Sony IMX400). */
+    Dram,
+    /** The host SoC, outside the sensor package. */
+    OffChip,
+};
+
+/** Human-readable layer name. */
+inline const char *
+layerName(Layer layer)
+{
+    switch (layer) {
+      case Layer::Sensor: return "sensor";
+      case Layer::Compute: return "stacked-compute";
+      case Layer::Dram: return "stacked-dram";
+      case Layer::OffChip: return "off-chip";
+    }
+    return "?";
+}
+
+} // namespace camj
+
+#endif // CAMJ_COMMON_LAYER_H

@@ -1,0 +1,89 @@
+#include "common/logging.h"
+
+#include <cstdio>
+#include <vector>
+
+namespace camj
+{
+
+namespace
+{
+bool loggingEnabled = true;
+} // namespace
+
+std::string
+vstrprintf(const char *fmt, std::va_list args)
+{
+    std::va_list args_copy;
+    va_copy(args_copy, args);
+    int len = std::vsnprintf(nullptr, 0, fmt, args_copy);
+    va_end(args_copy);
+    if (len < 0)
+        return fmt;
+
+    std::vector<char> buf(static_cast<size_t>(len) + 1);
+    std::vsnprintf(buf.data(), buf.size(), fmt, args);
+    return std::string(buf.data(), static_cast<size_t>(len));
+}
+
+std::string
+strprintf(const char *fmt, ...)
+{
+    std::va_list args;
+    va_start(args, fmt);
+    std::string s = vstrprintf(fmt, args);
+    va_end(args);
+    return s;
+}
+
+void
+fatal(const char *fmt, ...)
+{
+    std::va_list args;
+    va_start(args, fmt);
+    std::string msg = vstrprintf(fmt, args);
+    va_end(args);
+    throw ConfigError("fatal: " + msg);
+}
+
+void
+panic(const char *fmt, ...)
+{
+    std::va_list args;
+    va_start(args, fmt);
+    std::string msg = vstrprintf(fmt, args);
+    va_end(args);
+    throw InternalError("panic: " + msg);
+}
+
+void
+warn(const char *fmt, ...)
+{
+    if (!loggingEnabled)
+        return;
+    std::va_list args;
+    va_start(args, fmt);
+    std::string msg = vstrprintf(fmt, args);
+    va_end(args);
+    std::fprintf(stderr, "warn: %s\n", msg.c_str());
+}
+
+void
+inform(const char *fmt, ...)
+{
+    if (!loggingEnabled)
+        return;
+    std::va_list args;
+    va_start(args, fmt);
+    std::string msg = vstrprintf(fmt, args);
+    va_end(args);
+    std::fprintf(stdout, "info: %s\n", msg.c_str());
+}
+
+void
+setLoggingEnabled(bool enabled)
+{
+    loggingEnabled = enabled;
+}
+
+} // namespace camj

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Error reporting in the gem5 style, adapted for a library.
+ *
+ * gem5 distinguishes fatal() (the user's fault: bad configuration,
+ * invalid arguments) from panic() (the simulator's fault: a broken
+ * internal invariant). Because CamJ is a library that is also driven
+ * from unit tests, both report through exceptions instead of
+ * terminating the process:
+ *
+ *   - fatal(...)  throws ConfigError  — the design description is
+ *     invalid (mismatched signal domains, stalls, cycles in the DAG...).
+ *   - panic(...)  throws InternalError — a CamJ bug.
+ *   - warn(...) / inform(...) print to stderr/stdout and continue.
+ */
+
+#ifndef CAMJ_COMMON_LOGGING_H
+#define CAMJ_COMMON_LOGGING_H
+
+#include <cstdarg>
+#include <stdexcept>
+#include <string>
+
+namespace camj
+{
+
+/** Raised by fatal(): the user-supplied design description is invalid. */
+class ConfigError : public std::runtime_error
+{
+  public:
+    explicit ConfigError(const std::string &what)
+        : std::runtime_error(what) {}
+};
+
+/** Raised by panic(): an internal CamJ invariant was violated. */
+class InternalError : public std::logic_error
+{
+  public:
+    explicit InternalError(const std::string &what)
+        : std::logic_error(what) {}
+};
+
+/** printf-style formatting into a std::string. */
+std::string vstrprintf(const char *fmt, std::va_list args);
+
+/** printf-style formatting into a std::string. */
+std::string strprintf(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/**
+ * Report a user configuration error. Never returns.
+ *
+ * @throws ConfigError always.
+ */
+[[noreturn]] void fatal(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/**
+ * Report an internal invariant violation. Never returns.
+ *
+ * @throws InternalError always.
+ */
+[[noreturn]] void panic(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/** Print a warning for questionable-but-survivable conditions. */
+void warn(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/** Print a status message. */
+void inform(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/** Suppress or restore warn()/inform() output (quiet test runs). */
+void setLoggingEnabled(bool enabled);
+
+} // namespace camj
+
+#endif // CAMJ_COMMON_LOGGING_H

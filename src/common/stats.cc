@@ -1,0 +1,121 @@
+#include "common/stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace camj
+{
+
+namespace
+{
+
+void
+checkPaired(const std::vector<double> &xs, const std::vector<double> &ys,
+            size_t min_size, const char *who)
+{
+    if (xs.size() != ys.size())
+        fatal("%s: series lengths differ (%zu vs %zu)", who, xs.size(),
+              ys.size());
+    if (xs.size() < min_size)
+        fatal("%s: need at least %zu points, got %zu", who, min_size,
+              xs.size());
+}
+
+} // namespace
+
+double
+pearson(const std::vector<double> &xs, const std::vector<double> &ys)
+{
+    checkPaired(xs, ys, 2, "pearson");
+
+    double mx = mean(xs), my = mean(ys);
+    double sxy = 0.0, sxx = 0.0, syy = 0.0;
+    for (size_t i = 0; i < xs.size(); ++i) {
+        double dx = xs[i] - mx, dy = ys[i] - my;
+        sxy += dx * dy;
+        sxx += dx * dx;
+        syy += dy * dy;
+    }
+    if (sxx == 0.0 || syy == 0.0)
+        fatal("pearson: a series is constant; correlation undefined");
+    return sxy / std::sqrt(sxx * syy);
+}
+
+double
+mape(const std::vector<double> &estimated,
+     const std::vector<double> &reference)
+{
+    checkPaired(estimated, reference, 1, "mape");
+
+    double sum = 0.0;
+    for (size_t i = 0; i < estimated.size(); ++i) {
+        if (reference[i] == 0.0)
+            fatal("mape: reference value at index %zu is zero", i);
+        sum += std::fabs((estimated[i] - reference[i]) / reference[i]);
+    }
+    return sum / static_cast<double>(estimated.size());
+}
+
+LinearFit
+linearFit(const std::vector<double> &xs, const std::vector<double> &ys)
+{
+    checkPaired(xs, ys, 2, "linearFit");
+
+    double mx = mean(xs), my = mean(ys);
+    double sxy = 0.0, sxx = 0.0, syy = 0.0;
+    for (size_t i = 0; i < xs.size(); ++i) {
+        double dx = xs[i] - mx, dy = ys[i] - my;
+        sxy += dx * dy;
+        sxx += dx * dx;
+        syy += dy * dy;
+    }
+    if (sxx == 0.0)
+        fatal("linearFit: x series is constant");
+
+    LinearFit fit;
+    fit.slope = sxy / sxx;
+    fit.intercept = my - fit.slope * mx;
+    fit.r2 = (syy == 0.0) ? 1.0 : (sxy * sxy) / (sxx * syy);
+    return fit;
+}
+
+double
+mean(const std::vector<double> &xs)
+{
+    if (xs.empty())
+        fatal("mean: empty input");
+    double sum = 0.0;
+    for (double x : xs)
+        sum += x;
+    return sum / static_cast<double>(xs.size());
+}
+
+double
+median(std::vector<double> xs)
+{
+    if (xs.empty())
+        fatal("median: empty input");
+    std::sort(xs.begin(), xs.end());
+    size_t n = xs.size();
+    if (n % 2 == 1)
+        return xs[n / 2];
+    return 0.5 * (xs[n / 2 - 1] + xs[n / 2]);
+}
+
+double
+geomean(const std::vector<double> &xs)
+{
+    if (xs.empty())
+        fatal("geomean: empty input");
+    double log_sum = 0.0;
+    for (double x : xs) {
+        if (x <= 0.0)
+            fatal("geomean: non-positive value %g", x);
+        log_sum += std::log(x);
+    }
+    return std::exp(log_sum / static_cast<double>(xs.size()));
+}
+
+} // namespace camj

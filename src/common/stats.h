@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Small statistics helpers used by the validation harness and the
+ * survey module: Pearson correlation, mean absolute percentage error,
+ * least-squares linear regression, and a few aggregates.
+ */
+
+#ifndef CAMJ_COMMON_STATS_H
+#define CAMJ_COMMON_STATS_H
+
+#include <cstddef>
+#include <vector>
+
+namespace camj
+{
+
+/** Result of a least-squares fit y = slope * x + intercept. */
+struct LinearFit
+{
+    double slope = 0.0;
+    double intercept = 0.0;
+    /** Coefficient of determination of the fit. */
+    double r2 = 0.0;
+
+    /** Evaluate the fitted line at @p x. */
+    double operator()(double x) const { return slope * x + intercept; }
+};
+
+/**
+ * Pearson correlation coefficient between two equal-length series.
+ *
+ * @throws ConfigError if the series differ in length or have fewer
+ *         than two points.
+ */
+double pearson(const std::vector<double> &xs, const std::vector<double> &ys);
+
+/**
+ * Mean Absolute Percentage Error of estimates against references,
+ * returned as a fraction (0.075 == 7.5%).
+ *
+ * @throws ConfigError on length mismatch, empty input, or a zero
+ *         reference value.
+ */
+double mape(const std::vector<double> &estimated,
+            const std::vector<double> &reference);
+
+/** Least-squares linear regression. Requires at least two points. */
+LinearFit linearFit(const std::vector<double> &xs,
+                    const std::vector<double> &ys);
+
+/** Arithmetic mean. Requires a non-empty input. */
+double mean(const std::vector<double> &xs);
+
+/** Median (of a copy; input is not modified). Requires non-empty input. */
+double median(std::vector<double> xs);
+
+/** Geometric mean. Requires non-empty input of positive values. */
+double geomean(const std::vector<double> &xs);
+
+} // namespace camj
+
+#endif // CAMJ_COMMON_STATS_H

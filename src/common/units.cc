@@ -1,0 +1,54 @@
+#include "common/units.h"
+
+#include <array>
+#include <cmath>
+#include <cstdio>
+
+namespace camj
+{
+
+std::string
+formatEng(double value, const std::string &unit, int precision)
+{
+    struct Prefix { double scale; const char *name; };
+    static constexpr std::array<Prefix, 9> prefixes = {{
+        { 1e-18, "a" }, { 1e-15, "f" }, { 1e-12, "p" }, { 1e-9, "n" },
+        { 1e-6, "u" }, { 1e-3, "m" }, { 1.0, "" }, { 1e3, "k" },
+        { 1e6, "M" },
+    }};
+
+    if (value == 0.0)
+        return "0 " + unit;
+
+    double mag = std::fabs(value);
+    const Prefix *best = &prefixes.front();
+    for (const auto &p : prefixes) {
+        if (mag >= p.scale)
+            best = &p;
+    }
+
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f %s%s", precision,
+                  value / best->scale, best->name, unit.c_str());
+    return buf;
+}
+
+std::string
+formatEnergy(Energy e)
+{
+    return formatEng(e, "J");
+}
+
+std::string
+formatTime(Time t)
+{
+    return formatEng(t, "s");
+}
+
+std::string
+formatPower(Power p)
+{
+    return formatEng(p, "W");
+}
+
+} // namespace camj

@@ -1,0 +1,133 @@
+/**
+ * @file
+ * Unit conventions and physical constants used throughout CamJ.
+ *
+ * CamJ follows the gem5 convention of using plain doubles in strict SI
+ * units (joules, seconds, hertz, volts, farads, amperes, watts, square
+ * meters, bytes). The constants below make configuration code read like
+ * the paper ("100 * units::fF", "30 * units::fps") and the formatting
+ * helpers render values with engineering prefixes for reports.
+ */
+
+#ifndef CAMJ_COMMON_UNITS_H
+#define CAMJ_COMMON_UNITS_H
+
+#include <string>
+
+namespace camj
+{
+
+/** Energy in joules. */
+using Energy = double;
+/** Time in seconds. */
+using Time = double;
+/** Frequency in hertz. */
+using Frequency = double;
+/** Electric potential in volts. */
+using Voltage = double;
+/** Capacitance in farads. */
+using Capacitance = double;
+/** Current in amperes. */
+using Current = double;
+/** Power in watts. */
+using Power = double;
+/** Area in square meters. */
+using Area = double;
+
+namespace units
+{
+
+// Energy.
+constexpr Energy aJ = 1e-18;
+constexpr Energy fJ = 1e-15;
+constexpr Energy pJ = 1e-12;
+constexpr Energy nJ = 1e-9;
+constexpr Energy uJ = 1e-6;
+constexpr Energy mJ = 1e-3;
+
+// Time.
+constexpr Time ps = 1e-12;
+constexpr Time ns = 1e-9;
+constexpr Time us = 1e-6;
+constexpr Time ms = 1e-3;
+constexpr Time s = 1.0;
+
+// Frequency.
+constexpr Frequency Hz = 1.0;
+constexpr Frequency kHz = 1e3;
+constexpr Frequency MHz = 1e6;
+constexpr Frequency GHz = 1e9;
+/** Frames per second; dimensionally a frequency. */
+constexpr Frequency fps = 1.0;
+
+// Voltage.
+constexpr Voltage mV = 1e-3;
+constexpr Voltage V = 1.0;
+
+// Capacitance.
+constexpr Capacitance aF = 1e-18;
+constexpr Capacitance fF = 1e-15;
+constexpr Capacitance pF = 1e-12;
+constexpr Capacitance nF = 1e-9;
+
+// Current.
+constexpr Current pA = 1e-12;
+constexpr Current nA = 1e-9;
+constexpr Current uA = 1e-6;
+constexpr Current mA = 1e-3;
+
+// Power.
+constexpr Power pW = 1e-12;
+constexpr Power nW = 1e-9;
+constexpr Power uW = 1e-6;
+constexpr Power mW = 1e-3;
+constexpr Power W = 1.0;
+
+// Area.
+constexpr Area um2 = 1e-12;
+constexpr Area mm2 = 1e-6;
+
+// Data volume (bytes are dimensionless counts; named for readability).
+constexpr double B = 1.0;
+constexpr double KB = 1024.0;
+constexpr double MB = 1024.0 * 1024.0;
+
+} // namespace units
+
+namespace constants
+{
+
+/** Boltzmann constant [J/K]. */
+constexpr double kBoltzmann = 1.380649e-23;
+
+/** Default operating temperature [K] for thermal-noise sizing. */
+constexpr double roomTemperatureK = 300.0;
+
+/** kT at room temperature [J]; the quantity in Eq. 6 of the paper. */
+constexpr double kT = kBoltzmann * roomTemperatureK;
+
+} // namespace constants
+
+/**
+ * Format a value with an engineering (power-of-1000) prefix.
+ *
+ * @param value Value in base SI units.
+ * @param unit Unit suffix, e.g. "J" or "W".
+ * @param precision Significant digits after the decimal point.
+ * @return Human-readable string such as "3.21 pJ".
+ */
+std::string formatEng(double value, const std::string &unit,
+                      int precision = 3);
+
+/** Format an energy in joules, e.g. "12.4 pJ". */
+std::string formatEnergy(Energy e);
+
+/** Format a time in seconds, e.g. "33.3 ms". */
+std::string formatTime(Time t);
+
+/** Format a power in watts, e.g. "1.2 mW". */
+std::string formatPower(Power p);
+
+} // namespace camj
+
+#endif // CAMJ_COMMON_UNITS_H

@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Conservative area/footprint model (Sec. 6.2). The paper
+ * approximates analog area by the pixel array and digital area by
+ * the SRAM macros; we aggregate whatever per-unit areas the
+ * configuration supplies. The package footprint is the sum of layer
+ * areas for a 2D design and the maximum layer area for a stacked
+ * design (stacking shrinks the footprint, raising power density).
+ */
+
+#ifndef CAMJ_CORE_AREA_H
+#define CAMJ_CORE_AREA_H
+
+#include "common/layer.h"
+#include "common/units.h"
+
+namespace camj
+{
+
+/** Aggregated areas by layer. */
+struct AreaSummary
+{
+    Area sensorLayer = 0.0;
+    Area computeLayer = 0.0;
+    Area dramLayer = 0.0;
+    Area offChip = 0.0;
+
+    /** Accumulate one unit's area on its layer. */
+    void add(Layer layer, Area area);
+
+    /**
+     * Package footprint: sensor + on-sensor digital for a 2D design;
+     * max(sensor layer, compute layer) for a stacked design.
+     */
+    Area footprint() const;
+
+    /** True when any area was placed on a stacked layer. */
+    bool
+    stacked() const
+    {
+        return computeLayer > 0.0 || dramLayer > 0.0;
+    }
+};
+
+} // namespace camj
+
+#endif // CAMJ_CORE_AREA_H

@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Pre-simulation design checks (Sec. 3.2): functional viability of
+ * the analog chain (signal-domain continuity, ADC at the digital
+ * boundary) and throughput compatibility between producer/consumer
+ * arrays. DAG well-formedness lives in SwGraph::validate(); stall
+ * checking lives in the cycle simulator.
+ */
+
+#ifndef CAMJ_CORE_CHECKS_H
+#define CAMJ_CORE_CHECKS_H
+
+#include <vector>
+
+#include "analog/afa.h"
+
+namespace camj
+{
+
+/**
+ * Check that the output domain of every array matches the input
+ * domain of its successor.
+ *
+ * @param chain Analog arrays in pipeline order; must be non-empty.
+ * @throws ConfigError naming the offending pair and the conversion
+ *         component the designer must insert.
+ */
+void checkAnalogDomains(const std::vector<const AnalogArray *> &chain);
+
+/**
+ * Check producer/consumer throughput shapes. A mismatch requires an
+ * analog buffer — except when the consumer's input is in the voltage
+ * domain, whose inherent capacitance buffers naturally (the paper's
+ * footnote 1); that case produces a warning only.
+ *
+ * @throws ConfigError on a hard mismatch.
+ */
+void checkAnalogThroughput(
+    const std::vector<const AnalogArray *> &chain);
+
+/**
+ * Check that the chain ends in the digital domain (an ADC exists
+ * between the analog and digital parts).
+ *
+ * @throws ConfigError if the final array's output is not digital.
+ */
+void checkAdcBoundary(const std::vector<const AnalogArray *> &chain);
+
+} // namespace camj
+
+#endif // CAMJ_CORE_CHECKS_H

@@ -1,0 +1,50 @@
+/**
+ * @file
+ * The algorithm-to-hardware mapping (the paper's camj_mapping()):
+ * each software stage name maps to one hardware unit name. The
+ * decoupling of sw/hw/mapping is what makes iterative exploration
+ * cheap — a different split between analog/digital or in/off sensor
+ * is just a different mapping.
+ */
+
+#ifndef CAMJ_CORE_MAPPING_H
+#define CAMJ_CORE_MAPPING_H
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace camj
+{
+
+/** Stage-name to hardware-unit-name mapping. */
+class Mapping
+{
+  public:
+    /**
+     * Map a stage to a hardware unit.
+     *
+     * @throws ConfigError if the stage is already mapped.
+     */
+    void map(const std::string &stage, const std::string &hw_unit);
+
+    /** True if @p stage is mapped. */
+    bool isMapped(const std::string &stage) const;
+
+    /** Hardware unit of @p stage. @throws ConfigError if unmapped. */
+    const std::string &hwUnitOf(const std::string &stage) const;
+
+    /** All stages mapped onto @p hw_unit, in mapping order. */
+    std::vector<std::string> stagesOn(const std::string &hw_unit) const;
+
+    /** Number of mapped stages. */
+    size_t size() const { return stageToHw_.size(); }
+
+  private:
+    std::map<std::string, std::string> stageToHw_;
+    std::vector<std::string> order_;
+};
+
+} // namespace camj
+
+#endif // CAMJ_CORE_MAPPING_H

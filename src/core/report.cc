@@ -1,0 +1,166 @@
+#include "core/report.h"
+
+#include <sstream>
+
+#include "common/logging.h"
+
+namespace camj
+{
+
+const char *
+energyCategoryName(EnergyCategory cat)
+{
+    switch (cat) {
+      case EnergyCategory::Sen: return "SEN";
+      case EnergyCategory::CompA: return "COMP-A";
+      case EnergyCategory::MemA: return "MEM-A";
+      case EnergyCategory::CompD: return "COMP-D";
+      case EnergyCategory::MemD: return "MEM-D";
+      case EnergyCategory::Mipi: return "MIPI";
+      case EnergyCategory::Tsv: return "uTSV";
+    }
+    return "?";
+}
+
+const std::vector<EnergyCategory> &
+allEnergyCategories()
+{
+    static const std::vector<EnergyCategory> cats = {
+        EnergyCategory::Sen, EnergyCategory::CompA,
+        EnergyCategory::MemA, EnergyCategory::CompD,
+        EnergyCategory::MemD, EnergyCategory::Mipi,
+        EnergyCategory::Tsv,
+    };
+    return cats;
+}
+
+Energy
+EnergyReport::total() const
+{
+    Energy e = 0.0;
+    for (const auto &u : units)
+        e += u.energy;
+    return e;
+}
+
+Energy
+EnergyReport::category(EnergyCategory cat) const
+{
+    Energy e = 0.0;
+    for (const auto &u : units) {
+        if (u.category == cat)
+            e += u.energy;
+    }
+    return e;
+}
+
+Energy
+EnergyReport::energyOf(const std::string &unit_name) const
+{
+    for (const auto &u : units) {
+        if (u.name == unit_name)
+            return u.energy;
+    }
+    fatal("EnergyReport %s: no unit named '%s'", designName.c_str(),
+          unit_name.c_str());
+}
+
+bool
+EnergyReport::hasUnit(const std::string &unit_name) const
+{
+    for (const auto &u : units) {
+        if (u.name == unit_name)
+            return true;
+    }
+    return false;
+}
+
+Power
+EnergyReport::packagePower() const
+{
+    if (fps <= 0.0)
+        fatal("EnergyReport %s: fps not set", designName.c_str());
+    Energy e = 0.0;
+    for (const auto &u : units) {
+        // Off-chip units dissipate on the host SoC. The MIPI link
+        // energy is spread over both PHYs and the channel and is
+        // excluded from the on-die density figure (Sec. 6.2);
+        // uTSV energy stays inside the package.
+        if (u.layer == Layer::OffChip)
+            continue;
+        if (u.category == EnergyCategory::Mipi)
+            continue;
+        e += u.energy;
+    }
+    return e * fps;
+}
+
+double
+EnergyReport::powerDensity() const
+{
+    if (footprint <= 0.0)
+        fatal("EnergyReport %s: zero footprint; set unit areas",
+              designName.c_str());
+    return packagePower() / footprint;
+}
+
+Energy
+EnergyReport::energyPerPixel(int64_t pixels) const
+{
+    if (pixels <= 0)
+        fatal("EnergyReport %s: pixel count must be positive",
+              designName.c_str());
+    return total() / static_cast<double>(pixels);
+}
+
+std::string
+EnergyReport::csv() const
+{
+    std::ostringstream os;
+    os << "unit,category,layer,energy_pJ\n";
+    for (const auto &u : units) {
+        os << strprintf("%s,%s,%s,%.6f\n", u.name.c_str(),
+                        energyCategoryName(u.category),
+                        layerName(u.layer), u.energy / 1e-12);
+    }
+    os << strprintf("TOTAL,,,%.6f\n", total() / 1e-12);
+    return os.str();
+}
+
+std::string
+EnergyReport::pretty() const
+{
+    std::ostringstream os;
+    os << "=== " << designName << " @ " << fps << " fps ===\n";
+    os << strprintf("  frame %s | digital %s | analog slot %s (%d "
+                    "slots)\n",
+                    formatTime(frameTime).c_str(),
+                    formatTime(digitalLatency).c_str(),
+                    formatTime(analogUnitTime).c_str(),
+                    numAnalogSlots);
+    for (const auto &u : units) {
+        os << strprintf("  %-28s %-7s %-15s %s\n", u.name.c_str(),
+                        energyCategoryName(u.category),
+                        layerName(u.layer),
+                        formatEnergy(u.energy).c_str());
+    }
+    os << "  -- category totals --\n";
+    for (EnergyCategory cat : allEnergyCategories()) {
+        Energy e = category(cat);
+        if (e > 0.0) {
+            os << strprintf("  %-8s %s\n", energyCategoryName(cat),
+                            formatEnergy(e).c_str());
+        }
+    }
+    os << strprintf("  TOTAL    %s per frame (%s)\n",
+                    formatEnergy(total()).c_str(),
+                    formatPower(total() * fps).c_str());
+    if (footprint > 0.0) {
+        os << strprintf("  footprint %.3f mm^2, density %.4f mW/mm^2\n",
+                        footprint / units::mm2,
+                        powerDensity() * 1e3 / 1e6);
+    }
+    return os.str();
+}
+
+} // namespace camj

@@ -1,0 +1,122 @@
+/**
+ * @file
+ * Energy report: the output of a CamJ simulation. Per-unit energies
+ * with category tags matching the paper's figures (SEN, COMP-A,
+ * MEM-A, COMP-D, MEM-D, MIPI, uTSV), delay-estimation results, data
+ * volumes, and the power-density model of Sec. 6.2.
+ */
+
+#ifndef CAMJ_CORE_REPORT_H
+#define CAMJ_CORE_REPORT_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/layer.h"
+#include "common/units.h"
+
+namespace camj
+{
+
+/** Energy category in the paper's breakdown figures. */
+enum class EnergyCategory
+{
+    /** Everything up to and including the ADCs. */
+    Sen,
+    /** Analog computation (post-sensing, pre-ADC). */
+    CompA,
+    /** Analog memory. */
+    MemA,
+    /** Digital computation. */
+    CompD,
+    /** Digital memory. */
+    MemD,
+    /** MIPI CSI-2 transfers. */
+    Mipi,
+    /** uTSV transfers between stacked layers. */
+    Tsv,
+};
+
+/** Human-readable category name as used in the paper's legends. */
+const char *energyCategoryName(EnergyCategory cat);
+
+/** All categories, in display order. */
+const std::vector<EnergyCategory> &allEnergyCategories();
+
+/** Per-hardware-unit energy entry. */
+struct UnitEnergy
+{
+    std::string name;
+    EnergyCategory category = EnergyCategory::Sen;
+    Layer layer = Layer::Sensor;
+    Energy energy = 0.0;
+};
+
+/** The full result of Design::simulate(). */
+class EnergyReport
+{
+  public:
+    EnergyReport() = default;
+
+    /** Design name the report belongs to. */
+    std::string designName;
+    /** Target frame rate [fps]. */
+    double fps = 0.0;
+
+    /** Per-unit energy entries. */
+    std::vector<UnitEnergy> units;
+
+    // Delay estimation (Sec. 4.1).
+    Time frameTime = 0.0;
+    Time digitalLatency = 0.0;
+    Time analogUnitTime = 0.0;
+    int numAnalogSlots = 0;
+
+    // Communication volumes (Eq. 17 inputs).
+    int64_t mipiBytes = 0;
+    int64_t tsvBytes = 0;
+
+    // Footprint model (Sec. 6.2).
+    Area sensorLayerArea = 0.0;
+    Area computeLayerArea = 0.0;
+    Area footprint = 0.0;
+
+    /** Total energy per frame [J]. */
+    Energy total() const;
+
+    /** Energy of one category per frame [J]. */
+    Energy category(EnergyCategory cat) const;
+
+    /** Energy of a named unit. @throws ConfigError if absent. */
+    Energy energyOf(const std::string &unit_name) const;
+
+    /** True if a unit with this name exists in the report. */
+    bool hasUnit(const std::string &unit_name) const;
+
+    /** Average power of the sensor package (on-sensor layers plus
+     *  MIPI transmit) [W]. */
+    Power packagePower() const;
+
+    /** Sec. 6.2 power density [W/m^2]: package power over footprint.
+     *  @throws ConfigError if the footprint is zero. */
+    double powerDensity() const;
+
+    /** Energy per pixel [J/px] given the pixel count (validation
+     *  figure-of-merit). */
+    Energy energyPerPixel(int64_t pixels) const;
+
+    /** Render as a human-readable table. */
+    std::string pretty() const;
+
+    /**
+     * Render as CSV for plotting pipelines:
+     * `unit,category,layer,energy_pJ` rows followed by one
+     * `TOTAL,,,<pJ>` row.
+     */
+    std::string csv() const;
+};
+
+} // namespace camj
+
+#endif // CAMJ_CORE_REPORT_H

@@ -1,0 +1,289 @@
+#include "digital/cyclesim.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace camj
+{
+
+int
+CycleSim::addMemory(SimMemory mem)
+{
+    if (mem.name.empty())
+        fatal("CycleSim: memory with empty name");
+    if (mem.capacityWords <= 0)
+        fatal("CycleSim: memory %s capacity must be positive",
+              mem.name.c_str());
+    if (mem.readPorts < 1 || mem.writePorts < 1)
+        fatal("CycleSim: memory %s ports must be >= 1",
+              mem.name.c_str());
+    mems_.push_back(std::move(mem));
+    return static_cast<int>(mems_.size()) - 1;
+}
+
+int
+CycleSim::addSource(SimSource src)
+{
+    if (src.name.empty())
+        fatal("CycleSim: source with empty name");
+    if (src.totalWords < 0 || src.wordsPerCycle <= 0.0)
+        fatal("CycleSim: source %s needs totalWords >= 0 and positive "
+              "rate", src.name.c_str());
+    if (src.memIdx < 0 || src.memIdx >= static_cast<int>(mems_.size()))
+        fatal("CycleSim: source %s has invalid memory index %d",
+              src.name.c_str(), src.memIdx);
+    sources_.push_back(std::move(src));
+    return static_cast<int>(sources_.size()) - 1;
+}
+
+int
+CycleSim::addUnit(SimUnit unit)
+{
+    if (unit.name.empty())
+        fatal("CycleSim: unit with empty name");
+    if (unit.inputs.empty())
+        fatal("CycleSim: unit %s has no inputs", unit.name.c_str());
+    for (const auto &port : unit.inputs) {
+        if (port.memIdx < 0 ||
+            port.memIdx >= static_cast<int>(mems_.size()))
+            fatal("CycleSim: unit %s has invalid input memory %d",
+                  unit.name.c_str(), port.memIdx);
+        if (port.needWords < 1 || port.readWords < 0 ||
+            port.retireWords < 0.0)
+            fatal("CycleSim: unit %s has invalid port parameters",
+                  unit.name.c_str());
+    }
+    if (unit.outMemIdx >= static_cast<int>(mems_.size()))
+        fatal("CycleSim: unit %s has invalid output memory %d",
+              unit.name.c_str(), unit.outMemIdx);
+    if (unit.outWords < 0 || unit.totalFires < 0 || unit.latency < 1)
+        fatal("CycleSim: unit %s has invalid out/fires/latency",
+              unit.name.c_str());
+    units_.push_back(std::move(unit));
+    return static_cast<int>(units_.size()) - 1;
+}
+
+CycleSimResult
+CycleSim::run(int64_t max_cycles)
+{
+    struct Landing
+    {
+        int64_t cycle;
+        int memIdx;
+        int64_t words;
+    };
+
+    const size_t nm = mems_.size();
+    const size_t nu = units_.size();
+    const size_t ns = sources_.size();
+
+    CycleSimResult res;
+    res.unitBusyCycles.assign(nu, 0);
+    res.memReads.assign(nm, 0);
+    res.memWrites.assign(nm, 0);
+
+    std::vector<double> occupancy(nm, 0.0);
+    std::vector<double> arrived(nm, 0.0);
+    std::vector<int64_t> reserved(nm, 0);
+    std::vector<int> readTokens(nm, 0), writeTokens(nm, 0);
+    std::vector<double> sourceCredit(ns, 0.0);
+    std::vector<int64_t> sourceRemaining(ns);
+    std::vector<int64_t> firesDone(nu, 0);
+    std::deque<Landing> landings;
+
+    for (size_t s = 0; s < ns; ++s)
+        sourceRemaining[s] = sources_[s].totalWords;
+
+    auto all_done = [&]() {
+        for (size_t s = 0; s < ns; ++s) {
+            if (sourceRemaining[s] > 0)
+                return false;
+        }
+        for (size_t u = 0; u < nu; ++u) {
+            if (firesDone[u] < units_[u].totalFires)
+                return false;
+        }
+        return landings.empty();
+    };
+
+    int64_t cycle = 0;
+    for (; cycle < max_cycles; ++cycle) {
+        if (all_done())
+            break;
+
+        for (size_t m = 0; m < nm; ++m) {
+            readTokens[m] = mems_[m].readPorts;
+            writeTokens[m] = mems_[m].writePorts;
+        }
+
+        // 1. Land in-flight results, bounded by write ports.
+        for (auto it = landings.begin(); it != landings.end();) {
+            if (it->cycle > cycle) {
+                ++it;
+                continue;
+            }
+            int m = it->memIdx;
+            if (writeTokens[m] <= 0) {
+                // Defer to next cycle; the pipeline backs up.
+                it->cycle = cycle + 1;
+                ++res.portConflictCycles;
+                ++it;
+                continue;
+            }
+            --writeTokens[m];
+            reserved[m] -= it->words;
+            if (!mems_[m].prefilled)
+                occupancy[m] += static_cast<double>(it->words);
+            arrived[m] += static_cast<double>(it->words);
+            res.memWrites[m] += it->words;
+            it = landings.erase(it);
+        }
+
+        // 2. Sources push pixels at their fixed rate. A blocked source
+        //    is the fatal stall condition of Sec. 4.1: exposure cannot
+        //    pause.
+        for (size_t s = 0; s < ns; ++s) {
+            if (sourceRemaining[s] == 0)
+                continue;
+            SimSource &src = sources_[s];
+            sourceCredit[s] += src.wordsPerCycle;
+            int64_t want = std::min<int64_t>(
+                static_cast<int64_t>(sourceCredit[s]),
+                sourceRemaining[s]);
+            if (want == 0)
+                continue;
+
+            const size_t m = static_cast<size_t>(src.memIdx);
+            int64_t space = mems_[m].capacityWords;
+            if (!mems_[m].prefilled) {
+                space = std::max<int64_t>(
+                    0, static_cast<int64_t>(
+                           static_cast<double>(mems_[m].capacityWords) -
+                           occupancy[m]) -
+                           reserved[m]);
+            }
+            int64_t push = std::min(want, space);
+            if (push > 0 && writeTokens[m] > 0) {
+                --writeTokens[m];
+                if (!mems_[m].prefilled)
+                    occupancy[m] += static_cast<double>(push);
+                arrived[m] += static_cast<double>(push);
+                res.memWrites[m] += push;
+                sourceRemaining[s] -= push;
+                sourceCredit[s] -= static_cast<double>(push);
+            }
+            // The exposure cannot pause: sustained backlog beyond a
+            // small jitter slack means the buffer is too small or the
+            // consumer too slow — the Sec. 4.1 stall condition.
+            double slack = std::max(8.0, 4.0 * src.wordsPerCycle);
+            if (sourceRemaining[s] > 0 && sourceCredit[s] > slack) {
+                ++res.sourceBlockedCycles;
+                res.sourceBlocked = true;
+            }
+        }
+
+        // 3. Units fire when inputs, ports, and output space allow.
+        for (size_t u = 0; u < nu; ++u) {
+            SimUnit &unit = units_[u];
+            if (firesDone[u] >= unit.totalFires)
+                continue;
+
+            bool data_ready = true;
+            bool ports_ready = true;
+            for (const auto &port : unit.inputs) {
+                const size_t m = static_cast<size_t>(port.memIdx);
+                const SimMemory &mem = mems_[m];
+                if (!mem.prefilled) {
+                    if (port.expectedWords > 0.0) {
+                        // Cumulative-arrival readiness: fire k needs
+                        // k * retire + window words to have arrived,
+                        // capped at what will ever arrive (boundary
+                        // windows re-read retained rows).
+                        double need = std::min(
+                            port.expectedWords,
+                            static_cast<double>(firesDone[u]) *
+                                    port.retireWords +
+                                static_cast<double>(port.needWords));
+                        if (arrived[m] + 1e-9 < need)
+                            data_ready = false;
+                    } else if (occupancy[m] <
+                               static_cast<double>(port.needWords)) {
+                        data_ready = false;
+                    }
+                }
+                if (readTokens[m] <= 0)
+                    ports_ready = false;
+            }
+            if (!data_ready)
+                continue; // normal pipelining: wait for producer
+
+            bool out_ok = true;
+            if (unit.outMemIdx >= 0) {
+                const size_t m = static_cast<size_t>(unit.outMemIdx);
+                if (!mems_[m].prefilled &&
+                    occupancy[m] +
+                            static_cast<double>(reserved[m] +
+                                                unit.outWords) >
+                        static_cast<double>(mems_[m].capacityWords))
+                    out_ok = false;
+            }
+            if (!ports_ready) {
+                ++res.portConflictCycles;
+                continue;
+            }
+            if (!out_ok)
+                continue; // downstream backpressure
+
+            for (const auto &port : unit.inputs) {
+                const size_t m = static_cast<size_t>(port.memIdx);
+                --readTokens[m];
+                res.memReads[m] += port.readWords;
+                if (!mems_[m].prefilled) {
+                    // Boundary windows retire less than a full stride
+                    // (they reuse rows still held in the buffer).
+                    occupancy[m] = std::max(
+                        0.0, occupancy[m] - port.retireWords);
+                }
+            }
+            if (unit.outMemIdx >= 0) {
+                reserved[static_cast<size_t>(unit.outMemIdx)] +=
+                    unit.outWords;
+                landings.push_back({cycle + unit.latency,
+                                    unit.outMemIdx, unit.outWords});
+            }
+            ++firesDone[u];
+            ++res.unitBusyCycles[u];
+        }
+    }
+
+    if (!all_done()) {
+        std::string state;
+        for (size_t s = 0; s < ns; ++s) {
+            state += strprintf(" source %s: %lld left;",
+                               sources_[s].name.c_str(),
+                               static_cast<long long>(
+                                   sourceRemaining[s]));
+        }
+        for (size_t u = 0; u < nu; ++u) {
+            state += strprintf(" unit %s: %lld/%lld fires;",
+                               units_[u].name.c_str(),
+                               static_cast<long long>(firesDone[u]),
+                               static_cast<long long>(
+                                   units_[u].totalFires));
+        }
+        for (size_t m = 0; m < nm; ++m) {
+            state += strprintf(" mem %s: occ %.1f arrived %.1f;",
+                               mems_[m].name.c_str(), occupancy[m],
+                               arrived[m]);
+        }
+        fatal("CycleSim: pipeline did not drain within %lld cycles "
+              "(deadlock or unsatisfiable configuration):%s",
+              static_cast<long long>(max_cycles), state.c_str());
+    }
+
+    res.cycles = cycle;
+    return res;
+}
+
+} // namespace camj

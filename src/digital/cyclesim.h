@@ -1,0 +1,148 @@
+/**
+ * @file
+ * Cycle-level simulation of the digital part of the CIS pipeline
+ * (Sec. 3.3 / Sec. 4.1). The simulator serves two purposes in the
+ * paper's methodology:
+ *
+ *   1. Stall checking. The CIS pipeline must never stall, because
+ *      pixels are produced at a constant rate by the exposure; CamJ
+ *      flags the three stall scenarios (producer data not ready is
+ *      normal pipelining; a full memory blocking the source and
+ *      insufficient memory ports are design errors).
+ *   2. Digital latency estimation (T_D), which the delay model uses
+ *      to derive the analog time budget T_A = (T_FR - T_D) / N.
+ *
+ * The model is transaction-level: every unit moves its declared
+ * per-cycle shapes; pipeline depth delays the landing of outputs.
+ */
+
+#ifndef CAMJ_DIGITAL_CYCLESIM_H
+#define CAMJ_DIGITAL_CYCLESIM_H
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <vector>
+
+namespace camj
+{
+
+/** A buffer between pipeline actors. */
+struct SimMemory
+{
+    std::string name;
+    int64_t capacityWords = 0;
+    int readPorts = 1;
+    int writePorts = 1;
+    /**
+     * Holds a full previous frame at frame start (e.g. the frame
+     * buffer feeding frame subtraction): reads always succeed and do
+     * not deplete occupancy; writes overwrite in place.
+     */
+    bool prefilled = false;
+};
+
+/** A data producer at the analog/digital boundary (ADC output). */
+struct SimSource
+{
+    std::string name;
+    /** Words pushed per frame. */
+    int64_t totalWords = 0;
+    /** Production rate [words/cycle]; may be fractional (a slow ADC
+     *  produces less than one word per digital cycle). */
+    double wordsPerCycle = 1.0;
+    /** Destination memory index. */
+    int memIdx = -1;
+};
+
+/** One input port of a compute unit. */
+struct SimPort
+{
+    /** Memory the port reads from. */
+    int memIdx = -1;
+    /** Words that must be present before the unit can fire (stencil
+     *  window for line-buffered units). */
+    int64_t needWords = 1;
+    /** Words actually read per fire (memory read accesses). */
+    int64_t readWords = 1;
+    /** Words retired (freed) per fire; fractional for sliding-window
+     *  reuse where a fire advances by less than it reads. */
+    double retireWords = 1.0;
+    /**
+     * Total words that will arrive in the source memory over the
+     * frame. When positive, fire-readiness uses cumulative arrivals
+     * (fire k waits for min(expected, k * retire + need) words),
+     * which models boundary stencils re-reading retained rows; when
+     * zero, readiness falls back to current occupancy.
+     */
+    double expectedWords = 0.0;
+};
+
+/** A pipelined compute unit. */
+struct SimUnit
+{
+    std::string name;
+    std::vector<SimPort> inputs;
+    /** Destination memory; -1 = sink (leaves the digital pipeline). */
+    int outMemIdx = -1;
+    /** Words produced per fire. */
+    int64_t outWords = 1;
+    /** Fires needed to process one frame. */
+    int64_t totalFires = 0;
+    /** Pipeline depth in cycles. */
+    int latency = 1;
+};
+
+/** Result of simulating one frame. */
+struct CycleSimResult
+{
+    /** Cycles from first input to last output landing. */
+    int64_t cycles = 0;
+    /** Active (firing) cycles per unit, by unit index. */
+    std::vector<int64_t> unitBusyCycles;
+    /** Word reads per memory, by memory index. */
+    std::vector<int64_t> memReads;
+    /** Word writes per memory, by memory index. */
+    std::vector<int64_t> memWrites;
+    /** Cycles a source was blocked by a full memory (fatal stall). */
+    int64_t sourceBlockedCycles = 0;
+    /** Cycles lost to read/write port conflicts. */
+    int64_t portConflictCycles = 0;
+    /** True if any source was ever blocked. */
+    bool sourceBlocked = false;
+};
+
+/**
+ * The pipeline simulator. Build with addMemory/addSource/addUnit
+ * (units in topological order), then run().
+ */
+class CycleSim
+{
+  public:
+    /** @return memory index. @throws ConfigError on bad params. */
+    int addMemory(SimMemory mem);
+
+    /** @return source index. @throws ConfigError on bad params. */
+    int addSource(SimSource src);
+
+    /** @return unit index. @throws ConfigError on bad params. */
+    int addUnit(SimUnit unit);
+
+    /**
+     * Simulate one frame.
+     *
+     * @param max_cycles Deadlock guard.
+     * @throws ConfigError if the pipeline does not drain within
+     *         @p max_cycles (deadlock or unsatisfiable dependencies).
+     */
+    CycleSimResult run(int64_t max_cycles = 500000000);
+
+  private:
+    std::vector<SimMemory> mems_;
+    std::vector<SimSource> sources_;
+    std::vector<SimUnit> units_;
+};
+
+} // namespace camj
+
+#endif // CAMJ_DIGITAL_CYCLESIM_H

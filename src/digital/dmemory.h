@@ -1,0 +1,129 @@
+/**
+ * @file
+ * Digital memory structures (Table 1, digital column): FIFO, line
+ * buffer, and double-buffered SRAM, plus factory helpers that derive
+ * their electrical characteristics from the analytical SRAM/STT-RAM
+ * models. Energy follows Eq. 16: dynamic read/write plus leakage over
+ * the non-power-gated fraction of the frame.
+ */
+
+#ifndef CAMJ_DIGITAL_DMEMORY_H
+#define CAMJ_DIGITAL_DMEMORY_H
+
+#include <cstdint>
+#include <string>
+
+#include "common/layer.h"
+#include "common/units.h"
+#include "memmodel/memory_model.h"
+
+namespace camj
+{
+
+/** Digital memory organization. */
+enum class MemoryKind
+{
+    Fifo,
+    LineBuffer,
+    DoubleBuffer,
+    FrameBuffer,
+};
+
+/** Human-readable kind name. */
+const char *memoryKindName(MemoryKind kind);
+
+/** Construction parameters of a digital memory. */
+struct DigitalMemoryParams
+{
+    std::string name;
+    Layer layer = Layer::Sensor;
+    MemoryKind kind = MemoryKind::Fifo;
+    /** Capacity in words (pixels for image memories). */
+    int64_t capacityWords = 0;
+    /** Word width [bits]. */
+    int wordBits = 8;
+    Energy readEnergyPerWord = 0.0;
+    Energy writeEnergyPerWord = 0.0;
+    /** Standby leakage of the array [W]. */
+    Power leakagePower = 0.0;
+    /**
+     * Fraction of the frame the memory is powered (alpha in Eq. 16).
+     * Frame buffers that must retain a frame across the whole frame
+     * time cannot be gated: use 1.0.
+     */
+    double activeFraction = 1.0;
+    int readPorts = 1;
+    int writePorts = 1;
+    /** Macro area [m^2] for the footprint model (0 = unknown). */
+    Area area = 0.0;
+};
+
+/** Per-frame energy breakdown of one digital memory (Eq. 16). */
+struct MemoryEnergy
+{
+    Energy total = 0.0;
+    Energy readPart = 0.0;
+    Energy writePart = 0.0;
+    Energy leakagePart = 0.0;
+};
+
+/** A digital memory instance. */
+class DigitalMemory
+{
+  public:
+    /** @throws ConfigError on invalid parameters. */
+    explicit DigitalMemory(DigitalMemoryParams params);
+
+    const std::string &name() const { return params_.name; }
+    Layer layer() const { return params_.layer; }
+    MemoryKind kind() const { return params_.kind; }
+    int64_t capacityWords() const { return params_.capacityWords; }
+    int wordBits() const { return params_.wordBits; }
+    int readPorts() const { return params_.readPorts; }
+    int writePorts() const { return params_.writePorts; }
+    double activeFraction() const { return params_.activeFraction; }
+    Area area() const { return params_.area; }
+    Power leakagePower() const { return params_.leakagePower; }
+    Energy readEnergyPerWord() const { return params_.readEnergyPerWord; }
+    Energy writeEnergyPerWord() const
+    {
+        return params_.writeEnergyPerWord;
+    }
+
+    /**
+     * Eq. 16: dynamic access energy plus leakage over the active
+     * fraction of the frame.
+     *
+     * @throws ConfigError on negative counts or non-positive frame
+     *         time.
+     */
+    MemoryEnergy energyPerFrame(int64_t reads, int64_t writes,
+                                Time frame_time) const;
+
+  private:
+    DigitalMemoryParams params_;
+};
+
+/**
+ * Build a memory whose electrical characteristics come from the
+ * analytical SRAM model at process node @p nm.
+ *
+ * @param words Capacity in words.
+ * @param word_bits Bits per word.
+ */
+DigitalMemory makeSramMemory(const std::string &name, Layer layer,
+                             MemoryKind kind, int64_t words,
+                             int word_bits, int nm,
+                             double active_fraction = 1.0);
+
+/** Build a memory backed by the analytical STT-RAM model. STT-RAM
+ *  retains state without power: leakage is peripheral-only and
+ *  activeFraction applies to that remainder. */
+DigitalMemory makeSttramMemory(const std::string &name, Layer layer,
+                               MemoryKind kind, int64_t words,
+                               int word_bits, int nm,
+                               double active_fraction = 1.0);
+
+} // namespace camj
+
+#endif // CAMJ_DIGITAL_DMEMORY_H

@@ -1,0 +1,108 @@
+#include "digital/trace.h"
+
+#include <sstream>
+
+#include "common/logging.h"
+
+namespace camj
+{
+
+void
+MemoryTrace::append(TraceRecord record)
+{
+    if (record.unit.empty())
+        fatal("MemoryTrace: record with empty unit name");
+    if (record.words <= 0)
+        fatal("MemoryTrace: record for '%s' with non-positive word "
+              "count %lld", record.unit.c_str(),
+              static_cast<long long>(record.words));
+    records_.push_back(std::move(record));
+}
+
+MemoryTrace
+MemoryTrace::parse(const std::string &text)
+{
+    MemoryTrace trace;
+    std::istringstream stream(text);
+    std::string line;
+    int line_no = 0;
+
+    while (std::getline(stream, line)) {
+        ++line_no;
+        // Strip comments.
+        size_t hash = line.find('#');
+        if (hash != std::string::npos)
+            line.erase(hash);
+
+        std::istringstream fields(line);
+        std::string unit, kind;
+        long long words = 0;
+        if (!(fields >> unit))
+            continue; // blank line
+        if (!(fields >> kind >> words))
+            fatal("MemoryTrace: line %d: expected '<unit> <R|W> "
+                  "<words>', got '%s'", line_no, line.c_str());
+        std::string extra;
+        if (fields >> extra)
+            fatal("MemoryTrace: line %d: trailing garbage '%s'",
+                  line_no, extra.c_str());
+
+        TraceRecord rec;
+        rec.unit = unit;
+        if (kind == "R" || kind == "r") {
+            rec.isWrite = false;
+        } else if (kind == "W" || kind == "w") {
+            rec.isWrite = true;
+        } else {
+            fatal("MemoryTrace: line %d: access kind must be R or W, "
+                  "got '%s'", line_no, kind.c_str());
+        }
+        if (words <= 0)
+            fatal("MemoryTrace: line %d: non-positive word count %lld",
+                  line_no, words);
+        rec.words = words;
+        trace.append(std::move(rec));
+    }
+    return trace;
+}
+
+std::map<std::string, TraceCounts>
+MemoryTrace::countsByUnit() const
+{
+    std::map<std::string, TraceCounts> counts;
+    for (const TraceRecord &rec : records_) {
+        TraceCounts &c = counts[rec.unit];
+        if (rec.isWrite)
+            c.writes += rec.words;
+        else
+            c.reads += rec.words;
+    }
+    return counts;
+}
+
+TraceCounts
+MemoryTrace::countsFor(const std::string &unit) const
+{
+    TraceCounts c;
+    for (const TraceRecord &rec : records_) {
+        if (rec.unit != unit)
+            continue;
+        if (rec.isWrite)
+            c.writes += rec.words;
+        else
+            c.reads += rec.words;
+    }
+    return c;
+}
+
+MemoryEnergy
+MemoryTrace::energyOn(const DigitalMemory &mem, Time frame_time) const
+{
+    TraceCounts c = countsFor(mem.name());
+    if (c.reads == 0 && c.writes == 0)
+        fatal("MemoryTrace: no records for memory '%s'",
+              mem.name().c_str());
+    return mem.energyPerFrame(c.reads, c.writes, frame_time);
+}
+
+} // namespace camj

@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Memory-trace input for irregular algorithms.
+ *
+ * CamJ's analytic access counts assume stencil regularity. For the
+ * occasional irregular kernel, Sec. 3.3 lets users supply an offline
+ * memory trace instead; this module implements that path: a simple
+ * line-based trace format, aggregation into per-unit access counts,
+ * and energy integration against the digital memory models (SRAM and
+ * the DRAMPower-substitute DRAM model).
+ *
+ * Trace format — one access per line, '#' starts a comment:
+ *
+ *     <unit-name> <R|W> <words>
+ *
+ * e.g.
+ *     # frame 0
+ *     FrameMem R 64
+ *     FrameMem W 16
+ */
+
+#ifndef CAMJ_DIGITAL_TRACE_H
+#define CAMJ_DIGITAL_TRACE_H
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/units.h"
+#include "digital/dmemory.h"
+
+namespace camj
+{
+
+/** One trace record. */
+struct TraceRecord
+{
+    std::string unit;
+    bool isWrite = false;
+    int64_t words = 0;
+};
+
+/** Aggregated per-unit access counts. */
+struct TraceCounts
+{
+    int64_t reads = 0;
+    int64_t writes = 0;
+};
+
+/** A parsed memory trace. */
+class MemoryTrace
+{
+  public:
+    /** Append one record. @throws ConfigError on invalid fields. */
+    void append(TraceRecord record);
+
+    /**
+     * Parse the line-based trace format.
+     *
+     * @param text Full trace text.
+     * @throws ConfigError on malformed lines, with line numbers.
+     */
+    static MemoryTrace parse(const std::string &text);
+
+    /** Number of records. */
+    size_t size() const { return records_.size(); }
+
+    /** All records, in trace order. */
+    const std::vector<TraceRecord> &records() const { return records_; }
+
+    /** Aggregate counts per unit name. */
+    std::map<std::string, TraceCounts> countsByUnit() const;
+
+    /** Counts for one unit (zeros if the unit never appears). */
+    TraceCounts countsFor(const std::string &unit) const;
+
+    /**
+     * Energy of this trace replayed against a digital memory
+     * (Eq. 16 with trace-derived counts).
+     *
+     * @param mem The memory the trace's @p unit refers to.
+     * @param frame_time Frame duration for the leakage term.
+     * @throws ConfigError if the trace has no records for the
+     *         memory's name.
+     */
+    MemoryEnergy energyOn(const DigitalMemory &mem,
+                          Time frame_time) const;
+
+  private:
+    std::vector<TraceRecord> records_;
+};
+
+} // namespace camj
+
+#endif // CAMJ_DIGITAL_TRACE_H

@@ -1,0 +1,312 @@
+#include "functional/executor.h"
+
+#include <cmath>
+#include <cstdint>
+
+#include "common/logging.h"
+
+namespace camj
+{
+
+namespace
+{
+
+// Deterministic weight generator seeded from the stage name.
+class WeightGen
+{
+  public:
+    explicit WeightGen(const std::string &name)
+    {
+        uint32_t h = 2166136261u;
+        for (char c : name) {
+            h ^= static_cast<uint8_t>(c);
+            h *= 16777619u;
+        }
+        state_ = h ? h : 0x9e3779b9u;
+    }
+
+    /** Next weight in [-1, 1]. */
+    float
+    next()
+    {
+        state_ ^= state_ << 13;
+        state_ ^= state_ >> 17;
+        state_ ^= state_ << 5;
+        return static_cast<float>(state_ % 2001u) / 1000.0f - 1.0f;
+    }
+
+  private:
+    uint32_t state_;
+};
+
+} // namespace
+
+Executor::Executor(const SwGraph &graph)
+    : graph_(graph)
+{
+    graph_.validate();
+}
+
+void
+Executor::run(const std::map<StageId, Image> &inputs)
+{
+    outputs_.clear();
+    outputs_.reserve(static_cast<size_t>(graph_.size()));
+    stats_.assign(static_cast<size_t>(graph_.size()), StageExecStats{});
+    for (StageId i = 0; i < graph_.size(); ++i)
+        outputs_.emplace_back(graph_.stage(i).outputSize());
+
+    for (StageId id : graph_.topoOrder()) {
+        const Stage &s = graph_.stage(id);
+        if (s.op() == StageOp::Input) {
+            auto it = inputs.find(id);
+            if (it == inputs.end())
+                fatal("Executor: no image supplied for input stage '%s'",
+                      s.name().c_str());
+            if (it->second.shape() != s.outputSize())
+                fatal("Executor: input '%s' shape %s != stage shape %s",
+                      s.name().c_str(), it->second.shape().str().c_str(),
+                      s.outputSize().str().c_str());
+            // Copy values without disturbing the caller's counters.
+            Image &out = outputs_[static_cast<size_t>(id)];
+            const Shape &sh = out.shape();
+            for (int64_t c = 0; c < sh.channels; ++c)
+                for (int64_t y = 0; y < sh.height; ++y)
+                    for (int64_t x = 0; x < sh.width; ++x)
+                        out.set(x, y, c, it->second.peek(x, y, c));
+            out.resetCounters();
+            continue;
+        }
+
+        std::vector<const Image *> ins;
+        for (StageId p : graph_.inputsOf(id))
+            ins.push_back(&outputs_[static_cast<size_t>(p)]);
+        for (const Image *in : ins)
+            const_cast<Image *>(in)->resetCounters();
+
+        Image &out = outputs_[static_cast<size_t>(id)];
+        StageExecStats &st = stats_[static_cast<size_t>(id)];
+        execStage(id, ins, out, st);
+
+        for (const Image *in : ins)
+            st.reads += in->reads();
+        st.writes = out.writes();
+    }
+    hasRun_ = true;
+}
+
+void
+Executor::execStage(StageId id, const std::vector<const Image *> &ins,
+                    Image &out, StageExecStats &st)
+{
+    const Stage &s = graph_.stage(id);
+    const Shape &osh = s.outputSize();
+    const Shape &k = s.kernel();
+    const Shape &stride = s.stride();
+    const Image &in0 = *ins.at(0);
+
+    switch (s.op()) {
+      case StageOp::Input:
+        panic("execStage: Input reached dispatch");
+
+      case StageOp::Binning:
+      case StageOp::AvgPool:
+        for (int64_t c = 0; c < osh.channels; ++c) {
+            for (int64_t oy = 0; oy < osh.height; ++oy) {
+                for (int64_t ox = 0; ox < osh.width; ++ox) {
+                    float sum = 0.0f;
+                    for (int64_t ky = 0; ky < k.height; ++ky) {
+                        for (int64_t kx = 0; kx < k.width; ++kx) {
+                            sum += in0.at(ox * stride.width + kx,
+                                          oy * stride.height + ky, c);
+                            ++st.ops;
+                        }
+                    }
+                    out.set(ox, oy, c,
+                            sum / static_cast<float>(k.width * k.height));
+                }
+            }
+        }
+        break;
+
+      case StageOp::MaxPool:
+        for (int64_t c = 0; c < osh.channels; ++c) {
+            for (int64_t oy = 0; oy < osh.height; ++oy) {
+                for (int64_t ox = 0; ox < osh.width; ++ox) {
+                    float best = -1e30f;
+                    for (int64_t ky = 0; ky < k.height; ++ky) {
+                        for (int64_t kx = 0; kx < k.width; ++kx) {
+                            float v = in0.at(ox * stride.width + kx,
+                                             oy * stride.height + ky, c);
+                            best = v > best ? v : best;
+                            ++st.ops;
+                        }
+                    }
+                    out.set(ox, oy, c, best);
+                }
+            }
+        }
+        break;
+
+      case StageOp::DepthwiseConv2d: {
+        WeightGen wg(s.name());
+        std::vector<float> w(static_cast<size_t>(k.width * k.height *
+                                                 osh.channels));
+        for (auto &v : w)
+            v = wg.next();
+        for (int64_t c = 0; c < osh.channels; ++c) {
+            for (int64_t oy = 0; oy < osh.height; ++oy) {
+                for (int64_t ox = 0; ox < osh.width; ++ox) {
+                    float acc = 0.0f;
+                    for (int64_t ky = 0; ky < k.height; ++ky) {
+                        for (int64_t kx = 0; kx < k.width; ++kx) {
+                            size_t wi = static_cast<size_t>(
+                                (c * k.height + ky) * k.width + kx);
+                            acc += w[wi] *
+                                   in0.at(ox * stride.width + kx,
+                                          oy * stride.height + ky, c);
+                            ++st.ops;
+                        }
+                    }
+                    out.set(ox, oy, c, acc);
+                }
+            }
+        }
+        break;
+      }
+
+      case StageOp::Conv2d: {
+        WeightGen wg(s.name());
+        const int64_t ksize = k.count();
+        std::vector<float> w(static_cast<size_t>(ksize * osh.channels));
+        for (auto &v : w)
+            v = wg.next();
+        for (int64_t oc = 0; oc < osh.channels; ++oc) {
+            for (int64_t oy = 0; oy < osh.height; ++oy) {
+                for (int64_t ox = 0; ox < osh.width; ++ox) {
+                    float acc = 0.0f;
+                    for (int64_t ic = 0; ic < k.channels; ++ic) {
+                        for (int64_t ky = 0; ky < k.height; ++ky) {
+                            for (int64_t kx = 0; kx < k.width; ++kx) {
+                                size_t wi = static_cast<size_t>(
+                                    oc * ksize +
+                                    (ic * k.height + ky) * k.width + kx);
+                                acc += w[wi] *
+                                       in0.at(ox * stride.width + kx,
+                                              oy * stride.height + ky,
+                                              ic);
+                                ++st.ops;
+                            }
+                        }
+                    }
+                    out.set(ox, oy, oc, acc);
+                }
+            }
+        }
+        break;
+      }
+
+      case StageOp::FullyConnected: {
+        WeightGen wg(s.name());
+        const Shape &ish = s.inputSize();
+        for (int64_t o = 0; o < osh.count(); ++o) {
+            float acc = 0.0f;
+            for (int64_t c = 0; c < ish.channels; ++c) {
+                for (int64_t y = 0; y < ish.height; ++y) {
+                    for (int64_t x = 0; x < ish.width; ++x) {
+                        acc += wg.next() * in0.at(x, y, c);
+                        ++st.ops;
+                    }
+                }
+            }
+            out.set(o % osh.width, (o / osh.width) % osh.height,
+                    o / (osh.width * osh.height), acc);
+        }
+        break;
+      }
+
+      case StageOp::ElementwiseSub:
+      case StageOp::ElementwiseAdd:
+      case StageOp::AbsDiff: {
+        const Image &in1 = *ins.at(1);
+        for (int64_t c = 0; c < osh.channels; ++c) {
+            for (int64_t y = 0; y < osh.height; ++y) {
+                for (int64_t x = 0; x < osh.width; ++x) {
+                    float a = in0.at(x, y, c);
+                    float b = in1.at(x, y, c);
+                    float v = 0.0f;
+                    if (s.op() == StageOp::ElementwiseSub)
+                        v = a - b;
+                    else if (s.op() == StageOp::ElementwiseAdd)
+                        v = a + b;
+                    else
+                        v = std::fabs(a - b);
+                    ++st.ops;
+                    out.set(x, y, c, v);
+                }
+            }
+        }
+        break;
+      }
+
+      case StageOp::Threshold:
+      case StageOp::Scale:
+      case StageOp::LogResponse:
+      case StageOp::Absolute:
+      case StageOp::CompareSample:
+      case StageOp::Identity:
+        for (int64_t c = 0; c < osh.channels; ++c) {
+            for (int64_t y = 0; y < osh.height; ++y) {
+                for (int64_t x = 0; x < osh.width; ++x) {
+                    float a = in0.at(x, y, c);
+                    float v = a;
+                    switch (s.op()) {
+                      case StageOp::Threshold:
+                      case StageOp::CompareSample:
+                        v = a > 128.0f ? 1.0f : 0.0f;
+                        ++st.ops;
+                        break;
+                      case StageOp::Scale:
+                        v = a * 0.5f;
+                        ++st.ops;
+                        break;
+                      case StageOp::LogResponse:
+                        v = std::log1p(std::fabs(a));
+                        ++st.ops;
+                        break;
+                      case StageOp::Absolute:
+                        v = std::fabs(a);
+                        ++st.ops;
+                        break;
+                      default:
+                        break; // Identity: pure movement, no ops
+                    }
+                    out.set(x, y, c, v);
+                }
+            }
+        }
+        break;
+    }
+}
+
+const Image &
+Executor::output(StageId id) const
+{
+    if (!hasRun_)
+        fatal("Executor: output() before run()");
+    if (id < 0 || id >= graph_.size())
+        fatal("Executor: invalid stage id %d", id);
+    return outputs_[static_cast<size_t>(id)];
+}
+
+const StageExecStats &
+Executor::stats(StageId id) const
+{
+    if (!hasRun_)
+        fatal("Executor: stats() before run()");
+    if (id < 0 || id >= graph_.size())
+        fatal("Executor: invalid stage id %d", id);
+    return stats_[static_cast<size_t>(id)];
+}
+
+} // namespace camj

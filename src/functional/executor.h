@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Executable semantics for the algorithm DAG.
+ *
+ * CamJ's energy estimation never executes pixels — access counts are
+ * derived analytically from the declarative stage description. This
+ * engine exists to *prove* those formulas: it runs every stage on real
+ * pixel buffers with per-element access counting, so tests can assert
+ *
+ *   executor reads  == Stage::inputReadsPerFrame()
+ *   executor writes == Stage::outputsPerFrame()
+ *   executor ops    == Stage::opsPerFrame()
+ *
+ * and also check value-level ground truth (binning of a constant image
+ * is constant, subtraction of identical frames is zero, ...).
+ */
+
+#ifndef CAMJ_FUNCTIONAL_EXECUTOR_H
+#define CAMJ_FUNCTIONAL_EXECUTOR_H
+
+#include <map>
+#include <vector>
+
+#include "functional/image.h"
+#include "sw/graph.h"
+
+namespace camj
+{
+
+/** Observed per-stage execution statistics. */
+struct StageExecStats
+{
+    /** Input elements read (from all operands). */
+    int64_t reads = 0;
+    /** Output elements written. */
+    int64_t writes = 0;
+    /** Arithmetic operations performed. */
+    int64_t ops = 0;
+};
+
+/**
+ * Executes a validated SwGraph on concrete images.
+ *
+ * Weights for Conv2d / DepthwiseConv2d / FullyConnected stages are
+ * deterministic pseudo-random values derived from the stage name, so
+ * runs are reproducible without a weight-loading interface.
+ */
+class Executor
+{
+  public:
+    /**
+     * @param graph The algorithm DAG; validate() must pass.
+     * @throws ConfigError if the graph is malformed.
+     */
+    explicit Executor(const SwGraph &graph);
+
+    /**
+     * Run one frame.
+     *
+     * @param inputs One image per Input stage, keyed by StageId; each
+     *        must match the stage's output shape.
+     * @throws ConfigError on missing or mis-shaped inputs.
+     */
+    void run(const std::map<StageId, Image> &inputs);
+
+    /** Output image of @p id from the last run(). */
+    const Image &output(StageId id) const;
+
+    /** Execution statistics of @p id from the last run(). */
+    const StageExecStats &stats(StageId id) const;
+
+  private:
+    const SwGraph &graph_;
+    std::vector<Image> outputs_;
+    std::vector<StageExecStats> stats_;
+    bool hasRun_ = false;
+
+    void execStage(StageId id, const std::vector<const Image *> &ins,
+                   Image &out, StageExecStats &st);
+};
+
+} // namespace camj
+
+#endif // CAMJ_FUNCTIONAL_EXECUTOR_H

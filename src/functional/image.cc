@@ -1,0 +1,75 @@
+#include "functional/image.h"
+
+#include "common/logging.h"
+
+namespace camj
+{
+
+Image::Image(const Shape &shape)
+    : shape_(shape)
+{
+    if (!shape.valid())
+        fatal("Image: invalid shape %s", shape.str().c_str());
+    data_.assign(static_cast<size_t>(shape.count()), 0.0f);
+}
+
+int64_t
+Image::index(int64_t x, int64_t y, int64_t c) const
+{
+    if (x < 0 || x >= shape_.width || y < 0 || y >= shape_.height ||
+        c < 0 || c >= shape_.channels) {
+        fatal("Image: access (%lld, %lld, %lld) outside %s",
+              static_cast<long long>(x), static_cast<long long>(y),
+              static_cast<long long>(c), shape_.str().c_str());
+    }
+    return (c * shape_.height + y) * shape_.width + x;
+}
+
+float
+Image::at(int64_t x, int64_t y, int64_t c) const
+{
+    ++reads_;
+    return data_[static_cast<size_t>(index(x, y, c))];
+}
+
+void
+Image::set(int64_t x, int64_t y, int64_t c, float value)
+{
+    ++writes_;
+    data_[static_cast<size_t>(index(x, y, c))] = value;
+}
+
+float
+Image::peek(int64_t x, int64_t y, int64_t c) const
+{
+    return data_[static_cast<size_t>(index(x, y, c))];
+}
+
+void
+Image::fill(float value)
+{
+    for (auto &v : data_)
+        v = value;
+}
+
+void
+Image::fillPattern(uint32_t seed)
+{
+    // xorshift32: deterministic, seed-stable across platforms.
+    uint32_t state = seed ? seed : 0xdeadbeef;
+    for (auto &v : data_) {
+        state ^= state << 13;
+        state ^= state >> 17;
+        state ^= state << 5;
+        v = static_cast<float>(state % 256u);
+    }
+}
+
+void
+Image::resetCounters()
+{
+    reads_ = 0;
+    writes_ = 0;
+}
+
+} // namespace camj

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * A small instrumented image/tensor type for the functional engine.
+ *
+ * Every element read and write is counted; the functional executor
+ * uses these counters to cross-validate CamJ's analytic access-count
+ * formulas (Eq. 3 of the paper) against an actual execution.
+ */
+
+#ifndef CAMJ_FUNCTIONAL_IMAGE_H
+#define CAMJ_FUNCTIONAL_IMAGE_H
+
+#include <cstdint>
+#include <vector>
+
+#include "common/shape.h"
+
+namespace camj
+{
+
+/** A (width x height x channels) float image with access counting. */
+class Image
+{
+  public:
+    /** Construct a zero-initialized image. @throws ConfigError on an
+     *  invalid shape. */
+    explicit Image(const Shape &shape);
+
+    const Shape &shape() const { return shape_; }
+
+    /** Counted element read. @throws ConfigError when out of range. */
+    float at(int64_t x, int64_t y, int64_t c = 0) const;
+
+    /** Counted element write. @throws ConfigError when out of range. */
+    void set(int64_t x, int64_t y, int64_t c, float value);
+
+    /** Uncounted read, for test assertions about pixel values. */
+    float peek(int64_t x, int64_t y, int64_t c = 0) const;
+
+    /** Uncounted fill, for test setup. */
+    void fill(float value);
+
+    /** Uncounted deterministic pseudo-random fill, for test setup. */
+    void fillPattern(uint32_t seed);
+
+    /** Element reads since construction or resetCounters(). */
+    int64_t reads() const { return reads_; }
+
+    /** Element writes since construction or resetCounters(). */
+    int64_t writes() const { return writes_; }
+
+    /** Zero the access counters. */
+    void resetCounters();
+
+  private:
+    Shape shape_;
+    std::vector<float> data_;
+    mutable int64_t reads_ = 0;
+    int64_t writes_ = 0;
+
+    int64_t index(int64_t x, int64_t y, int64_t c) const;
+};
+
+} // namespace camj
+
+#endif // CAMJ_FUNCTIONAL_IMAGE_H

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Analytical DRAM energy model (DRAMPower substitute).
+ *
+ * Sec. 3.3 of the paper: "CamJ does accept as input a memory trace
+ * offline collected for an irregular algorithm, which can then be
+ * integrated with external tools such as DRAMPower to estimate the
+ * energy consumption." DRAMPower is not available offline, so this
+ * module provides the per-command energy model it would supply:
+ * activate/precharge row energy, per-word read/write energy, refresh
+ * and background power — the LPDDR4-class numbers relevant to
+ * stacked-DRAM CIS like the Sony IMX400 three-layer sensor.
+ */
+
+#ifndef CAMJ_MEMMODEL_DRAM_H
+#define CAMJ_MEMMODEL_DRAM_H
+
+#include <cstdint>
+
+#include "common/units.h"
+
+namespace camj
+{
+
+/** Per-command/per-state energy parameters of a DRAM device. */
+struct DramParams
+{
+    /** Row activate + precharge energy [J]. */
+    Energy activateEnergy = 1.2e-9;
+    /** Energy per 32-byte read burst [J]. */
+    Energy readBurstEnergy = 0.5e-9;
+    /** Energy per 32-byte write burst [J]. */
+    Energy writeBurstEnergy = 0.55e-9;
+    /** Bytes per burst. */
+    int burstBytes = 32;
+    /** Row (page) size [bytes]; sequential accesses within a row
+     *  need no new activate. */
+    int64_t rowBytes = 2048;
+    /** Background + refresh power while powered [W]. */
+    Power backgroundPower = 6e-3;
+    /** Background power in self-refresh (retention) mode [W]. */
+    Power selfRefreshPower = 0.4e-3;
+};
+
+/** Access pattern statistics of a traffic aggregate. */
+struct DramTraffic
+{
+    /** Bytes read per frame. */
+    int64_t readBytes = 0;
+    /** Bytes written per frame. */
+    int64_t writeBytes = 0;
+    /** Row-buffer hit rate in [0, 1]; streaming image traffic is
+     *  near 1, irregular traffic near 0. */
+    double rowHitRate = 0.9;
+    /** Fraction of the frame spent out of self-refresh. */
+    double activeFraction = 1.0;
+};
+
+/** Energy breakdown of one frame of DRAM traffic. */
+struct DramEnergy
+{
+    Energy activatePart = 0.0;
+    Energy burstPart = 0.0;
+    Energy backgroundPart = 0.0;
+    Energy total = 0.0;
+};
+
+/**
+ * Energy of one frame of DRAM traffic (Eq. 16's DRAM analogue).
+ *
+ * @param traffic Aggregate access statistics; counts must be
+ *        non-negative and rates in [0, 1].
+ * @param frame_time Frame duration [s]; positive.
+ * @throws ConfigError on invalid inputs.
+ */
+DramEnergy dramEnergyPerFrame(const DramTraffic &traffic,
+                              Time frame_time,
+                              const DramParams &params = {});
+
+} // namespace camj
+
+#endif // CAMJ_MEMMODEL_DRAM_H

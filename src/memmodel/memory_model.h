@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Common result type for the analytical memory models.
+ *
+ * The paper obtains per-access energy, leakage power and area from the
+ * external tools DESTINY (SRAM), NVMExplorer (STT-RAM) and CACTI.
+ * Those tools are not available offline, so src/memmodel provides
+ * parametric analytical substitutes that preserve the behavior CamJ
+ * actually consumes: per-access energy and leakage grow with capacity
+ * and shrink with process node, and STT-RAM trades high write energy
+ * for near-zero standby leakage. See DESIGN.md Sec. 3.
+ */
+
+#ifndef CAMJ_MEMMODEL_MEMORY_MODEL_H
+#define CAMJ_MEMMODEL_MEMORY_MODEL_H
+
+#include <cstdint>
+
+#include "common/units.h"
+
+namespace camj
+{
+
+/** Per-array electrical characteristics produced by a memory model. */
+struct MemoryCharacteristics
+{
+    /** Energy of reading one word [J]. */
+    Energy readEnergyPerWord = 0.0;
+    /** Energy of writing one word [J]. */
+    Energy writeEnergyPerWord = 0.0;
+    /** Standby leakage power of the whole array [W]. */
+    Power leakagePower = 0.0;
+    /** Macro area including peripherals [m^2]. */
+    Area area = 0.0;
+    /** Capacity [bytes], echoed back for reporting. */
+    int64_t capacityBytes = 0;
+    /** Word width [bits], echoed back for reporting. */
+    int wordBits = 0;
+};
+
+} // namespace camj
+
+#endif // CAMJ_MEMMODEL_MEMORY_MODEL_H

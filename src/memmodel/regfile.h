@@ -1,0 +1,28 @@
+/**
+ * @file
+ * Small register-file model for PE-local storage (the "RegFile" in the
+ * paper's Fig. 5 edge unit and the scratch registers of systolic PEs).
+ */
+
+#ifndef CAMJ_MEMMODEL_REGFILE_H
+#define CAMJ_MEMMODEL_REGFILE_H
+
+#include "memmodel/memory_model.h"
+
+namespace camj
+{
+
+/**
+ * Characterize a flip-flop based register file.
+ *
+ * @param capacity_bytes Capacity; must be in (0, 4096].
+ * @param word_bits Word width in bits; must be in [1, 256].
+ * @param nm Process node in nanometers.
+ * @throws ConfigError on out-of-range arguments.
+ */
+MemoryCharacteristics regfileModel(int64_t capacity_bytes, int word_bits,
+                                   int nm);
+
+} // namespace camj
+
+#endif // CAMJ_MEMMODEL_REGFILE_H

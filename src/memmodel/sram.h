@@ -1,0 +1,35 @@
+/**
+ * @file
+ * Analytical 6T SRAM model (DESTINY/CACTI substitute).
+ *
+ * Per-bit access energy is modeled as a constant sense/latch term plus
+ * a term growing with the square root of the array capacity (bitline
+ * and wordline lengths grow with the side of the array). The 65 nm
+ * anchor values are calibrated so that a 64 KB array costs a few pJ
+ * per 64-bit word, matching the numbers DESTINY produces for the
+ * validation designs in the paper. Leakage uses the per-node SRAM
+ * leakage density from the technology table.
+ */
+
+#ifndef CAMJ_MEMMODEL_SRAM_H
+#define CAMJ_MEMMODEL_SRAM_H
+
+#include "memmodel/memory_model.h"
+
+namespace camj
+{
+
+/**
+ * Characterize a 6T SRAM array.
+ *
+ * @param capacity_bytes Array capacity; must be positive.
+ * @param word_bits Word (row access) width in bits; must be in [1, 1024].
+ * @param nm Process node in nanometers.
+ * @throws ConfigError on out-of-range arguments.
+ */
+MemoryCharacteristics sramModel(int64_t capacity_bytes, int word_bits,
+                                int nm);
+
+} // namespace camj
+
+#endif // CAMJ_MEMMODEL_SRAM_H

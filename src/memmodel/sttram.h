@@ -1,0 +1,38 @@
+/**
+ * @file
+ * Analytical STT-RAM model (NVMExplorer substitute).
+ *
+ * Captures the property Sec. 6.2 of the paper relies on: STT-RAM has
+ * near-zero standby leakage (no supply needed to retain state) at the
+ * cost of a much higher per-bit write energy, and a denser bit cell
+ * than 6T SRAM. Like NVMExplorer, the model rejects arrays smaller
+ * than 4 KB (the paper notes its 2 KB Rhythmic buffer has no STT-RAM
+ * result for exactly this reason).
+ */
+
+#ifndef CAMJ_MEMMODEL_STTRAM_H
+#define CAMJ_MEMMODEL_STTRAM_H
+
+#include "memmodel/memory_model.h"
+
+namespace camj
+{
+
+/** Smallest array the STT-RAM model supports [bytes]. */
+constexpr int64_t sttramMinCapacityBytes = 4096;
+
+/**
+ * Characterize an STT-RAM array.
+ *
+ * @param capacity_bytes Array capacity; must be >= 4 KB.
+ * @param word_bits Word width in bits; must be in [1, 1024].
+ * @param nm Process node in nanometers.
+ * @throws ConfigError on out-of-range arguments, including arrays
+ *         below the 4 KB NVMExplorer-compatible minimum.
+ */
+MemoryCharacteristics sttramModel(int64_t capacity_bytes, int word_bits,
+                                  int nm);
+
+} // namespace camj
+
+#endif // CAMJ_MEMMODEL_STTRAM_H

@@ -1,0 +1,99 @@
+#include "noise/noise.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace camj
+{
+
+double
+dieTemperature(double power_density, const ThermalParams &tp)
+{
+    if (power_density < 0.0)
+        fatal("dieTemperature: negative power density");
+    if (tp.thermalResistancePerArea <= 0.0 || tp.ambientK <= 0.0)
+        fatal("dieTemperature: non-physical thermal parameters");
+    return tp.ambientK + power_density * tp.thermalResistancePerArea;
+}
+
+NoiseModel::NoiseModel(NoiseParams params)
+    : params_(params)
+{
+    if (params_.fullWellElectrons <= 0.0)
+        fatal("NoiseModel: full well must be positive");
+    if (params_.darkCurrentRef < 0.0 || params_.darkDoublingK <= 0.0)
+        fatal("NoiseModel: invalid dark-current parameters");
+    if (params_.readNoiseElectrons < 0.0)
+        fatal("NoiseModel: negative read noise");
+    if (params_.senseNodeCap <= 0.0 || params_.conversionGain <= 0.0)
+        fatal("NoiseModel: invalid sense-node parameters");
+}
+
+double
+NoiseModel::shotNoise(double signal_electrons) const
+{
+    if (signal_electrons < 0.0)
+        fatal("NoiseModel: negative signal");
+    return std::sqrt(signal_electrons);
+}
+
+double
+NoiseModel::darkElectrons(Time exposure, double temperature_k) const
+{
+    if (exposure < 0.0)
+        fatal("NoiseModel: negative exposure");
+    if (temperature_k <= 0.0)
+        fatal("NoiseModel: non-positive temperature");
+    double doubling = (temperature_k - params_.darkRefTemperatureK) /
+                      params_.darkDoublingK;
+    return params_.darkCurrentRef * exposure * std::pow(2.0, doubling);
+}
+
+double
+NoiseModel::resetNoise(double temperature_k) const
+{
+    if (params_.cdsCancelsReset)
+        return 0.0;
+    // kTC noise charge, converted to electrons: sqrt(kTC)/q.
+    constexpr double electron_charge = 1.602176634e-19;
+    double charge_rms = std::sqrt(constants::kBoltzmann * temperature_k *
+                                  params_.senseNodeCap);
+    return charge_rms / electron_charge;
+}
+
+double
+NoiseModel::totalNoise(double signal_electrons, Time exposure,
+                       double temperature_k) const
+{
+    double shot = shotNoise(signal_electrons);
+    double dark = darkElectrons(exposure, temperature_k);
+    double dark_shot = std::sqrt(dark);
+    double reset = resetNoise(temperature_k);
+    double read = params_.readNoiseElectrons;
+    return std::sqrt(shot * shot + dark_shot * dark_shot +
+                     reset * reset + read * read);
+}
+
+double
+NoiseModel::snrDb(double signal_electrons, Time exposure,
+                  double temperature_k) const
+{
+    if (signal_electrons <= 0.0)
+        fatal("NoiseModel: SNR needs a positive signal");
+    double noise = totalNoise(signal_electrons, exposure, temperature_k);
+    return 20.0 * std::log10(signal_electrons / noise);
+}
+
+double
+NoiseModel::snrPenaltyDb(double power_density, Time exposure,
+                         const ThermalParams &tp) const
+{
+    double signal = params_.fullWellElectrons / 2.0;
+    double cold = snrDb(signal, exposure, tp.ambientK);
+    double hot = snrDb(signal, exposure,
+                       dieTemperature(power_density, tp));
+    return cold - hot;
+}
+
+} // namespace camj

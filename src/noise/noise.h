@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Sensor noise model (extension). Sec. 6.2 of the paper observes that
+ * 3D stacking raises power density, which raises die temperature and
+ * thermal-induced noise, and leaves the end-to-end noise exploration
+ * to future work. This module implements that exploration: a
+ * first-order thermal model mapping power density to a temperature
+ * rise, and the standard CIS noise budget (shot noise, kTC reset
+ * noise, temperature-doubling dark current, read noise) yielding SNR
+ * as a function of operating conditions. Exercised by the ablation
+ * bench and the noise unit tests.
+ */
+
+#ifndef CAMJ_NOISE_NOISE_H
+#define CAMJ_NOISE_NOISE_H
+
+#include "common/units.h"
+
+namespace camj
+{
+
+/** Operating/device parameters of the noise budget. */
+struct NoiseParams
+{
+    /** Full-well signal at saturation [electrons]. */
+    double fullWellElectrons = 10000.0;
+    /** Dark current at the reference temperature [electrons/s]. */
+    double darkCurrentRef = 50.0;
+    /** Reference temperature for the dark current [K]. */
+    double darkRefTemperatureK = 300.0;
+    /** Dark current doubles every this many kelvin (~8 K classic). */
+    double darkDoublingK = 8.0;
+    /** Readout-chain input-referred noise [electrons rms]. */
+    double readNoiseElectrons = 2.0;
+    /** Sense-node capacitance for kTC reset noise [F]. */
+    Capacitance senseNodeCap = 2e-15;
+    /** Conversion gain [V per electron]. */
+    double conversionGain = 80e-6;
+    /** True when correlated double sampling cancels kTC noise. */
+    bool cdsCancelsReset = true;
+};
+
+/** First-order package thermal model. */
+struct ThermalParams
+{
+    /** Junction-to-ambient thermal resistance normalized per die
+     *  area [K * m^2 / W]. */
+    double thermalResistancePerArea = 2.0e-3;
+    /** Ambient temperature [K]. */
+    double ambientK = 300.0;
+};
+
+/**
+ * Die temperature under a power density (Sec. 6.2 extension).
+ *
+ * @param power_density [W/m^2], non-negative.
+ * @return Junction temperature [K].
+ * @throws ConfigError on negative density.
+ */
+double dieTemperature(double power_density, const ThermalParams &tp = {});
+
+/** Full-budget noise computation. */
+class NoiseModel
+{
+  public:
+    /** @throws ConfigError on non-physical parameters. */
+    explicit NoiseModel(NoiseParams params = {});
+
+    const NoiseParams &params() const { return params_; }
+
+    /** Shot noise for a signal level [electrons rms]. */
+    double shotNoise(double signal_electrons) const;
+
+    /** Dark-current electrons accumulated in @p exposure at @p temp. */
+    double darkElectrons(Time exposure, double temperature_k) const;
+
+    /** kTC reset noise [electrons rms] at @p temperature_k (zero
+     *  when CDS cancels it). */
+    double resetNoise(double temperature_k) const;
+
+    /**
+     * Total temporal noise [electrons rms] for a signal level,
+     * exposure, and temperature (root-sum-square of components).
+     */
+    double totalNoise(double signal_electrons, Time exposure,
+                      double temperature_k) const;
+
+    /**
+     * SNR [dB] at a signal level, exposure, and temperature.
+     *
+     * @throws ConfigError on non-positive signal.
+     */
+    double snrDb(double signal_electrons, Time exposure,
+                 double temperature_k) const;
+
+    /**
+     * SNR degradation [dB] caused by operating at @p power_density
+     * instead of zero self-heating, at half-well signal and the given
+     * exposure.
+     */
+    double snrPenaltyDb(double power_density, Time exposure,
+                        const ThermalParams &tp = {}) const;
+
+  private:
+    NoiseParams params_;
+};
+
+} // namespace camj
+
+#endif // CAMJ_NOISE_NOISE_H

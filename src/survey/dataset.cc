@@ -1,0 +1,195 @@
+#include "survey/dataset.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace camj
+{
+
+double
+YearShare::computationalPct() const
+{
+    if (total == 0)
+        return 0.0;
+    return 100.0 * static_cast<double>(computational) /
+           static_cast<double>(total);
+}
+
+double
+YearShare::stackedPct() const
+{
+    if (total == 0)
+        return 0.0;
+    return 100.0 * static_cast<double>(stackedComputational) /
+           static_cast<double>(total);
+}
+
+namespace
+{
+
+/** Deterministic xorshift for reproducible synthetic jitter. */
+class Rng
+{
+  public:
+    explicit Rng(uint32_t seed) : state_(seed ? seed : 1u) {}
+
+    /** Uniform in [0, 1). */
+    double
+    uniform()
+    {
+        state_ ^= state_ << 13;
+        state_ ^= state_ >> 17;
+        state_ ^= state_ << 5;
+        return static_cast<double>(state_ % 100000u) / 100000.0;
+    }
+
+  private:
+    uint32_t state_;
+};
+
+// CIS nodes actually seen in ISSCC/IEDM designs over the years.
+const int cisNodeMenu[] = { 350, 250, 180, 130, 110, 90, 65, 45 };
+
+std::vector<SurveyEntry>
+buildSurvey()
+{
+    std::vector<SurveyEntry> entries;
+    Rng rng(0xca3f5u);
+
+    for (int year = 2000; year <= 2022; ++year) {
+        double t = static_cast<double>(year - 2000) / 22.0;
+
+        // 6-10 CIS papers per venue-year.
+        int papers = 6 + static_cast<int>(rng.uniform() * 5.0);
+
+        // Computational share ramps ~5% (2000) -> ~45% (2022);
+        // stacked designs appear after 2012 and ramp to ~20%.
+        double comp_share = 0.05 + 0.42 * t;
+        double stacked_share =
+            year < 2012 ? 0.0
+                        : 0.22 * (static_cast<double>(year - 2012) / 10.0);
+
+        // CIS node scaling tracks pixel-pitch scaling: a slow drift
+        // from ~350 nm-class to ~65 nm-class over two decades.
+        double node_center = 350.0 * std::pow(65.0 / 350.0, t);
+        double pitch_center = 7.5 * std::pow(1.8 / 7.5, t);
+
+        for (int p = 0; p < papers; ++p) {
+            SurveyEntry e;
+            e.year = year;
+            double r = rng.uniform();
+            e.computational = r < comp_share;
+            e.stacked = e.computational &&
+                        rng.uniform() < (stacked_share /
+                                         std::max(comp_share, 1e-9));
+
+            // Snap the node to the nearest menu entry around the
+            // trend center (designs cluster on foundry offerings).
+            double jittered =
+                node_center * std::pow(2.0, (rng.uniform() - 0.5) * 0.8);
+            int best = cisNodeMenu[0];
+            double best_err = 1e9;
+            for (int candidate : cisNodeMenu) {
+                double err = std::fabs(std::log(
+                    static_cast<double>(candidate) / jittered));
+                if (err < best_err) {
+                    best_err = err;
+                    best = candidate;
+                }
+            }
+            e.processNm = best;
+            e.pixelPitchUm =
+                pitch_center * std::pow(2.0, (rng.uniform() - 0.5) * 0.7);
+            entries.push_back(e);
+        }
+    }
+    return entries;
+}
+
+} // namespace
+
+const std::vector<SurveyEntry> &
+cisSurvey()
+{
+    static const std::vector<SurveyEntry> dataset = buildSurvey();
+    return dataset;
+}
+
+std::vector<YearShare>
+sharesByYear()
+{
+    std::vector<YearShare> shares;
+    for (const SurveyEntry &e : cisSurvey()) {
+        if (shares.empty() || shares.back().year != e.year) {
+            YearShare ys;
+            ys.year = e.year;
+            shares.push_back(ys);
+        }
+        YearShare &ys = shares.back();
+        ++ys.total;
+        if (e.computational)
+            ++ys.computational;
+        if (e.stacked)
+            ++ys.stackedComputational;
+    }
+    return shares;
+}
+
+LinearFit
+cisNodeTrend()
+{
+    std::vector<double> years, log_nodes;
+    for (const SurveyEntry &e : cisSurvey()) {
+        years.push_back(static_cast<double>(e.year));
+        log_nodes.push_back(std::log2(static_cast<double>(e.processNm)));
+    }
+    return linearFit(years, log_nodes);
+}
+
+LinearFit
+pixelPitchTrend()
+{
+    std::vector<double> years, log_pitches;
+    for (const SurveyEntry &e : cisSurvey()) {
+        years.push_back(static_cast<double>(e.year));
+        log_pitches.push_back(std::log2(e.pixelPitchUm));
+    }
+    return linearFit(years, log_pitches);
+}
+
+double
+irdsCmosNode(int year)
+{
+    if (year < 1998 || year > 2030)
+        fatal("irdsCmosNode: year %d outside [1998, 2030]", year);
+
+    // ITRS/IRDS logic roadmap anchor points.
+    struct Point { int year; double nm; };
+    static const Point roadmap[] = {
+        { 1999, 180.0 }, { 2001, 130.0 }, { 2004, 90.0 },
+        { 2006, 65.0 }, { 2008, 45.0 }, { 2010, 32.0 },
+        { 2012, 22.0 }, { 2014, 16.0 }, { 2017, 10.0 },
+        { 2019, 7.0 }, { 2021, 5.0 }, { 2023, 3.0 },
+    };
+
+    if (year <= roadmap[0].year)
+        return roadmap[0].nm;
+    const size_t n = sizeof(roadmap) / sizeof(roadmap[0]);
+    if (year >= roadmap[n - 1].year)
+        return roadmap[n - 1].nm;
+
+    for (size_t i = 1; i < n; ++i) {
+        if (year <= roadmap[i].year) {
+            double t = static_cast<double>(year - roadmap[i - 1].year) /
+                       static_cast<double>(roadmap[i].year -
+                                           roadmap[i - 1].year);
+            return std::exp(std::log(roadmap[i - 1].nm) +
+                            t * (std::log(roadmap[i].nm) -
+                                 std::log(roadmap[i - 1].nm)));
+        }
+    }
+    panic("irdsCmosNode: roadmap scan fell through");
+}
+
+} // namespace camj

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Reconstructed ISSCC/IEDM CIS survey dataset behind the paper's
+ * Fig. 1 (share of computational and stacked-computational CIS per
+ * year) and Fig. 3 (CIS process node vs. the IRDS CMOS roadmap vs.
+ * pixel pitch). The original dataset is a manual literature survey
+ * that is not published; this module synthesizes a per-design dataset
+ * with the same aggregate shape (see DESIGN.md Sec. 3), generated
+ * deterministically so every run reproduces identical trends.
+ */
+
+#ifndef CAMJ_SURVEY_DATASET_H
+#define CAMJ_SURVEY_DATASET_H
+
+#include <vector>
+
+#include "common/stats.h"
+
+namespace camj
+{
+
+/** One surveyed CIS design. */
+struct SurveyEntry
+{
+    int year = 2000;
+    /** Integrates processing beyond readout. */
+    bool computational = false;
+    /** 3D-stacked computational design. */
+    bool stacked = false;
+    /** Process node [nm]. */
+    int processNm = 180;
+    /** Pixel pitch [um]. */
+    double pixelPitchUm = 6.0;
+};
+
+/** Per-year aggregate for Fig. 1. */
+struct YearShare
+{
+    int year = 0;
+    int total = 0;
+    int computational = 0;
+    int stackedComputational = 0;
+
+    /** Percentage of computational designs (including stacked). */
+    double computationalPct() const;
+    /** Percentage of stacked computational designs. */
+    double stackedPct() const;
+};
+
+/** The full reconstructed dataset (years 2000-2022). */
+const std::vector<SurveyEntry> &cisSurvey();
+
+/** Fig. 1 aggregation: one row per survey year. */
+std::vector<YearShare> sharesByYear();
+
+/** Fig. 3: least-squares fit of log2(CIS node) against year. */
+LinearFit cisNodeTrend();
+
+/** Fig. 3: least-squares fit of log2(pixel pitch) against year. */
+LinearFit pixelPitchTrend();
+
+/**
+ * Fig. 3: IRDS/ITRS CMOS logic node for a year [nm].
+ *
+ * @param year Must be in [1998, 2030].
+ * @throws ConfigError outside that range.
+ */
+double irdsCmosNode(int year);
+
+} // namespace camj
+
+#endif // CAMJ_SURVEY_DATASET_H

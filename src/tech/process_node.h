@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Process-node registry: per-node electrical parameters used as
+ * defaults across CamJ (supply voltages, relative dynamic energy and
+ * area of digital logic, SRAM leakage density).
+ *
+ * The relative energy/area columns follow the classic CMOS scaling
+ * tables of Stillmaker & Baas (Integration'17), which the paper uses
+ * via DeepScaleTool; the SRAM leakage column encodes the well-known
+ * leakage peak of planar high-speed nodes around 90-65 nm (the paper
+ * cites Gielen & Dehaene, DATE'05, "65 nm: end of the road?") followed
+ * by the HKMG/FinFET recovery. Values between table rows are
+ * interpolated in log-log space.
+ */
+
+#ifndef CAMJ_TECH_PROCESS_NODE_H
+#define CAMJ_TECH_PROCESS_NODE_H
+
+#include <vector>
+
+#include "common/units.h"
+
+namespace camj
+{
+
+/** Electrical parameters of one process node. */
+struct NodeParams
+{
+    /** Feature size in nanometers. */
+    int nm = 65;
+    /** Digital core supply [V]. */
+    Voltage vdd = 1.0;
+    /** Analog supply [V] (thick-oxide devices; higher than core). */
+    Voltage vdda = 2.5;
+    /** Dynamic energy per logic op relative to the 65 nm node. */
+    double relEnergy = 1.0;
+    /** Logic/SRAM area relative to the 65 nm node. */
+    double relArea = 1.0;
+    /** SRAM standby leakage power per bit cell [W/bit]. */
+    Power sramLeakPerBit = 0.0;
+};
+
+/**
+ * Look up (and interpolate) the parameters of a process node.
+ *
+ * @param nm Feature size in nanometers; must lie within [7, 250].
+ * @throws ConfigError for nodes outside the supported range.
+ */
+NodeParams nodeParams(int nm);
+
+/** All nodes with exact table entries, largest first. */
+std::vector<int> tabulatedNodes();
+
+} // namespace camj
+
+#endif // CAMJ_TECH_PROCESS_NODE_H

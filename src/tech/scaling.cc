@@ -1,0 +1,50 @@
+#include "tech/scaling.h"
+
+#include "tech/process_node.h"
+
+namespace camj
+{
+
+double
+energyScaleFactor(int from_nm, int to_nm)
+{
+    return nodeParams(to_nm).relEnergy / nodeParams(from_nm).relEnergy;
+}
+
+double
+areaScaleFactor(int from_nm, int to_nm)
+{
+    return nodeParams(to_nm).relArea / nodeParams(from_nm).relArea;
+}
+
+Energy
+scaleEnergy(Energy energy, int from_nm, int to_nm)
+{
+    return energy * energyScaleFactor(from_nm, to_nm);
+}
+
+Area
+scaleArea(Area area, int from_nm, int to_nm)
+{
+    return area * areaScaleFactor(from_nm, to_nm);
+}
+
+Energy
+macEnergy8bit(int nm)
+{
+    return scaleEnergy(ref65nm::macOp8bit, 65, nm);
+}
+
+Energy
+aluEnergy16bit(int nm)
+{
+    return scaleEnergy(ref65nm::aluOp16bit, 65, nm);
+}
+
+Area
+macArea8bit(int nm)
+{
+    return scaleArea(ref65nm::macArea8bit, 65, nm);
+}
+
+} // namespace camj

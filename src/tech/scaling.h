@@ -1,0 +1,63 @@
+/**
+ * @file
+ * DeepScaleTool-style scaling of digital energy and area between
+ * process nodes (Sec. 5 of the paper: "we use the synthesis result of
+ * a 65 nm MAC unit design ... and scale it to other process nodes
+ * based on classic CMOS scaling").
+ */
+
+#ifndef CAMJ_TECH_SCALING_H
+#define CAMJ_TECH_SCALING_H
+
+#include "common/units.h"
+
+namespace camj
+{
+
+/**
+ * Scale a dynamic energy measured at node @p from_nm to node @p to_nm.
+ *
+ * @param energy Energy at the source node [J].
+ * @return Equivalent energy at the target node [J].
+ */
+Energy scaleEnergy(Energy energy, int from_nm, int to_nm);
+
+/** Scale a silicon area between nodes. */
+Area scaleArea(Area area, int from_nm, int to_nm);
+
+/** Ratio of dynamic energy at @p to_nm over @p from_nm. */
+double energyScaleFactor(int from_nm, int to_nm);
+
+/** Ratio of area at @p to_nm over @p from_nm. */
+double areaScaleFactor(int from_nm, int to_nm);
+
+/**
+ * Reference per-op energies at 65 nm, used as scaling anchors for the
+ * digital compute units in the validation and use-case configurations.
+ */
+namespace ref65nm
+{
+
+/** 8-bit multiply-accumulate, registered, synthesized at 65 nm [J]. */
+constexpr Energy macOp8bit = 0.3e-12;
+
+/** 16-bit ALU op (add/compare/shift with operand registers) [J]. */
+constexpr Energy aluOp16bit = 0.9e-12;
+
+/** Area of the 8-bit MAC PE including pipeline registers [m^2]. */
+constexpr Area macArea8bit = 2600e-12;
+
+} // namespace ref65nm
+
+/** Per-op energy of an 8-bit MAC at an arbitrary node [J]. */
+Energy macEnergy8bit(int nm);
+
+/** Per-op energy of a 16-bit ALU operation at an arbitrary node [J]. */
+Energy aluEnergy16bit(int nm);
+
+/** Area of an 8-bit MAC PE at an arbitrary node [m^2]. */
+Area macArea8bit(int nm);
+
+} // namespace camj
+
+#endif // CAMJ_TECH_SCALING_H

@@ -1,0 +1,367 @@
+#include "usecases/edgaze.h"
+
+#include "tech/process_node.h"
+#include "tech/scaling.h"
+#include "usecases/params.h"
+
+namespace camj
+{
+
+const char *
+edgazeVariantName(EdgazeVariant variant)
+{
+    switch (variant) {
+      case EdgazeVariant::TwoDOff: return "2D-Off";
+      case EdgazeVariant::TwoDIn: return "2D-In";
+      case EdgazeVariant::ThreeDIn: return "3D-In";
+      case EdgazeVariant::ThreeDInStt: return "3D-In-STT";
+      case EdgazeVariant::TwoDInMixed: return "2D-In-Mixed";
+    }
+    return "?";
+}
+
+namespace
+{
+
+namespace uc = usecase;
+
+/** DNN layer shapes (stencil-exact, no padding). */
+struct ConvSpec
+{
+    const char *name;
+    Shape in, out, kernel, stride;
+};
+
+const ConvSpec dnnLayers[] = {
+    { "DnnConv1", {320, 200, 1}, {318, 198, 8}, {3, 3, 1}, {1, 1, 1} },
+    { "DnnConv2", {318, 198, 8}, {159, 99, 16}, {2, 2, 8}, {2, 2, 1} },
+    { "DnnConv3", {159, 99, 16}, {157, 97, 16}, {3, 3, 16}, {1, 1, 1} },
+    { "DnnConv4", {157, 97, 16}, {78, 48, 32}, {2, 2, 16}, {2, 2, 1} },
+    { "DnnConv5", {78, 48, 32}, {76, 46, 4}, {3, 3, 32}, {1, 1, 1} },
+};
+
+/** Build the common software DAG; returns the id of the frame-
+ *  subtraction stage's previous-frame input. */
+void
+buildSwGraph(SwGraph &sw, int event_bits)
+{
+    StageId in = sw.addStage({.name = "Input",
+                              .op = StageOp::Input,
+                              .outputSize = {uc::edgazeWidth,
+                                             uc::edgazeHeight, 1},
+                              .bitDepth = 8});
+    StageId down = sw.addStage({.name = "Downsample",
+                                .op = StageOp::Binning,
+                                .inputSize = {uc::edgazeWidth,
+                                              uc::edgazeHeight, 1},
+                                .outputSize = {320, 200, 1},
+                                .kernel = {2, 2, 1},
+                                .stride = {2, 2, 1}});
+    StageId prev = sw.addStage({.name = "PrevFrame",
+                                .op = StageOp::Input,
+                                .outputSize = {320, 200, 1},
+                                .bitDepth = 8});
+    StageId sub = sw.addStage({.name = "FrameSubtract",
+                               .op = StageOp::ElementwiseSub,
+                               .inputSize = {320, 200, 1},
+                               .outputSize = {320, 200, 1},
+                               .bitDepth = event_bits});
+    sw.connect(in, down);
+    sw.connect(down, sub);
+    sw.connect(prev, sub);
+
+    StageId prev_stage = sub;
+    for (const ConvSpec &c : dnnLayers) {
+        StageId id = sw.addStage({.name = c.name,
+                                  .op = StageOp::Conv2d,
+                                  .inputSize = c.in,
+                                  .outputSize = c.out,
+                                  .kernel = c.kernel,
+                                  .stride = c.stride,
+                                  .bitDepth = 8});
+        sw.connect(prev_stage, id);
+        prev_stage = id;
+    }
+}
+
+/** Pixel array shared by all variants. @p binning_in_pixel merges
+ *  2x2 clusters via charge binning (mixed-signal variant). */
+AnalogArray
+buildPixelArray(int sensor_nm, bool binning_in_pixel)
+{
+    const NodeParams node = nodeParams(sensor_nm);
+    ApsParams aps;
+    aps.vdda = node.vdda;
+    aps.columnLoadCap = 1.0e-12;
+    aps.pixelsPerComponent = binning_in_pixel ? 4 : 1;
+
+    AnalogArrayParams ap;
+    ap.name = "PixelArray";
+    if (binning_in_pixel) {
+        ap.numComponents = {320, 200, 1};
+        ap.inputShape = {1, 320, 1};
+        ap.outputShape = {1, 320, 1};
+    } else {
+        ap.numComponents = {uc::edgazeWidth, uc::edgazeHeight, 1};
+        ap.inputShape = {1, uc::edgazeWidth, 1};
+        ap.outputShape = {1, uc::edgazeWidth, 1};
+    }
+    ap.componentArea = uc::edgazePitchUm * uc::edgazePitchUm *
+                       units::um2 * aps.pixelsPerComponent;
+    return AnalogArray(ap, makeAps4T(aps));
+}
+
+/** Add the DNN engine + buffer; shared by all variants. */
+void
+addDnn(Design &d, Layer layer, int nm, bool sttram)
+{
+    if (sttram) {
+        d.addMemory(makeSttramMemory("DnnBuffer", layer,
+                                     MemoryKind::DoubleBuffer,
+                                     uc::edgazeDnnBufBytes / 8, 64, nm,
+                                     uc::dnnBufActiveFraction));
+    } else {
+        d.addMemory(makeSramMemory("DnnBuffer", layer,
+                                   MemoryKind::DoubleBuffer,
+                                   uc::edgazeDnnBufBytes / 8, 64, nm,
+                                   uc::dnnBufActiveFraction));
+    }
+
+    SystolicArrayParams sp;
+    sp.name = "DnnArray";
+    sp.layer = layer;
+    sp.rows = uc::edgazeDnnDim;
+    sp.cols = uc::edgazeDnnDim;
+    sp.energyPerMac = macEnergy8bit(nm);
+    sp.peArea = macArea8bit(nm);
+    d.addSystolicArray(SystolicArray(sp));
+    d.connectMemoryToUnit("DnnBuffer", "DnnArray");
+}
+
+std::shared_ptr<Design>
+buildDigitalVariant(EdgazeVariant variant, int sensor_nm)
+{
+    Layer digital_layer = Layer::Sensor;
+    int digital_nm = sensor_nm;
+    bool sttram = false;
+    switch (variant) {
+      case EdgazeVariant::TwoDOff:
+        digital_layer = Layer::OffChip;
+        digital_nm = uc::socNode;
+        break;
+      case EdgazeVariant::ThreeDInStt:
+        sttram = true;
+        [[fallthrough]];
+      case EdgazeVariant::ThreeDIn:
+        digital_layer = Layer::Compute;
+        digital_nm = uc::socNode;
+        break;
+      default:
+        break;
+    }
+
+    DesignParams dp;
+    dp.name = std::string("edgaze-") + edgazeVariantName(variant) +
+              "-" + std::to_string(sensor_nm) + "nm";
+    dp.fps = uc::edgazeFps;
+    dp.digitalClock = 100e6;
+    auto d = std::make_shared<Design>(dp);
+
+    buildSwGraph(d->sw(), 8);
+
+    d->addAnalogArray(buildPixelArray(sensor_nm, false),
+                      AnalogRole::Sensing);
+    {
+        AnalogArrayParams ap;
+        ap.name = "AdcArray";
+        ap.numComponents = {uc::edgazeWidth, 1, 1};
+        ap.inputShape = {1, uc::edgazeWidth, 1};
+        ap.outputShape = {1, uc::edgazeWidth, 1};
+        ap.componentArea = 1.0e-9;
+        d->addAnalogArray(AnalogArray(ap, makeColumnAdc({.bits = 10})),
+                          AnalogRole::Adc);
+    }
+
+    // Digital pipeline: line buffer -> downsample -> fifo + frame
+    // buffer -> subtract -> DNN buffer -> systolic DNN.
+    d->addMemory(makeSramMemory("LineBuffer", digital_layer,
+                                MemoryKind::LineBuffer,
+                                2 * uc::edgazeWidth, 8, digital_nm,
+                                uc::streamBufActiveFraction));
+    d->addMemory(makeSramMemory("PixFifo", digital_layer,
+                                MemoryKind::Fifo, 2048, 8, digital_nm,
+                                uc::streamBufActiveFraction));
+    if (sttram) {
+        // The retained previous frame cannot be power-gated in SRAM;
+        // STT-RAM retains it for free.
+        d->addMemory(makeSttramMemory("FrameBuffer", digital_layer,
+                                      MemoryKind::FrameBuffer,
+                                      uc::edgazeFrameBufWords, 8,
+                                      digital_nm, 1.0));
+    } else {
+        d->addMemory(makeSramMemory("FrameBuffer", digital_layer,
+                                    MemoryKind::FrameBuffer,
+                                    uc::edgazeFrameBufWords, 8,
+                                    digital_nm, 1.0));
+    }
+
+    ComputeUnitParams down;
+    down.name = "DownsampleUnit";
+    down.layer = digital_layer;
+    down.inputPixelsPerCycle = {2, 2, 1};
+    down.outputPixelsPerCycle = {1, 1, 1};
+    down.energyPerCycle = 4.0 * aluEnergy16bit(digital_nm) *
+                          uc::edgazeAluOverhead;
+    down.numStages = 2;
+    down.opsPerCycle = 4;
+    d->addComputeUnit(ComputeUnit(down));
+
+    ComputeUnitParams sub;
+    sub.name = "SubtractUnit";
+    sub.layer = digital_layer;
+    sub.inputPixelsPerCycle = {1, 1, 1};
+    sub.outputPixelsPerCycle = {1, 1, 1};
+    sub.energyPerCycle = 2.0 * aluEnergy16bit(digital_nm) *
+                         uc::edgazeAluOverhead;
+    sub.numStages = 2;
+    sub.opsPerCycle = 1;
+    d->addComputeUnit(ComputeUnit(sub));
+
+    addDnn(*d, digital_layer, digital_nm, sttram);
+
+    d->setAdcOutput("LineBuffer");
+    d->connectMemoryToUnit("LineBuffer", "DownsampleUnit");
+    d->connectUnitToMemory("DownsampleUnit", "PixFifo");
+    d->connectUnitToMemory("DownsampleUnit", "FrameBuffer");
+    d->connectMemoryToUnit("PixFifo", "SubtractUnit");
+    d->connectMemoryToUnit("FrameBuffer", "SubtractUnit");
+    d->connectUnitToMemory("SubtractUnit", "DnnBuffer");
+
+    d->setMipi(makeMipiCsi2());
+    if (digital_layer == Layer::Compute)
+        d->setTsv(makeMicroTsv());
+
+    if (variant != EdgazeVariant::TwoDOff)
+        d->setPipelineOutputBytes(uc::edgazeRoiBytes);
+
+    Mapping &m = d->mapping();
+    m.map("Input", "PixelArray");
+    m.map("Downsample", "DownsampleUnit");
+    m.map("PrevFrame", "FrameBuffer");
+    m.map("FrameSubtract", "SubtractUnit");
+    for (const ConvSpec &c : dnnLayers)
+        m.map(c.name, "DnnArray");
+    return d;
+}
+
+std::shared_ptr<Design>
+buildMixedVariant(int sensor_nm)
+{
+    DesignParams dp;
+    dp.name = std::string("edgaze-2D-In-Mixed-") +
+              std::to_string(sensor_nm) + "nm";
+    dp.fps = uc::edgazeFps;
+    dp.digitalClock = 100e6;
+    auto d = std::make_shared<Design>(dp);
+
+    // Binary event map out of the analog comparator.
+    buildSwGraph(d->sw(), 1);
+
+    const NodeParams node = nodeParams(sensor_nm);
+
+    // S1 (2x2 downsample) happens by charge binning inside the pixel.
+    d->addAnalogArray(buildPixelArray(sensor_nm, true),
+                      AnalogRole::Sensing);
+
+    // Active analog frame buffer (Fig. 10's 4T-APS-style memory).
+    {
+        AnalogMemoryParams am;
+        am.bits = 8;
+        am.vdda = node.vdda;
+        am.storageCap = uc::edgazeMixedCap;
+        am.readoutLoadCap = 0.5e-12;
+        am.readsPerValue = 1;
+        AnalogArrayParams ap;
+        ap.name = "AnalogFrameBuffer";
+        ap.numComponents = {320, 200, 1};
+        ap.inputShape = {1, 320, 1};
+        ap.outputShape = {1, 320, 1};
+        ap.componentArea = 1.0e-10;
+        d->addAnalogArray(AnalogArray(ap, makeActiveAnalogMemory(am)),
+                          AnalogRole::AnalogMemory);
+    }
+
+    // S2: switched-capacitor subtractor + comparator per column.
+    {
+        AComponent pe("SubCompPe", SignalDomain::Voltage,
+                      SignalDomain::Digital);
+        pe.addCell(std::make_shared<DynamicCell>(
+                       "sc-sub-caps",
+                       std::vector<CapNode>(
+                           2, CapNode{ uc::edgazeMixedCap, 1.0 })),
+                   1, 1);
+        StaticBiasParams ob;
+        // Settling to 8-bit accuracy needs GBW ~ (bits+1)*ln2 / t
+        // (the Eq. 6 precision requirement reflected in the opamp
+        // bandwidth), and the subtractor drives the full column bus
+        // plus the comparator input, not just its own 100 fF caps.
+        // This is why Fig. 13's analog compute energy *increases*.
+        ob.loadCapacitance = 2.0e-12;
+        ob.voltageSwing = 1.0;
+        ob.vdda = node.vdda;
+        ob.gain = 6.24; // (8+1) * ln2
+        ob.gmOverId = 10.0;
+        ob.mode = BiasMode::GmOverId;
+        pe.addCell(std::make_shared<StaticBiasedCell>("sub-opamp", ob),
+                   1, 1);
+        pe.addCell(std::make_shared<NonLinearCell>("event-comparator",
+                                                   1),
+                   1, 1);
+
+        AnalogArrayParams ap;
+        ap.name = "AnalogPeArray";
+        ap.numComponents = {320, 1, 1};
+        ap.inputShape = {1, 320, 1};
+        ap.outputShape = {1, 320, 1};
+        ap.componentArea = 2.0e-10;
+        d->addAnalogArray(AnalogArray(ap, pe),
+                          AnalogRole::AnalogCompute);
+    }
+
+    // S3 stays digital at the sensor node.
+    addDnn(*d, Layer::Sensor, sensor_nm, false);
+    d->setAdcOutput("DnnBuffer");
+
+    d->setMipi(makeMipiCsi2());
+    d->setPipelineOutputBytes(uc::edgazeRoiBytes);
+
+    Mapping &m = d->mapping();
+    m.map("Input", "PixelArray");
+    m.map("Downsample", "PixelArray");
+    m.map("PrevFrame", "AnalogFrameBuffer");
+    m.map("FrameSubtract", "AnalogPeArray");
+    for (const ConvSpec &c : dnnLayers)
+        m.map(c.name, "DnnArray");
+    return d;
+}
+
+} // namespace
+
+int64_t
+edgazeDnnMacs()
+{
+    int64_t total = 0;
+    for (const ConvSpec &c : dnnLayers)
+        total += c.out.count() * c.kernel.count();
+    return total;
+}
+
+std::shared_ptr<Design>
+buildEdgaze(EdgazeVariant variant, int sensor_nm)
+{
+    if (variant == EdgazeVariant::TwoDInMixed)
+        return buildMixedVariant(sensor_nm);
+    return buildDigitalVariant(variant, sensor_nm);
+}
+
+} // namespace camj

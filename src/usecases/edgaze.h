@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Ed-Gaze (Feng et al., IEEE VR'22) as a CamJ workload: 2x2
+ * downsampling, frame subtraction against the previous frame, and an
+ * ROI DNN (the paper's Fig. 8b). Beyond the placement variants of
+ * Fig. 9b, this module also builds the mixed-signal design of
+ * Fig. 10, where the first two stages move into the analog domain
+ * (charge binning in the pixel array, an active analog frame buffer,
+ * and a switched-capacitor subtractor + comparator PE array).
+ */
+
+#ifndef CAMJ_USECASES_EDGAZE_H
+#define CAMJ_USECASES_EDGAZE_H
+
+#include <cstdint>
+#include <memory>
+
+#include "core/design.h"
+#include "usecases/rhythmic.h" // SensorVariant
+
+namespace camj
+{
+
+/** Ed-Gaze hardware variants (Fig. 9b + Fig. 11). */
+enum class EdgazeVariant
+{
+    TwoDOff,
+    TwoDIn,
+    ThreeDIn,
+    ThreeDInStt,
+    /** 2D-In with stages S1/S2 in the analog domain (Fig. 10). */
+    TwoDInMixed,
+};
+
+/** Human-readable variant name. */
+const char *edgazeVariantName(EdgazeVariant variant);
+
+/** Total DNN multiply-accumulates per frame (~5.8e7, matching the
+ *  paper's 5.76e7 within 3%). */
+int64_t edgazeDnnMacs();
+
+/**
+ * Build the Ed-Gaze design.
+ *
+ * @param variant Placement / signal-domain variant.
+ * @param sensor_nm CIS process node (130 or 65 in the paper).
+ * @throws ConfigError on invalid nodes.
+ */
+std::shared_ptr<Design> buildEdgaze(EdgazeVariant variant,
+                                    int sensor_nm);
+
+} // namespace camj
+
+#endif // CAMJ_USECASES_EDGAZE_H

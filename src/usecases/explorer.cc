@@ -1,0 +1,53 @@
+#include "usecases/explorer.h"
+
+#include <sstream>
+
+#include "common/logging.h"
+#include "common/units.h"
+
+namespace camj
+{
+
+BreakdownRow
+breakdownOf(const std::string &label, const EnergyReport &report)
+{
+    auto uj = [&](EnergyCategory cat) {
+        return report.category(cat) / units::uJ;
+    };
+    BreakdownRow row;
+    row.label = label;
+    row.senUJ = uj(EnergyCategory::Sen);
+    row.compAUJ = uj(EnergyCategory::CompA);
+    row.memAUJ = uj(EnergyCategory::MemA);
+    row.compDUJ = uj(EnergyCategory::CompD);
+    row.memDUJ = uj(EnergyCategory::MemD);
+    row.mipiUJ = uj(EnergyCategory::Mipi);
+    row.tsvUJ = uj(EnergyCategory::Tsv);
+    row.totalUJ = report.total() / units::uJ;
+    return row;
+}
+
+std::string
+formatBreakdownTable(const std::vector<BreakdownRow> &rows)
+{
+    std::ostringstream os;
+    os << strprintf("%-22s %9s %9s %9s %9s %9s %9s %9s %10s\n",
+                    "config", "SEN", "COMP-A", "MEM-A", "COMP-D",
+                    "MEM-D", "MIPI", "uTSV", "TOTAL[uJ]");
+    for (const BreakdownRow &r : rows) {
+        os << strprintf(
+            "%-22s %9.2f %9.2f %9.2f %9.2f %9.2f %9.2f %9.2f %10.2f\n",
+            r.label.c_str(), r.senUJ, r.compAUJ, r.memAUJ, r.compDUJ,
+            r.memDUJ, r.mipiUJ, r.tsvUJ, r.totalUJ);
+    }
+    return os.str();
+}
+
+double
+powerDensityMwPerMm2(const EnergyReport &report)
+{
+    // powerDensity() is W/m^2; 1 W/m^2 == 1e-3 mW/mm^2.
+    return report.powerDensity() * 1e-3;
+}
+
+} // namespace camj

@@ -1,0 +1,5 @@
+#include "usecases/params.h"
+
+// All use-case parameters are compile-time constants; this file
+// exists so the module shows up as a distinct translation unit and
+// can grow runtime-tunable knobs without touching the build.

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Calibration constants shared by the Sec. 6 use-case studies
+ * (Rhythmic Pixel Regions and Ed-Gaze). All workload-level tunables
+ * live here so the benches, tests, and examples agree on one set of
+ * numbers.
+ */
+
+#ifndef CAMJ_USECASES_PARAMS_H
+#define CAMJ_USECASES_PARAMS_H
+
+#include <cstdint>
+
+#include "common/units.h"
+
+namespace camj::usecase
+{
+
+/** Host SoC process node [nm] (the paper's "L" node). */
+constexpr int socNode = 22;
+
+/** Candidate CIS nodes for the "H" axis of Fig. 9 / Table 3. */
+constexpr int cisNode130 = 130;
+constexpr int cisNode65 = 65;
+
+// ----- Rhythmic Pixel Regions (Fig. 8a / 9a) -----
+
+constexpr int64_t rhythmicWidth = 1280;
+constexpr int64_t rhythmicHeight = 720;
+constexpr double rhythmicFps = 30.0;
+constexpr double rhythmicPitchUm = 3.0;
+/** ROI encoding transmits ~50% of the full image. */
+constexpr double rhythmicRoiFraction = 0.5;
+/** ~7.4e6 arithmetic ops per frame => 8 ops per pixel. */
+constexpr int64_t rhythmicOpsPerPixel = 8;
+/** Compare & Sample lanes. */
+constexpr int rhythmicLanes = 16;
+/** Region-metadata SRAM (the paper's 2K memory). */
+constexpr int64_t rhythmicRoiBufBytes = 2048;
+
+// ----- Ed-Gaze (Fig. 8b / 9b / 10-13) -----
+
+constexpr int64_t edgazeWidth = 640;
+constexpr int64_t edgazeHeight = 400;
+constexpr double edgazeFps = 30.0;
+constexpr double edgazePitchUm = 3.0;
+/** The gaze ROI is a small eye-region crop; in-sensor variants only
+ *  transmit this crop (the paper's in-sensor Ed-Gaze MIPI bars are
+ *  correspondingly small). */
+constexpr int64_t edgazeRoiBytes = 16 * 1024;
+/** Frame buffer for the previous downsampled frame [words]. */
+constexpr int64_t edgazeFrameBufWords = 320 * 200;
+/** DNN input/weight buffer (Fig. 8b). */
+constexpr int64_t edgazeDnnBufBytes = 64 * 1024;
+/** Systolic array dimension for the ROI DNN. */
+constexpr int edgazeDnnDim = 16;
+/** Mixed-signal study: all analog capacitors conservatively 100 fF. */
+constexpr Capacitance edgazeMixedCap = 100e-15;
+
+/**
+ * Per-lane overhead of the Compare & Sample encoder on top of the
+ * bare ALU anchor: compare, sample, region addressing and metadata
+ * update around every pixel.
+ */
+constexpr double rhythmicLaneOverhead = 12.0;
+
+/** Overhead of the simple Ed-Gaze downsample/subtract datapaths. */
+constexpr double edgazeAluOverhead = 2.0;
+
+/** The DNN buffer is gated outside the DNN activity window (only a
+ *  small weight corner must stay retained). */
+constexpr double dnnBufActiveFraction = 0.4;
+
+/** Line buffers / FIFOs are gated outside the readout window. */
+constexpr double streamBufActiveFraction = 0.5;
+
+} // namespace camj::usecase
+
+#endif // CAMJ_USECASES_PARAMS_H

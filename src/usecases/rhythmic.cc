@@ -1,0 +1,150 @@
+#include "usecases/rhythmic.h"
+
+#include "tech/process_node.h"
+#include "tech/scaling.h"
+#include "usecases/params.h"
+
+namespace camj
+{
+
+const char *
+sensorVariantName(SensorVariant variant)
+{
+    switch (variant) {
+      case SensorVariant::TwoDOff: return "2D-Off";
+      case SensorVariant::TwoDIn: return "2D-In";
+      case SensorVariant::ThreeDIn: return "3D-In";
+      case SensorVariant::ThreeDInStt: return "3D-In-STT";
+    }
+    return "?";
+}
+
+std::shared_ptr<Design>
+buildRhythmic(SensorVariant variant, int sensor_nm, double fps)
+{
+    namespace uc = usecase;
+
+    if (fps <= 0.0)
+        fps = uc::rhythmicFps;
+
+    if (variant == SensorVariant::ThreeDInStt) {
+        fatal("buildRhythmic: the 2 KB region buffer is below the "
+              "4 KB STT-RAM minimum (the paper has no Rhythmic "
+              "STT-RAM result for the same reason)");
+    }
+
+    Layer digital_layer = Layer::Sensor;
+    int digital_nm = sensor_nm;
+    switch (variant) {
+      case SensorVariant::TwoDOff:
+        digital_layer = Layer::OffChip;
+        digital_nm = uc::socNode;
+        break;
+      case SensorVariant::ThreeDIn:
+        digital_layer = Layer::Compute;
+        digital_nm = uc::socNode;
+        break;
+      default:
+        break;
+    }
+
+    DesignParams dp;
+    dp.name = std::string("rhythmic-") + sensorVariantName(variant) +
+              "-" + std::to_string(sensor_nm) + "nm";
+    dp.fps = fps;
+    dp.digitalClock = 100e6;
+    auto d = std::make_shared<Design>(dp);
+
+    // ---- algorithm ----
+    SwGraph &sw = d->sw();
+    StageId in = sw.addStage({.name = "Input",
+                              .op = StageOp::Input,
+                              .outputSize = {uc::rhythmicWidth,
+                                             uc::rhythmicHeight, 1},
+                              .bitDepth = 8});
+    StageId cs = sw.addStage(
+        {.name = "CompareSample",
+         .op = StageOp::CompareSample,
+         .inputSize = {uc::rhythmicWidth, uc::rhythmicHeight, 1},
+         .outputSize = {uc::rhythmicWidth, uc::rhythmicHeight, 1},
+         .bitDepth = 8,
+         .opsPerOutputOverride = uc::rhythmicOpsPerPixel});
+    sw.connect(in, cs);
+    // Per-region configuration state resident in the metadata buffer
+    // (consulted for every pixel group by the encoder).
+    sw.addStage({.name = "RegionState",
+                 .op = StageOp::Input,
+                 .outputSize = {256, 8, 1},
+                 .bitDepth = 8});
+
+    // ---- analog front-end (always on the sensor die) ----
+    const NodeParams sensor_node = nodeParams(sensor_nm);
+    ApsParams aps;
+    aps.vdda = sensor_node.vdda;
+    aps.columnLoadCap = 1.5e-12; // 720-row column line
+    {
+        AnalogArrayParams ap;
+        ap.name = "PixelArray";
+        ap.numComponents = {uc::rhythmicWidth, uc::rhythmicHeight, 1};
+        ap.inputShape = {1, uc::rhythmicWidth, 1};
+        ap.outputShape = {1, uc::rhythmicWidth, 1};
+        ap.componentArea = uc::rhythmicPitchUm * uc::rhythmicPitchUm *
+                           units::um2;
+        d->addAnalogArray(AnalogArray(ap, makeAps4T(aps)),
+                          AnalogRole::Sensing);
+    }
+    {
+        AnalogArrayParams ap;
+        ap.name = "AdcArray";
+        ap.numComponents = {uc::rhythmicWidth, 1, 1};
+        ap.inputShape = {1, uc::rhythmicWidth, 1};
+        ap.outputShape = {1, uc::rhythmicWidth, 1};
+        ap.componentArea = 1.0e-9;
+        d->addAnalogArray(AnalogArray(ap, makeColumnAdc({.bits = 8})),
+                          AnalogRole::Adc);
+    }
+
+    // ---- digital part (placement varies) ----
+    d->addMemory(makeSramMemory("PixFifo", digital_layer,
+                                MemoryKind::Fifo, 2 * uc::rhythmicWidth,
+                                8, digital_nm,
+                                uc::streamBufActiveFraction));
+    d->addMemory(makeSramMemory("RoiBuf", digital_layer,
+                                MemoryKind::DoubleBuffer,
+                                uc::rhythmicRoiBufBytes / 2, 16,
+                                digital_nm, 1.0));
+
+    ComputeUnitParams cu;
+    cu.name = "CompareSampleUnit";
+    cu.layer = digital_layer;
+    cu.inputPixelsPerCycle = {uc::rhythmicLanes, 1, 1};
+    cu.outputPixelsPerCycle = {uc::rhythmicLanes, 1, 1};
+    cu.energyPerCycle = uc::rhythmicLanes * aluEnergy16bit(digital_nm) *
+                        uc::rhythmicLaneOverhead;
+    cu.numStages = 4;
+    cu.opsPerCycle = uc::rhythmicLanes * uc::rhythmicOpsPerPixel;
+    d->addComputeUnit(ComputeUnit(cu));
+
+    d->setAdcOutput("PixFifo");
+    d->connectMemoryToUnit("PixFifo", "CompareSampleUnit");
+    d->connectMemoryToUnit("RoiBuf", "CompareSampleUnit");
+
+    d->setMipi(makeMipiCsi2());
+    if (variant == SensorVariant::ThreeDIn)
+        d->setTsv(makeMicroTsv());
+
+    if (variant != SensorVariant::TwoDOff) {
+        // ROI encoding halves the transmitted volume.
+        int64_t full = uc::rhythmicWidth * uc::rhythmicHeight;
+        d->setPipelineOutputBytes(static_cast<int64_t>(
+            static_cast<double>(full) * uc::rhythmicRoiFraction));
+    }
+
+    Mapping &m = d->mapping();
+    m.map("Input", "PixelArray");
+    m.map("CompareSample", "CompareSampleUnit");
+    m.map("RegionState", "RoiBuf");
+    return d;
+}
+
+} // namespace camj

@@ -1,0 +1,61 @@
+#include "validation/harness.h"
+
+#include "common/logging.h"
+#include "common/stats.h"
+#include "common/units.h"
+#include "validation/reported.h"
+
+namespace camj
+{
+
+ChipValidation
+validateChip(const ChipInfo &chip)
+{
+    if (!chip.design)
+        panic("validateChip: chip '%s' has no design", chip.id.c_str());
+
+    ChipValidation v;
+    v.id = chip.id;
+    v.pixels = chip.pixels;
+    v.report = chip.design->simulate();
+
+    const double px = static_cast<double>(chip.pixels);
+    v.estimatedPJPerPixel = v.report.total() / units::pJ / px;
+
+    const ReportedChip &ref = reportedFor(chip.id);
+    v.reportedPJPerPixel = ref.totalPJPerPixel;
+
+    for (const ChipGroup &g : chip.groups) {
+        GroupComparison gc;
+        gc.label = g.label;
+        for (const std::string &unit : g.unitNames) {
+            if (v.report.hasUnit(unit))
+                gc.estimatedPJPerPixel +=
+                    v.report.energyOf(unit) / units::pJ / px;
+        }
+        for (const auto &[label, pj] : ref.groupsPJPerPixel) {
+            if (label == g.label)
+                gc.reportedPJPerPixel = pj;
+        }
+        v.groups.push_back(gc);
+    }
+    return v;
+}
+
+ValidationSummary
+runValidation()
+{
+    ValidationSummary summary;
+    std::vector<double> est, ref;
+    for (const ChipInfo &chip : buildAllChips()) {
+        ChipValidation v = validateChip(chip);
+        est.push_back(v.estimatedPJPerPixel);
+        ref.push_back(v.reportedPJPerPixel);
+        summary.chips.push_back(std::move(v));
+    }
+    summary.pearson = pearson(est, ref);
+    summary.mapePct = 100.0 * mape(est, ref);
+    return summary;
+}
+
+} // namespace camj

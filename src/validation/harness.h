@@ -1,0 +1,68 @@
+/**
+ * @file
+ * The Fig. 7 validation harness: runs all nine chip designs, folds
+ * per-unit energies into the per-chip component groups, and computes
+ * the two headline statistics of Sec. 5 — Pearson correlation and
+ * Mean Absolute Percentage Error against the reconstructed reported
+ * values.
+ */
+
+#ifndef CAMJ_VALIDATION_HARNESS_H
+#define CAMJ_VALIDATION_HARNESS_H
+
+#include <string>
+#include <vector>
+
+#include "core/report.h"
+#include "validation/chips.h"
+
+namespace camj
+{
+
+/** One component-group comparison row (Fig. 7b-7j bars). */
+struct GroupComparison
+{
+    std::string label;
+    double estimatedPJPerPixel = 0.0;
+    double reportedPJPerPixel = 0.0;
+};
+
+/** Validation result of one chip. */
+struct ChipValidation
+{
+    std::string id;
+    int64_t pixels = 0;
+    double estimatedPJPerPixel = 0.0;
+    double reportedPJPerPixel = 0.0;
+    std::vector<GroupComparison> groups;
+    /** The underlying full report, for drill-down. */
+    EnergyReport report;
+};
+
+/** Fig. 7a summary over all chips. */
+struct ValidationSummary
+{
+    std::vector<ChipValidation> chips;
+    /** Pearson correlation of estimated vs reported totals. */
+    double pearson = 0.0;
+    /** MAPE of totals, as a percentage. */
+    double mapePct = 0.0;
+};
+
+/**
+ * Simulate one chip and fold its unit energies into the Fig. 7
+ * component groups [pJ/px].
+ */
+ChipValidation validateChip(const ChipInfo &chip);
+
+/**
+ * Run the full nine-chip validation and compute the Fig. 7a
+ * statistics against the reconstructed reported values.
+ *
+ * @throws ConfigError if any design fails its checks.
+ */
+ValidationSummary runValidation();
+
+} // namespace camj
+
+#endif // CAMJ_VALIDATION_HARNESS_H

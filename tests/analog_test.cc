@@ -1,0 +1,556 @@
+/**
+ * @file
+ * Tests for src/analog: the three A-Cell energy classes (Eq. 5-12),
+ * noise-driven capacitor sizing (Eq. 6), component timing allocation
+ * (Eq. 11/13), the default component library, and the AFA access-
+ * count model (Eq. 3).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+
+#include "analog/acell.h"
+#include "analog/acomponent.h"
+#include "analog/adc_fom.h"
+#include "analog/afa.h"
+#include "common/logging.h"
+#include "common/units.h"
+
+namespace camj
+{
+namespace
+{
+
+// ----------------------------------------------------------- adc_fom
+
+TEST(AdcFom, LookupIsPositiveAcrossRange)
+{
+    for (double rate : {1e3, 1e5, 1e6, 1e7, 1e8, 1e9, 1e10}) {
+        Energy fom = waldenFomMedian(rate);
+        EXPECT_GT(fom, 1e-15);
+        EXPECT_LT(fom, 10e-12);
+    }
+}
+
+TEST(AdcFom, SweetSpotAroundTensOfMegasamples)
+{
+    // Low-rate designs pay fixed overheads, GS/s designs pay for
+    // speed; the minimum sits in between.
+    Energy slow = waldenFomMedian(1e3);
+    Energy sweet = waldenFomMedian(1e7);
+    Energy fast = waldenFomMedian(5e9);
+    EXPECT_GT(slow, sweet);
+    EXPECT_GT(fast, sweet);
+}
+
+TEST(AdcFom, ClampsOutsideSurveyedRange)
+{
+    EXPECT_DOUBLE_EQ(waldenFomMedian(10.0), waldenFomMedian(100.0));
+    EXPECT_DOUBLE_EQ(waldenFomMedian(5e11), waldenFomMedian(1e11));
+}
+
+TEST(AdcFom, ConversionEnergyDoublesPerBit)
+{
+    Energy e8 = adcEnergyPerConversion(8, 1e6);
+    Energy e9 = adcEnergyPerConversion(9, 1e6);
+    EXPECT_NEAR(e9 / e8, 2.0, 1e-9);
+}
+
+TEST(AdcFom, RejectsBadArguments)
+{
+    EXPECT_THROW(waldenFomMedian(0.0), ConfigError);
+    EXPECT_THROW(waldenFomMedian(-1.0), ConfigError);
+    EXPECT_THROW(adcEnergyPerConversion(0, 1e6), ConfigError);
+    EXPECT_THROW(adcEnergyPerConversion(17, 1e6), ConfigError);
+}
+
+// ------------------------------------------------------- dynamic cell
+
+TEST(DynamicCell, EnergyIsSumOfCV2)
+{
+    // Eq. 5 with two nodes: 10 fF @ 1 V + 20 fF @ 0.5 V.
+    DynamicCell cell("c", {{10e-15, 1.0}, {20e-15, 0.5}});
+    Energy expect = 10e-15 * 1.0 + 20e-15 * 0.25;
+    EXPECT_NEAR(cell.energyPerAccess({}), expect, 1e-21);
+    EXPECT_NEAR(cell.totalCapacitance(), 30e-15, 1e-21);
+}
+
+TEST(DynamicCell, EnergyIndependentOfTiming)
+{
+    DynamicCell cell("c", {{100e-15, 1.0}});
+    EXPECT_DOUBLE_EQ(cell.energyPerAccess({1e-6, 1e-6}),
+                     cell.energyPerAccess({1e-3, 1e-3}));
+}
+
+TEST(DynamicCell, CapForResolutionMatchesEq6)
+{
+    // Eq. 6: C > kT * (6 * 2^bits / Vvs)^2. For 8 bits at 1 V:
+    // C = 4.14e-21 * (6*256)^2 ~= 9.77 fF.
+    Capacitance c = DynamicCell::capForResolution(8, 1.0);
+    EXPECT_NEAR(c, 9.77e-15, 0.2e-15);
+}
+
+TEST(DynamicCell, CapQuadruplesPerBit)
+{
+    Capacitance c8 = DynamicCell::capForResolution(8, 1.0);
+    Capacitance c9 = DynamicCell::capForResolution(9, 1.0);
+    EXPECT_NEAR(c9 / c8, 4.0, 1e-9);
+}
+
+TEST(DynamicCell, CapShrinksWithSwing)
+{
+    // Doubling the swing allows 4x smaller caps at iso-resolution.
+    Capacitance c1 = DynamicCell::capForResolution(8, 1.0);
+    Capacitance c2 = DynamicCell::capForResolution(8, 2.0);
+    EXPECT_NEAR(c1 / c2, 4.0, 1e-9);
+}
+
+TEST(DynamicCell, CapGrowsWithTemperature)
+{
+    Capacitance cold = DynamicCell::capForResolution(8, 1.0, 250.0);
+    Capacitance hot = DynamicCell::capForResolution(8, 1.0, 350.0);
+    EXPECT_GT(hot, cold);
+}
+
+TEST(DynamicCell, RejectsBadNodes)
+{
+    EXPECT_THROW(DynamicCell("c", {}), ConfigError);
+    EXPECT_THROW(DynamicCell("c", {{0.0, 1.0}}), ConfigError);
+    EXPECT_THROW(DynamicCell("c", {{1e-15, -1.0}}), ConfigError);
+    EXPECT_THROW(DynamicCell::capForResolution(0, 1.0), ConfigError);
+    EXPECT_THROW(DynamicCell::capForResolution(8, 0.0), ConfigError);
+}
+
+// -------------------------------------------------- static-biased cell
+
+TEST(StaticBiasedCell, DirectDriveMatchesEq9)
+{
+    // Eq. 9: E = Cload * Vvs * VDDA, independent of time.
+    StaticBiasParams p;
+    p.loadCapacitance = 1e-12;
+    p.voltageSwing = 1.0;
+    p.vdda = 2.5;
+    p.mode = BiasMode::DirectDrive;
+    StaticBiasedCell cell("sf", p);
+    EXPECT_NEAR(cell.energyPerAccess({1e-6, 1e-6}), 2.5e-12, 1e-18);
+    EXPECT_NEAR(cell.energyPerAccess({1e-6, 1e-3}), 2.5e-12, 1e-18);
+}
+
+TEST(StaticBiasedCell, DirectDriveBiasFollowsEq8)
+{
+    StaticBiasParams p;
+    p.loadCapacitance = 1e-12;
+    p.voltageSwing = 1.0;
+    p.vdda = 2.5;
+    p.mode = BiasMode::DirectDrive;
+    StaticBiasedCell cell("sf", p);
+    // Ibias = C * Vvs / t = 1p * 1 / 1u = 1 uA.
+    EXPECT_NEAR(cell.biasCurrent({1e-6, 1e-6}), 1e-6, 1e-12);
+}
+
+TEST(StaticBiasedCell, GmOverIdMatchesEq10And7)
+{
+    StaticBiasParams p;
+    p.loadCapacitance = 100e-15;
+    p.voltageSwing = 1.0;
+    p.vdda = 2.5;
+    p.gain = 1.0;
+    p.gmOverId = 15.0;
+    p.mode = BiasMode::GmOverId;
+    StaticBiasedCell cell("opamp", p);
+
+    Time delay = 10e-6;
+    // Eq. 10: Ibias = 2*pi*C*GBW/(gm/Id), GBW = gain/delay.
+    Current expect_i = 2.0 * std::numbers::pi * 100e-15 *
+                       (1.0 / delay) / 15.0;
+    EXPECT_NEAR(cell.biasCurrent({delay, delay}), expect_i, 1e-15);
+    // Eq. 7: E = VDDA * Ibias * t_static.
+    EXPECT_NEAR(cell.energyPerAccess({delay, delay}),
+                2.5 * expect_i * delay, 1e-21);
+}
+
+TEST(StaticBiasedCell, GmOverIdEnergyScalesWithStaticTime)
+{
+    StaticBiasParams p;
+    p.loadCapacitance = 100e-15;
+    p.mode = BiasMode::GmOverId;
+    StaticBiasedCell cell("opamp", p);
+    Energy e1 = cell.energyPerAccess({1e-6, 1e-6});
+    Energy e2 = cell.energyPerAccess({1e-6, 3e-6});
+    EXPECT_NEAR(e2 / e1, 3.0, 1e-9);
+}
+
+TEST(StaticBiasedCell, HigherGainCostsProportionally)
+{
+    StaticBiasParams p;
+    p.loadCapacitance = 100e-15;
+    p.mode = BiasMode::GmOverId;
+    StaticBiasedCell g1("a", p);
+    p.gain = 5.0;
+    StaticBiasedCell g5("b", p);
+    EXPECT_NEAR(g5.energyPerAccess({1e-6, 1e-6}) /
+                    g1.energyPerAccess({1e-6, 1e-6}),
+                5.0, 1e-9);
+}
+
+TEST(StaticBiasedCell, RejectsBadParameters)
+{
+    StaticBiasParams p;
+    p.loadCapacitance = 0.0;
+    EXPECT_THROW(StaticBiasedCell("x", p), ConfigError);
+    p.loadCapacitance = 1e-12;
+    p.vdda = -1.0;
+    EXPECT_THROW(StaticBiasedCell("x", p), ConfigError);
+    p.vdda = 2.5;
+    p.mode = BiasMode::GmOverId;
+    p.gmOverId = 100.0;
+    EXPECT_THROW(StaticBiasedCell("x", p), ConfigError);
+}
+
+TEST(StaticBiasedCell, RejectsDegenerateTiming)
+{
+    StaticBiasParams p;
+    p.loadCapacitance = 1e-12;
+    p.mode = BiasMode::GmOverId;
+    StaticBiasedCell cell("x", p);
+    EXPECT_THROW((void)cell.biasCurrent({0.0, 1e-6}), ConfigError);
+}
+
+// ------------------------------------------------------ nonlinear cell
+
+TEST(NonLinearCell, UsesFomSurvey)
+{
+    NonLinearCell adc("adc", 10);
+    Time delay = 1e-6; // 1 MS/s
+    EXPECT_NEAR(adc.energyPerAccess({delay, delay}),
+                adcEnergyPerConversion(10, 1e6), 1e-18);
+}
+
+TEST(NonLinearCell, OverrideBypassesSurvey)
+{
+    NonLinearCell adc("adc", 10, 5e-12);
+    EXPECT_DOUBLE_EQ(adc.energyPerAccess({1e-6, 1e-6}), 5e-12);
+    // Even with no timing, the override works.
+    EXPECT_DOUBLE_EQ(adc.energyPerAccess({0.0, 0.0}), 5e-12);
+}
+
+TEST(NonLinearCell, ComparatorIsOneBit)
+{
+    NonLinearCell cmp("cmp", 1);
+    EXPECT_NEAR(cmp.energyPerAccess({1e-6, 0.0}),
+                2.0 * waldenFomMedian(1e6), 1e-18);
+}
+
+TEST(NonLinearCell, RejectsBadResolutionAndTiming)
+{
+    EXPECT_THROW(NonLinearCell("x", 0), ConfigError);
+    EXPECT_THROW(NonLinearCell("x", 20), ConfigError);
+    NonLinearCell adc("adc", 8);
+    EXPECT_THROW((void)adc.energyPerAccess({0.0, 0.0}), ConfigError);
+}
+
+// --------------------------------------------------------- AComponent
+
+TEST(AComponent, Eq11TimingAllocation)
+{
+    // Three equal dynamic cells: energy must not depend on timing;
+    // a GmOverId cell placed last must see staticTime = T/3 (the
+    // remaining window), one placed first sees the full T.
+    auto probe = [](TimingScope scope, size_t position) {
+        AComponent c("probe", SignalDomain::Voltage,
+                     SignalDomain::Voltage);
+        StaticBiasParams p;
+        p.loadCapacitance = 100e-15;
+        p.vdda = 1.0;
+        p.mode = BiasMode::GmOverId;
+        auto biased = std::make_shared<StaticBiasedCell>("b", p);
+        auto dyn = std::make_shared<DynamicCell>(
+            "d", std::vector<CapNode>{{1e-15, 1.0}});
+        for (size_t i = 0; i < 3; ++i) {
+            if (i == position)
+                c.addCell(biased, 1, 1, scope);
+            else
+                c.addCell(dyn);
+        }
+        return c.energyPerOp({3e-6, 33e-3});
+    };
+
+    Energy dyn_only = 2.0 * 1e-15; // two 1fF@1V caps
+    // Position 0: static window = T = 3us; each cell delay 1us;
+    // E = vdda * (2pi*C*(1/1us)/15) * 3us.
+    Energy first = probe(TimingScope::SelfSlot, 0) - dyn_only;
+    Energy last = probe(TimingScope::SelfSlot, 2) - dyn_only;
+    EXPECT_NEAR(first / last, 3.0, 1e-6);
+
+    // ComponentSpan always gets the full window, like position 0.
+    Energy span = probe(TimingScope::ComponentSpan, 2) - dyn_only;
+    EXPECT_NEAR(span, first, 1e-21);
+}
+
+TEST(AComponent, FrameScopeSeparatesFromPerOp)
+{
+    AComponent c("mem", SignalDomain::Voltage, SignalDomain::Voltage);
+    c.addCell(std::make_shared<DynamicCell>(
+                  "store", std::vector<CapNode>{{10e-15, 1.0}}),
+              1, 1);
+    StaticBiasParams p;
+    p.loadCapacitance = 1e-12;
+    p.vdda = 2.5;
+    p.mode = BiasMode::DirectDrive;
+    c.addCell(std::make_shared<StaticBiasedCell>("hold", p), 1, 1,
+              TimingScope::Frame);
+
+    ComponentTiming t{1e-6, 33e-3};
+    // Per-op part excludes the Frame cell.
+    EXPECT_NEAR(c.energyPerOp(t), 10e-15, 1e-20);
+    // Frame part contains only the Frame cell.
+    EXPECT_NEAR(c.energyPerFramePerComponent(t), 2.5e-12, 1e-18);
+}
+
+TEST(AComponent, Eq13SpatialTemporalCounts)
+{
+    // CDS reads the source follower twice (temporal = 2); a 4-PD
+    // binning cluster has spatial = 4 photodiodes.
+    AComponent c("pix", SignalDomain::Optical, SignalDomain::Voltage);
+    c.addCell(std::make_shared<DynamicCell>(
+                  "pd", std::vector<CapNode>{{5e-15, 1.0}}),
+              4, 1);
+    StaticBiasParams p;
+    p.loadCapacitance = 1e-12;
+    p.vdda = 2.5;
+    p.mode = BiasMode::DirectDrive;
+    c.addCell(std::make_shared<StaticBiasedCell>("sf", p), 1, 2);
+
+    Energy e = c.energyPerOp({1e-6, 33e-3});
+    EXPECT_NEAR(e, 4.0 * 5e-15 + 2.0 * 2.5e-12, 1e-18);
+}
+
+TEST(AComponent, CellBreakdownSumsToTotal)
+{
+    AComponent c = makeAps4T();
+    ComponentTiming t{10e-6, 33e-3};
+    Energy sum = 0.0;
+    for (const auto &[name, e] : c.cellBreakdown(t))
+        sum += e;
+    EXPECT_NEAR(sum, c.energyPerOp(t) + c.energyPerFramePerComponent(t),
+                1e-18);
+}
+
+TEST(AComponent, RejectsBadCells)
+{
+    AComponent c("x", SignalDomain::Voltage, SignalDomain::Voltage);
+    EXPECT_THROW(c.addCell(nullptr), ConfigError);
+    EXPECT_THROW(c.addCell(std::make_shared<NonLinearCell>("n", 1), 0),
+                 ConfigError);
+    EXPECT_THROW(c.energyPerOp({1e-6, 1e-3}), ConfigError); // no cells
+}
+
+// ---------------------------------------------------- component library
+
+TEST(ComponentLibrary, DomainsMatchTable1)
+{
+    EXPECT_EQ(makeAps4T().inputDomain(), SignalDomain::Optical);
+    EXPECT_EQ(makeAps4T().outputDomain(), SignalDomain::Voltage);
+    EXPECT_EQ(makeAps3T().outputDomain(), SignalDomain::Voltage);
+    EXPECT_EQ(makeDps(10).outputDomain(), SignalDomain::Digital);
+    EXPECT_EQ(makePwmPixel().outputDomain(), SignalDomain::Time);
+    EXPECT_EQ(makeColumnAdc().inputDomain(), SignalDomain::Voltage);
+    EXPECT_EQ(makeColumnAdc().outputDomain(), SignalDomain::Digital);
+    EXPECT_EQ(makeSwitchedCapMac().outputDomain(),
+              SignalDomain::Voltage);
+    EXPECT_EQ(makeComparator().outputDomain(), SignalDomain::Digital);
+    EXPECT_EQ(makeChargeAdder().inputDomain(), SignalDomain::Charge);
+    EXPECT_EQ(makePassiveAnalogMemory().outputDomain(),
+              SignalDomain::Voltage);
+    EXPECT_EQ(makeActiveAnalogMemory().outputDomain(),
+              SignalDomain::Voltage);
+}
+
+TEST(ComponentLibrary, CdsDoublesReadoutEnergy)
+{
+    ApsParams with_cds;
+    with_cds.correlatedDoubleSampling = true;
+    ApsParams without = with_cds;
+    without.correlatedDoubleSampling = false;
+
+    ComponentTiming t{10e-6, 33e-3};
+    Energy e_cds = makeAps4T(with_cds).energyPerOp(t);
+    Energy e_no = makeAps4T(without).energyPerOp(t);
+    EXPECT_GT(e_cds, 1.5 * e_no); // SF dominates: ~2x
+}
+
+TEST(ComponentLibrary, ThreeTransistorHasNoCds)
+{
+    // 3T APS cannot do true CDS even if asked.
+    ApsParams p;
+    p.correlatedDoubleSampling = true;
+    ComponentTiming t{10e-6, 33e-3};
+    ApsParams p2 = p;
+    p2.correlatedDoubleSampling = false;
+    EXPECT_NEAR(makeAps3T(p).energyPerOp(t),
+                makeAps3T(p2).energyPerOp(t), 1e-21);
+}
+
+TEST(ComponentLibrary, PassiveMacIsCheaperThanActive)
+{
+    SwitchedCapParams active;
+    SwitchedCapParams passive = active;
+    passive.active = false;
+    ComponentTiming t{10e-6, 33e-3};
+    EXPECT_LT(makeSwitchedCapMac(passive).energyPerOp(t),
+              makeSwitchedCapMac(active).energyPerOp(t));
+}
+
+TEST(ComponentLibrary, NoiseDrivenCapSizing)
+{
+    // With unitCap = 0, the MAC sizes its caps per Eq. 6: higher
+    // precision -> quadratically more dynamic energy.
+    SwitchedCapParams p6;
+    p6.bits = 6;
+    p6.active = false;
+    SwitchedCapParams p8 = p6;
+    p8.bits = 8;
+    ComponentTiming t{10e-6, 33e-3};
+    Energy e6 = makeSwitchedCapMac(p6).energyPerOp(t);
+    Energy e8 = makeSwitchedCapMac(p8).energyPerOp(t);
+    EXPECT_NEAR(e8 / e6, 16.0, 0.1);
+}
+
+TEST(ComponentLibrary, MaxUnitComparatorCount)
+{
+    // A 4-input winner-take-all needs 3 comparisons.
+    AComponent max4 = makeMaxUnit(4);
+    ASSERT_EQ(max4.numCells(), 1);
+    EXPECT_EQ(max4.cells()[0].spatialCount, 3);
+    EXPECT_THROW(makeMaxUnit(1), ConfigError);
+}
+
+TEST(ComponentLibrary, AnalogMemoryReadsScaleEnergy)
+{
+    AnalogMemoryParams one_read;
+    one_read.readsPerValue = 1;
+    AnalogMemoryParams three_reads = one_read;
+    three_reads.readsPerValue = 3;
+    ComponentTiming t{10e-6, 33e-3};
+    Energy e1 = makeActiveAnalogMemory(one_read).energyPerOp(t);
+    Energy e3 = makeActiveAnalogMemory(three_reads).energyPerOp(t);
+    EXPECT_GT(e3, 2.0 * e1);
+}
+
+// ------------------------------------------------------------- arrays
+
+AnalogArray
+testArray(int64_t w, int64_t h)
+{
+    AnalogArrayParams p;
+    p.name = "arr";
+    p.numComponents = {w, h, 1};
+    p.inputShape = {1, w, 1};
+    p.outputShape = {1, w, 1};
+    p.componentArea = 9e-12;
+    return AnalogArray(p, makeAps4T());
+}
+
+TEST(AnalogArray, Eq3AccessCounts)
+{
+    AnalogArray arr = testArray(16, 16);
+    // 256 ops over 256 components -> 1 access each (Fig. 5's pixel
+    // array); 4096 ops -> 16 each (the ADC array).
+    EXPECT_DOUBLE_EQ(arr.accessesPerComponent(256), 1.0);
+    EXPECT_DOUBLE_EQ(arr.accessesPerComponent(4096), 16.0);
+}
+
+TEST(AnalogArray, EnergyLinearInOps)
+{
+    AnalogArray arr = testArray(16, 16);
+    // 4T APS is dynamic + DirectDrive: per-op energy is time-
+    // independent, so total is linear in ops.
+    Energy e1 = arr.energyPerFrame(256, 10e-3, 33e-3).total;
+    Energy e2 = arr.energyPerFrame(512, 10e-3, 33e-3).total;
+    EXPECT_NEAR(e2 / e1, 2.0, 1e-9);
+}
+
+TEST(AnalogArray, OpDelayDividesUnitTime)
+{
+    AnalogArray arr = testArray(4, 4);
+    AnalogArrayEnergy e = arr.energyPerFrame(64, 8e-3, 33e-3);
+    // 64 ops / 16 components = 4 serial ops -> 2 ms each.
+    EXPECT_DOUBLE_EQ(e.accessesPerComponent, 4.0);
+    EXPECT_NEAR(e.opDelay, 2e-3, 1e-12);
+}
+
+TEST(AnalogArray, ZeroOpsZeroPerOpEnergy)
+{
+    AnalogArray arr = testArray(4, 4);
+    AnalogArrayEnergy e = arr.energyPerFrame(0, 8e-3, 33e-3);
+    EXPECT_DOUBLE_EQ(e.perOpPart, 0.0);
+}
+
+TEST(AnalogArray, FrameScopedMemoryChargesPerComponent)
+{
+    AnalogMemoryParams mp;
+    AComponent mem = makeActiveAnalogMemory(mp);
+    // Add a frame-scoped keeper cell to exercise the per-frame path.
+    StaticBiasParams keeper;
+    keeper.loadCapacitance = 10e-15;
+    keeper.vdda = 2.5;
+    keeper.mode = BiasMode::DirectDrive;
+    mem.addCell(std::make_shared<StaticBiasedCell>("keeper", keeper),
+                1, 1, TimingScope::Frame);
+
+    AnalogArrayParams p;
+    p.name = "mem";
+    p.numComponents = {10, 1, 1};
+    AnalogArray arr(p, mem);
+
+    AnalogArrayEnergy e = arr.energyPerFrame(10, 1e-3, 33e-3);
+    EXPECT_GT(e.perFramePart, 0.0);
+    // Per-frame part: keeper energy x 10 components.
+    EXPECT_NEAR(e.perFramePart, 10.0 * 10e-15 * 1.0 * 2.5, 1e-18);
+}
+
+TEST(AnalogArray, AreaIsComponentsTimesUnit)
+{
+    AnalogArray arr = testArray(16, 16);
+    EXPECT_NEAR(arr.area(), 256.0 * 9e-12, 1e-18);
+}
+
+TEST(AnalogArray, RejectsBadUsage)
+{
+    AnalogArray arr = testArray(4, 4);
+    EXPECT_THROW(arr.energyPerFrame(-1, 1e-3, 33e-3), ConfigError);
+    EXPECT_THROW(arr.energyPerFrame(16, 0.0, 33e-3), ConfigError);
+    EXPECT_THROW(arr.accessesPerComponent(-5), ConfigError);
+}
+
+// Property sweep: Eq. 3 invariant — total array energy equals
+// (accesses per component) x components x per-op energy for
+// timing-independent components.
+class ArraySweep
+    : public ::testing::TestWithParam<std::tuple<int, int64_t>>
+{
+};
+
+TEST_P(ArraySweep, AccessCountInvariant)
+{
+    auto [side, ops] = GetParam();
+    AnalogArray arr = testArray(side, side);
+    AnalogArrayEnergy e = arr.energyPerFrame(ops, 5e-3, 33e-3);
+    double accesses = arr.accessesPerComponent(ops);
+    EXPECT_NEAR(accesses * side * side, static_cast<double>(ops),
+                1e-9);
+    if (ops > 0) {
+        EXPECT_GT(e.total, 0.0);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, ArraySweep,
+    ::testing::Combine(::testing::Values(1, 4, 16, 64),
+                       ::testing::Values(int64_t{0}, int64_t{1},
+                                         int64_t{256}, int64_t{65536})));
+
+} // namespace
+} // namespace camj

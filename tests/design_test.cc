@@ -1,0 +1,501 @@
+/**
+ * @file
+ * Integration tests for the Design orchestrator: the full Sec. 3/4
+ * methodology on small end-to-end designs, including every
+ * pre-simulation check, the delay estimation, stall detection, and
+ * communication-volume accounting.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/logging.h"
+#include "common/units.h"
+#include "core/design.h"
+
+namespace camj
+{
+namespace
+{
+
+class QuietLogging : public ::testing::Environment
+{
+  public:
+    void SetUp() override { setLoggingEnabled(false); }
+};
+
+::testing::Environment *const quiet_env =
+    ::testing::AddGlobalTestEnvironment(new QuietLogging);
+
+/** The Fig. 5 quickstart design, parameterized for negative tests. */
+struct Fig5Builder
+{
+    DesignParams params{"fig5", 30.0, 10e6};
+    bool map_edge = true;
+    bool add_mipi = true;
+    bool add_adc = true;
+    int64_t line_buffer_words = 48;
+
+    Design
+    build() const
+    {
+        Design d(params);
+        SwGraph &sw = d.sw();
+        StageId in = sw.addStage({.name = "Input",
+                                  .op = StageOp::Input,
+                                  .outputSize = {32, 32, 1}});
+        StageId bin = sw.addStage({.name = "Binning",
+                                   .op = StageOp::Binning,
+                                   .inputSize = {32, 32, 1},
+                                   .outputSize = {16, 16, 1},
+                                   .kernel = {2, 2, 1},
+                                   .stride = {2, 2, 1}});
+        StageId edge = sw.addStage({.name = "Edge",
+                                    .op = StageOp::DepthwiseConv2d,
+                                    .inputSize = {16, 16, 1},
+                                    .outputSize = {14, 14, 1},
+                                    .kernel = {3, 3, 1},
+                                    .stride = {1, 1, 1}});
+        sw.connect(in, bin);
+        sw.connect(bin, edge);
+
+        ApsParams aps;
+        aps.pixelsPerComponent = 4;
+        AnalogArrayParams pa;
+        pa.name = "PixelArray";
+        pa.numComponents = {16, 16, 1};
+        pa.inputShape = {1, 32, 1};
+        pa.outputShape = {1, 16, 1};
+        pa.componentArea = 36e-12;
+        d.addAnalogArray(AnalogArray(pa, makeAps4T(aps)),
+                         AnalogRole::Sensing);
+
+        if (add_adc) {
+            AnalogArrayParams aa;
+            aa.name = "AdcArray";
+            aa.numComponents = {16, 1, 1};
+            aa.inputShape = {1, 16, 1};
+            aa.outputShape = {1, 16, 1};
+            aa.componentArea = 1e-9;
+            d.addAnalogArray(AnalogArray(aa, makeColumnAdc()),
+                             AnalogRole::Adc);
+        }
+
+        d.addMemory(makeSramMemory("LineBuffer", Layer::Sensor,
+                                   MemoryKind::LineBuffer,
+                                   line_buffer_words, 8, 65, 1.0));
+        ComputeUnitParams cu;
+        cu.name = "EdgeUnit";
+        cu.layer = Layer::Sensor;
+        cu.inputPixelsPerCycle = {1, 3, 1};
+        cu.outputPixelsPerCycle = {1, 1, 1};
+        cu.energyPerCycle = 3e-12;
+        cu.numStages = 2;
+        d.addComputeUnit(ComputeUnit(cu));
+        d.setAdcOutput("LineBuffer");
+        d.connectMemoryToUnit("LineBuffer", "EdgeUnit");
+
+        if (add_mipi)
+            d.setMipi(makeMipiCsi2());
+
+        d.mapping().map("Input", "PixelArray");
+        d.mapping().map("Binning", "PixelArray");
+        if (map_edge)
+            d.mapping().map("Edge", "EdgeUnit");
+        return d;
+    }
+};
+
+TEST(Design, Fig5SimulatesEndToEnd)
+{
+    Design d = Fig5Builder{}.build();
+    EnergyReport r = d.simulate();
+
+    EXPECT_GT(r.total(), 0.0);
+    EXPECT_GT(r.category(EnergyCategory::Sen), 0.0);
+    EXPECT_GT(r.category(EnergyCategory::CompD), 0.0);
+    EXPECT_GT(r.category(EnergyCategory::MemD), 0.0);
+    EXPECT_GT(r.category(EnergyCategory::Mipi), 0.0);
+    EXPECT_DOUBLE_EQ(r.category(EnergyCategory::Tsv), 0.0);
+}
+
+TEST(Design, Fig6DelayRelation)
+{
+    Design d = Fig5Builder{}.build();
+    EnergyReport r = d.simulate();
+    // Two analog arrays -> 3 slots, and the Fig. 6 identity holds.
+    EXPECT_EQ(r.numAnalogSlots, 3);
+    EXPECT_NEAR(3.0 * r.analogUnitTime + r.digitalLatency, r.frameTime,
+                1e-9);
+    EXPECT_GT(r.digitalLatency, 0.0);
+    EXPECT_LT(r.digitalLatency, r.frameTime);
+}
+
+TEST(Design, OutputVolumeReachesMipi)
+{
+    Design d = Fig5Builder{}.build();
+    EnergyReport r = d.simulate();
+    // The edge map is 14x14 bytes.
+    EXPECT_EQ(r.mipiBytes, 196);
+    EXPECT_NEAR(r.energyOf("MIPI-CSI2"), 196.0 * 100e-12, 1e-15);
+}
+
+TEST(Design, OutputBytesOverrideWins)
+{
+    Fig5Builder b;
+    Design d = b.build();
+    d.setPipelineOutputBytes(977);
+    EnergyReport r = d.simulate();
+    EXPECT_EQ(r.mipiBytes, 977);
+}
+
+TEST(Design, EdgeUnitEnergyMatchesHandCalc)
+{
+    Design d = Fig5Builder{}.build();
+    EnergyReport r = d.simulate();
+    // 196 outputs at 1 per cycle, 3 pJ per cycle.
+    EXPECT_NEAR(r.energyOf("EdgeUnit"), 196.0 * 3e-12, 1e-15);
+}
+
+TEST(Design, UnmappedStageIsFatal)
+{
+    Fig5Builder b;
+    b.map_edge = false;
+    Design d = b.build();
+    EXPECT_THROW(d.simulate(), ConfigError);
+}
+
+TEST(Design, MissingAdcIsFatal)
+{
+    // Without the ADC array the chain ends in the voltage domain.
+    Fig5Builder b;
+    b.add_adc = false;
+    Design d = b.build();
+    EXPECT_THROW(d.simulate(), ConfigError);
+}
+
+TEST(Design, MissingMipiIsFatal)
+{
+    Fig5Builder b;
+    b.add_mipi = false;
+    Design d = b.build();
+    EXPECT_THROW(d.simulate(), ConfigError);
+}
+
+TEST(Design, FpsBeyondDigitalThroughputIsFatal)
+{
+    // 196 edge cycles at 10 MHz ~= 20 us; a 60 kHz frame rate leaves
+    // no analog budget.
+    Fig5Builder b;
+    b.params.fps = 60000.0;
+    Design d = b.build();
+    EXPECT_THROW(d.simulate(), ConfigError);
+}
+
+TEST(Design, HigherFpsRaisesAnalogPower)
+{
+    Fig5Builder b30;
+    Fig5Builder b120;
+    b120.params.fps = 120.0;
+    EnergyReport r30 = b30.build().simulate();
+    EnergyReport r120 = b120.build().simulate();
+    // Same per-frame access counts, but 4x the frames per second.
+    EXPECT_NEAR(r120.frameTime * 4.0, r30.frameTime, 1e-9);
+    EXPECT_LT(r120.analogUnitTime, r30.analogUnitTime);
+}
+
+TEST(Design, DuplicateHardwareNamesRejected)
+{
+    Design d({.name = "dup", .fps = 30.0});
+    d.addMemory(makeSramMemory("X", Layer::Sensor, MemoryKind::Fifo,
+                               64, 8, 65, 1.0));
+    EXPECT_THROW(d.addMemory(makeSramMemory("X", Layer::Sensor,
+                                            MemoryKind::Fifo, 64, 8,
+                                            65, 1.0)),
+                 ConfigError);
+}
+
+TEST(Design, UnknownHardwareReferencesRejected)
+{
+    Design d({.name = "refs", .fps = 30.0});
+    EXPECT_THROW(d.setAdcOutput("nope"), ConfigError);
+    EXPECT_THROW(d.connectMemoryToUnit("nope", "nope"), ConfigError);
+    EXPECT_THROW(d.setPipelineOutputBytes(-1), ConfigError);
+}
+
+TEST(Design, CommKindsAreChecked)
+{
+    Design d({.name = "comm", .fps = 30.0});
+    EXPECT_THROW(d.setMipi(makeMicroTsv()), ConfigError);
+    EXPECT_THROW(d.setTsv(makeMipiCsi2()), ConfigError);
+}
+
+TEST(Design, BadParamsRejected)
+{
+    EXPECT_THROW(Design({.name = "", .fps = 30.0}), ConfigError);
+    EXPECT_THROW(Design({.name = "x", .fps = 0.0}), ConfigError);
+    EXPECT_THROW(Design({.name = "x", .fps = 30.0,
+                         .digitalClock = 0.0}),
+                 ConfigError);
+}
+
+// ---------------------------------------------------- stacked variants
+
+Design
+stackedDesign(bool set_tsv)
+{
+    Design d({.name = "stacked", .fps = 30.0, .digitalClock = 10e6});
+    SwGraph &sw = d.sw();
+    StageId in = sw.addStage({.name = "Input", .op = StageOp::Input,
+                              .outputSize = {32, 32, 1}});
+    StageId th = sw.addStage({.name = "Th", .op = StageOp::Threshold,
+                              .inputSize = {32, 32, 1},
+                              .outputSize = {32, 32, 1}});
+    sw.connect(in, th);
+
+    AnalogArrayParams pa;
+    pa.name = "PixelArray";
+    pa.numComponents = {32, 32, 1};
+    pa.inputShape = {1, 32, 1};
+    pa.outputShape = {1, 32, 1};
+    pa.componentArea = 9e-12;
+    d.addAnalogArray(AnalogArray(pa, makeAps4T()),
+                     AnalogRole::Sensing);
+    AnalogArrayParams aa;
+    aa.name = "Adc";
+    aa.numComponents = {32, 1, 1};
+    aa.inputShape = {1, 32, 1};
+    aa.outputShape = {1, 32, 1};
+    d.addAnalogArray(AnalogArray(aa, makeColumnAdc()),
+                     AnalogRole::Adc);
+
+    // Digital processing on the stacked die.
+    d.addMemory(makeSramMemory("Buf", Layer::Compute,
+                               MemoryKind::Fifo, 2048, 8, 22, 1.0));
+    ComputeUnitParams cu;
+    cu.name = "ThUnit";
+    cu.layer = Layer::Compute;
+    cu.inputPixelsPerCycle = {1, 1, 1};
+    cu.outputPixelsPerCycle = {1, 1, 1};
+    cu.energyPerCycle = 1e-12;
+    cu.numStages = 1;
+    d.addComputeUnit(ComputeUnit(cu));
+    d.setAdcOutput("Buf");
+    d.connectMemoryToUnit("Buf", "ThUnit");
+    d.setMipi(makeMipiCsi2());
+    if (set_tsv)
+        d.setTsv(makeMicroTsv());
+
+    d.mapping().map("Input", "PixelArray");
+    d.mapping().map("Th", "ThUnit");
+    return d;
+}
+
+TEST(Design, StackedCrossingCountsTsvBytes)
+{
+    Design d = stackedDesign(true);
+    EnergyReport r = d.simulate();
+    // 1024 pixels cross from the sensor die to the compute die.
+    EXPECT_EQ(r.tsvBytes, 1024);
+    EXPECT_GT(r.category(EnergyCategory::Tsv), 0.0);
+}
+
+TEST(Design, StackedWithoutTsvInterfaceIsFatal)
+{
+    Design d = stackedDesign(false);
+    EXPECT_THROW(d.simulate(), ConfigError);
+}
+
+TEST(Design, StackedFootprintIsMaxOfLayers)
+{
+    Design d = stackedDesign(true);
+    EnergyReport r = d.simulate();
+    EXPECT_GT(r.sensorLayerArea, 0.0);
+    EXPECT_GT(r.computeLayerArea, 0.0);
+    EXPECT_NEAR(r.footprint,
+                std::max(r.sensorLayerArea, r.computeLayerArea),
+                1e-18);
+}
+
+// ------------------------------------------- frame-retaining memories
+
+TEST(Design, PrevFrameInputOnMemorySimulates)
+{
+    // A miniature Ed-Gaze: frame subtraction against a retained
+    // previous frame mapped onto a FrameBuffer memory.
+    Design d({.name = "framesub", .fps = 30.0, .digitalClock = 10e6});
+    SwGraph &sw = d.sw();
+    StageId in = sw.addStage({.name = "Input", .op = StageOp::Input,
+                              .outputSize = {16, 16, 1}});
+    StageId prev = sw.addStage({.name = "Prev", .op = StageOp::Input,
+                                .outputSize = {16, 16, 1}});
+    StageId sub = sw.addStage({.name = "Sub",
+                               .op = StageOp::ElementwiseSub,
+                               .inputSize = {16, 16, 1},
+                               .outputSize = {16, 16, 1}});
+    sw.connect(in, sub);
+    sw.connect(prev, sub);
+
+    AnalogArrayParams pa;
+    pa.name = "PixelArray";
+    pa.numComponents = {16, 16, 1};
+    pa.inputShape = {1, 16, 1};
+    pa.outputShape = {1, 16, 1};
+    d.addAnalogArray(AnalogArray(pa, makeAps4T()),
+                     AnalogRole::Sensing);
+    AnalogArrayParams aa;
+    aa.name = "Adc";
+    aa.numComponents = {16, 1, 1};
+    aa.inputShape = {1, 16, 1};
+    aa.outputShape = {1, 16, 1};
+    d.addAnalogArray(AnalogArray(aa, makeColumnAdc()),
+                     AnalogRole::Adc);
+
+    d.addMemory(makeSramMemory("Fifo", Layer::Sensor,
+                               MemoryKind::Fifo, 256, 8, 65, 1.0));
+    d.addMemory(makeSramMemory("FrameBuf", Layer::Sensor,
+                               MemoryKind::FrameBuffer, 256, 8, 65,
+                               1.0));
+    ComputeUnitParams cu;
+    cu.name = "SubUnit";
+    cu.layer = Layer::Sensor;
+    cu.inputPixelsPerCycle = {1, 1, 1};
+    cu.outputPixelsPerCycle = {1, 1, 1};
+    cu.energyPerCycle = 1e-12;
+    cu.numStages = 1;
+    d.addComputeUnit(ComputeUnit(cu));
+    d.setAdcOutput("Fifo");
+    d.connectMemoryToUnit("Fifo", "SubUnit");
+    d.connectMemoryToUnit("FrameBuf", "SubUnit");
+    d.setMipi(makeMipiCsi2());
+
+    d.mapping().map("Input", "PixelArray");
+    d.mapping().map("Prev", "FrameBuf"); // residency, prefilled
+    d.mapping().map("Sub", "SubUnit");
+
+    EnergyReport r = d.simulate();
+    EXPECT_GT(r.energyOf("FrameBuf"), 0.0);
+    EXPECT_GT(r.energyOf("SubUnit"), 0.0);
+}
+
+TEST(Design, NonInputStageOnMemoryRejected)
+{
+    Design d({.name = "bad", .fps = 30.0});
+    SwGraph &sw = d.sw();
+    StageId in = sw.addStage({.name = "Input", .op = StageOp::Input,
+                              .outputSize = {8, 8, 1}});
+    StageId th = sw.addStage({.name = "Th", .op = StageOp::Threshold,
+                              .inputSize = {8, 8, 1},
+                              .outputSize = {8, 8, 1}});
+    sw.connect(in, th);
+
+    AnalogArrayParams pa;
+    pa.name = "Pixel";
+    pa.numComponents = {8, 8, 1};
+    d.addAnalogArray(AnalogArray(pa, makeDps(8)), AnalogRole::Sensing);
+    d.addMemory(makeSramMemory("Mem", Layer::Sensor, MemoryKind::Fifo,
+                               64, 8, 65, 1.0));
+    d.setMipi(makeMipiCsi2());
+    d.mapping().map("Input", "Pixel");
+    d.mapping().map("Th", "Mem"); // compute on a memory: nonsense
+    EXPECT_THROW(d.simulate(), ConfigError);
+}
+
+TEST(Design, UnmappedLeadingAnalogArrayRejected)
+{
+    // An analog array that precedes any mapped stage has no defined
+    // workload: the volume rule cannot seed it.
+    Design d({.name = "leading", .fps = 30.0});
+    SwGraph &sw = d.sw();
+    sw.addStage({.name = "Input", .op = StageOp::Input,
+                 .outputSize = {8, 8, 1}});
+
+    AnalogArrayParams ua;
+    ua.name = "Unmapped";
+    ua.numComponents = {8, 1, 1};
+    d.addAnalogArray(AnalogArray(ua, makeColumnAdc()),
+                     AnalogRole::Adc);
+    AnalogArrayParams pa;
+    pa.name = "Pixel";
+    pa.numComponents = {8, 8, 1};
+    d.addAnalogArray(AnalogArray(pa, makeDps(8)),
+                     AnalogRole::Sensing);
+    d.setMipi(makeMipiCsi2());
+    d.mapping().map("Input", "Pixel");
+    EXPECT_THROW(d.simulate(), ConfigError);
+}
+
+TEST(Design, SystolicNeedsExactlyOneInputBuffer)
+{
+    Design d({.name = "sys2", .fps = 30.0, .digitalClock = 50e6});
+    SwGraph &sw = d.sw();
+    StageId in = sw.addStage({.name = "Input", .op = StageOp::Input,
+                              .outputSize = {16, 16, 1}});
+    StageId conv = sw.addStage({.name = "Conv", .op = StageOp::Conv2d,
+                                .inputSize = {16, 16, 1},
+                                .outputSize = {14, 14, 4},
+                                .kernel = {3, 3, 1},
+                                .stride = {1, 1, 1}});
+    sw.connect(in, conv);
+
+    AnalogArrayParams pa;
+    pa.name = "Pixel";
+    pa.numComponents = {16, 16, 1};
+    d.addAnalogArray(AnalogArray(pa, makeDps(8)),
+                     AnalogRole::Sensing);
+    d.addMemory(makeSramMemory("A", Layer::Sensor, MemoryKind::Fifo,
+                               512, 8, 65, 1.0));
+    d.addMemory(makeSramMemory("B", Layer::Sensor, MemoryKind::Fifo,
+                               512, 8, 65, 1.0));
+    SystolicArrayParams sp;
+    sp.name = "Sa";
+    sp.rows = 4;
+    sp.cols = 4;
+    sp.energyPerMac = 1e-12;
+    d.addSystolicArray(SystolicArray(sp));
+    d.setAdcOutput("A");
+    d.connectMemoryToUnit("A", "Sa");
+    d.connectMemoryToUnit("B", "Sa"); // second buffer: rejected
+    d.setMipi(makeMipiCsi2());
+    d.mapping().map("Input", "Pixel");
+    d.mapping().map("Conv", "Sa");
+    EXPECT_THROW(d.simulate(), ConfigError);
+}
+
+TEST(Design, ResidentInputDoesNotBecomeTheOutput)
+{
+    // A design whose last-added stage is a resident-data Input (the
+    // Rhythmic RegionState pattern): the pipeline output must still
+    // be the processing sink, not the resident input.
+    Design d = Fig5Builder{}.build();
+    d.sw().addStage({.name = "Resident", .op = StageOp::Input,
+                     .outputSize = {4, 4, 1}});
+    d.mapping().map("Resident", "LineBuffer");
+    EnergyReport r = d.simulate();
+    EXPECT_EQ(r.mipiBytes, 196); // the 14x14 edge map, unchanged
+}
+
+// -------------------------------------------------------------- stalls
+
+TEST(Design, UndersizedBufferStallsPipeline)
+{
+    // A high frame rate pushes the ADC rate above what the edge unit
+    // drains through a tiny line buffer: Sec. 4.1 stall -> fatal.
+    Fig5Builder b;
+    b.line_buffer_words = 4;
+    b.params.fps = 25000.0; // extreme, but digital still fits
+    Design d = b.build();
+    EXPECT_THROW(
+        {
+            try {
+                d.simulate();
+            } catch (const ConfigError &e) {
+                EXPECT_NE(std::string(e.what()).find("stall"),
+                          std::string::npos);
+                throw;
+            }
+        },
+        ConfigError);
+}
+
+} // namespace
+} // namespace camj

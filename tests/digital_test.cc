@@ -1,0 +1,310 @@
+/**
+ * @file
+ * Tests for src/digital's memory structures and compute units:
+ * Eq. 14-16 energy accounting, power gating, the generic pipelined
+ * accelerator cycle model, and the systolic-array mapping estimate.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/logging.h"
+#include "common/units.h"
+#include "digital/dcompute.h"
+#include "digital/dmemory.h"
+
+namespace camj
+{
+namespace
+{
+
+DigitalMemoryParams
+basicMemParams()
+{
+    DigitalMemoryParams p;
+    p.name = "m";
+    p.kind = MemoryKind::Fifo;
+    p.capacityWords = 1024;
+    p.wordBits = 8;
+    p.readEnergyPerWord = 1e-12;
+    p.writeEnergyPerWord = 2e-12;
+    p.leakagePower = 1e-6;
+    return p;
+}
+
+// --------------------------------------------------------------- memory
+
+TEST(DigitalMemory, Eq16EnergyAccounting)
+{
+    DigitalMemory mem(basicMemParams());
+    MemoryEnergy e = mem.energyPerFrame(100, 50, 33e-3);
+    EXPECT_NEAR(e.readPart, 100e-12, 1e-18);
+    EXPECT_NEAR(e.writePart, 100e-12, 1e-18);
+    EXPECT_NEAR(e.leakagePart, 1e-6 * 33e-3, 1e-12);
+    EXPECT_NEAR(e.total, e.readPart + e.writePart + e.leakagePart,
+                1e-18);
+}
+
+TEST(DigitalMemory, ActiveFractionGatesLeakage)
+{
+    DigitalMemoryParams p = basicMemParams();
+    p.activeFraction = 0.25;
+    DigitalMemory mem(p);
+    MemoryEnergy e = mem.energyPerFrame(0, 0, 1.0);
+    EXPECT_NEAR(e.leakagePart, 0.25e-6, 1e-12);
+}
+
+TEST(DigitalMemory, KindNames)
+{
+    EXPECT_STREQ(memoryKindName(MemoryKind::Fifo), "fifo");
+    EXPECT_STREQ(memoryKindName(MemoryKind::LineBuffer), "line-buffer");
+    EXPECT_STREQ(memoryKindName(MemoryKind::DoubleBuffer),
+                 "double-buffer");
+    EXPECT_STREQ(memoryKindName(MemoryKind::FrameBuffer),
+                 "frame-buffer");
+}
+
+TEST(DigitalMemory, RejectsBadParameters)
+{
+    DigitalMemoryParams p = basicMemParams();
+    p.capacityWords = 0;
+    EXPECT_THROW(DigitalMemory{p}, ConfigError);
+    p = basicMemParams();
+    p.activeFraction = 1.5;
+    EXPECT_THROW(DigitalMemory{p}, ConfigError);
+    p = basicMemParams();
+    p.readPorts = 0;
+    EXPECT_THROW(DigitalMemory{p}, ConfigError);
+    p = basicMemParams();
+    p.readEnergyPerWord = -1.0;
+    EXPECT_THROW(DigitalMemory{p}, ConfigError);
+    p = basicMemParams();
+    p.name.clear();
+    EXPECT_THROW(DigitalMemory{p}, ConfigError);
+}
+
+TEST(DigitalMemory, RejectsBadCounts)
+{
+    DigitalMemory mem(basicMemParams());
+    EXPECT_THROW(mem.energyPerFrame(-1, 0, 1.0), ConfigError);
+    EXPECT_THROW(mem.energyPerFrame(0, 0, 0.0), ConfigError);
+}
+
+TEST(DigitalMemory, SramBuilderDerivesFromModel)
+{
+    DigitalMemory mem = makeSramMemory("buf", Layer::Sensor,
+                                       MemoryKind::DoubleBuffer,
+                                       8192, 64, 65, 0.5);
+    EXPECT_GT(mem.readEnergyPerWord(), 0.0);
+    EXPECT_GT(mem.leakagePower(), 0.0);
+    EXPECT_GT(mem.area(), 0.0);
+    EXPECT_DOUBLE_EQ(mem.activeFraction(), 0.5);
+    // Double buffering separates producer/consumer port groups.
+    EXPECT_EQ(mem.readPorts(), 2);
+    EXPECT_EQ(mem.writePorts(), 2);
+}
+
+TEST(DigitalMemory, SttramBuilderLeaksLess)
+{
+    DigitalMemory sram = makeSramMemory("s", Layer::Compute,
+                                        MemoryKind::FrameBuffer,
+                                        65536, 8, 22, 1.0);
+    DigitalMemory stt = makeSttramMemory("t", Layer::Compute,
+                                         MemoryKind::FrameBuffer,
+                                         65536, 8, 22, 1.0);
+    EXPECT_LT(stt.leakagePower(), 0.1 * sram.leakagePower());
+    EXPECT_GT(stt.writeEnergyPerWord(), sram.writeEnergyPerWord());
+}
+
+// -------------------------------------------------------------- compute
+
+ComputeUnitParams
+basicUnitParams()
+{
+    ComputeUnitParams p;
+    p.name = "u";
+    p.inputPixelsPerCycle = {1, 3, 1};
+    p.outputPixelsPerCycle = {1, 1, 1};
+    p.energyPerCycle = 3e-12;
+    p.numStages = 2;
+    return p;
+}
+
+TEST(ComputeUnit, OutputRateBoundsCycles)
+{
+    ComputeUnit u(basicUnitParams());
+    EXPECT_EQ(u.activeCyclesForOutputs(196), 196);
+    EXPECT_EQ(u.cyclesForStage(196, 196 * 9), 196); // ops unconstrained
+}
+
+TEST(ComputeUnit, OpRateBindsWhenConfigured)
+{
+    ComputeUnitParams p = basicUnitParams();
+    p.opsPerCycle = 1; // single-MAC engine
+    ComputeUnit u(p);
+    // FC layer: 10 outputs but 46610 MACs -> op-bound.
+    EXPECT_EQ(u.cyclesForStage(10, 46610), 46610);
+    // Cheap stage: output-bound.
+    EXPECT_EQ(u.cyclesForStage(100, 50), 100);
+}
+
+TEST(ComputeUnit, WideOutputDividesCycles)
+{
+    ComputeUnitParams p = basicUnitParams();
+    p.outputPixelsPerCycle = {16, 1, 1};
+    ComputeUnit u(p);
+    EXPECT_EQ(u.activeCyclesForOutputs(921600), 57600);
+    EXPECT_EQ(u.activeCyclesForOutputs(921601), 57601); // ceil
+}
+
+TEST(ComputeUnit, Eq15Energy)
+{
+    ComputeUnit u(basicUnitParams());
+    EXPECT_NEAR(u.energyForCycles(1000), 3e-9, 1e-15);
+    EXPECT_DOUBLE_EQ(u.energyForCycles(0), 0.0);
+}
+
+TEST(ComputeUnit, RejectsBadParameters)
+{
+    ComputeUnitParams p = basicUnitParams();
+    p.numStages = 0;
+    EXPECT_THROW(ComputeUnit{p}, ConfigError);
+    p = basicUnitParams();
+    p.energyPerCycle = -1.0;
+    EXPECT_THROW(ComputeUnit{p}, ConfigError);
+    p = basicUnitParams();
+    p.inputPixelsPerCycle = {0, 1, 1};
+    EXPECT_THROW(ComputeUnit{p}, ConfigError);
+
+    ComputeUnit u(basicUnitParams());
+    EXPECT_THROW(u.activeCyclesForOutputs(-1), ConfigError);
+    EXPECT_THROW(u.energyForCycles(-1), ConfigError);
+}
+
+// ------------------------------------------------------------- systolic
+
+SystolicArrayParams
+basicSystolicParams()
+{
+    SystolicArrayParams p;
+    p.name = "sa";
+    p.rows = 16;
+    p.cols = 16;
+    p.energyPerMac = 0.3e-12;
+    p.peArea = 2600e-12;
+    return p;
+}
+
+Stage
+convStage()
+{
+    return Stage({.name = "conv", .op = StageOp::Conv2d,
+                  .inputSize = {32, 32, 8}, .outputSize = {30, 30, 16},
+                  .kernel = {3, 3, 8}, .stride = {1, 1, 1}});
+}
+
+TEST(SystolicArray, MapStageCountsMacs)
+{
+    SystolicArray sa(basicSystolicParams());
+    Stage s = convStage();
+    SystolicMapping m = sa.mapStage(s);
+    EXPECT_EQ(m.macs, s.opsPerFrame());
+    EXPECT_NEAR(m.energy, 0.3e-12 * static_cast<double>(m.macs),
+                1e-15);
+}
+
+TEST(SystolicArray, UtilizationIsAFraction)
+{
+    SystolicArray sa(basicSystolicParams());
+    SystolicMapping m = sa.mapStage(convStage());
+    EXPECT_GT(m.utilization, 0.0);
+    EXPECT_LE(m.utilization, 1.0);
+}
+
+TEST(SystolicArray, CyclesAtLeastIdeal)
+{
+    SystolicArray sa(basicSystolicParams());
+    SystolicMapping m = sa.mapStage(convStage());
+    int64_t ideal = m.macs / (16 * 16);
+    EXPECT_GE(m.cycles, ideal);
+}
+
+TEST(SystolicArray, BiggerArrayFewerCycles)
+{
+    SystolicArrayParams small = basicSystolicParams();
+    SystolicArrayParams big = basicSystolicParams();
+    big.rows = 32;
+    big.cols = 32;
+    Stage s = convStage();
+    EXPECT_LT(SystolicArray(big).mapStage(s).cycles,
+              SystolicArray(small).mapStage(s).cycles);
+}
+
+TEST(SystolicArray, FcLayerMaps)
+{
+    SystolicArray sa(basicSystolicParams());
+    Stage fc({.name = "fc", .op = StageOp::FullyConnected,
+              .inputSize = {16, 16, 1}, .outputSize = {10, 1, 1}});
+    SystolicMapping m = sa.mapStage(fc);
+    EXPECT_EQ(m.macs, 2560);
+    EXPECT_GT(m.cycles, 0);
+}
+
+TEST(SystolicArray, RejectsNonDnnStages)
+{
+    SystolicArray sa(basicSystolicParams());
+    Stage bin({.name = "bin", .op = StageOp::Binning,
+               .inputSize = {8, 8, 1}, .outputSize = {4, 4, 1},
+               .kernel = {2, 2, 1}, .stride = {2, 2, 1}});
+    EXPECT_THROW(sa.mapStage(bin), ConfigError);
+}
+
+TEST(SystolicArray, AreaIsPeCountTimesUnit)
+{
+    SystolicArray sa(basicSystolicParams());
+    EXPECT_NEAR(sa.area(), 256.0 * 2600e-12, 1e-15);
+}
+
+TEST(SystolicArray, RejectsBadParameters)
+{
+    SystolicArrayParams p = basicSystolicParams();
+    p.rows = 0;
+    EXPECT_THROW(SystolicArray{p}, ConfigError);
+    p = basicSystolicParams();
+    p.energyPerMac = -1.0;
+    EXPECT_THROW(SystolicArray{p}, ConfigError);
+    p = basicSystolicParams();
+    p.clock = 0.0;
+    EXPECT_THROW(SystolicArray{p}, ConfigError);
+}
+
+// Property sweep: mapping conservation — cycles x peak MACs/cycle
+// always covers the workload's MACs.
+class SystolicSweep
+    : public ::testing::TestWithParam<std::tuple<int, int64_t>>
+{
+};
+
+TEST_P(SystolicSweep, ThroughputCoversWorkload)
+{
+    auto [dim, channels] = GetParam();
+    SystolicArrayParams p = basicSystolicParams();
+    p.rows = dim;
+    p.cols = dim;
+    SystolicArray sa(p);
+
+    Stage s({.name = "conv", .op = StageOp::Conv2d,
+             .inputSize = {16, 16, 1},
+             .outputSize = {14, 14, channels},
+             .kernel = {3, 3, 1}, .stride = {1, 1, 1}});
+    SystolicMapping m = sa.mapStage(s);
+    EXPECT_GE(m.cycles * dim * dim, m.macs);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, SystolicSweep,
+    ::testing::Combine(::testing::Values(4, 8, 16, 48),
+                       ::testing::Values(int64_t{1}, int64_t{8},
+                                         int64_t{64})));
+
+} // namespace
+} // namespace camj

@@ -1,0 +1,450 @@
+/**
+ * @file
+ * Tests for src/functional: the instrumented image type and the
+ * executable stage semantics, including the property suite that
+ * proves the analytic access-count formulas (Eq. 3's inputs) against
+ * real executions.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/logging.h"
+#include "functional/executor.h"
+#include "functional/image.h"
+
+namespace camj
+{
+namespace
+{
+
+// ---------------------------------------------------------------- image
+
+TEST(Image, CountsReadsAndWrites)
+{
+    Image img({4, 4, 1});
+    img.set(0, 0, 0, 1.0f);
+    img.set(1, 0, 0, 2.0f);
+    (void)img.at(0, 0, 0);
+    EXPECT_EQ(img.writes(), 2);
+    EXPECT_EQ(img.reads(), 1);
+    img.resetCounters();
+    EXPECT_EQ(img.writes(), 0);
+    EXPECT_EQ(img.reads(), 0);
+}
+
+TEST(Image, PeekAndFillAreUncounted)
+{
+    Image img({4, 4, 1});
+    img.fill(7.0f);
+    EXPECT_EQ(img.peek(3, 3, 0), 7.0f);
+    EXPECT_EQ(img.reads(), 0);
+    EXPECT_EQ(img.writes(), 0);
+}
+
+TEST(Image, OutOfRangeAccessRejected)
+{
+    Image img({4, 4, 2});
+    EXPECT_THROW((void)img.at(4, 0, 0), ConfigError);
+    EXPECT_THROW((void)img.at(0, -1, 0), ConfigError);
+    EXPECT_THROW(img.set(0, 0, 2, 1.0f), ConfigError);
+}
+
+TEST(Image, PatternIsDeterministic)
+{
+    Image a({8, 8, 1}), b({8, 8, 1});
+    a.fillPattern(42);
+    b.fillPattern(42);
+    for (int y = 0; y < 8; ++y)
+        for (int x = 0; x < 8; ++x)
+            EXPECT_EQ(a.peek(x, y, 0), b.peek(x, y, 0));
+}
+
+TEST(Image, InvalidShapeRejected)
+{
+    EXPECT_THROW(Image({0, 4, 1}), ConfigError);
+}
+
+// ------------------------------------------------- value-level semantics
+
+std::map<StageId, Image>
+singleInput(const SwGraph &g, StageId id, float fill_value)
+{
+    std::map<StageId, Image> inputs;
+    Image img(g.stage(id).outputSize());
+    img.fill(fill_value);
+    inputs.emplace(id, std::move(img));
+    return inputs;
+}
+
+TEST(Executor, BinningOfConstantIsConstant)
+{
+    SwGraph g;
+    StageId in = g.addStage({.name = "in", .op = StageOp::Input,
+                             .outputSize = {8, 8, 1}});
+    StageId bin = g.addStage({.name = "bin", .op = StageOp::Binning,
+                              .inputSize = {8, 8, 1},
+                              .outputSize = {4, 4, 1},
+                              .kernel = {2, 2, 1},
+                              .stride = {2, 2, 1}});
+    g.connect(in, bin);
+
+    Executor ex(g);
+    ex.run(singleInput(g, in, 42.0f));
+    for (int y = 0; y < 4; ++y)
+        for (int x = 0; x < 4; ++x)
+            EXPECT_FLOAT_EQ(ex.output(bin).peek(x, y, 0), 42.0f);
+}
+
+TEST(Executor, MaxPoolFindsMaximum)
+{
+    SwGraph g;
+    StageId in = g.addStage({.name = "in", .op = StageOp::Input,
+                             .outputSize = {4, 4, 1}});
+    StageId pool = g.addStage({.name = "pool", .op = StageOp::MaxPool,
+                               .inputSize = {4, 4, 1},
+                               .outputSize = {2, 2, 1},
+                               .kernel = {2, 2, 1},
+                               .stride = {2, 2, 1}});
+    g.connect(in, pool);
+
+    std::map<StageId, Image> inputs;
+    Image img({4, 4, 1});
+    img.fill(1.0f);
+    img.set(1, 1, 0, 9.0f);  // top-left tile
+    img.set(3, 2, 0, -5.0f); // smaller than fill, ignored
+    img.resetCounters();
+    inputs.emplace(in, std::move(img));
+
+    Executor ex(g);
+    ex.run(inputs);
+    EXPECT_FLOAT_EQ(ex.output(pool).peek(0, 0, 0), 9.0f);
+    EXPECT_FLOAT_EQ(ex.output(pool).peek(1, 1, 0), 1.0f);
+}
+
+TEST(Executor, SubtractionOfIdenticalFramesIsZero)
+{
+    SwGraph g;
+    StageId a = g.addStage({.name = "a", .op = StageOp::Input,
+                            .outputSize = {6, 6, 1}});
+    StageId b = g.addStage({.name = "b", .op = StageOp::Input,
+                            .outputSize = {6, 6, 1}});
+    StageId sub = g.addStage({.name = "sub",
+                              .op = StageOp::ElementwiseSub,
+                              .inputSize = {6, 6, 1},
+                              .outputSize = {6, 6, 1}});
+    g.connect(a, sub);
+    g.connect(b, sub);
+
+    std::map<StageId, Image> inputs;
+    Image ia({6, 6, 1});
+    ia.fillPattern(7);
+    Image ib({6, 6, 1});
+    ib.fillPattern(7);
+    inputs.emplace(a, std::move(ia));
+    inputs.emplace(b, std::move(ib));
+
+    Executor ex(g);
+    ex.run(inputs);
+    for (int y = 0; y < 6; ++y)
+        for (int x = 0; x < 6; ++x)
+            EXPECT_FLOAT_EQ(ex.output(sub).peek(x, y, 0), 0.0f);
+}
+
+TEST(Executor, AbsDiffIsNonNegative)
+{
+    SwGraph g;
+    StageId a = g.addStage({.name = "a", .op = StageOp::Input,
+                            .outputSize = {5, 5, 1}});
+    StageId b = g.addStage({.name = "b", .op = StageOp::Input,
+                            .outputSize = {5, 5, 1}});
+    StageId d = g.addStage({.name = "d", .op = StageOp::AbsDiff,
+                            .inputSize = {5, 5, 1},
+                            .outputSize = {5, 5, 1}});
+    g.connect(a, d);
+    g.connect(b, d);
+
+    std::map<StageId, Image> inputs;
+    Image ia({5, 5, 1});
+    ia.fillPattern(1);
+    Image ib({5, 5, 1});
+    ib.fillPattern(2);
+    inputs.emplace(a, std::move(ia));
+    inputs.emplace(b, std::move(ib));
+
+    Executor ex(g);
+    ex.run(inputs);
+    for (int y = 0; y < 5; ++y)
+        for (int x = 0; x < 5; ++x)
+            EXPECT_GE(ex.output(d).peek(x, y, 0), 0.0f);
+}
+
+TEST(Executor, ThresholdBinarizes)
+{
+    SwGraph g;
+    StageId in = g.addStage({.name = "in", .op = StageOp::Input,
+                             .outputSize = {4, 1, 1}});
+    StageId th = g.addStage({.name = "th", .op = StageOp::Threshold,
+                             .inputSize = {4, 1, 1},
+                             .outputSize = {4, 1, 1}});
+    g.connect(in, th);
+
+    std::map<StageId, Image> inputs;
+    Image img({4, 1, 1});
+    img.set(0, 0, 0, 10.0f);
+    img.set(1, 0, 0, 200.0f);
+    img.set(2, 0, 0, 128.0f);
+    img.set(3, 0, 0, 129.0f);
+    img.resetCounters();
+    inputs.emplace(in, std::move(img));
+
+    Executor ex(g);
+    ex.run(inputs);
+    EXPECT_FLOAT_EQ(ex.output(th).peek(0, 0, 0), 0.0f);
+    EXPECT_FLOAT_EQ(ex.output(th).peek(1, 0, 0), 1.0f);
+    EXPECT_FLOAT_EQ(ex.output(th).peek(2, 0, 0), 0.0f);
+    EXPECT_FLOAT_EQ(ex.output(th).peek(3, 0, 0), 1.0f);
+}
+
+TEST(Executor, IdentityPreservesValues)
+{
+    SwGraph g;
+    StageId in = g.addStage({.name = "in", .op = StageOp::Input,
+                             .outputSize = {3, 3, 1}});
+    StageId id = g.addStage({.name = "id", .op = StageOp::Identity,
+                             .inputSize = {3, 3, 1},
+                             .outputSize = {3, 3, 1}});
+    g.connect(in, id);
+
+    std::map<StageId, Image> inputs;
+    Image img({3, 3, 1});
+    img.fillPattern(99);
+    Image copy({3, 3, 1});
+    copy.fillPattern(99);
+    inputs.emplace(in, std::move(img));
+
+    Executor ex(g);
+    ex.run(inputs);
+    for (int y = 0; y < 3; ++y)
+        for (int x = 0; x < 3; ++x)
+            EXPECT_FLOAT_EQ(ex.output(id).peek(x, y, 0),
+                            copy.peek(x, y, 0));
+    EXPECT_EQ(ex.stats(id).ops, 0); // pure movement
+}
+
+TEST(Executor, ConvIsDeterministicAcrossRuns)
+{
+    SwGraph g;
+    StageId in = g.addStage({.name = "in", .op = StageOp::Input,
+                             .outputSize = {8, 8, 1}});
+    StageId conv = g.addStage({.name = "conv", .op = StageOp::Conv2d,
+                               .inputSize = {8, 8, 1},
+                               .outputSize = {6, 6, 2},
+                               .kernel = {3, 3, 1},
+                               .stride = {1, 1, 1}});
+    g.connect(in, conv);
+
+    Executor ex1(g), ex2(g);
+    ex1.run(singleInput(g, in, 3.0f));
+    ex2.run(singleInput(g, in, 3.0f));
+    for (int c = 0; c < 2; ++c)
+        for (int y = 0; y < 6; ++y)
+            for (int x = 0; x < 6; ++x)
+                EXPECT_FLOAT_EQ(ex1.output(conv).peek(x, y, c),
+                                ex2.output(conv).peek(x, y, c));
+}
+
+TEST(Executor, MissingInputRejected)
+{
+    SwGraph g;
+    g.addStage({.name = "in", .op = StageOp::Input,
+                .outputSize = {4, 4, 1}});
+    Executor ex(g);
+    EXPECT_THROW(ex.run({}), ConfigError);
+}
+
+TEST(Executor, WrongInputShapeRejected)
+{
+    SwGraph g;
+    StageId in = g.addStage({.name = "in", .op = StageOp::Input,
+                             .outputSize = {4, 4, 1}});
+    Executor ex(g);
+    std::map<StageId, Image> inputs;
+    inputs.emplace(in, Image({5, 5, 1}));
+    EXPECT_THROW(ex.run(inputs), ConfigError);
+}
+
+TEST(Executor, QueriesBeforeRunRejected)
+{
+    SwGraph g;
+    g.addStage({.name = "in", .op = StageOp::Input,
+                .outputSize = {4, 4, 1}});
+    Executor ex(g);
+    EXPECT_THROW((void)ex.output(0), ConfigError);
+    EXPECT_THROW((void)ex.stats(0), ConfigError);
+}
+
+// ----------------------- access-count cross-validation property suite
+
+struct CountCase
+{
+    StageOp op;
+    Shape in, out, kernel, stride;
+};
+
+class AccessCountProperty : public ::testing::TestWithParam<CountCase>
+{
+};
+
+TEST_P(AccessCountProperty, ExecutorMatchesAnalytics)
+{
+    const CountCase &c = GetParam();
+
+    SwGraph g;
+    StageId in = g.addStage({.name = "in", .op = StageOp::Input,
+                             .outputSize = c.in});
+    StageId s = g.addStage({.name = "s", .op = c.op,
+                            .inputSize = c.in, .outputSize = c.out,
+                            .kernel = c.kernel, .stride = c.stride});
+    g.connect(in, s);
+
+    Executor ex(g);
+    std::map<StageId, Image> inputs;
+    Image img(c.in);
+    img.fillPattern(5);
+    inputs.emplace(in, std::move(img));
+    ex.run(inputs);
+
+    const Stage &stage = g.stage(s);
+    const StageExecStats &st = ex.stats(s);
+    EXPECT_EQ(st.reads, stage.inputReadsPerFrame());
+    EXPECT_EQ(st.writes, stage.outputsPerFrame());
+    EXPECT_EQ(st.ops, stage.opsPerFrame());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Stencils, AccessCountProperty,
+    ::testing::Values(
+        CountCase{StageOp::Binning, {32, 32, 1}, {16, 16, 1},
+                  {2, 2, 1}, {2, 2, 1}},
+        CountCase{StageOp::Binning, {33, 17, 1}, {11, 8, 1},
+                  {3, 3, 1}, {3, 2, 1}},
+        CountCase{StageOp::AvgPool, {12, 12, 3}, {6, 6, 3},
+                  {2, 2, 1}, {2, 2, 1}},
+        CountCase{StageOp::MaxPool, {10, 8, 2}, {5, 4, 2},
+                  {2, 2, 1}, {2, 2, 1}},
+        CountCase{StageOp::DepthwiseConv2d, {16, 16, 4}, {14, 14, 4},
+                  {3, 3, 1}, {1, 1, 1}},
+        CountCase{StageOp::Conv2d, {16, 16, 1}, {14, 14, 8},
+                  {3, 3, 1}, {1, 1, 1}},
+        CountCase{StageOp::Conv2d, {20, 12, 3}, {9, 5, 4},
+                  {4, 4, 3}, {2, 2, 1}},
+        CountCase{StageOp::Conv2d, {9, 9, 2}, {4, 4, 5},
+                  {3, 3, 2}, {2, 2, 1}}));
+
+INSTANTIATE_TEST_SUITE_P(
+    Pointwise, AccessCountProperty,
+    ::testing::Values(
+        CountCase{StageOp::Threshold, {17, 9, 1}, {17, 9, 1},
+                  {1, 1, 1}, {1, 1, 1}},
+        CountCase{StageOp::Scale, {8, 8, 2}, {8, 8, 2},
+                  {1, 1, 1}, {1, 1, 1}},
+        CountCase{StageOp::LogResponse, {31, 7, 1}, {31, 7, 1},
+                  {1, 1, 1}, {1, 1, 1}},
+        CountCase{StageOp::Absolute, {5, 5, 5}, {5, 5, 5},
+                  {1, 1, 1}, {1, 1, 1}},
+        CountCase{StageOp::Identity, {13, 13, 1}, {13, 13, 1},
+                  {1, 1, 1}, {1, 1, 1}},
+        CountCase{StageOp::CompareSample, {24, 18, 1}, {24, 18, 1},
+                  {1, 1, 1}, {1, 1, 1}}));
+
+TEST(AccessCountTwoInput, SubtractMatchesAnalytics)
+{
+    SwGraph g;
+    StageId a = g.addStage({.name = "a", .op = StageOp::Input,
+                            .outputSize = {20, 10, 1}});
+    StageId b = g.addStage({.name = "b", .op = StageOp::Input,
+                            .outputSize = {20, 10, 1}});
+    StageId sub = g.addStage({.name = "sub",
+                              .op = StageOp::ElementwiseSub,
+                              .inputSize = {20, 10, 1},
+                              .outputSize = {20, 10, 1}});
+    g.connect(a, sub);
+    g.connect(b, sub);
+
+    Executor ex(g);
+    std::map<StageId, Image> inputs;
+    Image ia({20, 10, 1}), ib({20, 10, 1});
+    ia.fillPattern(1);
+    ib.fillPattern(2);
+    inputs.emplace(a, std::move(ia));
+    inputs.emplace(b, std::move(ib));
+    ex.run(inputs);
+
+    const Stage &stage = g.stage(sub);
+    EXPECT_EQ(ex.stats(sub).reads, stage.inputReadsPerFrame());
+    EXPECT_EQ(ex.stats(sub).writes, stage.outputsPerFrame());
+    EXPECT_EQ(ex.stats(sub).ops, stage.opsPerFrame());
+}
+
+TEST(AccessCountFc, FullyConnectedMatchesAnalytics)
+{
+    SwGraph g;
+    StageId in = g.addStage({.name = "in", .op = StageOp::Input,
+                             .outputSize = {8, 8, 1}});
+    StageId fc = g.addStage({.name = "fc",
+                             .op = StageOp::FullyConnected,
+                             .inputSize = {8, 8, 1},
+                             .outputSize = {10, 1, 1}});
+    g.connect(in, fc);
+
+    Executor ex(g);
+    std::map<StageId, Image> inputs;
+    Image img({8, 8, 1});
+    img.fillPattern(3);
+    inputs.emplace(in, std::move(img));
+    ex.run(inputs);
+
+    const Stage &stage = g.stage(fc);
+    EXPECT_EQ(ex.stats(fc).reads, stage.inputReadsPerFrame());
+    EXPECT_EQ(ex.stats(fc).writes, stage.outputsPerFrame());
+    EXPECT_EQ(ex.stats(fc).ops, stage.opsPerFrame());
+}
+
+TEST(ExecutorPipeline, FullFig5PipelineEndToEnd)
+{
+    // Input -> binning -> edge detection, checking counts at every
+    // stage of a multi-stage DAG in one run.
+    SwGraph g;
+    StageId in = g.addStage({.name = "in", .op = StageOp::Input,
+                             .outputSize = {32, 32, 1}});
+    StageId bin = g.addStage({.name = "bin", .op = StageOp::Binning,
+                              .inputSize = {32, 32, 1},
+                              .outputSize = {16, 16, 1},
+                              .kernel = {2, 2, 1},
+                              .stride = {2, 2, 1}});
+    StageId edge = g.addStage({.name = "edge",
+                               .op = StageOp::DepthwiseConv2d,
+                               .inputSize = {16, 16, 1},
+                               .outputSize = {14, 14, 1},
+                               .kernel = {3, 3, 1},
+                               .stride = {1, 1, 1}});
+    g.connect(in, bin);
+    g.connect(bin, edge);
+
+    Executor ex(g);
+    std::map<StageId, Image> inputs;
+    Image img({32, 32, 1});
+    img.fillPattern(11);
+    inputs.emplace(in, std::move(img));
+    ex.run(inputs);
+
+    EXPECT_EQ(ex.stats(bin).reads, 1024);
+    EXPECT_EQ(ex.stats(bin).writes, 256);
+    EXPECT_EQ(ex.stats(edge).reads, 14 * 14 * 9);
+    EXPECT_EQ(ex.stats(edge).writes, 196);
+}
+
+} // namespace
+} // namespace camj

@@ -1,0 +1,206 @@
+/**
+ * @file
+ * Unit tests for src/memmodel: the analytical SRAM, STT-RAM and
+ * register-file models that substitute for DESTINY / NVMExplorer /
+ * CACTI (DESIGN.md Sec. 3).
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/logging.h"
+#include "memmodel/regfile.h"
+#include "memmodel/sram.h"
+#include "memmodel/sttram.h"
+
+namespace camj
+{
+namespace
+{
+
+constexpr int64_t kb = 1024;
+
+// ----------------------------------------------------------------- sram
+
+TEST(Sram, EchoesGeometry)
+{
+    MemoryCharacteristics mc = sramModel(64 * kb, 64, 65);
+    EXPECT_EQ(mc.capacityBytes, 64 * kb);
+    EXPECT_EQ(mc.wordBits, 64);
+}
+
+TEST(Sram, PerAccessEnergyIsRealistic)
+{
+    // A 64 KB array at 65 nm should cost on the order of 10 pJ per
+    // 64-bit word (CACTI/DESTINY class), not femtojoules or nanojoules.
+    MemoryCharacteristics mc = sramModel(64 * kb, 64, 65);
+    EXPECT_GT(mc.readEnergyPerWord, 1e-12);
+    EXPECT_LT(mc.readEnergyPerWord, 100e-12);
+}
+
+TEST(Sram, WriteCostsMoreThanRead)
+{
+    MemoryCharacteristics mc = sramModel(16 * kb, 32, 65);
+    EXPECT_GT(mc.writeEnergyPerWord, mc.readEnergyPerWord);
+}
+
+TEST(Sram, AccessEnergyGrowsWithCapacity)
+{
+    Energy small = sramModel(2 * kb, 64, 65).readEnergyPerWord;
+    Energy big = sramModel(8 * kb * kb, 64, 65).readEnergyPerWord;
+    EXPECT_GT(big, small);
+}
+
+TEST(Sram, AccessEnergyGrowsWithWordWidth)
+{
+    Energy narrow = sramModel(64 * kb, 16, 65).readEnergyPerWord;
+    Energy wide = sramModel(64 * kb, 128, 65).readEnergyPerWord;
+    EXPECT_NEAR(wide / narrow, 8.0, 1e-9);
+}
+
+TEST(Sram, LeakageProportionalToBits)
+{
+    Power leak1 = sramModel(32 * kb, 32, 65).leakagePower;
+    Power leak2 = sramModel(64 * kb, 32, 65).leakagePower;
+    EXPECT_NEAR(leak2 / leak1, 2.0, 1e-9);
+}
+
+TEST(Sram, LeakagePeaksAt65nm)
+{
+    Power l130 = sramModel(64 * kb, 64, 130).leakagePower;
+    Power l65 = sramModel(64 * kb, 64, 65).leakagePower;
+    Power l22 = sramModel(64 * kb, 64, 22).leakagePower;
+    EXPECT_GT(l65, l130);
+    EXPECT_GT(l65, l22);
+}
+
+TEST(Sram, EnergyAndAreaScaleWithNode)
+{
+    MemoryCharacteristics old_node = sramModel(64 * kb, 64, 130);
+    MemoryCharacteristics new_node = sramModel(64 * kb, 64, 22);
+    EXPECT_GT(old_node.readEnergyPerWord, new_node.readEnergyPerWord);
+    EXPECT_GT(old_node.area, new_node.area);
+}
+
+TEST(Sram, SixtyFourKilobyteAreaIsSubMillimeter)
+{
+    // 512 Kb of 6T cells at 65 nm: a few tenths of a mm^2.
+    Area a = sramModel(64 * kb, 64, 65).area;
+    EXPECT_GT(a, 0.1e-6);
+    EXPECT_LT(a, 1.0e-6);
+}
+
+TEST(Sram, RejectsBadArguments)
+{
+    EXPECT_THROW(sramModel(0, 64, 65), ConfigError);
+    EXPECT_THROW(sramModel(-1, 64, 65), ConfigError);
+    EXPECT_THROW(sramModel(1024, 0, 65), ConfigError);
+    EXPECT_THROW(sramModel(1024, 2048, 65), ConfigError);
+    EXPECT_THROW(sramModel(1024, 64, 1), ConfigError);
+    EXPECT_THROW(sramModel(4, 64, 65), ConfigError); // word > array
+}
+
+// --------------------------------------------------------------- sttram
+
+TEST(Sttram, RejectsBelowFourKilobytes)
+{
+    // Mirrors the paper's missing Rhythmic STT-RAM column: the 2 KB
+    // buffer is below NVMExplorer's supported range.
+    EXPECT_THROW(sttramModel(2 * kb, 64, 22), ConfigError);
+    EXPECT_NO_THROW(sttramModel(4 * kb, 64, 22));
+}
+
+TEST(Sttram, WriteFarExceedsRead)
+{
+    MemoryCharacteristics mc = sttramModel(64 * kb, 64, 22);
+    EXPECT_GT(mc.writeEnergyPerWord, 5.0 * mc.readEnergyPerWord);
+}
+
+TEST(Sttram, NearZeroLeakageVersusSram)
+{
+    MemoryCharacteristics stt = sttramModel(64 * kb, 64, 22);
+    MemoryCharacteristics sram = sramModel(64 * kb, 64, 22);
+    EXPECT_LT(stt.leakagePower, 0.1 * sram.leakagePower);
+}
+
+TEST(Sttram, DenserThanSramAtSameNode)
+{
+    MemoryCharacteristics stt = sttramModel(64 * kb, 64, 22);
+    MemoryCharacteristics sram = sramModel(64 * kb, 64, 22);
+    EXPECT_LT(stt.area, sram.area);
+}
+
+TEST(Sttram, WriteEnergyScalesWeaklyWithNode)
+{
+    // MTJ write current barely improves with logic scaling; the ratio
+    // between 65 and 22 nm writes should be far from the ~4x logic
+    // energy ratio.
+    Energy w65 = sttramModel(64 * kb, 64, 65).writeEnergyPerWord;
+    Energy w22 = sttramModel(64 * kb, 64, 22).writeEnergyPerWord;
+    EXPECT_GT(w22, 0.5 * w65);
+    EXPECT_LT(w22, w65);
+}
+
+TEST(Sttram, RejectsBadWordWidth)
+{
+    EXPECT_THROW(sttramModel(64 * kb, 0, 22), ConfigError);
+    EXPECT_THROW(sttramModel(64 * kb, 4096, 22), ConfigError);
+}
+
+// -------------------------------------------------------------- regfile
+
+TEST(Regfile, SmallAndCapacityBounded)
+{
+    EXPECT_NO_THROW(regfileModel(256, 16, 65));
+    EXPECT_THROW(regfileModel(8192, 16, 65), ConfigError);
+    EXPECT_THROW(regfileModel(0, 16, 65), ConfigError);
+}
+
+TEST(Regfile, AccessEnergyIndependentOfCapacity)
+{
+    Energy small = regfileModel(64, 16, 65).readEnergyPerWord;
+    Energy large = regfileModel(2048, 16, 65).readEnergyPerWord;
+    EXPECT_DOUBLE_EQ(small, large); // no long bitlines in flops
+}
+
+TEST(Regfile, CellsAreLargerAndLeakierThanSram)
+{
+    MemoryCharacteristics rf = regfileModel(1024, 16, 65);
+    MemoryCharacteristics sr = sramModel(1024, 16, 65);
+    EXPECT_GT(rf.area, sr.area);
+    EXPECT_GT(rf.leakagePower, sr.leakagePower);
+}
+
+// Property sweep: monotonicity of the SRAM model across capacity and
+// node grids.
+class SramSweep
+    : public ::testing::TestWithParam<std::tuple<int64_t, int>>
+{
+};
+
+TEST_P(SramSweep, AllOutputsPositiveAndFinite)
+{
+    auto [capacity, nm] = GetParam();
+    MemoryCharacteristics mc = sramModel(capacity, 64, nm);
+    EXPECT_GT(mc.readEnergyPerWord, 0.0);
+    EXPECT_GT(mc.writeEnergyPerWord, 0.0);
+    EXPECT_GT(mc.leakagePower, 0.0);
+    EXPECT_GT(mc.area, 0.0);
+}
+
+TEST_P(SramSweep, DoublingCapacityRaisesEnergyAtMostModestly)
+{
+    auto [capacity, nm] = GetParam();
+    Energy e1 = sramModel(capacity, 64, nm).readEnergyPerWord;
+    Energy e2 = sramModel(capacity * 2, 64, nm).readEnergyPerWord;
+    EXPECT_GT(e2, e1);
+    EXPECT_LT(e2, 2.0 * e1); // sublinear: sqrt-driven wire growth
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, SramSweep,
+    ::testing::Combine(::testing::Values(int64_t{2} * kb, 64 * kb,
+                                         512 * kb, 8 * kb * kb),
+                       ::testing::Values(180, 130, 65, 28, 22)));
+
+} // namespace
+} // namespace camj

@@ -1,0 +1,181 @@
+/**
+ * @file
+ * Tests for the noise extension (the Sec. 6.2 future-work item):
+ * thermal model, noise components, and the power-density -> SNR
+ * penalty chain.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/logging.h"
+#include "noise/noise.h"
+
+namespace camj
+{
+namespace
+{
+
+TEST(Thermal, AmbientAtZeroPower)
+{
+    EXPECT_DOUBLE_EQ(dieTemperature(0.0), 300.0);
+}
+
+TEST(Thermal, TemperatureRisesLinearly)
+{
+    double t1 = dieTemperature(1000.0); // 1000 W/m^2 ~ 1 mW/mm^2
+    double t2 = dieTemperature(2000.0);
+    EXPECT_GT(t1, 300.0);
+    EXPECT_NEAR(t2 - 300.0, 2.0 * (t1 - 300.0), 1e-9);
+}
+
+TEST(Thermal, RejectsNegativePower)
+{
+    EXPECT_THROW(dieTemperature(-1.0), ConfigError);
+}
+
+TEST(Noise, ShotNoiseIsSqrtSignal)
+{
+    NoiseModel m;
+    EXPECT_DOUBLE_EQ(m.shotNoise(10000.0), 100.0);
+    EXPECT_DOUBLE_EQ(m.shotNoise(0.0), 0.0);
+    EXPECT_THROW(m.shotNoise(-1.0), ConfigError);
+}
+
+TEST(Noise, DarkCurrentDoublesPer8K)
+{
+    NoiseModel m;
+    double base = m.darkElectrons(10e-3, 300.0);
+    double hot = m.darkElectrons(10e-3, 308.0);
+    EXPECT_NEAR(hot / base, 2.0, 1e-9);
+}
+
+TEST(Noise, DarkCurrentScalesWithExposure)
+{
+    NoiseModel m;
+    EXPECT_NEAR(m.darkElectrons(20e-3, 300.0),
+                2.0 * m.darkElectrons(10e-3, 300.0), 1e-9);
+}
+
+TEST(Noise, CdsCancelsResetNoise)
+{
+    NoiseParams with_cds;
+    with_cds.cdsCancelsReset = true;
+    NoiseParams without = with_cds;
+    without.cdsCancelsReset = false;
+    EXPECT_DOUBLE_EQ(NoiseModel(with_cds).resetNoise(300.0), 0.0);
+    EXPECT_GT(NoiseModel(without).resetNoise(300.0), 0.0);
+}
+
+TEST(Noise, ResetNoiseGrowsWithTemperature)
+{
+    NoiseParams p;
+    p.cdsCancelsReset = false;
+    NoiseModel m(p);
+    EXPECT_GT(m.resetNoise(350.0), m.resetNoise(300.0));
+}
+
+TEST(Noise, TotalNoiseIsRss)
+{
+    NoiseModel m;
+    double signal = 5000.0;
+    double total = m.totalNoise(signal, 10e-3, 300.0);
+    double shot = m.shotNoise(signal);
+    // Total must be at least the largest component and no more than
+    // the sum.
+    EXPECT_GE(total, shot);
+    EXPECT_LE(total, shot + std::sqrt(m.darkElectrons(10e-3, 300.0)) +
+                         m.params().readNoiseElectrons);
+}
+
+TEST(Noise, SnrIncreasesWithSignal)
+{
+    NoiseModel m;
+    EXPECT_GT(m.snrDb(8000.0, 10e-3, 300.0),
+              m.snrDb(1000.0, 10e-3, 300.0));
+}
+
+TEST(Noise, SnrDegradesWithTemperature)
+{
+    NoiseModel m;
+    EXPECT_GT(m.snrDb(5000.0, 10e-3, 300.0),
+              m.snrDb(5000.0, 10e-3, 360.0));
+}
+
+TEST(Noise, HalfWellSnrIsTensOfDb)
+{
+    // Sanity: a healthy CIS sits in the mid-30s dB at half well.
+    NoiseModel m;
+    double snr = m.snrDb(5000.0, 10e-3, 300.0);
+    EXPECT_GT(snr, 25.0);
+    EXPECT_LT(snr, 45.0);
+}
+
+TEST(Noise, PenaltyZeroAtZeroDensity)
+{
+    NoiseModel m;
+    EXPECT_NEAR(m.snrPenaltyDb(0.0, 10e-3), 0.0, 1e-9);
+}
+
+TEST(Noise, PenaltyMonotonicInPowerDensity)
+{
+    // The Sec. 6.2 argument: higher power density -> hotter die ->
+    // more thermal noise -> lower SNR.
+    NoiseModel m;
+    double p1 = m.snrPenaltyDb(1e3, 10e-3);
+    double p2 = m.snrPenaltyDb(1e4, 10e-3);
+    double p3 = m.snrPenaltyDb(1e5, 10e-3);
+    EXPECT_GT(p1, 0.0);
+    EXPECT_GT(p2, p1);
+    EXPECT_GT(p3, p2);
+}
+
+TEST(Noise, SensorClassDensityPenaltyIsSmall)
+{
+    // Paper: CIS power densities (< ~1 mW/mm^2 = 1000 W/m^2) will not
+    // create thermal problems; the SNR penalty must be tiny.
+    NoiseModel m;
+    EXPECT_LT(m.snrPenaltyDb(1000.0, 10e-3), 0.5);
+}
+
+TEST(Noise, RejectsNonPhysicalParameters)
+{
+    NoiseParams p;
+    p.fullWellElectrons = 0.0;
+    EXPECT_THROW(NoiseModel{p}, ConfigError);
+    p = NoiseParams{};
+    p.darkDoublingK = 0.0;
+    EXPECT_THROW(NoiseModel{p}, ConfigError);
+    p = NoiseParams{};
+    p.senseNodeCap = 0.0;
+    EXPECT_THROW(NoiseModel{p}, ConfigError);
+
+    NoiseModel m;
+    EXPECT_THROW(m.snrDb(0.0, 10e-3, 300.0), ConfigError);
+    EXPECT_THROW(m.darkElectrons(-1.0, 300.0), ConfigError);
+    EXPECT_THROW(m.darkElectrons(1.0, -300.0), ConfigError);
+}
+
+// Property sweep: SNR is monotone in signal across temperatures.
+class SnrSweep : public ::testing::TestWithParam<double>
+{
+};
+
+TEST_P(SnrSweep, MonotoneInSignal)
+{
+    double temp = GetParam();
+    NoiseModel m;
+    double prev = -1e9;
+    for (double signal : {100.0, 500.0, 2000.0, 9000.0}) {
+        double snr = m.snrDb(signal, 10e-3, temp);
+        EXPECT_GT(snr, prev);
+        prev = snr;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, SnrSweep,
+                         ::testing::Values(280.0, 300.0, 330.0, 380.0));
+
+} // namespace
+} // namespace camj

@@ -1,0 +1,157 @@
+/**
+ * @file
+ * Tests for the survey dataset behind Fig. 1 and Fig. 3: aggregate
+ * trends, regressions, and the IRDS roadmap.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/logging.h"
+#include "survey/dataset.h"
+
+namespace camj
+{
+namespace
+{
+
+TEST(Survey, CoversAllYears)
+{
+    auto shares = sharesByYear();
+    ASSERT_EQ(shares.size(), 23u); // 2000..2022
+    EXPECT_EQ(shares.front().year, 2000);
+    EXPECT_EQ(shares.back().year, 2022);
+    for (const auto &ys : shares)
+        EXPECT_GE(ys.total, 4);
+}
+
+TEST(Survey, DatasetIsDeterministic)
+{
+    const auto &a = cisSurvey();
+    const auto &b = cisSurvey();
+    EXPECT_EQ(&a, &b);
+    EXPECT_GT(a.size(), 100u);
+}
+
+TEST(Survey, ComputationalShareRises)
+{
+    // Fig. 1's core message: increasingly more CIS designs are
+    // computational. Compare early vs late five-year windows.
+    auto shares = sharesByYear();
+    double early = 0.0, late = 0.0;
+    int early_total = 0, late_total = 0;
+    for (const auto &ys : shares) {
+        if (ys.year <= 2004) {
+            early += ys.computational;
+            early_total += ys.total;
+        }
+        if (ys.year >= 2018) {
+            late += ys.computational;
+            late_total += ys.total;
+        }
+    }
+    double early_pct = 100.0 * early / early_total;
+    double late_pct = 100.0 * late / late_total;
+    EXPECT_LT(early_pct, 20.0);
+    EXPECT_GT(late_pct, 30.0);
+    EXPECT_GT(late_pct, early_pct + 15.0);
+}
+
+TEST(Survey, StackedDesignsAppearAfter2012)
+{
+    for (const SurveyEntry &e : cisSurvey()) {
+        if (e.year < 2012) {
+            EXPECT_FALSE(e.stacked) << e.year;
+        }
+        if (e.stacked) {
+            EXPECT_TRUE(e.computational); // stacked implies processing
+        }
+    }
+    auto shares = sharesByYear();
+    int late_stacked = 0;
+    for (const auto &ys : shares) {
+        if (ys.year >= 2018)
+            late_stacked += ys.stackedComputational;
+    }
+    EXPECT_GT(late_stacked, 0);
+}
+
+TEST(Survey, PercentHelpersAreConsistent)
+{
+    for (const auto &ys : sharesByYear()) {
+        EXPECT_GE(ys.computationalPct(), ys.stackedPct());
+        EXPECT_LE(ys.computationalPct(), 100.0);
+    }
+}
+
+TEST(Survey, CisNodeScalesSlowly)
+{
+    // Fig. 3: the CIS node trend has a gentle negative slope in
+    // log2(nm) per year — clearly scaling, but far slower than CMOS.
+    LinearFit node = cisNodeTrend();
+    EXPECT_LT(node.slope, -0.02);
+    EXPECT_GT(node.slope, -0.25);
+}
+
+TEST(Survey, PixelPitchTracksNodeScaling)
+{
+    // "The slope of CIS process node scaling almost follows exactly
+    // that of the pixel size scaling."
+    LinearFit node = cisNodeTrend();
+    LinearFit pitch = pixelPitchTrend();
+    EXPECT_LT(pitch.slope, 0.0);
+    EXPECT_NEAR(pitch.slope / node.slope, 1.0, 0.5);
+}
+
+TEST(Survey, CisLagsIrdsCmos)
+{
+    // By 2022, CIS designs sit at ~65 nm-class nodes while the IRDS
+    // roadmap is at single-digit nanometers.
+    LinearFit node = cisNodeTrend();
+    double cis2022 = std::pow(2.0, node(2022.0));
+    double cmos2022 = irdsCmosNode(2022);
+    EXPECT_GT(cis2022 / cmos2022, 5.0);
+}
+
+TEST(Survey, GapWidensOverTime)
+{
+    LinearFit node = cisNodeTrend();
+    double gap2005 = std::pow(2.0, node(2005.0)) / irdsCmosNode(2005);
+    double gap2020 = std::pow(2.0, node(2020.0)) / irdsCmosNode(2020);
+    EXPECT_GT(gap2020, gap2005);
+}
+
+TEST(Survey, IrdsRoadmapAnchors)
+{
+    EXPECT_NEAR(irdsCmosNode(1999), 180.0, 1.0);
+    EXPECT_NEAR(irdsCmosNode(2006), 65.0, 1.0);
+    EXPECT_NEAR(irdsCmosNode(2012), 22.0, 1.0);
+    EXPECT_NEAR(irdsCmosNode(2023), 3.0, 0.5);
+    // Interpolated years are monotone.
+    for (int y = 2000; y < 2023; ++y)
+        EXPECT_GE(irdsCmosNode(y), irdsCmosNode(y + 1));
+}
+
+TEST(Survey, IrdsRejectsOutOfRange)
+{
+    EXPECT_THROW(irdsCmosNode(1980), ConfigError);
+    EXPECT_THROW(irdsCmosNode(2050), ConfigError);
+}
+
+TEST(Survey, NodesComeFromFoundryMenu)
+{
+    for (const SurveyEntry &e : cisSurvey()) {
+        bool on_menu = false;
+        for (int candidate : {350, 250, 180, 130, 110, 90, 65, 45}) {
+            if (e.processNm == candidate)
+                on_menu = true;
+        }
+        EXPECT_TRUE(on_menu) << e.processNm;
+        EXPECT_GT(e.pixelPitchUm, 0.3);
+        EXPECT_LT(e.pixelPitchUm, 20.0);
+    }
+}
+
+} // namespace
+} // namespace camj

@@ -1,0 +1,363 @@
+/**
+ * @file
+ * Unit tests for src/sw: stage construction/validation, the analytic
+ * op/access-count formulas, and the DAG checks of the pre-simulation
+ * phase.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/logging.h"
+#include "sw/graph.h"
+#include "sw/stage.h"
+
+namespace camj
+{
+namespace
+{
+
+// ---------------------------------------------------------------- stage
+
+TEST(Stage, OpMetadata)
+{
+    EXPECT_STREQ(stageOpName(StageOp::Conv2d), "Conv2d");
+    EXPECT_EQ(stageOpArity(StageOp::Input), 0);
+    EXPECT_EQ(stageOpArity(StageOp::Conv2d), 1);
+    EXPECT_EQ(stageOpArity(StageOp::ElementwiseSub), 2);
+    EXPECT_TRUE(stageOpIsStencil(StageOp::Binning));
+    EXPECT_FALSE(stageOpIsStencil(StageOp::Threshold));
+}
+
+TEST(Stage, InputStageProducesPixels)
+{
+    Stage s({.name = "in", .op = StageOp::Input,
+             .outputSize = {32, 32, 1}});
+    EXPECT_EQ(s.outputsPerFrame(), 1024);
+    EXPECT_EQ(s.opsPerFrame(), 0);
+    EXPECT_EQ(s.inputReadsPerFrame(), 0);
+    EXPECT_EQ(s.numInputs(), 0);
+}
+
+TEST(Stage, BinningFormulas)
+{
+    // The paper's Fig. 5: 32x32 -> 16x16 with a 2x2 kernel.
+    Stage s({.name = "bin", .op = StageOp::Binning,
+             .inputSize = {32, 32, 1}, .outputSize = {16, 16, 1},
+             .kernel = {2, 2, 1}, .stride = {2, 2, 1}});
+    EXPECT_EQ(s.outputsPerFrame(), 256);
+    EXPECT_EQ(s.opsPerOutput(), 4);
+    EXPECT_EQ(s.opsPerFrame(), 1024);
+    EXPECT_EQ(s.inputReadsPerFrame(), 1024);
+    EXPECT_EQ(s.uniqueInputsPerFrame(), 1024);
+}
+
+TEST(Stage, Conv2dFormulas)
+{
+    Stage s({.name = "conv", .op = StageOp::Conv2d,
+             .inputSize = {16, 16, 4}, .outputSize = {14, 14, 8},
+             .kernel = {3, 3, 4}, .stride = {1, 1, 1}});
+    EXPECT_EQ(s.opsPerOutput(), 36); // 3*3*4 MACs
+    EXPECT_EQ(s.opsPerFrame(), 14 * 14 * 8 * 36);
+    EXPECT_EQ(s.inputReadsPerFrame(), 14 * 14 * 8 * 36);
+    EXPECT_EQ(s.uniqueInputsPerFrame(), 16 * 16 * 4);
+}
+
+TEST(Stage, FullyConnectedFormulas)
+{
+    Stage s({.name = "fc", .op = StageOp::FullyConnected,
+             .inputSize = {8, 8, 1}, .outputSize = {10, 1, 1}});
+    EXPECT_EQ(s.opsPerOutput(), 64);
+    EXPECT_EQ(s.opsPerFrame(), 640);
+    EXPECT_EQ(s.inputReadsPerFrame(), 640);
+}
+
+TEST(Stage, TwoInputElementwiseFormulas)
+{
+    Stage s({.name = "sub", .op = StageOp::ElementwiseSub,
+             .inputSize = {20, 10, 1}, .outputSize = {20, 10, 1}});
+    EXPECT_EQ(s.numInputs(), 2);
+    EXPECT_EQ(s.opsPerFrame(), 200);
+    EXPECT_EQ(s.inputReadsPerFrame(), 400);
+    EXPECT_EQ(s.uniqueInputsPerFrame(), 400);
+}
+
+TEST(Stage, OpsOverrideWins)
+{
+    // Rhythmic's Compare & Sample: ~8 ops per pixel.
+    Stage s({.name = "cs", .op = StageOp::CompareSample,
+             .inputSize = {1280, 720, 1}, .outputSize = {1280, 720, 1},
+             .opsPerOutputOverride = 8});
+    EXPECT_EQ(s.opsPerFrame(), 8LL * 1280 * 720);
+}
+
+TEST(Stage, OutputBytesHonorBitDepth)
+{
+    Stage s({.name = "log", .op = StageOp::LogResponse,
+             .inputSize = {320, 240, 1}, .outputSize = {320, 240, 1},
+             .bitDepth = 3});
+    EXPECT_EQ(s.outputBytesPerFrame(), (320 * 240 * 3 + 7) / 8);
+}
+
+TEST(Stage, IdentityMovesWithoutOps)
+{
+    Stage s({.name = "id", .op = StageOp::Identity,
+             .inputSize = {8, 8, 1}, .outputSize = {8, 8, 1}});
+    EXPECT_EQ(s.opsPerFrame(), 0);
+    EXPECT_EQ(s.inputReadsPerFrame(), 64);
+}
+
+TEST(Stage, RejectsInconsistentStencilShape)
+{
+    EXPECT_THROW(Stage({.name = "bad", .op = StageOp::Binning,
+                        .inputSize = {32, 32, 1},
+                        .outputSize = {15, 16, 1},
+                        .kernel = {2, 2, 1}, .stride = {2, 2, 1}}),
+                 ConfigError);
+}
+
+TEST(Stage, RejectsConvKernelDepthMismatch)
+{
+    EXPECT_THROW(Stage({.name = "bad", .op = StageOp::Conv2d,
+                        .inputSize = {16, 16, 4},
+                        .outputSize = {14, 14, 8},
+                        .kernel = {3, 3, 2}, .stride = {1, 1, 1}}),
+                 ConfigError);
+}
+
+TEST(Stage, RejectsChannelChangeInPooling)
+{
+    EXPECT_THROW(Stage({.name = "bad", .op = StageOp::MaxPool,
+                        .inputSize = {16, 16, 4},
+                        .outputSize = {8, 8, 2},
+                        .kernel = {2, 2, 1}, .stride = {2, 2, 1}}),
+                 ConfigError);
+}
+
+TEST(Stage, RejectsShapeChangeInElementwise)
+{
+    EXPECT_THROW(Stage({.name = "bad", .op = StageOp::Absolute,
+                        .inputSize = {16, 16, 1},
+                        .outputSize = {8, 8, 1}}),
+                 ConfigError);
+}
+
+TEST(Stage, RejectsBadMetadata)
+{
+    EXPECT_THROW(Stage({.name = "", .op = StageOp::Input,
+                        .outputSize = {4, 4, 1}}),
+                 ConfigError);
+    EXPECT_THROW(Stage({.name = "x", .op = StageOp::Input,
+                        .outputSize = {0, 4, 1}}),
+                 ConfigError);
+    EXPECT_THROW(Stage({.name = "x", .op = StageOp::Input,
+                        .outputSize = {4, 4, 1}, .bitDepth = 0}),
+                 ConfigError);
+    EXPECT_THROW(Stage({.name = "x", .op = StageOp::Input,
+                        .outputSize = {4, 4, 1}, .bitDepth = 64}),
+                 ConfigError);
+}
+
+// ---------------------------------------------------------------- graph
+
+SwGraph
+makeLinearGraph()
+{
+    SwGraph g;
+    StageId in = g.addStage({.name = "in", .op = StageOp::Input,
+                             .outputSize = {32, 32, 1}});
+    StageId bin = g.addStage({.name = "bin", .op = StageOp::Binning,
+                              .inputSize = {32, 32, 1},
+                              .outputSize = {16, 16, 1},
+                              .kernel = {2, 2, 1},
+                              .stride = {2, 2, 1}});
+    StageId edge = g.addStage({.name = "edge",
+                               .op = StageOp::DepthwiseConv2d,
+                               .inputSize = {16, 16, 1},
+                               .outputSize = {14, 14, 1},
+                               .kernel = {3, 3, 1},
+                               .stride = {1, 1, 1}});
+    g.connect(in, bin);
+    g.connect(bin, edge);
+    return g;
+}
+
+TEST(SwGraph, LinearGraphValidates)
+{
+    SwGraph g = makeLinearGraph();
+    EXPECT_NO_THROW(g.validate());
+    EXPECT_EQ(g.size(), 3);
+    EXPECT_EQ(g.sinks().size(), 1u);
+    EXPECT_EQ(g.inputs().size(), 1u);
+}
+
+TEST(SwGraph, TopoOrderRespectsEdges)
+{
+    SwGraph g = makeLinearGraph();
+    auto order = g.topoOrder();
+    ASSERT_EQ(order.size(), 3u);
+    EXPECT_EQ(g.stage(order[0]).name(), "in");
+    EXPECT_EQ(g.stage(order[2]).name(), "edge");
+}
+
+TEST(SwGraph, FindStageByName)
+{
+    SwGraph g = makeLinearGraph();
+    EXPECT_EQ(g.stage(g.findStage("bin")).name(), "bin");
+    EXPECT_THROW(g.findStage("nope"), ConfigError);
+}
+
+TEST(SwGraph, RejectsDuplicateNames)
+{
+    SwGraph g;
+    g.addStage({.name = "x", .op = StageOp::Input,
+                .outputSize = {4, 4, 1}});
+    EXPECT_THROW(g.addStage({.name = "x", .op = StageOp::Input,
+                             .outputSize = {4, 4, 1}}),
+                 ConfigError);
+}
+
+TEST(SwGraph, RejectsSelfLoopAndDuplicateEdges)
+{
+    SwGraph g;
+    StageId a = g.addStage({.name = "a", .op = StageOp::Input,
+                            .outputSize = {4, 4, 1}});
+    StageId b = g.addStage({.name = "b", .op = StageOp::Absolute,
+                            .inputSize = {4, 4, 1},
+                            .outputSize = {4, 4, 1}});
+    EXPECT_THROW(g.connect(b, b), ConfigError);
+    g.connect(a, b);
+    EXPECT_THROW(g.connect(a, b), ConfigError);
+}
+
+TEST(SwGraph, RejectsArityOverflow)
+{
+    SwGraph g;
+    StageId a = g.addStage({.name = "a", .op = StageOp::Input,
+                            .outputSize = {4, 4, 1}});
+    StageId b = g.addStage({.name = "b", .op = StageOp::Input,
+                            .outputSize = {4, 4, 1}});
+    StageId c = g.addStage({.name = "c", .op = StageOp::Absolute,
+                            .inputSize = {4, 4, 1},
+                            .outputSize = {4, 4, 1}});
+    g.connect(a, c);
+    EXPECT_THROW(g.connect(b, c), ConfigError); // unary op, 2nd input
+}
+
+TEST(SwGraph, ValidateRejectsMissingInputs)
+{
+    SwGraph g;
+    g.addStage({.name = "a", .op = StageOp::Input,
+                .outputSize = {4, 4, 1}});
+    g.addStage({.name = "b", .op = StageOp::Absolute,
+                .inputSize = {4, 4, 1}, .outputSize = {4, 4, 1}});
+    EXPECT_THROW(g.validate(), ConfigError); // b has no producer
+}
+
+TEST(SwGraph, ValidateRejectsShapeMismatch)
+{
+    SwGraph g;
+    StageId a = g.addStage({.name = "a", .op = StageOp::Input,
+                            .outputSize = {8, 8, 1}});
+    StageId b = g.addStage({.name = "b", .op = StageOp::Absolute,
+                            .inputSize = {4, 4, 1},
+                            .outputSize = {4, 4, 1}});
+    g.connect(a, b);
+    EXPECT_THROW(g.validate(), ConfigError);
+}
+
+TEST(SwGraph, ValidateRejectsEmptyAndInputless)
+{
+    SwGraph empty;
+    EXPECT_THROW(empty.validate(), ConfigError);
+
+    SwGraph no_input;
+    no_input.addStage({.name = "a", .op = StageOp::Absolute,
+                       .inputSize = {4, 4, 1},
+                       .outputSize = {4, 4, 1}});
+    EXPECT_THROW(no_input.validate(), ConfigError);
+}
+
+TEST(SwGraph, TwoInputDiamondValidates)
+{
+    SwGraph g;
+    StageId in = g.addStage({.name = "in", .op = StageOp::Input,
+                             .outputSize = {8, 8, 1}});
+    StageId prev = g.addStage({.name = "prev", .op = StageOp::Input,
+                               .outputSize = {8, 8, 1}});
+    StageId sub = g.addStage({.name = "sub",
+                              .op = StageOp::ElementwiseSub,
+                              .inputSize = {8, 8, 1},
+                              .outputSize = {8, 8, 1}});
+    g.connect(in, sub);
+    g.connect(prev, sub);
+    EXPECT_NO_THROW(g.validate());
+    EXPECT_EQ(g.inputsOf(sub).size(), 2u);
+    EXPECT_EQ(g.inputsOf(sub)[0], in); // operand order preserved
+    EXPECT_EQ(g.inputsOf(sub)[1], prev);
+}
+
+TEST(SwGraph, CycleIsDetected)
+{
+    SwGraph g;
+    StageId a = g.addStage({.name = "a", .op = StageOp::Absolute,
+                            .inputSize = {4, 4, 1},
+                            .outputSize = {4, 4, 1}});
+    StageId b = g.addStage({.name = "b", .op = StageOp::Absolute,
+                            .inputSize = {4, 4, 1},
+                            .outputSize = {4, 4, 1}});
+    g.connect(a, b);
+    g.connect(b, a); // a <-> b: the "no circle" pre-simulation check
+    EXPECT_THROW(g.topoOrder(), ConfigError);
+}
+
+TEST(SwGraph, DiamondTopologyOrders)
+{
+    // in -> {left, right} -> join: both branches precede the join.
+    SwGraph g;
+    StageId in = g.addStage({.name = "in", .op = StageOp::Input,
+                             .outputSize = {4, 4, 1}});
+    StageId left = g.addStage({.name = "left", .op = StageOp::Absolute,
+                               .inputSize = {4, 4, 1},
+                               .outputSize = {4, 4, 1}});
+    StageId right = g.addStage({.name = "right", .op = StageOp::Scale,
+                                .inputSize = {4, 4, 1},
+                                .outputSize = {4, 4, 1}});
+    StageId join = g.addStage({.name = "join",
+                               .op = StageOp::ElementwiseAdd,
+                               .inputSize = {4, 4, 1},
+                               .outputSize = {4, 4, 1}});
+    g.connect(in, left);
+    g.connect(in, right);
+    g.connect(left, join);
+    g.connect(right, join);
+    EXPECT_NO_THROW(g.validate());
+
+    auto order = g.topoOrder();
+    std::vector<int> pos(4);
+    for (size_t i = 0; i < order.size(); ++i)
+        pos[static_cast<size_t>(order[i])] = static_cast<int>(i);
+    EXPECT_LT(pos[static_cast<size_t>(in)],
+              pos[static_cast<size_t>(left)]);
+    EXPECT_LT(pos[static_cast<size_t>(left)],
+              pos[static_cast<size_t>(join)]);
+    EXPECT_LT(pos[static_cast<size_t>(right)],
+              pos[static_cast<size_t>(join)]);
+}
+
+TEST(SwGraph, TotalOpsSumsStages)
+{
+    SwGraph g = makeLinearGraph();
+    // binning 256*4 + edge 196*9
+    EXPECT_EQ(g.totalOpsPerFrame(), 1024 + 1764);
+}
+
+TEST(SwGraph, InvalidIdsRejected)
+{
+    SwGraph g = makeLinearGraph();
+    EXPECT_THROW(g.stage(99), ConfigError);
+    EXPECT_THROW(g.connect(0, 99), ConfigError);
+    EXPECT_THROW(g.inputsOf(-1), ConfigError);
+}
+
+} // namespace
+} // namespace camj

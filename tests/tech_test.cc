@@ -1,0 +1,167 @@
+/**
+ * @file
+ * Unit tests for src/tech: the process-node table, interpolation, and
+ * DeepScaleTool-style energy/area scaling.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/logging.h"
+#include "tech/process_node.h"
+#include "tech/scaling.h"
+
+namespace camj
+{
+namespace
+{
+
+TEST(ProcessNode, TabulatedNodesAreDescending)
+{
+    auto nodes = tabulatedNodes();
+    ASSERT_GE(nodes.size(), 10u);
+    for (size_t i = 1; i < nodes.size(); ++i)
+        EXPECT_LT(nodes[i], nodes[i - 1]);
+}
+
+TEST(ProcessNode, Node65IsTheReference)
+{
+    NodeParams p = nodeParams(65);
+    EXPECT_DOUBLE_EQ(p.relEnergy, 1.0);
+    EXPECT_DOUBLE_EQ(p.relArea, 1.0);
+    EXPECT_DOUBLE_EQ(p.vdd, 1.0);
+}
+
+TEST(ProcessNode, ExactRowsRoundTrip)
+{
+    for (int nm : tabulatedNodes()) {
+        NodeParams p = nodeParams(nm);
+        EXPECT_EQ(p.nm, nm);
+        EXPECT_GT(p.vdd, 0.0);
+        EXPECT_GT(p.vdda, 0.0);
+        EXPECT_GE(p.vdda, p.vdd); // analog supply is thick-oxide
+        EXPECT_GT(p.relEnergy, 0.0);
+        EXPECT_GT(p.relArea, 0.0);
+        EXPECT_GT(p.sramLeakPerBit, 0.0);
+    }
+}
+
+TEST(ProcessNode, EnergyMonotonicallyDecreasesWithNode)
+{
+    auto nodes = tabulatedNodes();
+    for (size_t i = 1; i < nodes.size(); ++i) {
+        EXPECT_GT(nodeParams(nodes[i - 1]).relEnergy,
+                  nodeParams(nodes[i]).relEnergy)
+            << nodes[i - 1] << " -> " << nodes[i];
+        EXPECT_GT(nodeParams(nodes[i - 1]).relArea,
+                  nodeParams(nodes[i]).relArea);
+    }
+}
+
+TEST(ProcessNode, LeakagePeaksAt65nm)
+{
+    // The paper cites Gielen & Dehaene: 65 nm is the leakage worst
+    // case; both much older and much newer nodes leak less per bit.
+    Power peak = nodeParams(65).sramLeakPerBit;
+    EXPECT_GT(peak, nodeParams(130).sramLeakPerBit);
+    EXPECT_GT(peak, nodeParams(180).sramLeakPerBit);
+    EXPECT_GT(peak, nodeParams(28).sramLeakPerBit);
+    EXPECT_GT(peak, nodeParams(22).sramLeakPerBit);
+    EXPECT_GT(peak, nodeParams(7).sramLeakPerBit);
+}
+
+TEST(ProcessNode, InterpolationIsBounded)
+{
+    // 100 nm sits between the 110 and 90 rows.
+    NodeParams lo = nodeParams(90);
+    NodeParams hi = nodeParams(110);
+    NodeParams mid = nodeParams(100);
+    EXPECT_GT(mid.relEnergy, lo.relEnergy);
+    EXPECT_LT(mid.relEnergy, hi.relEnergy);
+    EXPECT_GT(mid.relArea, lo.relArea);
+    EXPECT_LT(mid.relArea, hi.relArea);
+}
+
+TEST(ProcessNode, NodesAbove180ClampElectrically)
+{
+    NodeParams p250 = nodeParams(250);
+    NodeParams p180 = nodeParams(180);
+    EXPECT_EQ(p250.nm, 250);
+    EXPECT_DOUBLE_EQ(p250.relEnergy, p180.relEnergy);
+    EXPECT_DOUBLE_EQ(p250.vdd, p180.vdd);
+}
+
+TEST(ProcessNode, OutOfRangeRejected)
+{
+    EXPECT_THROW(nodeParams(5), ConfigError);
+    EXPECT_THROW(nodeParams(300), ConfigError);
+    EXPECT_THROW(nodeParams(0), ConfigError);
+    EXPECT_THROW(nodeParams(-65), ConfigError);
+}
+
+TEST(Scaling, IdentityIsOne)
+{
+    EXPECT_DOUBLE_EQ(energyScaleFactor(65, 65), 1.0);
+    EXPECT_DOUBLE_EQ(areaScaleFactor(130, 130), 1.0);
+}
+
+TEST(Scaling, RoundTripIsIdentity)
+{
+    double there = energyScaleFactor(130, 22);
+    double back = energyScaleFactor(22, 130);
+    EXPECT_NEAR(there * back, 1.0, 1e-12);
+}
+
+TEST(Scaling, TransitivityHolds)
+{
+    double direct = energyScaleFactor(180, 22);
+    double via65 = energyScaleFactor(180, 65) * energyScaleFactor(65, 22);
+    EXPECT_NEAR(direct, via65, 1e-12);
+}
+
+TEST(Scaling, ScaleEnergyAppliesFactor)
+{
+    Energy e130 = 2.6e-12;
+    // 130 nm -> 65 nm divides by the 130 nm relative energy (2.6).
+    EXPECT_NEAR(scaleEnergy(e130, 130, 65), 1.0e-12, 1e-18);
+}
+
+TEST(Scaling, MacEnergyAnchors)
+{
+    EXPECT_DOUBLE_EQ(macEnergy8bit(65), ref65nm::macOp8bit);
+    EXPECT_GT(macEnergy8bit(130), macEnergy8bit(65));
+    EXPECT_LT(macEnergy8bit(22), macEnergy8bit(65));
+    EXPECT_DOUBLE_EQ(aluEnergy16bit(65), ref65nm::aluOp16bit);
+    EXPECT_DOUBLE_EQ(macArea8bit(65), ref65nm::macArea8bit);
+}
+
+TEST(Scaling, AreaShrinksFasterThanEnergy)
+{
+    // Classic scaling: area goes with feature^2, energy roughly with
+    // feature (voltage saturates), so area scales harder.
+    EXPECT_LT(areaScaleFactor(130, 22), energyScaleFactor(130, 22));
+}
+
+// Parameterized sweep: scaling factors behave monotonically across
+// all tabulated node pairs.
+class ScalingPairs
+    : public ::testing::TestWithParam<std::tuple<int, int>>
+{
+};
+
+TEST_P(ScalingPairs, SmallerNodeMeansLessEnergyAndArea)
+{
+    auto [from, to] = GetParam();
+    if (from <= to)
+        GTEST_SKIP();
+    EXPECT_LT(energyScaleFactor(from, to), 1.0);
+    EXPECT_LT(areaScaleFactor(from, to), 1.0);
+    EXPECT_GT(energyScaleFactor(to, from), 1.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, ScalingPairs,
+    ::testing::Combine(::testing::Values(180, 130, 110, 65, 28, 22),
+                       ::testing::Values(180, 130, 110, 65, 28, 22)));
+
+} // namespace
+} // namespace camj

@@ -1,0 +1,197 @@
+/**
+ * @file
+ * Tests for the irregular-algorithm path: the memory-trace format
+ * (Sec. 3.3's offline-trace input) and the DRAMPower-substitute DRAM
+ * energy model.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/logging.h"
+#include "digital/trace.h"
+#include "memmodel/dram.h"
+
+namespace camj
+{
+namespace
+{
+
+// ---------------------------------------------------------------- trace
+
+TEST(MemoryTrace, ParsesWellFormedText)
+{
+    MemoryTrace t = MemoryTrace::parse(
+        "# a comment\n"
+        "FrameMem R 64\n"
+        "FrameMem W 16\n"
+        "\n"
+        "ActBuf r 8   # trailing comment\n");
+    EXPECT_EQ(t.size(), 3u);
+    EXPECT_EQ(t.records()[0].unit, "FrameMem");
+    EXPECT_FALSE(t.records()[0].isWrite);
+    EXPECT_EQ(t.records()[0].words, 64);
+    EXPECT_TRUE(t.records()[1].isWrite);
+}
+
+TEST(MemoryTrace, AggregatesPerUnit)
+{
+    MemoryTrace t = MemoryTrace::parse(
+        "A R 10\nA R 5\nA W 3\nB W 7\n");
+    auto counts = t.countsByUnit();
+    EXPECT_EQ(counts.size(), 2u);
+    EXPECT_EQ(counts["A"].reads, 15);
+    EXPECT_EQ(counts["A"].writes, 3);
+    EXPECT_EQ(counts["B"].reads, 0);
+    EXPECT_EQ(counts["B"].writes, 7);
+
+    EXPECT_EQ(t.countsFor("A").reads, 15);
+    EXPECT_EQ(t.countsFor("missing").reads, 0);
+}
+
+TEST(MemoryTrace, RejectsMalformedLines)
+{
+    EXPECT_THROW(MemoryTrace::parse("A R\n"), ConfigError);
+    EXPECT_THROW(MemoryTrace::parse("A X 5\n"), ConfigError);
+    EXPECT_THROW(MemoryTrace::parse("A R 0\n"), ConfigError);
+    EXPECT_THROW(MemoryTrace::parse("A R -3\n"), ConfigError);
+    EXPECT_THROW(MemoryTrace::parse("A R 5 junk\n"), ConfigError);
+}
+
+TEST(MemoryTrace, ErrorsNameTheLine)
+{
+    try {
+        MemoryTrace::parse("A R 1\nB X 2\n");
+        FAIL() << "expected ConfigError";
+    } catch (const ConfigError &e) {
+        EXPECT_NE(std::string(e.what()).find("line 2"),
+                  std::string::npos);
+    }
+}
+
+TEST(MemoryTrace, AppendValidatesRecords)
+{
+    MemoryTrace t;
+    EXPECT_THROW(t.append({"", false, 4}), ConfigError);
+    EXPECT_THROW(t.append({"A", false, 0}), ConfigError);
+    t.append({"A", true, 4});
+    EXPECT_EQ(t.size(), 1u);
+}
+
+TEST(MemoryTrace, EnergyIntegratesAgainstMemoryModel)
+{
+    DigitalMemoryParams p;
+    p.name = "FrameMem";
+    p.capacityWords = 1024;
+    p.wordBits = 8;
+    p.readEnergyPerWord = 1e-12;
+    p.writeEnergyPerWord = 2e-12;
+    p.leakagePower = 0.0;
+    DigitalMemory mem(p);
+
+    MemoryTrace t = MemoryTrace::parse(
+        "FrameMem R 100\nFrameMem W 50\nOther R 999\n");
+    MemoryEnergy e = t.energyOn(mem, 33e-3);
+    EXPECT_NEAR(e.total, 100e-12 + 100e-12, 1e-18);
+}
+
+TEST(MemoryTrace, EnergyRejectsUnknownMemory)
+{
+    DigitalMemoryParams p;
+    p.name = "Ghost";
+    p.capacityWords = 64;
+    DigitalMemory mem(p);
+    MemoryTrace t = MemoryTrace::parse("A R 1\n");
+    EXPECT_THROW(t.energyOn(mem, 33e-3), ConfigError);
+}
+
+// ----------------------------------------------------------------- dram
+
+TEST(Dram, StreamingTrafficAvoidsActivates)
+{
+    DramTraffic streaming;
+    streaming.readBytes = 1 << 20;
+    streaming.rowHitRate = 1.0;
+    DramTraffic random = streaming;
+    random.rowHitRate = 0.0;
+
+    DramEnergy s = dramEnergyPerFrame(streaming, 33e-3);
+    DramEnergy r = dramEnergyPerFrame(random, 33e-3);
+    EXPECT_DOUBLE_EQ(s.activatePart, 0.0);
+    EXPECT_GT(r.activatePart, 0.0);
+    EXPECT_GT(r.total, s.total);
+}
+
+TEST(Dram, BurstEnergyScalesWithVolume)
+{
+    DramTraffic t1;
+    t1.readBytes = 1 << 16;
+    DramTraffic t2;
+    t2.readBytes = 1 << 17;
+    Energy e1 = dramEnergyPerFrame(t1, 33e-3).burstPart;
+    Energy e2 = dramEnergyPerFrame(t2, 33e-3).burstPart;
+    EXPECT_NEAR(e2 / e1, 2.0, 1e-9);
+}
+
+TEST(Dram, SelfRefreshCutsBackgroundPower)
+{
+    DramTraffic active;
+    active.activeFraction = 1.0;
+    DramTraffic idle;
+    idle.activeFraction = 0.0;
+    Energy ea = dramEnergyPerFrame(active, 33e-3).backgroundPart;
+    Energy ei = dramEnergyPerFrame(idle, 33e-3).backgroundPart;
+    EXPECT_GT(ea, 5.0 * ei);
+}
+
+TEST(Dram, FrameBufferScaleIsRealistic)
+{
+    // A 2 MB frame streamed in and out at 120 fps (the IMX400-style
+    // three-layer sensor): total DRAM energy should be tens to a few
+    // hundred uJ per frame, not nJ or mJ.
+    DramTraffic t;
+    t.readBytes = 2 << 20;
+    t.writeBytes = 2 << 20;
+    t.rowHitRate = 0.95;
+    DramEnergy e = dramEnergyPerFrame(t, 1.0 / 120.0);
+    EXPECT_GT(e.total, 10e-6);
+    EXPECT_LT(e.total, 500e-6);
+}
+
+TEST(Dram, RejectsBadInputs)
+{
+    DramTraffic t;
+    t.readBytes = -1;
+    EXPECT_THROW(dramEnergyPerFrame(t, 33e-3), ConfigError);
+    t = DramTraffic{};
+    t.rowHitRate = 1.5;
+    EXPECT_THROW(dramEnergyPerFrame(t, 33e-3), ConfigError);
+    t = DramTraffic{};
+    EXPECT_THROW(dramEnergyPerFrame(t, 0.0), ConfigError);
+    DramParams p;
+    p.burstBytes = 0;
+    t = DramTraffic{};
+    EXPECT_THROW(dramEnergyPerFrame(t, 33e-3, p), ConfigError);
+}
+
+// Property sweep: total energy is monotone in every traffic knob.
+class DramSweep : public ::testing::TestWithParam<double>
+{
+};
+
+TEST_P(DramSweep, MonotoneInHitRate)
+{
+    double hit = GetParam();
+    DramTraffic lo;
+    lo.readBytes = 1 << 18;
+    lo.rowHitRate = hit;
+    DramTraffic hi = lo;
+    hi.rowHitRate = hit * 0.5; // fewer hits -> more activates
+    EXPECT_LE(dramEnergyPerFrame(lo, 33e-3).total,
+              dramEnergyPerFrame(hi, 33e-3).total);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, DramSweep,
+                         ::testing::Values(0.2, 0.5, 0.8, 1.0));
+
+} // namespace
+} // namespace camj

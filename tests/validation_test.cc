@@ -1,0 +1,221 @@
+/**
+ * @file
+ * Tests for the Sec. 5 validation: all nine Table 2 chips simulate,
+ * their per-pixel energies stay in frozen regression bands, the
+ * component breakdowns are sane, and the Fig. 7a statistics match
+ * the paper's headline (Pearson ~0.9999, MAPE ~7.5%).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+
+#include "common/logging.h"
+#include "common/units.h"
+#include "validation/harness.h"
+#include "validation/reported.h"
+
+namespace camj
+{
+namespace
+{
+
+class QuietLogging : public ::testing::Environment
+{
+  public:
+    void SetUp() override { setLoggingEnabled(false); }
+};
+
+::testing::Environment *const quiet_env =
+    ::testing::AddGlobalTestEnvironment(new QuietLogging);
+
+ValidationSummary &
+summary()
+{
+    static ValidationSummary s = runValidation();
+    return s;
+}
+
+TEST(Validation, AllNineChipsSimulate)
+{
+    EXPECT_EQ(summary().chips.size(), 9u);
+    for (const auto &c : summary().chips) {
+        EXPECT_GT(c.estimatedPJPerPixel, 0.0) << c.id;
+        EXPECT_GT(c.reportedPJPerPixel, 0.0) << c.id;
+    }
+}
+
+TEST(Validation, HeadlineStatisticsMatchPaperClass)
+{
+    // Paper: Pearson 0.9999, MAPE 7.5%. The reconstruction lands in
+    // the same class.
+    EXPECT_GE(summary().pearson, 0.999);
+    EXPECT_GT(summary().mapePct, 3.0);
+    EXPECT_LT(summary().mapePct, 10.0);
+}
+
+TEST(Validation, EnergiesSpanOrdersOfMagnitude)
+{
+    double lo = 1e30, hi = 0.0;
+    for (const auto &c : summary().chips) {
+        lo = std::min(lo, c.estimatedPJPerPixel);
+        hi = std::max(hi, c.estimatedPJPerPixel);
+    }
+    EXPECT_GT(hi / lo, 100.0); // >= 2-3 orders of magnitude (Fig. 7a)
+}
+
+// Frozen regression bands for every chip (pJ/px). A model change that
+// moves a chip out of its band must be a conscious recalibration.
+TEST(Validation, PerChipRegressionBands)
+{
+    const std::map<std::string, std::pair<double, double>> bands = {
+        { "ISSCC'17", { 600.0, 1100.0 } },
+        { "JSSC'19", { 30.0, 60.0 } },
+        { "Sensors'20", { 20.0, 50.0 } },
+        { "ISSCC'21", { 100.0, 250.0 } },
+        { "JSSC'21-I", { 40.0, 85.0 } },
+        { "JSSC'21-II", { 35.0, 65.0 } },
+        { "VLSI'21", { 300.0, 600.0 } },
+        { "ISSCC'22", { 3.0, 12.0 } },
+        { "TCAS-I'22", { 0.3, 2.5 } },
+    };
+    for (const auto &c : summary().chips) {
+        auto it = bands.find(c.id);
+        ASSERT_NE(it, bands.end()) << c.id;
+        EXPECT_GE(c.estimatedPJPerPixel, it->second.first) << c.id;
+        EXPECT_LE(c.estimatedPJPerPixel, it->second.second) << c.id;
+    }
+}
+
+TEST(Validation, Jssc21IIMatchesItsPublishedFigure)
+{
+    // The one chip with a public per-pixel figure in its title:
+    // 51 pJ/px.
+    for (const auto &c : summary().chips) {
+        if (c.id == "JSSC'21-II") {
+            EXPECT_NEAR(c.estimatedPJPerPixel, 51.0, 10.0);
+            return;
+        }
+    }
+    FAIL() << "JSSC'21-II missing";
+}
+
+TEST(Validation, GroupBreakdownsCoverTotals)
+{
+    for (const auto &c : summary().chips) {
+        double group_sum = 0.0;
+        for (const auto &g : c.groups)
+            group_sum += g.estimatedPJPerPixel;
+        // Groups cover the full design (every unit is grouped).
+        EXPECT_NEAR(group_sum, c.estimatedPJPerPixel,
+                    0.01 * c.estimatedPJPerPixel)
+            << c.id;
+    }
+}
+
+TEST(Validation, ReportedGroupsMatchChipGroups)
+{
+    for (const auto &c : summary().chips) {
+        const ReportedChip &ref = reportedFor(c.id);
+        EXPECT_EQ(ref.groupsPJPerPixel.size(), c.groups.size())
+            << c.id;
+        for (const auto &g : c.groups)
+            EXPECT_GT(g.reportedPJPerPixel, 0.0)
+                << c.id << "/" << g.label;
+    }
+}
+
+TEST(Validation, PerComponentErrorsAreBounded)
+{
+    // The paper's worst per-component mismatches are ~39% of the
+    // measurement; a -31.7% multiplicative perturbation reads as up
+    // to ~46% against the reported denominator, so bound at 50%.
+    for (const auto &c : summary().chips) {
+        for (const auto &g : c.groups) {
+            double err = std::fabs(g.estimatedPJPerPixel -
+                                   g.reportedPJPerPixel) /
+                         g.reportedPJPerPixel;
+            EXPECT_LT(err, 0.50) << c.id << "/" << g.label;
+        }
+    }
+}
+
+TEST(Validation, ReportedForUnknownChipFails)
+{
+    EXPECT_THROW(reportedFor("ISSCC'99"), ConfigError);
+}
+
+// --------------------------------------------- Table 2 qualitative rows
+
+TEST(Table2, StackedChipsUseTsv)
+{
+    for (const auto &c : summary().chips) {
+        bool stacked = (c.id == "ISSCC'21" || c.id == "VLSI'21");
+        EXPECT_EQ(c.report.tsvBytes > 0, stacked) << c.id;
+    }
+}
+
+TEST(Table2, DigitalChipsHaveComputeEnergy)
+{
+    for (const auto &c : summary().chips) {
+        bool has_digital =
+            (c.id == "ISSCC'17" || c.id == "ISSCC'21" ||
+             c.id == "VLSI'21" || c.id == "ISSCC'22");
+        EXPECT_EQ(c.report.category(EnergyCategory::CompD) > 0.0,
+                  has_digital)
+            << c.id;
+    }
+}
+
+TEST(Table2, AnalogComputeChipsHaveCompA)
+{
+    for (const auto &c : summary().chips) {
+        bool analog_pe = c.id != "ISSCC'21" && c.id != "VLSI'21";
+        EXPECT_EQ(c.report.category(EnergyCategory::CompA) > 0.0,
+                  analog_pe)
+            << c.id;
+    }
+}
+
+TEST(Table2, EveryChipMeetsItsFrameRate)
+{
+    for (const auto &c : summary().chips) {
+        EXPECT_GT(c.report.analogUnitTime, 0.0) << c.id;
+        EXPECT_LT(c.report.digitalLatency, c.report.frameTime) << c.id;
+    }
+}
+
+TEST(Table2, BreakdownGroupsAreChipSpecific)
+{
+    // DPS chips fold pixel+ADC into one group; others separate them.
+    for (const auto &c : summary().chips) {
+        bool found_pixel_adc = false, found_pixel = false;
+        for (const auto &g : c.groups) {
+            if (g.label == "Pixel+ADC")
+                found_pixel_adc = true;
+            if (g.label == "Pixel")
+                found_pixel = true;
+        }
+        if (c.id == "VLSI'21")
+            EXPECT_TRUE(found_pixel_adc) << c.id;
+        else
+            EXPECT_TRUE(found_pixel) << c.id;
+    }
+}
+
+TEST(Validation, ChipBuildersAreDeterministic)
+{
+    ValidationSummary a = runValidation();
+    ValidationSummary b = runValidation();
+    ASSERT_EQ(a.chips.size(), b.chips.size());
+    for (size_t i = 0; i < a.chips.size(); ++i) {
+        EXPECT_DOUBLE_EQ(a.chips[i].estimatedPJPerPixel,
+                         b.chips[i].estimatedPJPerPixel)
+            << a.chips[i].id;
+    }
+    EXPECT_DOUBLE_EQ(a.pearson, b.pearson);
+}
+
+} // namespace
+} // namespace camj
