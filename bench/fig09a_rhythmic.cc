@@ -9,7 +9,8 @@
 #include <cstdio>
 
 #include "common/units.h"
-#include "usecases/explorer.h"
+#include "explore/breakdown.h"
+#include "explore/simulator.h"
 #include "usecases/rhythmic.h"
 
 using namespace camj;
@@ -18,6 +19,7 @@ int
 main()
 {
     setLoggingEnabled(false);
+    Simulator simulator;
     std::printf("Fig. 9a | Rhythmic Pixel Regions energy per frame\n\n");
 
     for (int nm : {130, 65}) {
@@ -26,7 +28,7 @@ main()
         for (SensorVariant v : {SensorVariant::TwoDOff,
                                 SensorVariant::TwoDIn,
                                 SensorVariant::ThreeDIn}) {
-            EnergyReport r = buildRhythmic(v, nm)->simulate();
+            EnergyReport r = simulator.simulate(*buildRhythmic(v, nm));
             rows.push_back(breakdownOf(
                 std::string(sensorVariantName(v)) + "(" +
                     std::to_string(nm) + "nm)",

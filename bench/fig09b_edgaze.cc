@@ -10,8 +10,9 @@
 #include <cstdio>
 
 #include "common/units.h"
+#include "explore/breakdown.h"
+#include "explore/simulator.h"
 #include "usecases/edgaze.h"
-#include "usecases/explorer.h"
 
 using namespace camj;
 
@@ -19,6 +20,7 @@ int
 main()
 {
     setLoggingEnabled(false);
+    Simulator simulator;
     std::printf("Fig. 9b | Ed-Gaze energy per frame\n\n");
 
     for (int nm : {130, 65}) {
@@ -28,7 +30,7 @@ main()
                                 EdgazeVariant::TwoDIn,
                                 EdgazeVariant::ThreeDIn,
                                 EdgazeVariant::ThreeDInStt}) {
-            EnergyReport r = buildEdgaze(v, nm)->simulate();
+            EnergyReport r = simulator.simulate(*buildEdgaze(v, nm));
             rows.push_back(breakdownOf(
                 std::string(edgazeVariantName(v)) + "(" +
                     std::to_string(nm) + "nm)",
@@ -50,10 +52,12 @@ main()
                     nm == 130 ? "68.5%" : "69.1%");
     }
 
-    double in130 = buildEdgaze(EdgazeVariant::TwoDIn, 130)
-                       ->simulate().total();
-    double in65 = buildEdgaze(EdgazeVariant::TwoDIn, 65)
-                      ->simulate().total();
+    double in130 =
+        simulator.simulate(*buildEdgaze(EdgazeVariant::TwoDIn, 130))
+            .total();
+    double in65 =
+        simulator.simulate(*buildEdgaze(EdgazeVariant::TwoDIn, 65))
+            .total();
     std::printf("leakage flip: 65 nm 2D-In costs %.2fx of the 130 nm "
                 "version (paper: >1 because of 65 nm leakage)\n",
                 in65 / in130);

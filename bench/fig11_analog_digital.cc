@@ -10,8 +10,9 @@
 #include <cstdio>
 
 #include "common/units.h"
+#include "explore/breakdown.h"
+#include "explore/simulator.h"
 #include "usecases/edgaze.h"
-#include "usecases/explorer.h"
 
 using namespace camj;
 
@@ -19,14 +20,15 @@ int
 main()
 {
     setLoggingEnabled(false);
+    Simulator simulator;
     std::printf("Fig. 11 | Mixed-signal vs digital in-sensor "
                 "Ed-Gaze\n\n");
 
     for (int nm : {130, 65}) {
         EnergyReport digital =
-            buildEdgaze(EdgazeVariant::TwoDIn, nm)->simulate();
-        EnergyReport mixed =
-            buildEdgaze(EdgazeVariant::TwoDInMixed, nm)->simulate();
+            simulator.simulate(*buildEdgaze(EdgazeVariant::TwoDIn, nm));
+        EnergyReport mixed = simulator.simulate(
+            *buildEdgaze(EdgazeVariant::TwoDInMixed, nm));
 
         std::vector<BreakdownRow> rows = {
             breakdownOf(std::string("2D-In(") + std::to_string(nm) +

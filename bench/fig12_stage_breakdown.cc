@@ -9,6 +9,7 @@
 #include <cstdio>
 
 #include "common/units.h"
+#include "explore/simulator.h"
 #include "usecases/edgaze.h"
 
 using namespace camj;
@@ -49,6 +50,7 @@ int
 main()
 {
     setLoggingEnabled(false);
+    Simulator simulator;
     std::printf("Fig. 12 | Normalized stage energy breakdown "
                 "(S1/S2/S3)\n\n");
     std::printf("%-24s %8s %8s %8s\n", "config", "S1[%]", "S2[%]",
@@ -57,9 +59,9 @@ main()
     double mixed_s3_share = 0.0;
     for (int nm : {130, 65}) {
         EnergyReport digital =
-            buildEdgaze(EdgazeVariant::TwoDIn, nm)->simulate();
-        EnergyReport mixed =
-            buildEdgaze(EdgazeVariant::TwoDInMixed, nm)->simulate();
+            simulator.simulate(*buildEdgaze(EdgazeVariant::TwoDIn, nm));
+        EnergyReport mixed = simulator.simulate(
+            *buildEdgaze(EdgazeVariant::TwoDInMixed, nm));
 
         StageSplit d = splitStages(digital, false);
         StageSplit m = splitStages(mixed, true);

@@ -10,6 +10,7 @@
 #include <cstdio>
 
 #include "common/units.h"
+#include "explore/simulator.h"
 #include "usecases/edgaze.h"
 
 using namespace camj;
@@ -18,15 +19,16 @@ int
 main()
 {
     setLoggingEnabled(false);
+    Simulator simulator;
     std::printf("Fig. 13 | S1+S2 compute vs memory energy [uJ]\n\n");
     std::printf("%-24s %12s %12s\n", "config", "compute", "memory");
 
     bool compute_rises = true, memory_drops = true;
     for (int nm : {130, 65}) {
         EnergyReport digital =
-            buildEdgaze(EdgazeVariant::TwoDIn, nm)->simulate();
-        EnergyReport mixed =
-            buildEdgaze(EdgazeVariant::TwoDInMixed, nm)->simulate();
+            simulator.simulate(*buildEdgaze(EdgazeVariant::TwoDIn, nm));
+        EnergyReport mixed = simulator.simulate(
+            *buildEdgaze(EdgazeVariant::TwoDInMixed, nm));
 
         double dig_comp = (digital.energyOf("DownsampleUnit") +
                            digital.energyOf("SubtractUnit")) /

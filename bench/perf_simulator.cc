@@ -1,15 +1,31 @@
 /**
  * @file
  * google-benchmark microbenchmarks for the simulator itself: how fast
- * CamJ evaluates designs. Useful when embedding the framework in a
- * design-space-exploration loop (thousands of simulate() calls).
+ * CamJ evaluates designs, both one at a time and as batched sweeps
+ * through the SweepEngine.
+ *
+ * Besides the interactive benchmark output, the binary always writes
+ * BENCH_simulator.json (override the path with the BENCH_JSON_PATH
+ * environment variable): designs/sec for a serial sweep vs. a
+ * >= 4-thread SweepEngine run over the same spec batch, so CI can
+ * track the simulator's evaluation-throughput trajectory across PRs.
  */
 
 #include <benchmark/benchmark.h>
 
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <thread>
+#include <vector>
+
 #include "common/logging.h"
 #include "digital/cyclesim.h"
+#include "explore/sweep.h"
 #include "functional/executor.h"
+#include "spec/json.h"
+#include "spec/samples.h"
 #include "usecases/edgaze.h"
 #include "usecases/rhythmic.h"
 #include "validation/harness.h"
@@ -18,6 +34,22 @@ using namespace camj;
 
 namespace
 {
+
+/** The sweep workload: the canonical sample detector over a fps x
+ *  node grid spanning the feasibility boundary, repeated `copies`
+ *  times for a larger batch. */
+std::vector<spec::DesignSpec>
+sweepBatch(int copies)
+{
+    std::vector<spec::DesignSpec> specs;
+    for (int c = 0; c < copies; ++c) {
+        std::vector<spec::DesignSpec> grid = spec::sampleDetectorGrid(
+            {180, 110, 65, 45}, {1.0, 30.0, 120.0, 960.0});
+        for (spec::DesignSpec &s : grid)
+            specs.push_back(std::move(s));
+    }
+    return specs;
+}
 
 void
 BM_RhythmicSimulate(benchmark::State &state)
@@ -44,15 +76,59 @@ BM_EdgazeSimulate(benchmark::State &state)
 BENCHMARK(BM_EdgazeSimulate)->Unit(benchmark::kMillisecond);
 
 void
-BM_FullValidationSuite(benchmark::State &state)
+BM_SpecMaterialize(benchmark::State &state)
 {
     setLoggingEnabled(false);
+    spec::DesignSpec s = spec::sampleDetectorSpec(30.0, 65);
     for (auto _ : state) {
-        ValidationSummary s = runValidation();
-        benchmark::DoNotOptimize(s.pearson);
+        Design d = s.materialize();
+        benchmark::DoNotOptimize(d.name().size());
     }
 }
-BENCHMARK(BM_FullValidationSuite)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_SpecMaterialize)->Unit(benchmark::kMillisecond);
+
+void
+BM_SpecJsonRoundTrip(benchmark::State &state)
+{
+    setLoggingEnabled(false);
+    spec::DesignSpec s = spec::sampleDetectorSpec(30.0, 65);
+    for (auto _ : state) {
+        spec::DesignSpec back = spec::fromJson(spec::toJson(s));
+        benchmark::DoNotOptimize(back.name.size());
+    }
+}
+BENCHMARK(BM_SpecJsonRoundTrip)->Unit(benchmark::kMillisecond);
+
+void
+BM_SweepSerial(benchmark::State &state)
+{
+    setLoggingEnabled(false);
+    std::vector<spec::DesignSpec> specs = sweepBatch(1);
+    SweepEngine engine(SweepOptions{.threads = 1});
+    for (auto _ : state) {
+        auto results = engine.run(specs);
+        benchmark::DoNotOptimize(results.size());
+    }
+    state.SetItemsProcessed(state.iterations() *
+                            static_cast<int64_t>(specs.size()));
+}
+BENCHMARK(BM_SweepSerial)->Unit(benchmark::kMillisecond);
+
+void
+BM_SweepThreaded(benchmark::State &state)
+{
+    setLoggingEnabled(false);
+    std::vector<spec::DesignSpec> specs = sweepBatch(1);
+    SweepEngine engine(
+        SweepOptions{.threads = static_cast<int>(state.range(0))});
+    for (auto _ : state) {
+        auto results = engine.run(specs);
+        benchmark::DoNotOptimize(results.size());
+    }
+    state.SetItemsProcessed(state.iterations() *
+                            static_cast<int64_t>(specs.size()));
+}
+BENCHMARK(BM_SweepThreaded)->Arg(4)->Unit(benchmark::kMillisecond);
 
 void
 BM_CycleSimThroughput(benchmark::State &state)
@@ -108,6 +184,103 @@ BM_FunctionalConvolution(benchmark::State &state)
 }
 BENCHMARK(BM_FunctionalConvolution)->Unit(benchmark::kMillisecond);
 
+void
+BM_FullValidationSuite(benchmark::State &state)
+{
+    setLoggingEnabled(false);
+    for (auto _ : state) {
+        ValidationSummary s = runValidation();
+        benchmark::DoNotOptimize(s.pearson);
+    }
+}
+BENCHMARK(BM_FullValidationSuite)->Unit(benchmark::kMillisecond);
+
+/** Wall-clock one sweep run; returns seconds. */
+double
+timeSweep(const SweepEngine &engine,
+          const std::vector<spec::DesignSpec> &specs, bool serial)
+{
+    const auto t0 = std::chrono::steady_clock::now();
+    auto results = serial ? engine.runSerial(specs) : engine.run(specs);
+    const auto t1 = std::chrono::steady_clock::now();
+    benchmark::DoNotOptimize(results.size());
+    return std::chrono::duration<double>(t1 - t0).count();
+}
+
+/**
+ * The CI artifact: serial vs. threaded sweep throughput over the same
+ * batch, in designs/sec. Returns false when the file cannot be
+ * written, so CI fails loudly instead of trusting a missing artifact.
+ */
+bool
+writeBenchJson()
+{
+    setLoggingEnabled(false);
+
+    const int threads = 4;
+    std::vector<spec::DesignSpec> specs = sweepBatch(4);
+    SweepEngine serial_engine(SweepOptions{.threads = 1});
+    SweepEngine threaded_engine(SweepOptions{.threads = threads});
+
+    // Warm-up, then best-of-3 to tame scheduler noise.
+    timeSweep(serial_engine, specs, true);
+    double serial_s = 1e30, threaded_s = 1e30;
+    for (int rep = 0; rep < 3; ++rep) {
+        serial_s = std::min(serial_s,
+                            timeSweep(serial_engine, specs, true));
+        threaded_s = std::min(threaded_s,
+                              timeSweep(threaded_engine, specs, false));
+    }
+
+    const double n = static_cast<double>(specs.size());
+    json::Value doc = json::Value::makeObject();
+    doc.set("bench", json::Value("perf_simulator"));
+    doc.set("designPoints", json::Value(static_cast<int64_t>(
+                                specs.size())));
+    doc.set("hardwareConcurrency",
+            json::Value(static_cast<int64_t>(
+                std::thread::hardware_concurrency())));
+
+    json::Value serial = json::Value::makeObject();
+    serial.set("seconds", json::Value(serial_s));
+    serial.set("designsPerSec", json::Value(n / serial_s));
+    doc.set("serialSweep", std::move(serial));
+
+    json::Value threaded = json::Value::makeObject();
+    threaded.set("threads", json::Value(threads));
+    threaded.set("seconds", json::Value(threaded_s));
+    threaded.set("designsPerSec", json::Value(n / threaded_s));
+    doc.set("threadedSweep", std::move(threaded));
+
+    doc.set("speedup", json::Value(serial_s / threaded_s));
+
+    const char *env_path = std::getenv("BENCH_JSON_PATH");
+    const std::string path =
+        env_path != nullptr ? env_path : "BENCH_simulator.json";
+    std::ofstream out(path, std::ios::binary);
+    out << doc.dump(2) << "\n";
+    out.flush();
+    if (!out) {
+        std::fprintf(stderr, "error: failed to write %s\n",
+                     path.c_str());
+        return false;
+    }
+    std::printf("wrote %s: %.1f designs/sec serial, %.1f designs/sec "
+                "with %d threads (%.2fx)\n", path.c_str(),
+                n / serial_s, n / threaded_s, threads,
+                serial_s / threaded_s);
+    return true;
+}
+
 } // namespace
 
-BENCHMARK_MAIN();
+int
+main(int argc, char **argv)
+{
+    benchmark::Initialize(&argc, argv);
+    if (benchmark::ReportUnrecognizedArguments(argc, argv))
+        return 1;
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    return writeBenchJson() ? 0 : 1;
+}

@@ -1,137 +1,69 @@
 /**
  * @file
- * Example: using CamJ inside a design-space-exploration loop.
+ * Example: design-space exploration through the SweepEngine.
  *
  * Sweeps a custom always-on detection sensor over frame rate and
- * process node, records energy per frame, power density and the
- * thermal SNR penalty (the Sec. 6.2 extension), and reports the
- * feasibility boundary: configurations whose digital latency
- * overruns the frame budget fail CamJ's stall/deadline checks and
- * surface as ConfigError — exactly the feedback loop of Fig. 4.
+ * process node. Each design point is a DesignSpec (pure data); the
+ * SweepEngine evaluates the whole grid across a thread pool and
+ * returns structured SweepResults — energy per frame, power density,
+ * the thermal SNR penalty (the Sec. 6.2 extension), and a feasibility
+ * *verdict* for the configurations whose digital latency overruns the
+ * frame budget. No ConfigError handling in sight: infeasibility is
+ * data, exactly the feedback loop of Fig. 4 at batch scale.
  *
  * Build & run:  ./build/examples/design_space_sweep
  */
 
 #include <cstdio>
-#include <string>
+#include <vector>
 
 #include "common/units.h"
-#include "core/design.h"
-#include "noise/noise.h"
-#include "tech/process_node.h"
-#include "tech/scaling.h"
+#include "explore/sweep.h"
+#include "spec/samples.h"
 
 using namespace camj;
-
-namespace
-{
-
-/** A QVGA always-on sensor with a small in-sensor classifier. */
-Design
-buildDetector(double fps, int node_nm)
-{
-    Design d({.name = "detector-" + std::to_string(node_nm) + "nm",
-              .fps = fps, .digitalClock = 20e6});
-
-    SwGraph &sw = d.sw();
-    StageId in = sw.addStage({.name = "Input", .op = StageOp::Input,
-                              .outputSize = {320, 240, 1}});
-    StageId bin = sw.addStage({.name = "Bin", .op = StageOp::Binning,
-                               .inputSize = {320, 240, 1},
-                               .outputSize = {80, 60, 1},
-                               .kernel = {4, 4, 1},
-                               .stride = {4, 4, 1}});
-    StageId conv = sw.addStage({.name = "Conv", .op = StageOp::Conv2d,
-                                .inputSize = {80, 60, 1},
-                                .outputSize = {78, 58, 8},
-                                .kernel = {3, 3, 1},
-                                .stride = {1, 1, 1}});
-    StageId fc = sw.addStage({.name = "Classify",
-                              .op = StageOp::FullyConnected,
-                              .inputSize = {78, 58, 8},
-                              .outputSize = {4, 1, 1}});
-    sw.connect(in, bin);
-    sw.connect(bin, conv);
-    sw.connect(conv, fc);
-
-    const NodeParams node = nodeParams(node_nm);
-    ApsParams aps;
-    aps.vdda = node.vdda;
-    aps.pixelsPerComponent = 16;
-    AnalogArrayParams pa;
-    pa.name = "PixelArray";
-    pa.numComponents = {80, 60, 1};
-    pa.inputShape = {1, 80, 1};
-    pa.outputShape = {1, 80, 1};
-    pa.componentArea = 16.0 * 9.0 * units::um2;
-    d.addAnalogArray(AnalogArray(pa, makeAps4T(aps)),
-                     AnalogRole::Sensing);
-
-    AnalogArrayParams aa;
-    aa.name = "Adc";
-    aa.numComponents = {80, 1, 1};
-    aa.inputShape = {1, 80, 1};
-    aa.outputShape = {1, 80, 1};
-    aa.componentArea = 1e-9;
-    d.addAnalogArray(AnalogArray(aa, makeColumnAdc({.bits = 8})),
-                     AnalogRole::Adc);
-
-    d.addMemory(makeSramMemory("ActBuf", Layer::Sensor,
-                               MemoryKind::DoubleBuffer, 16384, 64,
-                               node_nm, 0.5));
-    SystolicArrayParams sp;
-    sp.name = "Classifier";
-    sp.layer = Layer::Sensor;
-    sp.rows = 8;
-    sp.cols = 8;
-    sp.energyPerMac = macEnergy8bit(node_nm);
-    sp.peArea = macArea8bit(node_nm);
-    d.addSystolicArray(SystolicArray(sp));
-    d.setAdcOutput("ActBuf");
-    d.connectMemoryToUnit("ActBuf", "Classifier");
-
-    d.setMipi(makeMipiCsi2());
-    d.setPipelineOutputBytes(4); // class label only
-
-    Mapping &m = d.mapping();
-    m.map("Input", "PixelArray");
-    m.map("Bin", "PixelArray");
-    m.map("Conv", "Classifier");
-    m.map("Classify", "Classifier");
-    return d;
-}
-
-} // namespace
 
 int
 main()
 {
     setLoggingEnabled(false);
-    NoiseModel noise;
 
-    std::printf("Design-space sweep: always-on detector, FPS x "
-                "node\n\n");
+    // The sweep grid: every (node, fps) pair as one DesignSpec
+    // (the canonical sample detector of src/spec/samples.h).
+    const std::vector<int> nodes = {180, 110, 65, 45};
+    const std::vector<double> rates = {1.0, 30.0, 120.0, 960.0,
+                                       3840.0};
+    std::vector<spec::DesignSpec> grid =
+        spec::sampleDetectorGrid(nodes, rates);
+
+    // Evaluate the whole grid in parallel, with the noise extension on.
+    SweepOptions options;
+    options.threads = 4;
+    options.sim.withNoise = true;
+    SweepEngine engine(options);
+    std::vector<SweepResult> results = engine.run(grid);
+
+    std::printf("Design-space sweep: always-on detector, FPS x node "
+                "(%zu points, %d threads)\n\n", grid.size(),
+                engine.effectiveThreads(grid.size()));
     std::printf("%-8s %-8s %14s %12s %16s %14s\n", "node", "FPS",
                 "E/frame[uJ]", "power[uW]", "density[mW/mm2]",
                 "SNR-pen[mdB]");
 
-    for (int node : {180, 110, 65, 45}) {
-        for (double fps : {1.0, 30.0, 120.0, 960.0, 3840.0}) {
-            try {
-                Design d = buildDetector(fps, node);
-                EnergyReport r = d.simulate();
-                double penalty_mdb =
-                    1e3 * noise.snrPenaltyDb(r.powerDensity(),
-                                             0.5 / fps);
+    size_t i = 0;
+    for (int node : nodes) {
+        for (double fps : rates) {
+            const SweepResult &r = results[i++];
+            if (r.feasible) {
                 std::printf("%-8d %-8.0f %14.3f %12.2f %16.4f "
                             "%14.3f\n", node, fps,
-                            r.total() / units::uJ,
-                            r.total() * fps / units::uW,
-                            r.powerDensity() * 1e-3, penalty_mdb);
-            } catch (const ConfigError &) {
-                std::printf("%-8d %-8.0f %14s %12s %16s %14s\n", node,
-                            fps, "-- infeasible: misses frame "
-                            "deadline --", "", "", "");
+                            r.report.total() / units::uJ,
+                            r.report.total() * fps / units::uW,
+                            r.powerDensityMwPerMm2(),
+                            1e3 * r.snrPenaltyDb);
+            } else {
+                std::printf("%-8d %-8.0f %14s\n", node, fps,
+                            "-- infeasible: misses frame deadline --");
             }
         }
     }
@@ -140,6 +72,6 @@ main()
                 "checks firing: at extreme frame rates the digital "
                 "classifier's latency exceeds the frame budget, so "
                 "the design must be reworked (Fig. 4's feedback "
-                "loop).\n");
+                "loop). The sweep returns verdicts, not exceptions.\n");
     return 0;
 }

@@ -1,26 +1,27 @@
 /**
  * @file
- * Example: an event-driven (DVS) sensor front-end.
+ * Example: an event-driven (DVS) sensor front-end, on the new API.
  *
  * Event pixels only produce data where the scene changes, so the
  * access counts — and therefore the energy — scale with scene
- * activity instead of resolution. This example sweeps the per-frame
- * event rate and compares a DVS design against an equivalent
- * frame-based APS+ADC design, showing where the event-driven
- * architecture wins.
+ * activity instead of resolution. Each activity level becomes one
+ * DesignSpec; the SweepEngine evaluates the batch in parallel and
+ * the results are compared against an equivalent frame-based
+ * APS+ADC design.
  *
- * Demonstrates: the DVS pixel component, ops-per-output overrides
- * for data-dependent workloads, and sweeping a workload parameter
- * while hardware stays fixed.
+ * Demonstrates: the DVS pixel component in a spec, sweeping a
+ * workload parameter while hardware stays fixed, and batched
+ * evaluation through the SweepEngine.
  *
  * Build & run:  ./build/examples/event_camera
  */
 
 #include <cstdio>
-#include <memory>
+#include <vector>
 
 #include "common/units.h"
-#include "core/design.h"
+#include "explore/sweep.h"
+#include "spec/builder.h"
 
 using namespace camj;
 
@@ -32,92 +33,83 @@ constexpr double kFps = 100.0; // event cameras run fast
 
 /** Event-driven design: events stream straight into a small FIFO
  *  and a digital event filter; volume scales with activity. */
-std::shared_ptr<Design>
-buildDvsDesign(double event_fraction)
+spec::DesignSpec
+dvsSpec(double event_fraction)
 {
-    auto d = std::make_shared<Design>(
-        DesignParams{"dvs-camera", kFps, 50e6});
+    const int64_t events = std::max<int64_t>(
+        1, static_cast<int64_t>(static_cast<double>(kWidth * kHeight) *
+                                event_fraction));
 
-    const int64_t events = static_cast<int64_t>(
-        static_cast<double>(kWidth * kHeight) * event_fraction);
+    spec::ComponentSpec dvs;
+    dvs.kind = spec::ComponentKind::DvsPixel;
 
-    SwGraph &sw = d->sw();
     // The "image" here is the event map; downstream sees only the
-    // active pixels. Model the event stream as a CompareSample-style
-    // stage whose output volume is the event count.
-    StageId in = sw.addStage({.name = "Events", .op = StageOp::Input,
-                              .outputSize = {std::max<int64_t>(
-                                                 1, events),
-                                             1, 1},
-                              .bitDepth = 16}); // x,y,polarity packet
-    StageId filt = sw.addStage(
-        {.name = "NoiseFilter",
-         .op = StageOp::Threshold,
-         .inputSize = {std::max<int64_t>(1, events), 1, 1},
-         .outputSize = {std::max<int64_t>(1, events), 1, 1},
-         .bitDepth = 16});
-    sw.connect(in, filt);
-
-    // The DVS array: one component per pixel; only event-generating
-    // pixels are accessed.
-    AnalogArrayParams pa;
-    pa.name = "DvsArray";
-    pa.numComponents = {kWidth, kHeight, 1};
-    pa.inputShape = {1, kWidth, 1};
-    pa.outputShape = {1, kWidth, 1};
-    pa.componentArea = 18.0 * 18.0 * units::um2; // DVS pixels are big
-    d->addAnalogArray(AnalogArray(pa, makeDvsPixel()),
-                      AnalogRole::Sensing);
-
-    d->addMemory(makeSramMemory("EventFifo", Layer::Sensor,
-                                MemoryKind::Fifo, 4096, 16, 65, 0.5));
-    ComputeUnitParams cu;
-    cu.name = "EventFilter";
-    cu.layer = Layer::Sensor;
-    cu.inputPixelsPerCycle = {1, 1, 1};
-    cu.outputPixelsPerCycle = {1, 1, 1};
-    cu.energyPerCycle = 2e-12;
-    cu.numStages = 2;
-    d->addComputeUnit(ComputeUnit(cu));
-    d->setAdcOutput("EventFifo");
-    d->connectMemoryToUnit("EventFifo", "EventFilter");
-    d->setMipi(makeMipiCsi2());
-
-    d->mapping().map("Events", "DvsArray");
-    d->mapping().map("NoiseFilter", "EventFilter");
-    return d;
+    // active pixels, as 16-bit x,y,polarity packets.
+    return spec::DesignBuilder("dvs-camera")
+        .fps(kFps)
+        .digitalClock(50e6)
+        .inputStage("Events", {events, 1, 1}, 16)
+        .stage({.name = "NoiseFilter",
+                .op = StageOp::Threshold,
+                .inputSize = {events, 1, 1},
+                .outputSize = {events, 1, 1},
+                .bitDepth = 16},
+               {"Events"})
+        .analogArray({.name = "DvsArray",
+                      .role = AnalogRole::Sensing,
+                      .numComponents = {kWidth, kHeight, 1},
+                      .inputShape = {1, kWidth, 1},
+                      .outputShape = {1, kWidth, 1},
+                      // DVS pixels are big
+                      .componentArea = 18.0 * 18.0 * units::um2,
+                      .component = dvs})
+        .sram("EventFifo", Layer::Sensor, MemoryKind::Fifo, 4096, 16,
+              65, 0.5)
+        .computeUnit({.name = "EventFilter",
+                      .layer = Layer::Sensor,
+                      .inputPixelsPerCycle = {1, 1, 1},
+                      .outputPixelsPerCycle = {1, 1, 1},
+                      .energyPerCycle = 2e-12,
+                      .numStages = 2},
+                     {"EventFifo"})
+        .adcOutput("EventFifo")
+        .mipi()
+        .map("Events", "DvsArray")
+        .map("NoiseFilter", "EventFilter")
+        .spec();
 }
 
 /** Frame-based reference: full APS + ADC readout every frame. */
-std::shared_ptr<Design>
-buildFrameDesign()
+spec::DesignSpec
+frameSpec()
 {
-    auto d = std::make_shared<Design>(
-        DesignParams{"frame-camera", kFps, 50e6});
+    spec::ComponentSpec pixel;
+    pixel.kind = spec::ComponentKind::Aps4T;
+    spec::ComponentSpec adc;
+    adc.kind = spec::ComponentKind::ColumnAdc;
+    adc.adc = {.bits = 8};
 
-    SwGraph &sw = d->sw();
-    sw.addStage({.name = "Input", .op = StageOp::Input,
-                 .outputSize = {kWidth, kHeight, 1}});
-
-    AnalogArrayParams pa;
-    pa.name = "PixelArray";
-    pa.numComponents = {kWidth, kHeight, 1};
-    pa.inputShape = {1, kWidth, 1};
-    pa.outputShape = {1, kWidth, 1};
-    pa.componentArea = 9.0 * units::um2;
-    d->addAnalogArray(AnalogArray(pa, makeAps4T()),
-                      AnalogRole::Sensing);
-    AnalogArrayParams aa;
-    aa.name = "Adc";
-    aa.numComponents = {kWidth, 1, 1};
-    aa.inputShape = {1, kWidth, 1};
-    aa.outputShape = {1, kWidth, 1};
-    aa.componentArea = 1e-9;
-    d->addAnalogArray(AnalogArray(aa, makeColumnAdc({.bits = 8})),
-                      AnalogRole::Adc);
-    d->setMipi(makeMipiCsi2());
-    d->mapping().map("Input", "PixelArray");
-    return d;
+    return spec::DesignBuilder("frame-camera")
+        .fps(kFps)
+        .digitalClock(50e6)
+        .inputStage("Input", {kWidth, kHeight, 1})
+        .analogArray({.name = "PixelArray",
+                      .role = AnalogRole::Sensing,
+                      .numComponents = {kWidth, kHeight, 1},
+                      .inputShape = {1, kWidth, 1},
+                      .outputShape = {1, kWidth, 1},
+                      .componentArea = 9.0 * units::um2,
+                      .component = pixel})
+        .analogArray({.name = "Adc",
+                      .role = AnalogRole::Adc,
+                      .numComponents = {kWidth, 1, 1},
+                      .inputShape = {1, kWidth, 1},
+                      .outputShape = {1, kWidth, 1},
+                      .componentArea = 1e-9,
+                      .component = adc})
+        .mipi()
+        .map("Input", "PixelArray")
+        .spec();
 }
 
 } // namespace
@@ -127,21 +119,42 @@ main()
 {
     setLoggingEnabled(false);
 
-    EnergyReport frame = buildFrameDesign()->simulate();
+    const double activities[] = {0.001, 0.01, 0.05, 0.10, 0.25, 0.50};
+
+    // One batch: the frame-based reference plus every activity level.
+    std::vector<spec::DesignSpec> batch = {frameSpec()};
+    for (double activity : activities)
+        batch.push_back(dvsSpec(activity));
+
+    SweepEngine engine(SweepOptions{.threads = 4});
+    std::vector<SweepResult> results = engine.run(batch);
+    const SweepResult &frame = results[0];
+    if (!frame.feasible) {
+        std::printf("frame reference infeasible: %s\n",
+                    frame.error.c_str());
+        return 1;
+    }
+
     std::printf("Event camera vs frame camera (320x240 @ %.0f fps)\n\n",
                 kFps);
     std::printf("frame-based reference: %.2f uJ/frame (%.2f mW)\n\n",
-                frame.total() / units::uJ,
-                frame.total() * kFps / units::mW);
+                frame.report.total() / units::uJ,
+                frame.report.total() * kFps / units::mW);
 
     std::printf("%-16s %14s %14s %10s\n", "scene activity",
                 "E/frame[uJ]", "power[mW]", "vs frame");
-    for (double activity : {0.001, 0.01, 0.05, 0.10, 0.25, 0.50}) {
-        EnergyReport r = buildDvsDesign(activity)->simulate();
+    for (size_t i = 0; i < std::size(activities); ++i) {
+        const SweepResult &r = results[i + 1];
+        if (!r.feasible) {
+            std::printf("%13.1f%%  -- infeasible: %s\n",
+                        100.0 * activities[i], r.error.c_str());
+            continue;
+        }
         std::printf("%13.1f%%  %14.3f %14.3f %9.2fx\n",
-                    100.0 * activity, r.total() / units::uJ,
-                    r.total() * kFps / units::mW,
-                    r.total() / frame.total());
+                    100.0 * activities[i],
+                    r.report.total() / units::uJ,
+                    r.report.total() * kFps / units::mW,
+                    r.report.total() / frame.report.total());
     }
 
     std::printf("\ntakeaway: event-driven sensing wins whenever the "

@@ -2,7 +2,8 @@
  * @file
  * Example: the Ed-Gaze gaze-tracking pipeline (Sec. 6.1-6.3),
  * including the mixed-signal variant of Fig. 10 where downsampling
- * and frame subtraction move into the analog domain.
+ * and frame subtraction move into the analog domain — evaluated
+ * through the Simulator front-end.
  *
  * Demonstrates three CamJ capabilities on one workload:
  *   1. placement exploration (in vs off sensor, 2D vs 3D),
@@ -16,8 +17,9 @@
 #include <vector>
 
 #include "common/units.h"
+#include "explore/breakdown.h"
+#include "explore/simulator.h"
 #include "usecases/edgaze.h"
-#include "usecases/explorer.h"
 
 using namespace camj;
 
@@ -36,12 +38,15 @@ main()
         EdgazeVariant::TwoDInMixed,
     };
 
+    Simulator simulator;
+
     for (int cis_node : {130, 65}) {
         std::printf("--- CIS node %d nm (SoC/stacked die at 22 nm) "
                     "---\n", cis_node);
         std::vector<BreakdownRow> rows;
         for (EdgazeVariant v : variants) {
-            EnergyReport r = buildEdgaze(v, cis_node)->simulate();
+            EnergyReport r =
+                simulator.simulate(*buildEdgaze(v, cis_node));
             rows.push_back(breakdownOf(edgazeVariantName(v), r));
         }
         std::printf("%s\n", formatBreakdownTable(rows).c_str());
@@ -50,7 +55,7 @@ main()
     // Drill into one report to show the per-unit view.
     std::printf("--- per-unit drill-down: 2D-In-Mixed @ 65 nm ---\n");
     EnergyReport mixed =
-        buildEdgaze(EdgazeVariant::TwoDInMixed, 65)->simulate();
+        simulator.simulate(*buildEdgaze(EdgazeVariant::TwoDInMixed, 65));
     std::printf("%s\n", mixed.pretty().c_str());
 
     std::printf("takeaways:\n");

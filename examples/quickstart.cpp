@@ -1,21 +1,24 @@
 /**
  * @file
- * Quickstart: the paper's running example (Fig. 5 / Fig. 6).
+ * Quickstart: the paper's running example (Fig. 5 / Fig. 6), written
+ * against the DesignBuilder front-end.
  *
  * A conceptual CIS with a 32x32 pixel array: every 2x2 tile is
  * charge-binned to a 16x16 image, a digital edge-detection unit
  * consumes it through a 3-row line buffer, and the edge map leaves
- * the sensor over MIPI CSI-2. The example walks through the three
- * decoupled descriptions (algorithm, hardware, mapping), runs the
- * simulation, and prints the per-unit energy report and the Fig. 6
- * delay estimate.
+ * the sensor over MIPI CSI-2. The builder assembles the three
+ * decoupled descriptions (algorithm, hardware, mapping) with
+ * call-site validation, the Simulator runs the Sec. 4 methodology,
+ * and the resulting DesignSpec round-trips through JSON — designs
+ * are data.
  *
  * Build & run:  ./build/examples/quickstart
  */
 
 #include <cstdio>
 
-#include "core/design.h"
+#include "explore/simulator.h"
+#include "spec/builder.h"
 
 using namespace camj;
 
@@ -23,94 +26,79 @@ int
 main()
 {
     // ------------------------------------------------------------------
-    // Design container: 30 fps target, 10 MHz digital clock.
+    // The three decoupled descriptions, assembled fluently: algorithm
+    // stages (with producer edges), the analog chain, the digital
+    // pipeline, communication, and the mapping.
     // ------------------------------------------------------------------
-    Design design({.name = "fig5-quickstart", .fps = 30.0,
-                   .digitalClock = 10e6});
+    ApsParams aps;
+    aps.pixelsPerComponent = 4; // four 4T-APS share one readout
+    spec::ComponentSpec pixel;
+    pixel.kind = spec::ComponentKind::Aps4T;
+    pixel.aps = aps;
+    spec::ComponentSpec adc;
+    adc.kind = spec::ComponentKind::ColumnAdc;
+    adc.adc = {.bits = 10};
 
-    // ------------------------------------------------------------------
-    // Algorithm description (camj_sw_config in the paper).
-    // ------------------------------------------------------------------
-    SwGraph &sw = design.sw();
-    StageId input = sw.addStage({.name = "Input",
-                                 .op = StageOp::Input,
-                                 .outputSize = {32, 32, 1},
-                                 .bitDepth = 8});
-    StageId binning = sw.addStage({.name = "Binning",
-                                   .op = StageOp::Binning,
-                                   .inputSize = {32, 32, 1},
-                                   .outputSize = {16, 16, 1},
-                                   .kernel = {2, 2, 1},
-                                   .stride = {2, 2, 1}});
-    StageId edge = sw.addStage({.name = "EdgeDetection",
-                                .op = StageOp::DepthwiseConv2d,
-                                .inputSize = {16, 16, 1},
-                                .outputSize = {14, 14, 1},
-                                .kernel = {3, 3, 1},
-                                .stride = {1, 1, 1}});
-    sw.connect(input, binning);
-    sw.connect(binning, edge);
-
-    // ------------------------------------------------------------------
-    // Hardware description (camj_hw_config): analog part.
-    // ------------------------------------------------------------------
-    {
-        // Each component is a binning pixel: four 4T-APS sharing one
-        // readout (the paper's impl = (APS(4, ...), 4)).
-        ApsParams aps;
-        aps.pixelsPerComponent = 4;
-        AnalogArrayParams ap;
-        ap.name = "PixelArray";
-        ap.numComponents = {16, 16, 1};
-        ap.inputShape = {1, 32, 1};
-        ap.outputShape = {1, 16, 1};
-        ap.componentArea = 4.0 * 9.0 * units::um2; // 3 um pitch
-        design.addAnalogArray(AnalogArray(ap, makeAps4T(aps)),
-                              AnalogRole::Sensing);
-    }
-    {
-        AnalogArrayParams ap;
-        ap.name = "ADCArray";
-        ap.numComponents = {16, 1, 1};
-        ap.inputShape = {1, 16, 1};
-        ap.outputShape = {1, 16, 1};
-        ap.componentArea = 1.0e-9;
-        design.addAnalogArray(AnalogArray(ap,
-                                          makeColumnAdc({.bits = 10})),
-                              AnalogRole::Adc);
-    }
-
-    // Digital part: a 3x16 line buffer and a 2-stage edge unit that
-    // reads a 1x3 pixel column per cycle (Fig. 5's numbers).
-    design.addMemory(makeSramMemory("LineBuffer", Layer::Sensor,
-                                    MemoryKind::LineBuffer, 3 * 16, 8,
-                                    65, 1.0));
-    {
-        ComputeUnitParams cu;
-        cu.name = "EdgeUnit";
-        cu.layer = Layer::Sensor;
-        cu.inputPixelsPerCycle = {1, 3, 1};
-        cu.outputPixelsPerCycle = {1, 1, 1};
-        cu.energyPerCycle = 3.0 * units::pJ;
-        cu.numStages = 2;
-        cu.opsPerCycle = 9;
-        design.addComputeUnit(ComputeUnit(cu));
-    }
-    design.setAdcOutput("LineBuffer");
-    design.connectMemoryToUnit("LineBuffer", "EdgeUnit");
-    design.setMipi(makeMipiCsi2());
-
-    // ------------------------------------------------------------------
-    // Mapping (camj_mapping).
-    // ------------------------------------------------------------------
-    design.mapping().map("Input", "PixelArray");
-    design.mapping().map("Binning", "PixelArray");
-    design.mapping().map("EdgeDetection", "EdgeUnit");
+    spec::DesignSpec design =
+        spec::DesignBuilder("fig5-quickstart")
+            .fps(30.0)
+            .digitalClock(10e6)
+            // Algorithm description (camj_sw_config in the paper).
+            .inputStage("Input", {32, 32, 1})
+            .stage({.name = "Binning",
+                    .op = StageOp::Binning,
+                    .inputSize = {32, 32, 1},
+                    .outputSize = {16, 16, 1},
+                    .kernel = {2, 2, 1},
+                    .stride = {2, 2, 1}},
+                   {"Input"})
+            .stage({.name = "EdgeDetection",
+                    .op = StageOp::DepthwiseConv2d,
+                    .inputSize = {16, 16, 1},
+                    .outputSize = {14, 14, 1},
+                    .kernel = {3, 3, 1},
+                    .stride = {1, 1, 1}},
+                   {"Binning"})
+            // Hardware description: analog chain...
+            .analogArray({.name = "PixelArray",
+                          .role = AnalogRole::Sensing,
+                          .numComponents = {16, 16, 1},
+                          .inputShape = {1, 32, 1},
+                          .outputShape = {1, 16, 1},
+                          .componentArea = 4.0 * 9.0 * units::um2,
+                          .component = pixel})
+            .analogArray({.name = "ADCArray",
+                          .role = AnalogRole::Adc,
+                          .numComponents = {16, 1, 1},
+                          .inputShape = {1, 16, 1},
+                          .outputShape = {1, 16, 1},
+                          .componentArea = 1.0e-9,
+                          .component = adc})
+            // ...and the digital pipeline of Fig. 5: a 3x16 line
+            // buffer and a 2-stage edge unit reading 1x3 per cycle.
+            .sram("LineBuffer", Layer::Sensor, MemoryKind::LineBuffer,
+                  3 * 16, 8, 65, 1.0)
+            .computeUnit({.name = "EdgeUnit",
+                          .layer = Layer::Sensor,
+                          .inputPixelsPerCycle = {1, 3, 1},
+                          .outputPixelsPerCycle = {1, 1, 1},
+                          .energyPerCycle = 3.0 * units::pJ,
+                          .numStages = 2,
+                          .opsPerCycle = 9},
+                         {"LineBuffer"})
+            .adcOutput("LineBuffer")
+            .mipi()
+            // Mapping (camj_mapping).
+            .map("Input", "PixelArray")
+            .map("Binning", "PixelArray")
+            .map("EdgeDetection", "EdgeUnit")
+            .spec();
 
     // ------------------------------------------------------------------
     // Simulate and report.
     // ------------------------------------------------------------------
-    EnergyReport report = design.simulate();
+    Simulator simulator;
+    EnergyReport report = simulator.simulate(design);
     std::printf("%s\n", report.pretty().c_str());
 
     std::printf("Fig. 6 relation: %d x T_A + T_D = T_FR\n",
@@ -119,5 +107,17 @@ main()
                 formatTime(report.analogUnitTime).c_str(),
                 formatTime(report.digitalLatency).c_str(),
                 formatTime(report.frameTime).c_str());
+
+    // ------------------------------------------------------------------
+    // The design is data: serialize it, reload it, simulate again.
+    // ------------------------------------------------------------------
+    std::string doc = spec::toJson(design);
+    spec::DesignSpec reloaded = spec::fromJson(doc);
+    EnergyReport again = simulator.simulate(reloaded);
+    std::printf("\nJSON round-trip: %zu-byte spec re-simulates to "
+                "%s/frame (%s)\n", doc.size(),
+                formatEnergy(again.total()).c_str(),
+                again.total() == report.total() ? "bit-identical"
+                                                : "MISMATCH");
     return 0;
 }

@@ -2,13 +2,13 @@
  * @file
  * Example: exploring in-sensor vs off-sensor placement for an
  * ROI-based image encoder (the Rhythmic Pixel Regions workload of
- * Sec. 6.1).
+ * Sec. 6.1), using the Simulator front-end.
  *
  * This is the core CamJ loop a designer runs: build the workload
- * once, then re-simulate it under different placements and process
- * nodes, comparing the category breakdowns. The decoupled
- * algorithm/hardware/mapping descriptions make each variant a
- * one-line change.
+ * once, then re-evaluate it under different placements and process
+ * nodes, comparing the category breakdowns. The Simulator returns
+ * feasibility verdicts instead of throwing, so a sweep over variants
+ * needs no exception plumbing.
  *
  * Build & run:  ./build/examples/roi_encoder
  */
@@ -17,7 +17,8 @@
 #include <vector>
 
 #include "common/units.h"
-#include "usecases/explorer.h"
+#include "explore/breakdown.h"
+#include "explore/simulator.h"
 #include "usecases/rhythmic.h"
 
 using namespace camj;
@@ -30,6 +31,8 @@ main()
     std::printf("ROI encoder placement exploration (1280x720 @ 30 "
                 "fps, ~7.4M ops/frame, ROI halves the output)\n\n");
 
+    Simulator simulator({.checkMode = CheckMode::Report});
+
     std::vector<BreakdownRow> rows;
     double best_total = 1e30;
     std::string best_name;
@@ -39,14 +42,19 @@ main()
                                       SensorVariant::TwoDIn,
                                       SensorVariant::ThreeDIn}) {
             auto design = buildRhythmic(variant, cis_node);
-            EnergyReport report = design->simulate();
+            SimulationOutcome outcome = simulator.run(*design);
 
             std::string label = std::string(sensorVariantName(variant)) +
                                 " @" + std::to_string(cis_node) + "nm";
-            rows.push_back(breakdownOf(label, report));
+            if (!outcome.feasible) {
+                std::printf("%-22s -- infeasible: %s\n", label.c_str(),
+                            outcome.error.c_str());
+                continue;
+            }
+            rows.push_back(breakdownOf(label, outcome.report));
 
-            if (report.total() < best_total) {
-                best_total = report.total();
+            if (outcome.report.total() < best_total) {
+                best_total = outcome.report.total();
                 best_name = label;
             }
         }

@@ -119,6 +119,25 @@ Design::addSystolicArray(SystolicArray array)
     units_.push_back(std::move(e));
 }
 
+namespace
+{
+
+/** "'a', 'b', 'c'" for not-found diagnostics. */
+template <typename Range, typename NameFn>
+std::string
+registeredNames(const Range &range, NameFn name)
+{
+    std::string out;
+    for (const auto &item : range) {
+        if (!out.empty())
+            out += ", ";
+        out += "'" + name(item) + "'";
+    }
+    return out.empty() ? "<none>" : out;
+}
+
+} // namespace
+
 int
 Design::findMemory(const std::string &name, const char *who) const
 {
@@ -126,8 +145,11 @@ Design::findMemory(const std::string &name, const char *who) const
         if (mems_[i].name() == name)
             return static_cast<int>(i);
     }
-    fatal("Design %s: %s: no memory named '%s'", params_.name.c_str(),
-          who, name.c_str());
+    fatal("Design %s: %s: no memory named '%s' (registered memories: "
+          "%s)", params_.name.c_str(), who, name.c_str(),
+          registeredNames(mems_, [](const DigitalMemory &m) {
+              return m.name();
+          }).c_str());
 }
 
 int
@@ -137,8 +159,11 @@ Design::findUnit(const std::string &name, const char *who) const
         if (units_[i].name() == name)
             return static_cast<int>(i);
     }
-    fatal("Design %s: %s: no compute unit named '%s'",
-          params_.name.c_str(), who, name.c_str());
+    fatal("Design %s: %s: no compute unit named '%s' (registered "
+          "units: %s)", params_.name.c_str(), who, name.c_str(),
+          registeredNames(units_, [](const UnitEntry &u) {
+              return u.name();
+          }).c_str());
 }
 
 int

@@ -1,0 +1,59 @@
+#include "explore/breakdown.h"
+
+#include <sstream>
+
+#include "common/logging.h"
+#include "common/units.h"
+
+namespace camj
+{
+
+double
+BreakdownRow::uJ(EnergyCategory cat) const
+{
+    const auto &cats = allEnergyCategories();
+    for (size_t i = 0; i < cats.size() && i < categoryUJ.size(); ++i) {
+        if (cats[i] == cat)
+            return categoryUJ[i];
+    }
+    return 0.0;
+}
+
+BreakdownRow
+breakdownOf(const std::string &label, const EnergyReport &report)
+{
+    BreakdownRow row;
+    row.label = label;
+    for (EnergyCategory cat : allEnergyCategories())
+        row.categoryUJ.push_back(report.category(cat) / units::uJ);
+    row.totalUJ = report.total() / units::uJ;
+    return row;
+}
+
+std::string
+formatBreakdownTable(const std::vector<BreakdownRow> &rows)
+{
+    std::ostringstream os;
+    os << strprintf("%-22s", "config");
+    for (EnergyCategory cat : allEnergyCategories())
+        os << strprintf(" %9s", energyCategoryName(cat));
+    os << strprintf(" %10s\n", "TOTAL[uJ]");
+    for (const BreakdownRow &r : rows) {
+        os << strprintf("%-22s", r.label.c_str());
+        for (size_t i = 0; i < allEnergyCategories().size(); ++i) {
+            double v = i < r.categoryUJ.size() ? r.categoryUJ[i] : 0.0;
+            os << strprintf(" %9.2f", v);
+        }
+        os << strprintf(" %10.2f\n", r.totalUJ);
+    }
+    return os.str();
+}
+
+double
+powerDensityMwPerMm2(const EnergyReport &report)
+{
+    // powerDensity() is W/m^2; 1 W/m^2 == 1e-3 mW/mm^2.
+    return report.powerDensity() * 1e-3;
+}
+
+} // namespace camj

@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Category-breakdown helpers shared by the exploration engine, the
+ * Fig. 9 / 11-13 / Table 3 benches, and the examples: per-category
+ * rows in the paper's microjoule units, table formatting, and the
+ * Sec. 6.2 power-density figure of merit.
+ *
+ * (Promoted here from src/usecases/explorer.* so SweepResult can
+ * carry breakdowns without the explore layer depending on usecases.)
+ */
+
+#ifndef CAMJ_EXPLORE_BREAKDOWN_H
+#define CAMJ_EXPLORE_BREAKDOWN_H
+
+#include <string>
+#include <vector>
+
+#include "core/report.h"
+
+namespace camj
+{
+
+/**
+ * One config's category breakdown in microjoules per frame. The
+ * per-category values are stored in allEnergyCategories() order, so
+ * adding an EnergyCategory can never silently desync the accounting.
+ */
+struct BreakdownRow
+{
+    std::string label;
+    /** Parallel to allEnergyCategories(). */
+    std::vector<double> categoryUJ;
+    double totalUJ = 0.0;
+
+    /** Energy of one category [uJ]; 0 when the row is empty. */
+    double uJ(EnergyCategory cat) const;
+};
+
+/** Fold a report into a breakdown row. */
+BreakdownRow breakdownOf(const std::string &label,
+                         const EnergyReport &report);
+
+/** Render rows as an aligned text table (the Fig. 9/11 series). */
+std::string formatBreakdownTable(const std::vector<BreakdownRow> &rows);
+
+/** Sec. 6.2 power density in the paper's unit [mW/mm^2]. */
+double powerDensityMwPerMm2(const EnergyReport &report);
+
+} // namespace camj
+
+#endif // CAMJ_EXPLORE_BREAKDOWN_H

@@ -1,0 +1,88 @@
+#include "explore/simulator.h"
+
+#include "common/logging.h"
+
+namespace camj
+{
+
+Energy
+SimulationOutcome::totalEnergy() const
+{
+    return report.total() * static_cast<double>(frames);
+}
+
+Simulator::Simulator(SimulationOptions options)
+    : options_(options)
+{
+    if (options_.frames < 1)
+        fatal("Simulator: frames must be >= 1 (got %d)",
+              options_.frames);
+    if (options_.exposure < 0.0)
+        fatal("Simulator: negative exposure");
+}
+
+SimulationOutcome
+Simulator::finish(EnergyReport report) const
+{
+    SimulationOutcome out;
+    out.feasible = true;
+    out.frames = options_.frames;
+    out.report = std::move(report);
+    if (options_.withNoise) {
+        NoiseModel model(options_.noise);
+        const Time exposure = options_.exposure > 0.0
+                                  ? options_.exposure
+                                  : 0.5 * out.report.frameTime;
+        out.snrPenaltyDb =
+            model.snrPenaltyDb(out.report.powerDensity(), exposure);
+    }
+    return out;
+}
+
+SimulationOutcome
+Simulator::failure(const std::string &what) const
+{
+    SimulationOutcome out;
+    out.feasible = false;
+    out.frames = options_.frames;
+    out.error = what;
+    return out;
+}
+
+SimulationOutcome
+Simulator::run(const Design &design) const
+{
+    if (options_.checkMode == CheckMode::Strict)
+        return finish(design.simulate());
+    try {
+        return finish(design.simulate());
+    } catch (const ConfigError &e) {
+        return failure(e.what());
+    }
+}
+
+SimulationOutcome
+Simulator::run(const spec::DesignSpec &spec) const
+{
+    if (options_.checkMode == CheckMode::Strict)
+        return finish(spec.materialize().simulate());
+    try {
+        return finish(spec.materialize().simulate());
+    } catch (const ConfigError &e) {
+        return failure(e.what());
+    }
+}
+
+EnergyReport
+Simulator::simulate(const Design &design) const
+{
+    return design.simulate();
+}
+
+EnergyReport
+Simulator::simulate(const spec::DesignSpec &spec) const
+{
+    return spec.materialize().simulate();
+}
+
+} // namespace camj

@@ -1,0 +1,145 @@
+#include "explore/sweep.h"
+
+#include <atomic>
+#include <sstream>
+#include <thread>
+
+#include "common/logging.h"
+
+namespace camj
+{
+
+BreakdownRow
+SweepResult::breakdown(const std::string &label) const
+{
+    return breakdownOf(label.empty() ? designName : label, report);
+}
+
+double
+SweepResult::powerDensityMwPerMm2() const
+{
+    if (!feasible)
+        fatal("SweepResult %s: power density of an infeasible point",
+              designName.c_str());
+    return camj::powerDensityMwPerMm2(report);
+}
+
+Energy
+SweepResult::totalEnergy() const
+{
+    if (!feasible)
+        return 0.0;
+    return report.total() * static_cast<double>(frames);
+}
+
+SweepEngine::SweepEngine(SweepOptions options)
+    : options_(options)
+{
+    if (options_.threads < 0)
+        fatal("SweepEngine: negative thread count %d",
+              options_.threads);
+    // Infeasibility is data inside a sweep.
+    options_.sim.checkMode = CheckMode::Report;
+}
+
+int
+SweepEngine::effectiveThreads(size_t jobs) const
+{
+    unsigned hw = std::thread::hardware_concurrency();
+    if (hw == 0)
+        hw = 1;
+    size_t n = options_.threads > 0
+                   ? static_cast<size_t>(options_.threads)
+                   : static_cast<size_t>(hw);
+    if (n > jobs)
+        n = jobs;
+    return static_cast<int>(n == 0 ? 1 : n);
+}
+
+SweepResult
+SweepEngine::evaluateOne(const spec::DesignSpec &spec,
+                         size_t index) const
+{
+    SweepResult r;
+    r.index = index;
+    r.designName = spec.name;
+    // ConfigErrors are folded into the outcome by CheckMode::Report.
+    // Anything else (InternalError, bad_alloc) is a CamJ bug; capture
+    // it identically on the serial and parallel paths so the same
+    // batch can never behave differently across thread counts.
+    try {
+        Simulator sim(options_.sim);
+        SimulationOutcome out = sim.run(spec);
+        r.feasible = out.feasible;
+        r.error = std::move(out.error);
+        r.report = std::move(out.report);
+        r.frames = out.frames;
+        r.snrPenaltyDb = out.snrPenaltyDb;
+    } catch (const std::exception &e) {
+        r.feasible = false;
+        r.error = std::string("internal error: ") + e.what();
+    }
+    return r;
+}
+
+std::vector<SweepResult>
+SweepEngine::runSerial(const std::vector<spec::DesignSpec> &specs) const
+{
+    std::vector<SweepResult> results(specs.size());
+    for (size_t i = 0; i < specs.size(); ++i)
+        results[i] = evaluateOne(specs[i], i);
+    return results;
+}
+
+std::vector<SweepResult>
+SweepEngine::run(const std::vector<spec::DesignSpec> &specs) const
+{
+    const size_t n = specs.size();
+    const int workers = effectiveThreads(n);
+    if (n == 0)
+        return {};
+    if (workers <= 1)
+        return runSerial(specs);
+
+    std::vector<SweepResult> results(n);
+    std::atomic<size_t> next{0};
+
+    auto worker = [&] {
+        // Workers touch disjoint result slots; evaluateOne never
+        // throws, so nothing can escape across the thread boundary.
+        while (true) {
+            const size_t i = next.fetch_add(1);
+            if (i >= n)
+                return;
+            results[i] = evaluateOne(specs[i], i);
+        }
+    };
+
+    std::vector<std::thread> pool;
+    pool.reserve(static_cast<size_t>(workers));
+    for (int t = 0; t < workers; ++t)
+        pool.emplace_back(worker);
+    for (std::thread &t : pool)
+        t.join();
+    return results;
+}
+
+std::string
+formatSweepTable(const std::vector<SweepResult> &results)
+{
+    std::vector<BreakdownRow> rows;
+    std::ostringstream infeasible;
+    for (const SweepResult &r : results) {
+        if (r.feasible)
+            rows.push_back(r.breakdown());
+        else
+            infeasible << strprintf("%-22s -- infeasible: %s\n",
+                                    r.designName.c_str(),
+                                    r.error.c_str());
+    }
+    std::string out = formatBreakdownTable(rows);
+    out += infeasible.str();
+    return out;
+}
+
+} // namespace camj

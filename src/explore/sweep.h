@@ -1,0 +1,106 @@
+/**
+ * @file
+ * SweepEngine: parallel evaluation of many DesignSpec points — the
+ * Fig. 4 exploration feedback loop as a batch operation. A sweep
+ * takes a vector of specs, evaluates each on a std::thread pool
+ * (materialize -> simulate), and returns structured SweepResults
+ * carrying a feasibility verdict, the per-frame EnergyReport, and the
+ * promoted breakdown helpers — no ConfigError ever escapes a sweep.
+ *
+ * Specs are value types and the engine is stateless, so workers share
+ * nothing but the input vector and their own result slots; results
+ * are bit-identical to a serial loop over Design::simulate().
+ */
+
+#ifndef CAMJ_EXPLORE_SWEEP_H
+#define CAMJ_EXPLORE_SWEEP_H
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "explore/breakdown.h"
+#include "explore/simulator.h"
+#include "spec/spec.h"
+
+namespace camj
+{
+
+/** Options of one sweep. */
+struct SweepOptions
+{
+    /** Worker threads; 0 = std::thread::hardware_concurrency(). */
+    int threads = 0;
+    /** Per-design-point simulation options. checkMode is forced to
+     *  Report inside the sweep: infeasibility is a result, not an
+     *  exception. */
+    SimulationOptions sim;
+};
+
+/** The outcome of one design point of a sweep. */
+struct SweepResult
+{
+    /** Position in the input vector. */
+    size_t index = 0;
+    /** Design name from the spec. */
+    std::string designName;
+    /** Feasibility verdict (false: a check failed, see error). */
+    bool feasible = false;
+    /** Failure text for infeasible points. */
+    std::string error;
+    /** Per-frame report; valid when feasible. */
+    EnergyReport report;
+    /** Frames the result covers (SweepOptions.sim.frames). */
+    int frames = 1;
+    /** SNR penalty [dB] when the sweep ran with noise enabled. */
+    double snrPenaltyDb = 0.0;
+
+    /** Category breakdown row ("" label = the design name). */
+    BreakdownRow breakdown(const std::string &label = "") const;
+
+    /** Sec. 6.2 power density [mW/mm^2]. @throws ConfigError when
+     *  infeasible or the footprint is zero. */
+    double powerDensityMwPerMm2() const;
+
+    /** Energy over all simulated frames [J]; 0 when infeasible. */
+    Energy totalEnergy() const;
+};
+
+/** Parallel design-space evaluator. */
+class SweepEngine
+{
+  public:
+    /** @throws ConfigError on negative thread counts. */
+    explicit SweepEngine(SweepOptions options = {});
+
+    const SweepOptions &options() const { return options_; }
+
+    /** Worker count a run() will actually use for @p jobs points. */
+    int effectiveThreads(size_t jobs) const;
+
+    /**
+     * Evaluate every spec; results come back in input order. Never
+     * throws ConfigError — infeasible points carry their error text.
+     */
+    std::vector<SweepResult> run(
+        const std::vector<spec::DesignSpec> &specs) const;
+
+    /** Single-threaded reference implementation (identical results;
+     *  used for verification and speedup baselines). */
+    std::vector<SweepResult> runSerial(
+        const std::vector<spec::DesignSpec> &specs) const;
+
+  private:
+    SweepOptions options_;
+
+    SweepResult evaluateOne(const spec::DesignSpec &spec,
+                            size_t index) const;
+};
+
+/** Render the feasible rows as a breakdown table; infeasible rows
+ *  render as one-line verdicts. */
+std::string formatSweepTable(const std::vector<SweepResult> &results);
+
+} // namespace camj
+
+#endif // CAMJ_EXPLORE_SWEEP_H

@@ -1,0 +1,573 @@
+#include "spec/json.h"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/logging.h"
+
+namespace camj::json
+{
+
+Value
+Value::makeArray()
+{
+    Value v;
+    v.type_ = Type::Array;
+    return v;
+}
+
+Value
+Value::makeObject()
+{
+    Value v;
+    v.type_ = Type::Object;
+    return v;
+}
+
+namespace
+{
+
+const char *
+typeName(Value::Type t)
+{
+    switch (t) {
+      case Value::Type::Null: return "null";
+      case Value::Type::Bool: return "bool";
+      case Value::Type::Number: return "number";
+      case Value::Type::String: return "string";
+      case Value::Type::Array: return "array";
+      case Value::Type::Object: return "object";
+    }
+    return "?";
+}
+
+} // namespace
+
+bool
+Value::asBool() const
+{
+    if (type_ != Type::Bool)
+        fatal("json: expected bool, got %s", typeName(type_));
+    return bool_;
+}
+
+double
+Value::asNumber() const
+{
+    if (type_ != Type::Number)
+        fatal("json: expected number, got %s", typeName(type_));
+    return num_;
+}
+
+int64_t
+Value::asInt() const
+{
+    return static_cast<int64_t>(std::llround(asNumber()));
+}
+
+const std::string &
+Value::asString() const
+{
+    if (type_ != Type::String)
+        fatal("json: expected string, got %s", typeName(type_));
+    return str_;
+}
+
+const Value::Array &
+Value::asArray() const
+{
+    if (type_ != Type::Array)
+        fatal("json: expected array, got %s", typeName(type_));
+    return arr_;
+}
+
+const Value::Object &
+Value::asObject() const
+{
+    if (type_ != Type::Object)
+        fatal("json: expected object, got %s", typeName(type_));
+    return obj_;
+}
+
+void
+Value::push(Value v)
+{
+    if (type_ == Type::Null)
+        type_ = Type::Array;
+    if (type_ != Type::Array)
+        fatal("json: push on a %s value", typeName(type_));
+    arr_.push_back(std::move(v));
+}
+
+bool
+Value::has(const std::string &key) const
+{
+    return find(key) != nullptr;
+}
+
+const Value *
+Value::find(const std::string &key) const
+{
+    if (type_ != Type::Object)
+        return nullptr;
+    for (const auto &[k, v] : obj_) {
+        if (k == key)
+            return &v;
+    }
+    return nullptr;
+}
+
+const Value &
+Value::at(const std::string &key) const
+{
+    if (type_ != Type::Object)
+        fatal("json: member '%s' requested from a %s value",
+              key.c_str(), typeName(type_));
+    if (const Value *v = find(key))
+        return *v;
+    std::string keys;
+    for (const auto &[k, v] : obj_)
+        keys += (keys.empty() ? "" : ", ") + k;
+    fatal("json: missing member '%s' (object has: %s)", key.c_str(),
+          keys.empty() ? "<empty>" : keys.c_str());
+}
+
+void
+Value::set(const std::string &key, Value v)
+{
+    if (type_ == Type::Null)
+        type_ = Type::Object;
+    if (type_ != Type::Object)
+        fatal("json: set on a %s value", typeName(type_));
+    for (auto &[k, old] : obj_) {
+        if (k == key) {
+            old = std::move(v);
+            return;
+        }
+    }
+    obj_.emplace_back(key, std::move(v));
+}
+
+double
+Value::getNumber(const std::string &key, double fallback) const
+{
+    const Value *v = find(key);
+    return v ? v->asNumber() : fallback;
+}
+
+int64_t
+Value::getInt(const std::string &key, int64_t fallback) const
+{
+    const Value *v = find(key);
+    return v ? v->asInt() : fallback;
+}
+
+bool
+Value::getBool(const std::string &key, bool fallback) const
+{
+    const Value *v = find(key);
+    return v ? v->asBool() : fallback;
+}
+
+std::string
+Value::getString(const std::string &key,
+                 const std::string &fallback) const
+{
+    const Value *v = find(key);
+    return v ? v->asString() : fallback;
+}
+
+// ------------------------------------------------------------- writing
+
+namespace
+{
+
+void
+appendEscaped(std::string &out, const std::string &s)
+{
+    out += '"';
+    for (char c : s) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\b': out += "\\b"; break;
+          case '\f': out += "\\f"; break;
+          case '\n': out += "\\n"; break;
+          case '\r': out += "\\r"; break;
+          case '\t': out += "\\t"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    out += '"';
+}
+
+void
+appendNumber(std::string &out, double d)
+{
+    if (!std::isfinite(d))
+        fatal("json: cannot serialize a non-finite number");
+    // Integers up to 2^53 print without an exponent for readability;
+    // everything else uses %.17g for exact double round-trips.
+    if (d == std::floor(d) && std::fabs(d) < 9.0e15) {
+        char buf[32];
+        std::snprintf(buf, sizeof(buf), "%lld",
+                      static_cast<long long>(d));
+        out += buf;
+        return;
+    }
+    char buf[40];
+    std::snprintf(buf, sizeof(buf), "%.17g", d);
+    out += buf;
+}
+
+void
+appendNewline(std::string &out, int indent, int depth)
+{
+    if (indent <= 0)
+        return;
+    out += '\n';
+    out.append(static_cast<size_t>(indent * depth), ' ');
+}
+
+} // namespace
+
+void
+Value::dumpTo(std::string &out, int indent, int depth) const
+{
+    switch (type_) {
+      case Type::Null:
+        out += "null";
+        break;
+      case Type::Bool:
+        out += bool_ ? "true" : "false";
+        break;
+      case Type::Number:
+        appendNumber(out, num_);
+        break;
+      case Type::String:
+        appendEscaped(out, str_);
+        break;
+      case Type::Array:
+        if (arr_.empty()) {
+            out += "[]";
+            break;
+        }
+        out += '[';
+        for (size_t i = 0; i < arr_.size(); ++i) {
+            if (i > 0)
+                out += ',';
+            appendNewline(out, indent, depth + 1);
+            arr_[i].dumpTo(out, indent, depth + 1);
+        }
+        appendNewline(out, indent, depth);
+        out += ']';
+        break;
+      case Type::Object:
+        if (obj_.empty()) {
+            out += "{}";
+            break;
+        }
+        out += '{';
+        for (size_t i = 0; i < obj_.size(); ++i) {
+            if (i > 0)
+                out += ',';
+            appendNewline(out, indent, depth + 1);
+            appendEscaped(out, obj_[i].first);
+            out += indent > 0 ? ": " : ":";
+            obj_[i].second.dumpTo(out, indent, depth + 1);
+        }
+        appendNewline(out, indent, depth);
+        out += '}';
+        break;
+    }
+}
+
+std::string
+Value::dump(int indent) const
+{
+    std::string out;
+    dumpTo(out, indent, 0);
+    return out;
+}
+
+// ------------------------------------------------------------- parsing
+
+namespace
+{
+
+class Parser
+{
+  public:
+    explicit Parser(const std::string &text) : text_(text) {}
+
+    Value
+    parseDocument()
+    {
+        Value v = parseValue();
+        skipWhitespace();
+        if (pos_ < text_.size())
+            fail("trailing characters after the JSON document");
+        return v;
+    }
+
+  private:
+    const std::string &text_;
+    size_t pos_ = 0;
+
+    [[noreturn]] void
+    fail(const std::string &what) const
+    {
+        int line = 1, col = 1;
+        for (size_t i = 0; i < pos_ && i < text_.size(); ++i) {
+            if (text_[i] == '\n') {
+                ++line;
+                col = 1;
+            } else {
+                ++col;
+            }
+        }
+        fatal("json parse error at line %d, column %d: %s", line, col,
+              what.c_str());
+    }
+
+    void
+    skipWhitespace()
+    {
+        while (pos_ < text_.size()) {
+            char c = text_[pos_];
+            if (c == ' ' || c == '\t' || c == '\n' || c == '\r')
+                ++pos_;
+            else
+                break;
+        }
+    }
+
+    char
+    peek()
+    {
+        skipWhitespace();
+        if (pos_ >= text_.size())
+            fail("unexpected end of input");
+        return text_[pos_];
+    }
+
+    void
+    expect(char c)
+    {
+        if (peek() != c)
+            fail(std::string("expected '") + c + "'");
+        ++pos_;
+    }
+
+    bool
+    consumeIf(char c)
+    {
+        if (pos_ < text_.size() && peek() == c) {
+            ++pos_;
+            return true;
+        }
+        return false;
+    }
+
+    void
+    expectLiteral(const char *lit)
+    {
+        for (const char *p = lit; *p; ++p) {
+            if (pos_ >= text_.size() || text_[pos_] != *p)
+                fail(std::string("expected literal '") + lit + "'");
+            ++pos_;
+        }
+    }
+
+    Value
+    parseValue()
+    {
+        char c = peek();
+        switch (c) {
+          case '{': return parseObject();
+          case '[': return parseArray();
+          case '"': return Value(parseString());
+          case 't':
+            expectLiteral("true");
+            return Value(true);
+          case 'f':
+            expectLiteral("false");
+            return Value(false);
+          case 'n':
+            expectLiteral("null");
+            return Value();
+          default:
+            return parseNumber();
+        }
+    }
+
+    Value
+    parseObject()
+    {
+        expect('{');
+        Value obj = Value::makeObject();
+        if (consumeIf('}'))
+            return obj;
+        while (true) {
+            if (peek() != '"')
+                fail("expected a string object key");
+            std::string key = parseString();
+            expect(':');
+            if (obj.has(key))
+                fail("duplicate object key '" + key + "'");
+            obj.set(key, parseValue());
+            if (consumeIf(','))
+                continue;
+            expect('}');
+            return obj;
+        }
+    }
+
+    Value
+    parseArray()
+    {
+        expect('[');
+        Value arr = Value::makeArray();
+        if (consumeIf(']'))
+            return arr;
+        while (true) {
+            arr.push(parseValue());
+            if (consumeIf(','))
+                continue;
+            expect(']');
+            return arr;
+        }
+    }
+
+    std::string
+    parseString()
+    {
+        expect('"');
+        std::string out;
+        while (true) {
+            if (pos_ >= text_.size())
+                fail("unterminated string");
+            char c = text_[pos_++];
+            if (c == '"')
+                return out;
+            if (static_cast<unsigned char>(c) < 0x20)
+                fail("raw control character in string");
+            if (c != '\\') {
+                out += c;
+                continue;
+            }
+            if (pos_ >= text_.size())
+                fail("unterminated escape sequence");
+            char e = text_[pos_++];
+            switch (e) {
+              case '"': out += '"'; break;
+              case '\\': out += '\\'; break;
+              case '/': out += '/'; break;
+              case 'b': out += '\b'; break;
+              case 'f': out += '\f'; break;
+              case 'n': out += '\n'; break;
+              case 'r': out += '\r'; break;
+              case 't': out += '\t'; break;
+              case 'u': out += parseUnicodeEscape(); break;
+              default:
+                fail(std::string("invalid escape '\\") + e + "'");
+            }
+        }
+    }
+
+    std::string
+    parseUnicodeEscape()
+    {
+        if (pos_ + 4 > text_.size())
+            fail("truncated \\u escape");
+        unsigned code = 0;
+        for (int i = 0; i < 4; ++i) {
+            char c = text_[pos_++];
+            code <<= 4;
+            if (c >= '0' && c <= '9')
+                code += static_cast<unsigned>(c - '0');
+            else if (c >= 'a' && c <= 'f')
+                code += static_cast<unsigned>(c - 'a' + 10);
+            else if (c >= 'A' && c <= 'F')
+                code += static_cast<unsigned>(c - 'A' + 10);
+            else
+                fail("invalid hex digit in \\u escape");
+        }
+        // Encode the BMP code point as UTF-8 (surrogate pairs are not
+        // needed by spec files; reject them explicitly).
+        if (code >= 0xD800 && code <= 0xDFFF)
+            fail("surrogate pairs are not supported in spec files");
+        std::string out;
+        if (code < 0x80) {
+            out += static_cast<char>(code);
+        } else if (code < 0x800) {
+            out += static_cast<char>(0xC0 | (code >> 6));
+            out += static_cast<char>(0x80 | (code & 0x3F));
+        } else {
+            out += static_cast<char>(0xE0 | (code >> 12));
+            out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+            out += static_cast<char>(0x80 | (code & 0x3F));
+        }
+        return out;
+    }
+
+    Value
+    parseNumber()
+    {
+        skipWhitespace();
+        size_t start = pos_;
+        if (pos_ < text_.size() && text_[pos_] == '-')
+            ++pos_;
+        bool digits = false;
+        auto eatDigits = [&] {
+            while (pos_ < text_.size() && text_[pos_] >= '0' &&
+                   text_[pos_] <= '9') {
+                ++pos_;
+                digits = true;
+            }
+        };
+        eatDigits();
+        if (pos_ < text_.size() && text_[pos_] == '.') {
+            ++pos_;
+            eatDigits();
+        }
+        if (pos_ < text_.size() &&
+            (text_[pos_] == 'e' || text_[pos_] == 'E')) {
+            ++pos_;
+            if (pos_ < text_.size() &&
+                (text_[pos_] == '+' || text_[pos_] == '-'))
+                ++pos_;
+            size_t exp_start = pos_;
+            eatDigits();
+            if (pos_ == exp_start)
+                fail("malformed exponent");
+        }
+        if (!digits)
+            fail("invalid value");
+        std::string token = text_.substr(start, pos_ - start);
+        char *end = nullptr;
+        double d = std::strtod(token.c_str(), &end);
+        if (end != token.c_str() + token.size())
+            fail("malformed number '" + token + "'");
+        return Value(d);
+    }
+};
+
+} // namespace
+
+Value
+Value::parse(const std::string &text)
+{
+    Parser p(text);
+    return p.parseDocument();
+}
+
+} // namespace camj::json

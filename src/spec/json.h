@@ -1,0 +1,129 @@
+/**
+ * @file
+ * A minimal, dependency-free JSON value type with a hand-rolled
+ * recursive-descent parser and a deterministic writer. Only what the
+ * DesignSpec serialization needs: null/bool/number/string/array/object,
+ * insertion-ordered objects (stable round-trips), and %.17g number
+ * formatting so doubles survive save/load bit-exactly.
+ *
+ * Errors are reported through the library-wide ConfigError (a malformed
+ * spec file is a user configuration problem, like any other bad design
+ * description).
+ */
+
+#ifndef CAMJ_SPEC_JSON_H
+#define CAMJ_SPEC_JSON_H
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace camj::json
+{
+
+/** One JSON value; a tree of these represents a document. */
+class Value
+{
+  public:
+    enum class Type
+    {
+        Null,
+        Bool,
+        Number,
+        String,
+        Array,
+        Object,
+    };
+
+    /** Ordered key/value storage: preserves author ordering. */
+    using Object = std::vector<std::pair<std::string, Value>>;
+    using Array = std::vector<Value>;
+
+    Value() : type_(Type::Null) {}
+    Value(bool b) : type_(Type::Bool), bool_(b) {}
+    Value(double d) : type_(Type::Number), num_(d) {}
+    Value(int i) : type_(Type::Number), num_(i) {}
+    Value(int64_t i) : type_(Type::Number), num_(static_cast<double>(i)) {}
+    Value(const char *s) : type_(Type::String), str_(s) {}
+    Value(std::string s) : type_(Type::String), str_(std::move(s)) {}
+
+    /** An empty array value. */
+    static Value makeArray();
+    /** An empty object value. */
+    static Value makeObject();
+
+    Type type() const { return type_; }
+    bool isNull() const { return type_ == Type::Null; }
+    bool isBool() const { return type_ == Type::Bool; }
+    bool isNumber() const { return type_ == Type::Number; }
+    bool isString() const { return type_ == Type::String; }
+    bool isArray() const { return type_ == Type::Array; }
+    bool isObject() const { return type_ == Type::Object; }
+
+    /** @throws ConfigError if the value is not of the asked type. */
+    bool asBool() const;
+    double asNumber() const;
+    /** Number as a (rounded) 64-bit integer. */
+    int64_t asInt() const;
+    const std::string &asString() const;
+    const Array &asArray() const;
+    const Object &asObject() const;
+
+    // ----- array building -----
+
+    /** Append to an array (converts a Null value into an array). */
+    void push(Value v);
+
+    // ----- object access -----
+
+    /** True when an object has @p key. */
+    bool has(const std::string &key) const;
+
+    /**
+     * Member lookup. @throws ConfigError when absent or not an
+     * object; the error lists the keys that do exist.
+     */
+    const Value &at(const std::string &key) const;
+
+    /** Member lookup returning nullptr when absent. */
+    const Value *find(const std::string &key) const;
+
+    /** Set/overwrite a member (converts a Null value into an object). */
+    void set(const std::string &key, Value v);
+
+    // ----- typed object getters with defaults -----
+
+    double getNumber(const std::string &key, double fallback) const;
+    int64_t getInt(const std::string &key, int64_t fallback) const;
+    bool getBool(const std::string &key, bool fallback) const;
+    std::string getString(const std::string &key,
+                          const std::string &fallback) const;
+
+    /**
+     * Serialize. @param indent Spaces per nesting level; 0 renders a
+     * single line. Numbers use %.17g, so doubles round-trip exactly.
+     */
+    std::string dump(int indent = 2) const;
+
+    /**
+     * Parse a JSON document.
+     *
+     * @throws ConfigError with line/column context on syntax errors.
+     */
+    static Value parse(const std::string &text);
+
+  private:
+    Type type_;
+    bool bool_ = false;
+    double num_ = 0.0;
+    std::string str_;
+    Array arr_;
+    Object obj_;
+
+    void dumpTo(std::string &out, int indent, int depth) const;
+};
+
+} // namespace camj::json
+
+#endif // CAMJ_SPEC_JSON_H

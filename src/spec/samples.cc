@@ -1,0 +1,96 @@
+#include "spec/samples.h"
+
+#include <string>
+
+#include "common/units.h"
+#include "spec/builder.h"
+#include "tech/process_node.h"
+#include "tech/scaling.h"
+
+namespace camj::spec
+{
+
+DesignSpec
+sampleDetectorSpec(double fps, int node_nm)
+{
+    const NodeParams node = nodeParams(node_nm);
+    ComponentSpec pixel;
+    pixel.kind = ComponentKind::Aps4T;
+    pixel.aps.vdda = node.vdda;
+    pixel.aps.pixelsPerComponent = 16;
+    ComponentSpec adc;
+    adc.kind = ComponentKind::ColumnAdc;
+    adc.adc = {.bits = 8};
+
+    return DesignBuilder("detector-" + std::to_string(node_nm) +
+                         "nm-" +
+                         std::to_string(static_cast<int>(fps)) + "fps")
+        .fps(fps)
+        .digitalClock(20e6)
+        .inputStage("Input", {320, 240, 1})
+        .stage({.name = "Bin",
+                .op = StageOp::Binning,
+                .inputSize = {320, 240, 1},
+                .outputSize = {80, 60, 1},
+                .kernel = {4, 4, 1},
+                .stride = {4, 4, 1}},
+               {"Input"})
+        .stage({.name = "Conv",
+                .op = StageOp::Conv2d,
+                .inputSize = {80, 60, 1},
+                .outputSize = {78, 58, 8},
+                .kernel = {3, 3, 1},
+                .stride = {1, 1, 1}},
+               {"Bin"})
+        .stage({.name = "Classify",
+                .op = StageOp::FullyConnected,
+                .inputSize = {78, 58, 8},
+                .outputSize = {4, 1, 1}},
+               {"Conv"})
+        .analogArray({.name = "PixelArray",
+                      .role = AnalogRole::Sensing,
+                      .numComponents = {80, 60, 1},
+                      .inputShape = {1, 80, 1},
+                      .outputShape = {1, 80, 1},
+                      .componentArea = 16.0 * 9.0 * units::um2,
+                      .component = pixel})
+        .analogArray({.name = "Adc",
+                      .role = AnalogRole::Adc,
+                      .numComponents = {80, 1, 1},
+                      .inputShape = {1, 80, 1},
+                      .outputShape = {1, 80, 1},
+                      .componentArea = 1e-9,
+                      .component = adc})
+        .sram("ActBuf", Layer::Sensor, MemoryKind::DoubleBuffer, 16384,
+              64, node_nm, 0.5)
+        .systolicArray({.name = "Classifier",
+                        .layer = Layer::Sensor,
+                        .rows = 8,
+                        .cols = 8,
+                        .energyPerMac = macEnergy8bit(node_nm),
+                        .peArea = macArea8bit(node_nm)},
+                       {"ActBuf"})
+        .adcOutput("ActBuf")
+        .mipi()
+        .pipelineOutputBytes(4) // class label only
+        .map("Input", "PixelArray")
+        .map("Bin", "PixelArray")
+        .map("Conv", "Classifier")
+        .map("Classify", "Classifier")
+        .spec();
+}
+
+std::vector<DesignSpec>
+sampleDetectorGrid(const std::vector<int> &nodes,
+                   const std::vector<double> &rates)
+{
+    std::vector<DesignSpec> grid;
+    grid.reserve(nodes.size() * rates.size());
+    for (int node : nodes) {
+        for (double fps : rates)
+            grid.push_back(sampleDetectorSpec(fps, node));
+    }
+    return grid;
+}
+
+} // namespace camj::spec

@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Canonical sample DesignSpecs. One definition of the always-on QVGA
+ * detector (pixel binning -> small in-sensor classifier) is shared by
+ * the design_space_sweep example, the perf_simulator bench, and the
+ * sweep tests, so the three never drift apart and perf numbers always
+ * describe the same workload the tests pin down.
+ */
+
+#ifndef CAMJ_SPEC_SAMPLES_H
+#define CAMJ_SPEC_SAMPLES_H
+
+#include <vector>
+
+#include "spec/spec.h"
+
+namespace camj::spec
+{
+
+/**
+ * An always-on QVGA detection sensor: 4x4 pixel binning in the array,
+ * column ADCs, and an 8x8 systolic classifier behind a double buffer,
+ * with tech-scaled analog supply and MAC energy/area at @p node_nm.
+ * Transmits only a 4-byte class label over MIPI.
+ *
+ * @param fps Target frame rate; extreme rates cross the feasibility
+ *        boundary (the classifier's latency overruns the budget).
+ * @param node_nm CIS process node (e.g. 180/110/65/45).
+ * @throws ConfigError for nodes the scaling tables don't cover.
+ */
+DesignSpec sampleDetectorSpec(double fps, int node_nm);
+
+/**
+ * The fps x node sweep grid over sampleDetectorSpec, in row-major
+ * (node-outer) order — deliberately spanning both sides of the
+ * feasibility boundary.
+ */
+std::vector<DesignSpec> sampleDetectorGrid(
+    const std::vector<int> &nodes, const std::vector<double> &rates);
+
+} // namespace camj::spec
+
+#endif // CAMJ_SPEC_SAMPLES_H

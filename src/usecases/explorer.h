@@ -1,45 +1,14 @@
 /**
  * @file
- * Exploration helpers shared by the Fig. 9 / Fig. 11-13 / Table 3
- * benches: category breakdown rows, table formatting, and the power-
- * density figure of merit in the paper's mW/mm^2 units.
+ * Compatibility shim: the breakdown helpers the Fig. 9 / 11-13 /
+ * Table 3 benches historically included from here now live in the
+ * exploration subsystem (src/explore/breakdown.h), where SweepResult
+ * builds on them. Include that header directly in new code.
  */
 
 #ifndef CAMJ_USECASES_EXPLORER_H
 #define CAMJ_USECASES_EXPLORER_H
 
-#include <string>
-#include <vector>
-
-#include "core/report.h"
-
-namespace camj
-{
-
-/** One config's category breakdown in microjoules per frame. */
-struct BreakdownRow
-{
-    std::string label;
-    double senUJ = 0.0;
-    double compAUJ = 0.0;
-    double memAUJ = 0.0;
-    double compDUJ = 0.0;
-    double memDUJ = 0.0;
-    double mipiUJ = 0.0;
-    double tsvUJ = 0.0;
-    double totalUJ = 0.0;
-};
-
-/** Fold a report into a breakdown row. */
-BreakdownRow breakdownOf(const std::string &label,
-                         const EnergyReport &report);
-
-/** Render rows as an aligned text table (the Fig. 9/11 series). */
-std::string formatBreakdownTable(const std::vector<BreakdownRow> &rows);
-
-/** Sec. 6.2 power density in the paper's unit [mW/mm^2]. */
-double powerDensityMwPerMm2(const EnergyReport &report);
-
-} // namespace camj
+#include "explore/breakdown.h"
 
 #endif // CAMJ_USECASES_EXPLORER_H

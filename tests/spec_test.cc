@@ -1,0 +1,485 @@
+/**
+ * @file
+ * Tests for the data-driven front-end: the JSON layer, the DesignSpec
+ * value type (round-trips, materialization equivalence against a
+ * hand-built Design), and DesignBuilder's incremental validation.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/logging.h"
+#include "common/units.h"
+#include "core/design.h"
+#include "spec/builder.h"
+#include "spec/json.h"
+#include "spec/spec.h"
+
+namespace camj
+{
+namespace
+{
+
+class QuietLogging : public ::testing::Environment
+{
+  public:
+    void SetUp() override { setLoggingEnabled(false); }
+};
+
+::testing::Environment *const quiet_env =
+    ::testing::AddGlobalTestEnvironment(new QuietLogging);
+
+// ------------------------------------------------------------------ JSON
+
+TEST(Json, ParsesScalarsArraysObjects)
+{
+    json::Value v = json::Value::parse(
+        R"({"a": 1.5, "b": [1, 2, 3], "c": {"d": "x"}, "e": true,)"
+        R"( "f": null})");
+    EXPECT_DOUBLE_EQ(v.at("a").asNumber(), 1.5);
+    EXPECT_EQ(v.at("b").asArray().size(), 3u);
+    EXPECT_EQ(v.at("b").asArray()[2].asInt(), 3);
+    EXPECT_EQ(v.at("c").at("d").asString(), "x");
+    EXPECT_TRUE(v.at("e").asBool());
+    EXPECT_TRUE(v.at("f").isNull());
+}
+
+TEST(Json, StringEscapes)
+{
+    json::Value v = json::Value::parse(
+        R"(["a\"b", "tab\tnewline\n", "Aé"])");
+    const auto &arr = v.asArray();
+    EXPECT_EQ(arr[0].asString(), "a\"b");
+    EXPECT_EQ(arr[1].asString(), "tab\tnewline\n");
+    EXPECT_EQ(arr[2].asString(), "A\xc3\xa9");
+}
+
+TEST(Json, DoublesRoundTripExactly)
+{
+    const double values[] = {100e-12, 1.0 / 3.0, 2.5, 36e-12, 5e-15,
+                             1.380649e-23};
+    for (double d : values) {
+        json::Value v(d);
+        json::Value back = json::Value::parse(v.dump());
+        EXPECT_EQ(back.asNumber(), d);
+    }
+}
+
+TEST(Json, SyntaxErrorsCarryLineContext)
+{
+    try {
+        json::Value::parse("{\n  \"a\": 1,\n  oops\n}");
+        FAIL() << "expected ConfigError";
+    } catch (const ConfigError &e) {
+        EXPECT_NE(std::string(e.what()).find("line 3"),
+                  std::string::npos);
+    }
+}
+
+TEST(Json, RejectsTrailingGarbageAndDuplicateKeys)
+{
+    EXPECT_THROW(json::Value::parse("{} x"), ConfigError);
+    EXPECT_THROW(json::Value::parse(R"({"a":1,"a":2})"), ConfigError);
+}
+
+TEST(Json, MissingMemberListsExistingKeys)
+{
+    json::Value v = json::Value::parse(R"({"alpha":1,"beta":2})");
+    try {
+        v.at("gamma");
+        FAIL() << "expected ConfigError";
+    } catch (const ConfigError &e) {
+        EXPECT_NE(std::string(e.what()).find("alpha"),
+                  std::string::npos);
+    }
+}
+
+// ---------------------------------------------- spec <-> design parity
+
+/** The Fig. 5 quickstart, hand-assembled through the raw setters. */
+Design
+handBuiltFig5()
+{
+    Design d(DesignParams{"fig5", 30.0, 10e6});
+    SwGraph &sw = d.sw();
+    StageId in = sw.addStage({.name = "Input",
+                              .op = StageOp::Input,
+                              .outputSize = {32, 32, 1}});
+    StageId bin = sw.addStage({.name = "Binning",
+                               .op = StageOp::Binning,
+                               .inputSize = {32, 32, 1},
+                               .outputSize = {16, 16, 1},
+                               .kernel = {2, 2, 1},
+                               .stride = {2, 2, 1}});
+    StageId edge = sw.addStage({.name = "Edge",
+                                .op = StageOp::DepthwiseConv2d,
+                                .inputSize = {16, 16, 1},
+                                .outputSize = {14, 14, 1},
+                                .kernel = {3, 3, 1},
+                                .stride = {1, 1, 1}});
+    sw.connect(in, bin);
+    sw.connect(bin, edge);
+
+    ApsParams aps;
+    aps.pixelsPerComponent = 4;
+    AnalogArrayParams pa;
+    pa.name = "PixelArray";
+    pa.numComponents = {16, 16, 1};
+    pa.inputShape = {1, 32, 1};
+    pa.outputShape = {1, 16, 1};
+    pa.componentArea = 36e-12;
+    d.addAnalogArray(AnalogArray(pa, makeAps4T(aps)),
+                     AnalogRole::Sensing);
+
+    AnalogArrayParams aa;
+    aa.name = "AdcArray";
+    aa.numComponents = {16, 1, 1};
+    aa.inputShape = {1, 16, 1};
+    aa.outputShape = {1, 16, 1};
+    aa.componentArea = 1e-9;
+    d.addAnalogArray(AnalogArray(aa, makeColumnAdc({.bits = 10})),
+                     AnalogRole::Adc);
+
+    d.addMemory(makeSramMemory("LineBuffer", Layer::Sensor,
+                               MemoryKind::LineBuffer, 48, 8, 65, 1.0));
+    ComputeUnitParams cu;
+    cu.name = "EdgeUnit";
+    cu.layer = Layer::Sensor;
+    cu.inputPixelsPerCycle = {1, 3, 1};
+    cu.outputPixelsPerCycle = {1, 1, 1};
+    cu.energyPerCycle = 3e-12;
+    cu.numStages = 2;
+    d.addComputeUnit(ComputeUnit(cu));
+    d.setAdcOutput("LineBuffer");
+    d.connectMemoryToUnit("LineBuffer", "EdgeUnit");
+    d.setMipi(makeMipiCsi2());
+
+    d.mapping().map("Input", "PixelArray");
+    d.mapping().map("Binning", "PixelArray");
+    d.mapping().map("Edge", "EdgeUnit");
+    return d;
+}
+
+/** The identical design through the DesignBuilder front-end. */
+spec::DesignSpec
+builtFig5Spec()
+{
+    ApsParams aps;
+    aps.pixelsPerComponent = 4;
+    spec::ComponentSpec pixel;
+    pixel.kind = spec::ComponentKind::Aps4T;
+    pixel.aps = aps;
+    spec::ComponentSpec adc;
+    adc.kind = spec::ComponentKind::ColumnAdc;
+    adc.adc = {.bits = 10};
+
+    return spec::DesignBuilder("fig5")
+        .fps(30.0)
+        .digitalClock(10e6)
+        .inputStage("Input", {32, 32, 1})
+        .stage({.name = "Binning",
+                .op = StageOp::Binning,
+                .inputSize = {32, 32, 1},
+                .outputSize = {16, 16, 1},
+                .kernel = {2, 2, 1},
+                .stride = {2, 2, 1}},
+               {"Input"})
+        .stage({.name = "Edge",
+                .op = StageOp::DepthwiseConv2d,
+                .inputSize = {16, 16, 1},
+                .outputSize = {14, 14, 1},
+                .kernel = {3, 3, 1},
+                .stride = {1, 1, 1}},
+               {"Binning"})
+        .analogArray({.name = "PixelArray",
+                      .role = AnalogRole::Sensing,
+                      .numComponents = {16, 16, 1},
+                      .inputShape = {1, 32, 1},
+                      .outputShape = {1, 16, 1},
+                      .componentArea = 36e-12,
+                      .component = pixel})
+        .analogArray({.name = "AdcArray",
+                      .role = AnalogRole::Adc,
+                      .numComponents = {16, 1, 1},
+                      .inputShape = {1, 16, 1},
+                      .outputShape = {1, 16, 1},
+                      .componentArea = 1e-9,
+                      .component = adc})
+        .sram("LineBuffer", Layer::Sensor, MemoryKind::LineBuffer, 48,
+              8, 65, 1.0)
+        .computeUnit({.name = "EdgeUnit",
+                      .layer = Layer::Sensor,
+                      .inputPixelsPerCycle = {1, 3, 1},
+                      .outputPixelsPerCycle = {1, 1, 1},
+                      .energyPerCycle = 3e-12,
+                      .numStages = 2},
+                     {"LineBuffer"})
+        .adcOutput("LineBuffer")
+        .mipi()
+        .map("Input", "PixelArray")
+        .map("Binning", "PixelArray")
+        .map("Edge", "EdgeUnit")
+        .spec();
+}
+
+/** Bit-identical comparison of two reports. */
+void
+expectIdenticalReports(const EnergyReport &a, const EnergyReport &b)
+{
+    EXPECT_EQ(a.designName, b.designName);
+    EXPECT_EQ(a.fps, b.fps);
+    ASSERT_EQ(a.units.size(), b.units.size());
+    for (size_t i = 0; i < a.units.size(); ++i) {
+        EXPECT_EQ(a.units[i].name, b.units[i].name);
+        EXPECT_EQ(a.units[i].category, b.units[i].category);
+        EXPECT_EQ(a.units[i].layer, b.units[i].layer);
+        EXPECT_EQ(a.units[i].energy, b.units[i].energy)
+            << "unit " << a.units[i].name;
+    }
+    EXPECT_EQ(a.frameTime, b.frameTime);
+    EXPECT_EQ(a.digitalLatency, b.digitalLatency);
+    EXPECT_EQ(a.analogUnitTime, b.analogUnitTime);
+    EXPECT_EQ(a.numAnalogSlots, b.numAnalogSlots);
+    EXPECT_EQ(a.mipiBytes, b.mipiBytes);
+    EXPECT_EQ(a.tsvBytes, b.tsvBytes);
+    EXPECT_EQ(a.sensorLayerArea, b.sensorLayerArea);
+    EXPECT_EQ(a.computeLayerArea, b.computeLayerArea);
+    EXPECT_EQ(a.footprint, b.footprint);
+    EXPECT_EQ(a.total(), b.total());
+}
+
+TEST(DesignSpec, MaterializedSpecMatchesHandBuiltBitExactly)
+{
+    EnergyReport hand = handBuiltFig5().simulate();
+    EnergyReport built = builtFig5Spec().materialize().simulate();
+    expectIdenticalReports(hand, built);
+}
+
+TEST(DesignSpec, JsonRoundTripIsBitExact)
+{
+    spec::DesignSpec original = builtFig5Spec();
+    std::string doc = spec::toJson(original);
+    spec::DesignSpec loaded = spec::fromJson(doc);
+
+    // Same document again (serialization is deterministic)...
+    EXPECT_EQ(spec::toJson(loaded), doc);
+    // ...and the loaded spec simulates bit-identically.
+    expectIdenticalReports(original.materialize().simulate(),
+                           loaded.materialize().simulate());
+}
+
+TEST(DesignSpec, FileRoundTrip)
+{
+    spec::DesignSpec original = builtFig5Spec();
+    const std::string path =
+        ::testing::TempDir() + "/camj_spec_test.json";
+    spec::saveSpecFile(original, path);
+    spec::DesignSpec loaded = spec::loadSpecFile(path);
+    expectIdenticalReports(original.materialize().simulate(),
+                           loaded.materialize().simulate());
+}
+
+TEST(DesignSpec, LoadMissingFileIsConfigError)
+{
+    EXPECT_THROW(spec::loadSpecFile("/nonexistent/camj.json"),
+                 ConfigError);
+}
+
+TEST(DesignSpec, UnknownEnumTokensRejectedWithKnownList)
+{
+    spec::DesignSpec s = builtFig5Spec();
+    std::string doc = spec::toJson(s);
+    std::string bad = doc;
+    bad.replace(bad.find("\"aps4t\""), 7, "\"aps9t\"");
+    try {
+        spec::fromJson(bad);
+        FAIL() << "expected ConfigError";
+    } catch (const ConfigError &e) {
+        // The error names the bad token and the known alternatives.
+        EXPECT_NE(std::string(e.what()).find("aps9t"),
+                  std::string::npos);
+        EXPECT_NE(std::string(e.what()).find("aps4t"),
+                  std::string::npos);
+    }
+}
+
+TEST(DesignSpec, VersionGate)
+{
+    std::string doc = spec::toJson(builtFig5Spec());
+    std::string bad = doc;
+    bad.replace(bad.find("\"camjSpecVersion\": 1"),
+                std::string("\"camjSpecVersion\": 1").size(),
+                "\"camjSpecVersion\": 99");
+    EXPECT_THROW(spec::fromJson(bad), ConfigError);
+}
+
+TEST(DesignSpec, ValidateCatchesDanglingReferences)
+{
+    spec::DesignSpec s = builtFig5Spec();
+    s.adcOutputMemory = "NoSuchBuffer";
+    EXPECT_THROW(s.validate(), ConfigError);
+
+    s = builtFig5Spec();
+    s.mapping.emplace_back("Edge", "EdgeUnit"); // duplicate stage
+    EXPECT_THROW(s.validate(), ConfigError);
+
+    s = builtFig5Spec();
+    s.units[0].inputMemories.push_back("Bogus");
+    EXPECT_THROW(s.validate(), ConfigError);
+}
+
+TEST(DesignSpec, EveryComponentKindRoundTrips)
+{
+    using spec::ComponentKind;
+    const ComponentKind kinds[] = {
+        ComponentKind::Aps4T, ComponentKind::Aps3T, ComponentKind::Dps,
+        ComponentKind::PwmPixel, ComponentKind::DvsPixel,
+        ComponentKind::ColumnAdc, ComponentKind::SwitchedCapMac,
+        ComponentKind::ChargeAdder, ComponentKind::Scaler,
+        ComponentKind::AbsUnit, ComponentKind::MaxUnit,
+        ComponentKind::Comparator, ComponentKind::LogUnit,
+        ComponentKind::PassiveAnalogMemory,
+        ComponentKind::ActiveAnalogMemory,
+        ComponentKind::ChargeToVoltage,
+        ComponentKind::CurrentToVoltage, ComponentKind::TimeToVoltage,
+        ComponentKind::SampleHold,
+    };
+    for (ComponentKind k : kinds) {
+        EXPECT_EQ(spec::componentKindFromName(spec::componentKindName(k)),
+                  k);
+        // Every kind's factory parameters instantiate cleanly.
+        spec::ComponentSpec c;
+        c.kind = k;
+        AComponent comp = c.instantiate();
+        EXPECT_GT(comp.numCells(), 0);
+    }
+}
+
+// ------------------------------------------------------- DesignBuilder
+
+TEST(DesignBuilder, RejectsDuplicateStageNames)
+{
+    spec::DesignBuilder b("dup");
+    b.inputStage("Input", {8, 8, 1});
+    EXPECT_THROW(b.inputStage("Input", {8, 8, 1}), ConfigError);
+}
+
+TEST(DesignBuilder, RejectsWrongArity)
+{
+    spec::DesignBuilder b("arity");
+    b.inputStage("Input", {8, 8, 1});
+    // Threshold is single-input; passing none must fail eagerly.
+    EXPECT_THROW(b.stage({.name = "Th",
+                          .op = StageOp::Threshold,
+                          .inputSize = {8, 8, 1},
+                          .outputSize = {8, 8, 1}},
+                         {}),
+                 ConfigError);
+    // Two inputs on a one-input op as well.
+    EXPECT_THROW(b.stage({.name = "Th",
+                          .op = StageOp::Threshold,
+                          .inputSize = {8, 8, 1},
+                          .outputSize = {8, 8, 1}},
+                         {"Input", "Input"}),
+                 ConfigError);
+}
+
+TEST(DesignBuilder, RejectsUnknownProducer)
+{
+    spec::DesignBuilder b("prod");
+    EXPECT_THROW(b.stage({.name = "Th",
+                          .op = StageOp::Threshold,
+                          .inputSize = {8, 8, 1},
+                          .outputSize = {8, 8, 1}},
+                         {"Missing"}),
+                 ConfigError);
+}
+
+TEST(DesignBuilder, RejectsInvalidStageParamsEagerly)
+{
+    spec::DesignBuilder b("shape");
+    b.inputStage("Input", {8, 8, 1});
+    // 3x3 stencil cannot produce 8x8 from 8x8 without padding: the
+    // Stage constructor's stencil check fires inside the builder.
+    EXPECT_THROW(b.stage({.name = "Conv",
+                          .op = StageOp::Conv2d,
+                          .inputSize = {8, 8, 1},
+                          .outputSize = {8, 8, 1},
+                          .kernel = {3, 3, 1},
+                          .stride = {1, 1, 1}},
+                         {"Input"}),
+                 ConfigError);
+}
+
+TEST(DesignBuilder, RejectsDuplicateHardwareAcrossClasses)
+{
+    spec::DesignBuilder b("hw");
+    b.sram("Buf", Layer::Sensor, MemoryKind::Fifo, 64, 8, 65, 1.0);
+    EXPECT_THROW(b.sram("Buf", Layer::Sensor, MemoryKind::Fifo, 64, 8,
+                        65, 1.0),
+                 ConfigError);
+    spec::ComponentSpec pix;
+    pix.kind = spec::ComponentKind::Aps4T;
+    EXPECT_THROW(b.analogArray({.name = "Buf",
+                                .role = AnalogRole::Sensing,
+                                .numComponents = {8, 8, 1},
+                                .component = pix}),
+                 ConfigError);
+    EXPECT_THROW(b.computeUnit({.name = "Buf"}), ConfigError);
+}
+
+TEST(DesignBuilder, RejectsDanglingWiring)
+{
+    spec::DesignBuilder b("wires");
+    EXPECT_THROW(b.adcOutput("NoBuf"), ConfigError);
+    b.sram("Buf", Layer::Sensor, MemoryKind::Fifo, 64, 8, 65, 1.0);
+    EXPECT_THROW(b.connectMemoryToUnit("Buf", "NoUnit"), ConfigError);
+    EXPECT_THROW(b.computeUnit({.name = "U"}, {"NoBuf"}), ConfigError);
+}
+
+TEST(DesignBuilder, RejectsBadMappings)
+{
+    spec::DesignBuilder b("maps");
+    b.inputStage("Input", {8, 8, 1});
+    spec::ComponentSpec pix;
+    pix.kind = spec::ComponentKind::Dps;
+    b.analogArray({.name = "Pixel",
+                   .role = AnalogRole::Sensing,
+                   .numComponents = {8, 8, 1},
+                   .component = pix});
+    EXPECT_THROW(b.map("NoStage", "Pixel"), ConfigError);
+    EXPECT_THROW(b.map("Input", "NoHw"), ConfigError);
+    b.map("Input", "Pixel");
+    EXPECT_THROW(b.map("Input", "Pixel"), ConfigError);
+}
+
+TEST(DesignBuilder, RejectsBadTopLevelParams)
+{
+    EXPECT_THROW(spec::DesignBuilder(""), ConfigError);
+    spec::DesignBuilder b("ok");
+    EXPECT_THROW(b.fps(0.0), ConfigError);
+    EXPECT_THROW(b.digitalClock(-1.0), ConfigError);
+    EXPECT_THROW(b.pipelineOutputBytes(-5), ConfigError);
+}
+
+TEST(DesignBuilder, SpecConstructorValidates)
+{
+    spec::DesignSpec s = builtFig5Spec();
+    s.units[0].inputMemories.push_back("Bogus");
+    EXPECT_THROW(spec::DesignBuilder{s}, ConfigError);
+}
+
+TEST(DesignBuilder, VariantDerivation)
+{
+    // The core exploration move: load a spec, tweak one knob, rerun.
+    spec::DesignSpec base = builtFig5Spec();
+    spec::DesignSpec fast = base;
+    fast.name = "fig5-120fps";
+    fast.fps = 120.0;
+
+    EnergyReport slow = base.materialize().simulate();
+    EnergyReport quick = fast.materialize().simulate();
+    EXPECT_NEAR(quick.frameTime * 4.0, slow.frameTime, 1e-9);
+}
+
+} // namespace
+} // namespace camj
