@@ -28,7 +28,8 @@ main()
         for (SensorVariant v : {SensorVariant::TwoDOff,
                                 SensorVariant::TwoDIn,
                                 SensorVariant::ThreeDIn}) {
-            EnergyReport r = simulator.simulate(*buildRhythmic(v, nm));
+            // Each variant is evaluated through its serializable spec.
+            EnergyReport r = simulator.simulate(rhythmicSpec(v, nm));
             rows.push_back(breakdownOf(
                 std::string(sensorVariantName(v)) + "(" +
                     std::to_string(nm) + "nm)",

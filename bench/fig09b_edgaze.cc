@@ -30,7 +30,8 @@ main()
                                 EdgazeVariant::TwoDIn,
                                 EdgazeVariant::ThreeDIn,
                                 EdgazeVariant::ThreeDInStt}) {
-            EnergyReport r = simulator.simulate(*buildEdgaze(v, nm));
+            // Each variant is evaluated through its serializable spec.
+            EnergyReport r = simulator.simulate(edgazeSpec(v, nm));
             rows.push_back(breakdownOf(
                 std::string(edgazeVariantName(v)) + "(" +
                     std::to_string(nm) + "nm)",
@@ -53,10 +54,10 @@ main()
     }
 
     double in130 =
-        simulator.simulate(*buildEdgaze(EdgazeVariant::TwoDIn, 130))
+        simulator.simulate(edgazeSpec(EdgazeVariant::TwoDIn, 130))
             .total();
     double in65 =
-        simulator.simulate(*buildEdgaze(EdgazeVariant::TwoDIn, 65))
+        simulator.simulate(edgazeSpec(EdgazeVariant::TwoDIn, 65))
             .total();
     std::printf("leakage flip: 65 nm 2D-In costs %.2fx of the 130 nm "
                 "version (paper: >1 because of 65 nm leakage)\n",

@@ -28,6 +28,7 @@
 #include "spec/samples.h"
 #include "usecases/edgaze.h"
 #include "usecases/rhythmic.h"
+#include "usecases/studies.h"
 #include "validation/harness.h"
 
 using namespace camj;
@@ -131,6 +132,23 @@ BM_SweepThreaded(benchmark::State &state)
 BENCHMARK(BM_SweepThreaded)->Arg(4)->Unit(benchmark::kMillisecond);
 
 void
+BM_UsecaseSpecSweep(benchmark::State &state)
+{
+    setLoggingEnabled(false);
+    std::vector<spec::DesignSpec> specs = allPaperStudySpecs();
+    SweepEngine engine(
+        SweepOptions{.threads = static_cast<int>(state.range(0))});
+    for (auto _ : state) {
+        auto results = engine.run(specs);
+        benchmark::DoNotOptimize(results.size());
+    }
+    state.SetItemsProcessed(state.iterations() *
+                            static_cast<int64_t>(specs.size()));
+}
+BENCHMARK(BM_UsecaseSpecSweep)->Arg(1)->Arg(4)
+    ->Unit(benchmark::kMillisecond);
+
+void
 BM_CycleSimThroughput(benchmark::State &state)
 {
     const int64_t words = state.range(0);
@@ -207,6 +225,56 @@ timeSweep(const SweepEngine &engine,
     return std::chrono::duration<double>(t1 - t0).count();
 }
 
+/** Best-of-3 serial vs. threaded wall-clock of one spec batch. */
+struct SweepTiming
+{
+    double serialSeconds = 1e30;
+    double threadedSeconds = 1e30;
+};
+
+SweepTiming
+measureSweep(const SweepEngine &serial_engine,
+             const SweepEngine &threaded_engine,
+             const std::vector<spec::DesignSpec> &specs)
+{
+    // Warm-up, then best-of-3 to tame scheduler noise.
+    timeSweep(serial_engine, specs, true);
+    SweepTiming t;
+    for (int rep = 0; rep < 3; ++rep) {
+        t.serialSeconds = std::min(
+            t.serialSeconds, timeSweep(serial_engine, specs, true));
+        t.threadedSeconds = std::min(
+            t.threadedSeconds,
+            timeSweep(threaded_engine, specs, false));
+    }
+    return t;
+}
+
+/** Write one designPoints/serialSweep/threadedSweep/speedup group
+ *  into @p obj — the shared shape of both artifact sections. */
+void
+setSweepMembers(json::Value &obj, size_t points, int threads,
+                const SweepTiming &t)
+{
+    const double n = static_cast<double>(points);
+    obj.set("designPoints",
+            json::Value(static_cast<int64_t>(points)));
+
+    json::Value serial = json::Value::makeObject();
+    serial.set("seconds", json::Value(t.serialSeconds));
+    serial.set("designsPerSec", json::Value(n / t.serialSeconds));
+    obj.set("serialSweep", std::move(serial));
+
+    json::Value threaded = json::Value::makeObject();
+    threaded.set("threads", json::Value(threads));
+    threaded.set("seconds", json::Value(t.threadedSeconds));
+    threaded.set("designsPerSec", json::Value(n / t.threadedSeconds));
+    obj.set("threadedSweep", std::move(threaded));
+
+    obj.set("speedup",
+            json::Value(t.serialSeconds / t.threadedSeconds));
+}
+
 /**
  * The CI artifact: serial vs. threaded sweep throughput over the same
  * batch, in designs/sec. Returns false when the file cannot be
@@ -222,37 +290,25 @@ writeBenchJson()
     SweepEngine serial_engine(SweepOptions{.threads = 1});
     SweepEngine threaded_engine(SweepOptions{.threads = threads});
 
-    // Warm-up, then best-of-3 to tame scheduler noise.
-    timeSweep(serial_engine, specs, true);
-    double serial_s = 1e30, threaded_s = 1e30;
-    for (int rep = 0; rep < 3; ++rep) {
-        serial_s = std::min(serial_s,
-                            timeSweep(serial_engine, specs, true));
-        threaded_s = std::min(threaded_s,
-                              timeSweep(threaded_engine, specs, false));
-    }
+    const SweepTiming sample =
+        measureSweep(serial_engine, threaded_engine, specs);
 
-    const double n = static_cast<double>(specs.size());
     json::Value doc = json::Value::makeObject();
     doc.set("bench", json::Value("perf_simulator"));
-    doc.set("designPoints", json::Value(static_cast<int64_t>(
-                                specs.size())));
     doc.set("hardwareConcurrency",
             json::Value(static_cast<int64_t>(
                 std::thread::hardware_concurrency())));
+    setSweepMembers(doc, specs.size(), threads, sample);
 
-    json::Value serial = json::Value::makeObject();
-    serial.set("seconds", json::Value(serial_s));
-    serial.set("designsPerSec", json::Value(n / serial_s));
-    doc.set("serialSweep", std::move(serial));
-
-    json::Value threaded = json::Value::makeObject();
-    threaded.set("threads", json::Value(threads));
-    threaded.set("seconds", json::Value(threaded_s));
-    threaded.set("designsPerSec", json::Value(n / threaded_s));
-    doc.set("threadedSweep", std::move(threaded));
-
-    doc.set("speedup", json::Value(serial_s / threaded_s));
+    // Usecase-spec sweep: the 27 paper studies (Rhythmic, Ed-Gaze,
+    // validation chips, samples) through the same engines — tracks
+    // the throughput of the heavyweight production workloads.
+    std::vector<spec::DesignSpec> uspecs = allPaperStudySpecs();
+    const SweepTiming usecase_t =
+        measureSweep(serial_engine, threaded_engine, uspecs);
+    json::Value usecase = json::Value::makeObject();
+    setSweepMembers(usecase, uspecs.size(), threads, usecase_t);
+    doc.set("usecaseSweep", std::move(usecase));
 
     const char *env_path = std::getenv("BENCH_JSON_PATH");
     const std::string path =
@@ -265,10 +321,17 @@ writeBenchJson()
                      path.c_str());
         return false;
     }
+    const double n = static_cast<double>(specs.size());
+    const double un = static_cast<double>(uspecs.size());
     std::printf("wrote %s: %.1f designs/sec serial, %.1f designs/sec "
                 "with %d threads (%.2fx)\n", path.c_str(),
-                n / serial_s, n / threaded_s, threads,
-                serial_s / threaded_s);
+                n / sample.serialSeconds, n / sample.threadedSeconds,
+                threads, sample.serialSeconds / sample.threadedSeconds);
+    std::printf("usecase-spec sweep: %.1f designs/sec serial, %.1f "
+                "designs/sec with %d threads (%.2fx)\n",
+                un / usecase_t.serialSeconds,
+                un / usecase_t.threadedSeconds, threads,
+                usecase_t.serialSeconds / usecase_t.threadedSeconds);
     return true;
 }
 

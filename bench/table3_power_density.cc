@@ -9,6 +9,7 @@
 
 #include <cstdio>
 
+#include "explore/simulator.h"
 #include "usecases/edgaze.h"
 #include "usecases/explorer.h"
 #include "usecases/rhythmic.h"
@@ -31,11 +32,13 @@ main()
         const EdgazeVariant ev[3] = {EdgazeVariant::TwoDOff,
                                      EdgazeVariant::TwoDIn,
                                      EdgazeVariant::ThreeDIn};
+        Simulator simulator;
         for (int i = 0; i < 3; ++i) {
+            // Evaluated through the serializable spec path.
             r[i] = powerDensityMwPerMm2(
-                buildRhythmic(sv[i], nm)->simulate());
+                simulator.simulate(rhythmicSpec(sv[i], nm)));
             e[i] = powerDensityMwPerMm2(
-                buildEdgaze(ev[i], nm)->simulate());
+                simulator.simulate(edgazeSpec(ev[i], nm)));
         }
         std::printf("%3d/22nm       %-10s %8.3f %8.3f %8.3f\n", nm,
                     "rhythmic", r[0], r[1], r[2]);

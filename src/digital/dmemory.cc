@@ -1,6 +1,7 @@
 #include "digital/dmemory.h"
 
 #include "common/logging.h"
+#include "memmodel/regfile.h"
 #include "memmodel/sram.h"
 #include "memmodel/sttram.h"
 
@@ -124,6 +125,20 @@ makeSttramMemory(const std::string &name, Layer layer, MemoryKind kind,
               name.c_str());
     MemoryCharacteristics mc =
         sttramModel(capacityBytes(words, word_bits), word_bits, nm);
+    return fromCharacteristics(name, layer, kind, words, word_bits, mc,
+                               active_fraction);
+}
+
+DigitalMemory
+makeRegfileMemory(const std::string &name, Layer layer,
+                  MemoryKind kind, int64_t words, int word_bits,
+                  int nm, double active_fraction)
+{
+    if (words <= 0)
+        fatal("makeRegfileMemory %s: capacity must be positive",
+              name.c_str());
+    MemoryCharacteristics mc =
+        regfileModel(capacityBytes(words, word_bits), word_bits, nm);
     return fromCharacteristics(name, layer, kind, words, word_bits, mc,
                                active_fraction);
 }

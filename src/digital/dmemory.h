@@ -124,6 +124,13 @@ DigitalMemory makeSttramMemory(const std::string &name, Layer layer,
                                int word_bits, int nm,
                                double active_fraction = 1.0);
 
+/** Build a memory backed by the flip-flop register-file model
+ *  (PE-local scratch storage; capacity must stay within 4 KB). */
+DigitalMemory makeRegfileMemory(const std::string &name, Layer layer,
+                                MemoryKind kind, int64_t words,
+                                int word_bits, int nm,
+                                double active_fraction = 1.0);
+
 } // namespace camj
 
 #endif // CAMJ_DIGITAL_DMEMORY_H

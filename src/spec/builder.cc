@@ -101,15 +101,23 @@ DesignBuilder::checkMemoryRefs(const std::vector<std::string> &mems,
 {
     for (const std::string &m : mems) {
         if (!hasMemory(m)) {
-            std::string known;
+            std::vector<std::string> known;
             for (const MemorySpec &mem : spec_.memories)
-                known += (known.empty() ? "" : ", ") + mem.name;
-            fatal("DesignBuilder %s: '%s' references unknown memory "
-                  "'%s' (registered: %s)", spec_.name.c_str(),
-                  who.c_str(), m.c_str(),
-                  known.empty() ? "<none>" : known.c_str());
+                known.push_back(mem.name);
+            fatal("DesignBuilder %s: %s references unknown memory "
+                  "'%s' (registered memories: %s)", spec_.name.c_str(),
+                  who.c_str(), m.c_str(), joinNames(known).c_str());
         }
     }
+}
+
+std::string
+DesignBuilder::knownUnitNames() const
+{
+    std::vector<std::string> known;
+    for (const UnitSpec &u : spec_.units)
+        known.push_back(u.name());
+    return joinNames(known);
 }
 
 DesignBuilder &
@@ -208,8 +216,11 @@ DesignBuilder::computeUnit(ComputeUnitParams params,
     checkNewHardwareName(params.name);
     ComputeUnit probe(params);
     (void)probe;
-    checkMemoryRefs(input_mems, params.name);
-    checkMemoryRefs(output_mems, params.name);
+    checkMemoryRefs(input_mems,
+                    "computeUnit('" + params.name + "').inputMemories");
+    checkMemoryRefs(output_mems,
+                    "computeUnit('" + params.name +
+                        "').outputMemories");
     UnitSpec u;
     u.kind = UnitKind::Pipeline;
     u.pipeline = std::move(params);
@@ -227,8 +238,10 @@ DesignBuilder::systolicArray(SystolicArrayParams params,
     checkNewHardwareName(params.name);
     SystolicArray probe(params);
     (void)probe;
-    checkMemoryRefs(input_mems, params.name);
-    checkMemoryRefs(output_mems, params.name);
+    checkMemoryRefs(input_mems, "systolicArray('" + params.name +
+                                    "').inputMemories");
+    checkMemoryRefs(output_mems, "systolicArray('" + params.name +
+                                     "').outputMemories");
     UnitSpec u;
     u.kind = UnitKind::Systolic;
     u.systolic = std::move(params);
@@ -253,8 +266,10 @@ DesignBuilder::connectMemoryToUnit(const std::string &mem_name,
     checkMemoryRefs({mem_name}, "connectMemoryToUnit");
     UnitSpec *u = findUnit(unit_name);
     if (u == nullptr)
-        fatal("DesignBuilder %s: connectMemoryToUnit: no unit named "
-              "'%s'", spec_.name.c_str(), unit_name.c_str());
+        fatal("DesignBuilder %s: connectMemoryToUnit('%s', '%s'): no "
+              "unit named '%s' (registered units: %s)",
+              spec_.name.c_str(), mem_name.c_str(), unit_name.c_str(),
+              unit_name.c_str(), knownUnitNames().c_str());
     u->inputMemories.push_back(mem_name);
     return *this;
 }
@@ -266,8 +281,10 @@ DesignBuilder::connectUnitToMemory(const std::string &unit_name,
     checkMemoryRefs({mem_name}, "connectUnitToMemory");
     UnitSpec *u = findUnit(unit_name);
     if (u == nullptr)
-        fatal("DesignBuilder %s: connectUnitToMemory: no unit named "
-              "'%s'", spec_.name.c_str(), unit_name.c_str());
+        fatal("DesignBuilder %s: connectUnitToMemory('%s', '%s'): no "
+              "unit named '%s' (registered units: %s)",
+              spec_.name.c_str(), unit_name.c_str(), mem_name.c_str(),
+              unit_name.c_str(), knownUnitNames().c_str());
     u->outputMemories.push_back(mem_name);
     return *this;
 }
@@ -309,12 +326,22 @@ DesignBuilder::map(const std::string &stage_name,
                    const std::string &hw_name)
 {
     if (!hasStage(stage_name))
-        fatal("DesignBuilder %s: mapping references unknown stage "
-              "'%s'", spec_.name.c_str(), stage_name.c_str());
-    if (!hasHardware(hw_name))
-        fatal("DesignBuilder %s: stage '%s' maps to unknown hardware "
-              "'%s'", spec_.name.c_str(), stage_name.c_str(),
-              hw_name.c_str());
+        fatal("DesignBuilder %s: map('%s', '%s') references unknown "
+              "stage '%s'", spec_.name.c_str(), stage_name.c_str(),
+              hw_name.c_str(), stage_name.c_str());
+    if (!hasHardware(hw_name)) {
+        std::vector<std::string> known;
+        for (const AnalogArraySpec &a : spec_.analogArrays)
+            known.push_back(a.name);
+        for (const MemorySpec &m : spec_.memories)
+            known.push_back(m.name);
+        for (const UnitSpec &u : spec_.units)
+            known.push_back(u.name());
+        fatal("DesignBuilder %s: map('%s', '%s') targets unknown "
+              "hardware '%s' (registered hardware: %s)",
+              spec_.name.c_str(), stage_name.c_str(), hw_name.c_str(),
+              hw_name.c_str(), joinNames(known).c_str());
+    }
     for (const auto &[stage, hw] : spec_.mapping) {
         if (stage == stage_name)
             fatal("DesignBuilder %s: stage '%s' is already mapped to "

@@ -145,6 +145,7 @@ class DesignBuilder
     void checkNewHardwareName(const std::string &name) const;
     void checkMemoryRefs(const std::vector<std::string> &mems,
                          const std::string &who) const;
+    std::string knownUnitNames() const;
 };
 
 } // namespace camj::spec

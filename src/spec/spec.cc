@@ -36,6 +36,39 @@ componentKindName(ComponentKind kind)
       case ComponentKind::CurrentToVoltage: return "current-to-voltage";
       case ComponentKind::TimeToVoltage: return "time-to-voltage";
       case ComponentKind::SampleHold: return "sample-hold";
+      case ComponentKind::Custom: return "custom";
+    }
+    return "?";
+}
+
+const char *
+cellClassName(CellClass cls)
+{
+    switch (cls) {
+      case CellClass::Dynamic: return "dynamic";
+      case CellClass::StaticBias: return "static-bias";
+      case CellClass::NonLinear: return "non-linear";
+    }
+    return "?";
+}
+
+const char *
+timingScopeName(TimingScope scope)
+{
+    switch (scope) {
+      case TimingScope::SelfSlot: return "self-slot";
+      case TimingScope::ComponentSpan: return "component-span";
+      case TimingScope::Frame: return "frame";
+    }
+    return "?";
+}
+
+const char *
+biasModeName(BiasMode mode)
+{
+    switch (mode) {
+      case BiasMode::DirectDrive: return "direct-drive";
+      case BiasMode::GmOverId: return "gm-over-id";
     }
     return "?";
 }
@@ -59,8 +92,48 @@ allComponentKinds()
         ComponentKind::ChargeToVoltage,
         ComponentKind::CurrentToVoltage,
         ComponentKind::TimeToVoltage, ComponentKind::SampleHold,
+        ComponentKind::Custom,
     };
     return kinds;
+}
+
+const std::vector<CellClass> &
+allCellClasses()
+{
+    static const std::vector<CellClass> classes = {
+        CellClass::Dynamic, CellClass::StaticBias, CellClass::NonLinear,
+    };
+    return classes;
+}
+
+const std::vector<TimingScope> &
+allTimingScopes()
+{
+    static const std::vector<TimingScope> scopes = {
+        TimingScope::SelfSlot, TimingScope::ComponentSpan,
+        TimingScope::Frame,
+    };
+    return scopes;
+}
+
+const std::vector<BiasMode> &
+allBiasModes()
+{
+    static const std::vector<BiasMode> modes = {
+        BiasMode::DirectDrive, BiasMode::GmOverId,
+    };
+    return modes;
+}
+
+const std::vector<SignalDomain> &
+allSignalDomains()
+{
+    static const std::vector<SignalDomain> domains = {
+        SignalDomain::Optical, SignalDomain::Charge,
+        SignalDomain::Voltage, SignalDomain::Current,
+        SignalDomain::Time, SignalDomain::Digital,
+    };
+    return domains;
 }
 
 /** Generic reverse lookup with a known-token error message. */
@@ -307,6 +380,34 @@ componentKindFromName(const std::string &name)
                          "component kind");
 }
 
+CellClass
+cellClassFromName(const std::string &name)
+{
+    return enumFromToken(name, allCellClasses(), cellClassName,
+                         "cell class");
+}
+
+TimingScope
+timingScopeFromName(const std::string &name)
+{
+    return enumFromToken(name, allTimingScopes(), timingScopeName,
+                         "timing scope");
+}
+
+BiasMode
+biasModeFromName(const std::string &name)
+{
+    return enumFromToken(name, allBiasModes(), biasModeName,
+                         "bias mode");
+}
+
+SignalDomain
+signalDomainFromName(const std::string &name)
+{
+    return enumFromToken(name, allSignalDomains(), signalDomainName,
+                         "signal domain");
+}
+
 const char *
 memoryModelName(MemoryModel model)
 {
@@ -314,6 +415,7 @@ memoryModelName(MemoryModel model)
       case MemoryModel::Explicit: return "explicit";
       case MemoryModel::Sram: return "sram";
       case MemoryModel::Sttram: return "sttram";
+      case MemoryModel::Regfile: return "regfile";
     }
     return "?";
 }
@@ -323,11 +425,27 @@ memoryModelFromName(const std::string &name)
 {
     static const std::vector<MemoryModel> all = {
         MemoryModel::Explicit, MemoryModel::Sram, MemoryModel::Sttram,
+        MemoryModel::Regfile,
     };
     return enumFromToken(name, all, memoryModelName, "memory model");
 }
 
 // --------------------------------------------------------- instantiation
+
+std::shared_ptr<const ACell>
+CellSpec::instantiate() const
+{
+    switch (cls) {
+      case CellClass::Dynamic:
+        return std::make_shared<DynamicCell>(name, caps);
+      case CellClass::StaticBias:
+        return std::make_shared<StaticBiasedCell>(name, bias);
+      case CellClass::NonLinear:
+        return std::make_shared<NonLinearCell>(name, bits,
+                                               energyOverride);
+    }
+    panic("CellSpec: unknown cell class %d", static_cast<int>(cls));
+}
 
 AComponent
 ComponentSpec::instantiate() const
@@ -371,6 +489,20 @@ ComponentSpec::instantiate() const
         return makeTimeToVoltage(conv);
       case ComponentKind::SampleHold:
         return makeSampleHold(conv);
+      case ComponentKind::Custom: {
+        if (custom.name.empty())
+            fatal("ComponentSpec: custom component field 'custom.name' "
+                  "is empty");
+        if (custom.cells.empty())
+            fatal("ComponentSpec: custom component '%s' field "
+                  "'custom.cells' is empty (a cell chain needs at "
+                  "least one cell)", custom.name.c_str());
+        AComponent c(custom.name, custom.input, custom.output);
+        for (const CellSpec &cell : custom.cells)
+            c.addCell(cell.instantiate(), cell.spatial, cell.temporal,
+                      cell.scope);
+        return c;
+      }
     }
     panic("ComponentSpec: unknown kind %d", static_cast<int>(kind));
 }
@@ -385,6 +517,9 @@ MemorySpec::instantiate() const
       case MemoryModel::Sttram:
         return makeSttramMemory(name, layer, kind, capacityWords,
                                 wordBits, nodeNm, activeFraction);
+      case MemoryModel::Regfile:
+        return makeRegfileMemory(name, layer, kind, capacityWords,
+                                 wordBits, nodeNm, activeFraction);
       case MemoryModel::Explicit: {
         DigitalMemoryParams p;
         p.name = name;
@@ -409,6 +544,19 @@ const std::string &
 UnitSpec::name() const
 {
     return kind == UnitKind::Pipeline ? pipeline.name : systolic.name;
+}
+
+// ---------------------------------------------------------- diagnostics
+
+std::string
+joinNames(const std::vector<std::string> &names)
+{
+    if (names.empty())
+        return "<none>";
+    std::string out;
+    for (const std::string &n : names)
+        out += (out.empty() ? "" : ", ") + n;
+    return out;
 }
 
 // ------------------------------------------------------------ validation
@@ -469,22 +617,27 @@ DesignSpec::validate() const
     for (const UnitSpec &u : units)
         addHw(u.name(), "digital unit");
 
-    // Wiring references resolve to memories.
-    auto needMem = [&](const std::string &mem, const char *who) {
+    // Wiring references resolve to memories. Errors name the exact
+    // spec field holding the dangling reference so a bad JSON document
+    // can be fixed without reading the materializer.
+    auto needMem = [&](const std::string &mem, const std::string &field) {
         if (!memNames.count(mem)) {
-            std::string known;
-            for (const std::string &m : memNames)
-                known += (known.empty() ? "" : ", ") + m;
-            fatal("DesignSpec %s: %s references unknown memory '%s' "
-                  "(registered: %s)", name.c_str(), who, mem.c_str(),
-                  known.empty() ? "<none>" : known.c_str());
+            fatal("DesignSpec %s: field '%s' references unknown memory "
+                  "'%s' (registered memories: %s)", name.c_str(),
+                  field.c_str(), mem.c_str(),
+                  joinNames({memNames.begin(), memNames.end()})
+                      .c_str());
         }
     };
     for (const UnitSpec &u : units) {
-        for (const std::string &m : u.inputMemories)
-            needMem(m, u.name().c_str());
-        for (const std::string &m : u.outputMemories)
-            needMem(m, u.name().c_str());
+        for (size_t i = 0; i < u.inputMemories.size(); ++i)
+            needMem(u.inputMemories[i],
+                    "units['" + u.name() + "'].inputMemories[" +
+                        std::to_string(i) + "]");
+        for (size_t i = 0; i < u.outputMemories.size(); ++i)
+            needMem(u.outputMemories[i],
+                    "units['" + u.name() + "'].outputMemories[" +
+                        std::to_string(i) + "]");
     }
     if (!adcOutputMemory.empty())
         needMem(adcOutputMemory, "adcOutputMemory");
@@ -493,14 +646,17 @@ DesignSpec::validate() const
     std::set<std::string> mapped;
     for (const auto &[stage, hw] : mapping) {
         if (!stageNames.count(stage))
-            fatal("DesignSpec %s: mapping references unknown stage "
-                  "'%s'", name.c_str(), stage.c_str());
-        if (!hwNames.count(hw))
-            fatal("DesignSpec %s: stage '%s' maps to unknown hardware "
-                  "'%s'", name.c_str(), stage.c_str(), hw.c_str());
+            fatal("DesignSpec %s: field 'mapping' references unknown "
+                  "stage '%s'", name.c_str(), stage.c_str());
+        if (!hwNames.count(hw)) {
+            fatal("DesignSpec %s: field 'mapping[\"%s\"]' targets "
+                  "unknown hardware '%s' (registered hardware: %s)",
+                  name.c_str(), stage.c_str(), hw.c_str(),
+                  joinNames({hwNames.begin(), hwNames.end()}).c_str());
+        }
         if (!mapped.insert(stage).second)
-            fatal("DesignSpec %s: stage '%s' is mapped twice",
-                  name.c_str(), stage.c_str());
+            fatal("DesignSpec %s: field 'mapping' lists stage '%s' "
+                  "twice", name.c_str(), stage.c_str());
     }
 }
 
@@ -579,6 +735,115 @@ namespace
 {
 
 Value
+cellToJson(const CellSpec &cell)
+{
+    Value o = Value::makeObject();
+    o.set("class", Value(cellClassName(cell.cls)));
+    o.set("name", Value(cell.name));
+    switch (cell.cls) {
+      case CellClass::Dynamic: {
+        Value caps = Value::makeArray();
+        for (const CapNode &n : cell.caps) {
+            Value cap = Value::makeObject();
+            cap.set("capacitance", Value(n.capacitance));
+            cap.set("swing", Value(n.voltageSwing));
+            caps.push(std::move(cap));
+        }
+        o.set("caps", std::move(caps));
+        break;
+      }
+      case CellClass::StaticBias: {
+        Value b = Value::makeObject();
+        b.set("loadCapacitance", Value(cell.bias.loadCapacitance));
+        b.set("voltageSwing", Value(cell.bias.voltageSwing));
+        b.set("vdda", Value(cell.bias.vdda));
+        b.set("gain", Value(cell.bias.gain));
+        b.set("gmOverId", Value(cell.bias.gmOverId));
+        b.set("fixedBandwidth", Value(cell.bias.fixedBandwidth));
+        b.set("mode", Value(biasModeName(cell.bias.mode)));
+        o.set("bias", std::move(b));
+        break;
+      }
+      case CellClass::NonLinear:
+        o.set("bits", Value(cell.bits));
+        o.set("energyOverride", Value(cell.energyOverride));
+        break;
+    }
+    o.set("spatial", Value(cell.spatial));
+    o.set("temporal", Value(cell.temporal));
+    o.set("scope", Value(timingScopeName(cell.scope)));
+    return o;
+}
+
+CellSpec
+cellFromJson(const Value &o)
+{
+    CellSpec cell;
+    cell.cls = cellClassFromName(o.at("class").asString());
+    cell.name = o.at("name").asString();
+    if (const Value *v = o.find("caps")) {
+        for (const Value &cap : v->asArray()) {
+            // Both keys are required: a defaulted 0 F / 0 V node
+            // would silently zero the cell's energy.
+            CapNode n;
+            n.capacitance = cap.at("capacitance").asNumber();
+            n.voltageSwing = cap.at("swing").asNumber();
+            cell.caps.push_back(n);
+        }
+    }
+    if (const Value *v = o.find("bias")) {
+        StaticBiasParams d;
+        cell.bias.loadCapacitance =
+            v->getNumber("loadCapacitance", d.loadCapacitance);
+        cell.bias.voltageSwing =
+            v->getNumber("voltageSwing", d.voltageSwing);
+        cell.bias.vdda = v->getNumber("vdda", d.vdda);
+        cell.bias.gain = v->getNumber("gain", d.gain);
+        cell.bias.gmOverId = v->getNumber("gmOverId", d.gmOverId);
+        cell.bias.fixedBandwidth =
+            v->getNumber("fixedBandwidth", d.fixedBandwidth);
+        cell.bias.mode = biasModeFromName(
+            v->getString("mode", biasModeName(d.mode)));
+    }
+    cell.bits = static_cast<int>(o.getInt("bits", cell.bits));
+    cell.energyOverride =
+        o.getNumber("energyOverride", cell.energyOverride);
+    cell.spatial = static_cast<int>(o.getInt("spatial", 1));
+    cell.temporal = static_cast<int>(o.getInt("temporal", 1));
+    cell.scope = timingScopeFromName(
+        o.getString("scope", timingScopeName(TimingScope::SelfSlot)));
+    return cell;
+}
+
+Value
+customToJson(const CustomComponentSpec &c)
+{
+    Value o = Value::makeObject();
+    o.set("name", Value(c.name));
+    o.set("inputDomain", Value(signalDomainName(c.input)));
+    o.set("outputDomain", Value(signalDomainName(c.output)));
+    Value cells = Value::makeArray();
+    for (const CellSpec &cell : c.cells)
+        cells.push(cellToJson(cell));
+    o.set("cells", std::move(cells));
+    return o;
+}
+
+CustomComponentSpec
+customFromJson(const Value &o)
+{
+    CustomComponentSpec c;
+    c.name = o.at("name").asString();
+    c.input = signalDomainFromName(o.at("inputDomain").asString());
+    c.output = signalDomainFromName(o.at("outputDomain").asString());
+    if (const Value *v = o.find("cells")) {
+        for (const Value &cell : v->asArray())
+            c.cells.push_back(cellFromJson(cell));
+    }
+    return c;
+}
+
+Value
 componentToJson(const ComponentSpec &c)
 {
     Value o = Value::makeObject();
@@ -623,6 +888,9 @@ componentToJson(const ComponentSpec &c)
       case ComponentKind::SampleHold:
         o.set("converter", convToJson(c.conv));
         break;
+      case ComponentKind::Custom:
+        o.set("custom", customToJson(c.custom));
+        break;
     }
     return o;
 }
@@ -632,6 +900,8 @@ componentFromJson(const Value &o)
 {
     ComponentSpec c;
     c.kind = componentKindFromName(o.at("kind").asString());
+    if (const Value *v = o.find("custom"))
+        c.custom = customFromJson(*v);
     if (const Value *v = o.find("aps"))
         c.aps = apsFromJson(*v);
     if (const Value *v = o.find("adc"))

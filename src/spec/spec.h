@@ -13,7 +13,12 @@
  *
  * Analog components are described by *kind* plus the corresponding
  * factory parameter struct (the Table 1 component library), so a spec
- * stays declarative without serializing cell-level netlists.
+ * stays declarative without serializing cell-level netlists. Designs
+ * outside the library (the paper's chip reconstructions use
+ * current-domain MACs, winner-take-all pools, in-pixel multipliers)
+ * use ComponentKind::Custom, which serializes the Sec. 4.2 cell chain
+ * itself: an ordered list of dynamic / static-biased / non-linear
+ * cells with their electrical parameters.
  */
 
 #ifndef CAMJ_SPEC_SPEC_H
@@ -64,11 +69,73 @@ enum class ComponentKind
     CurrentToVoltage,
     TimeToVoltage,
     SampleHold,
+    /** An explicit Sec. 4.2 cell chain (see CustomComponentSpec). */
+    Custom,
 };
 
 /** Kind <-> stable JSON token ("aps4t", "column-adc", ...). */
 const char *componentKindName(ComponentKind kind);
 ComponentKind componentKindFromName(const std::string &name);
+
+// ---------------------------------------------- custom cell chains
+
+/** The three A-Cell energy classes of Sec. 4.2. */
+enum class CellClass
+{
+    /** Eq. 5 charge/discharge energy (DynamicCell). */
+    Dynamic,
+    /** Eq. 7-10 bias-current energy (StaticBiasedCell). */
+    StaticBias,
+    /** Eq. 12 Walden-FoM energy (NonLinearCell). */
+    NonLinear,
+};
+
+const char *cellClassName(CellClass cls);
+CellClass cellClassFromName(const std::string &name);
+
+const char *timingScopeName(TimingScope scope);
+TimingScope timingScopeFromName(const std::string &name);
+
+const char *biasModeName(BiasMode mode);
+BiasMode biasModeFromName(const std::string &name);
+
+SignalDomain signalDomainFromName(const std::string &name);
+
+/** One cell on a custom component's critical path. */
+struct CellSpec
+{
+    CellClass cls = CellClass::Dynamic;
+    std::string name;
+    /** Capacitance nodes (Dynamic). */
+    std::vector<CapNode> caps;
+    /** Bias parameters (StaticBias). */
+    StaticBiasParams bias;
+    /** Resolution (NonLinear); a comparator is 1 bit. */
+    int bits = 1;
+    /** Per-conversion energy override (NonLinear); 0 = FoM survey. */
+    Energy energyOverride = 0.0;
+    /** Spatial replication inside the component. */
+    int spatial = 1;
+    /** Temporal uses per component operation. */
+    int temporal = 1;
+    TimingScope scope = TimingScope::SelfSlot;
+
+    /** Build the A-Cell. @throws ConfigError. */
+    std::shared_ptr<const ACell> instantiate() const;
+};
+
+/**
+ * A component outside the Table 1 library, declared as the ordered
+ * cell chain the signal flows through — the serializable equivalent
+ * of assembling an AComponent by hand.
+ */
+struct CustomComponentSpec
+{
+    std::string name;
+    SignalDomain input = SignalDomain::Voltage;
+    SignalDomain output = SignalDomain::Voltage;
+    std::vector<CellSpec> cells;
+};
 
 /**
  * A declarative analog component: a library kind plus the parameter
@@ -96,6 +163,8 @@ struct ComponentSpec
     Capacitance logLoadCap = 50e-15;
     /** LogUnit analog supply [V]. */
     Voltage logVdda = 2.5;
+    /** Explicit cell chain (kind == Custom). */
+    CustomComponentSpec custom;
 
     /** Instantiate the library component. @throws ConfigError. */
     AComponent instantiate() const;
@@ -125,6 +194,9 @@ enum class MemoryModel
     Sram,
     /** Derived from the analytical STT-RAM model at `node_nm`. */
     Sttram,
+    /** Derived from the flip-flop register-file model at `node_nm`
+     *  (PE-local scratch storage; capacity limited to 4 KB). */
+    Regfile,
 };
 
 const char *memoryModelName(MemoryModel model);
@@ -229,6 +301,12 @@ struct DesignSpec
      */
     Design materialize() const;
 };
+
+// ---------------------------------------------------------- diagnostics
+
+/** Comma-join names for error messages; "<none>" when empty. Shared
+ *  by every "references unknown X (registered: ...)" diagnostic. */
+std::string joinNames(const std::vector<std::string> &names);
 
 // -------------------------------------------------------- serialization
 

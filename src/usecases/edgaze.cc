@@ -1,5 +1,6 @@
 #include "usecases/edgaze.h"
 
+#include "spec/builder.h"
 #include "tech/process_node.h"
 #include "tech/scaling.h"
 #include "usecases/params.h"
@@ -40,91 +41,82 @@ const ConvSpec dnnLayers[] = {
     { "DnnConv5", {78, 48, 32}, {76, 46, 4}, {3, 3, 32}, {1, 1, 1} },
 };
 
-/** Build the common software DAG; returns the id of the frame-
- *  subtraction stage's previous-frame input. */
+/** Declare the common software DAG on the builder. */
 void
-buildSwGraph(SwGraph &sw, int event_bits)
+declareSwGraph(spec::DesignBuilder &b, int event_bits)
 {
-    StageId in = sw.addStage({.name = "Input",
-                              .op = StageOp::Input,
-                              .outputSize = {uc::edgazeWidth,
-                                             uc::edgazeHeight, 1},
-                              .bitDepth = 8});
-    StageId down = sw.addStage({.name = "Downsample",
-                                .op = StageOp::Binning,
-                                .inputSize = {uc::edgazeWidth,
-                                              uc::edgazeHeight, 1},
-                                .outputSize = {320, 200, 1},
-                                .kernel = {2, 2, 1},
-                                .stride = {2, 2, 1}});
-    StageId prev = sw.addStage({.name = "PrevFrame",
-                                .op = StageOp::Input,
-                                .outputSize = {320, 200, 1},
-                                .bitDepth = 8});
-    StageId sub = sw.addStage({.name = "FrameSubtract",
-                               .op = StageOp::ElementwiseSub,
-                               .inputSize = {320, 200, 1},
-                               .outputSize = {320, 200, 1},
-                               .bitDepth = event_bits});
-    sw.connect(in, down);
-    sw.connect(down, sub);
-    sw.connect(prev, sub);
+    b.inputStage("Input", {uc::edgazeWidth, uc::edgazeHeight, 1})
+        .stage({.name = "Downsample",
+                .op = StageOp::Binning,
+                .inputSize = {uc::edgazeWidth, uc::edgazeHeight, 1},
+                .outputSize = {320, 200, 1},
+                .kernel = {2, 2, 1},
+                .stride = {2, 2, 1}},
+               {"Input"})
+        .inputStage("PrevFrame", {320, 200, 1})
+        .stage({.name = "FrameSubtract",
+                .op = StageOp::ElementwiseSub,
+                .inputSize = {320, 200, 1},
+                .outputSize = {320, 200, 1},
+                .bitDepth = event_bits},
+               {"Downsample", "PrevFrame"});
 
-    StageId prev_stage = sub;
+    std::string prev = "FrameSubtract";
     for (const ConvSpec &c : dnnLayers) {
-        StageId id = sw.addStage({.name = c.name,
-                                  .op = StageOp::Conv2d,
-                                  .inputSize = c.in,
-                                  .outputSize = c.out,
-                                  .kernel = c.kernel,
-                                  .stride = c.stride,
-                                  .bitDepth = 8});
-        sw.connect(prev_stage, id);
-        prev_stage = id;
+        b.stage({.name = c.name,
+                 .op = StageOp::Conv2d,
+                 .inputSize = c.in,
+                 .outputSize = c.out,
+                 .kernel = c.kernel,
+                 .stride = c.stride,
+                 .bitDepth = 8},
+                {prev});
+        prev = c.name;
     }
 }
 
 /** Pixel array shared by all variants. @p binning_in_pixel merges
  *  2x2 clusters via charge binning (mixed-signal variant). */
-AnalogArray
-buildPixelArray(int sensor_nm, bool binning_in_pixel)
+spec::AnalogArraySpec
+pixelArraySpec(int sensor_nm, bool binning_in_pixel)
 {
     const NodeParams node = nodeParams(sensor_nm);
-    ApsParams aps;
-    aps.vdda = node.vdda;
-    aps.columnLoadCap = 1.0e-12;
-    aps.pixelsPerComponent = binning_in_pixel ? 4 : 1;
+    spec::ComponentSpec pixel;
+    pixel.kind = spec::ComponentKind::Aps4T;
+    pixel.aps.vdda = node.vdda;
+    pixel.aps.columnLoadCap = 1.0e-12;
+    pixel.aps.pixelsPerComponent = binning_in_pixel ? 4 : 1;
 
-    AnalogArrayParams ap;
-    ap.name = "PixelArray";
+    spec::AnalogArraySpec a;
+    a.name = "PixelArray";
+    a.role = AnalogRole::Sensing;
     if (binning_in_pixel) {
-        ap.numComponents = {320, 200, 1};
-        ap.inputShape = {1, 320, 1};
-        ap.outputShape = {1, 320, 1};
+        a.numComponents = {320, 200, 1};
+        a.inputShape = {1, 320, 1};
+        a.outputShape = {1, 320, 1};
     } else {
-        ap.numComponents = {uc::edgazeWidth, uc::edgazeHeight, 1};
-        ap.inputShape = {1, uc::edgazeWidth, 1};
-        ap.outputShape = {1, uc::edgazeWidth, 1};
+        a.numComponents = {uc::edgazeWidth, uc::edgazeHeight, 1};
+        a.inputShape = {1, uc::edgazeWidth, 1};
+        a.outputShape = {1, uc::edgazeWidth, 1};
     }
-    ap.componentArea = uc::edgazePitchUm * uc::edgazePitchUm *
-                       units::um2 * aps.pixelsPerComponent;
-    return AnalogArray(ap, makeAps4T(aps));
+    a.componentArea = uc::edgazePitchUm * uc::edgazePitchUm *
+                      units::um2 * pixel.aps.pixelsPerComponent;
+    a.component = pixel;
+    return a;
 }
 
 /** Add the DNN engine + buffer; shared by all variants. */
 void
-addDnn(Design &d, Layer layer, int nm, bool sttram)
+declareDnn(spec::DesignBuilder &b, Layer layer, int nm, bool sttram)
 {
     if (sttram) {
-        d.addMemory(makeSttramMemory("DnnBuffer", layer,
-                                     MemoryKind::DoubleBuffer,
-                                     uc::edgazeDnnBufBytes / 8, 64, nm,
-                                     uc::dnnBufActiveFraction));
+        b.sttram("DnnBuffer", layer, MemoryKind::DoubleBuffer,
+                 uc::edgazeDnnBufBytes / 8, 64, nm,
+                 uc::dnnBufActiveFraction);
     } else {
-        d.addMemory(makeSramMemory("DnnBuffer", layer,
-                                   MemoryKind::DoubleBuffer,
-                                   uc::edgazeDnnBufBytes / 8, 64, nm,
-                                   uc::dnnBufActiveFraction));
+        b.sram("DnnBuffer", layer, MemoryKind::DoubleBuffer,
+               uc::edgazeDnnBufBytes / 8, 64, nm,
+               uc::dnnBufActiveFraction);
     }
 
     SystolicArrayParams sp;
@@ -134,12 +126,11 @@ addDnn(Design &d, Layer layer, int nm, bool sttram)
     sp.cols = uc::edgazeDnnDim;
     sp.energyPerMac = macEnergy8bit(nm);
     sp.peArea = macArea8bit(nm);
-    d.addSystolicArray(SystolicArray(sp));
-    d.connectMemoryToUnit("DnnBuffer", "DnnArray");
+    b.systolicArray(sp, {"DnnBuffer"});
 }
 
-std::shared_ptr<Design>
-buildDigitalVariant(EdgazeVariant variant, int sensor_nm)
+spec::DesignSpec
+digitalVariantSpec(EdgazeVariant variant, int sensor_nm)
 {
     Layer digital_layer = Layer::Sensor;
     int digital_nm = sensor_nm;
@@ -160,49 +151,40 @@ buildDigitalVariant(EdgazeVariant variant, int sensor_nm)
         break;
     }
 
-    DesignParams dp;
-    dp.name = std::string("edgaze-") + edgazeVariantName(variant) +
-              "-" + std::to_string(sensor_nm) + "nm";
-    dp.fps = uc::edgazeFps;
-    dp.digitalClock = 100e6;
-    auto d = std::make_shared<Design>(dp);
+    spec::DesignBuilder b(std::string("edgaze-") +
+                          edgazeVariantName(variant) + "-" +
+                          std::to_string(sensor_nm) + "nm");
+    b.fps(uc::edgazeFps).digitalClock(100e6);
 
-    buildSwGraph(d->sw(), 8);
+    declareSwGraph(b, 8);
 
-    d->addAnalogArray(buildPixelArray(sensor_nm, false),
-                      AnalogRole::Sensing);
-    {
-        AnalogArrayParams ap;
-        ap.name = "AdcArray";
-        ap.numComponents = {uc::edgazeWidth, 1, 1};
-        ap.inputShape = {1, uc::edgazeWidth, 1};
-        ap.outputShape = {1, uc::edgazeWidth, 1};
-        ap.componentArea = 1.0e-9;
-        d->addAnalogArray(AnalogArray(ap, makeColumnAdc({.bits = 10})),
-                          AnalogRole::Adc);
-    }
+    b.analogArray(pixelArraySpec(sensor_nm, false));
+    spec::ComponentSpec adc;
+    adc.kind = spec::ComponentKind::ColumnAdc;
+    adc.adc = {.bits = 10};
+    b.analogArray({.name = "AdcArray",
+                   .role = AnalogRole::Adc,
+                   .numComponents = {uc::edgazeWidth, 1, 1},
+                   .inputShape = {1, uc::edgazeWidth, 1},
+                   .outputShape = {1, uc::edgazeWidth, 1},
+                   .componentArea = 1.0e-9,
+                   .component = adc});
 
     // Digital pipeline: line buffer -> downsample -> fifo + frame
     // buffer -> subtract -> DNN buffer -> systolic DNN.
-    d->addMemory(makeSramMemory("LineBuffer", digital_layer,
-                                MemoryKind::LineBuffer,
-                                2 * uc::edgazeWidth, 8, digital_nm,
-                                uc::streamBufActiveFraction));
-    d->addMemory(makeSramMemory("PixFifo", digital_layer,
-                                MemoryKind::Fifo, 2048, 8, digital_nm,
-                                uc::streamBufActiveFraction));
+    b.sram("LineBuffer", digital_layer, MemoryKind::LineBuffer,
+           2 * uc::edgazeWidth, 8, digital_nm,
+           uc::streamBufActiveFraction);
+    b.sram("PixFifo", digital_layer, MemoryKind::Fifo, 2048, 8,
+           digital_nm, uc::streamBufActiveFraction);
     if (sttram) {
         // The retained previous frame cannot be power-gated in SRAM;
         // STT-RAM retains it for free.
-        d->addMemory(makeSttramMemory("FrameBuffer", digital_layer,
-                                      MemoryKind::FrameBuffer,
-                                      uc::edgazeFrameBufWords, 8,
-                                      digital_nm, 1.0));
+        b.sttram("FrameBuffer", digital_layer, MemoryKind::FrameBuffer,
+                 uc::edgazeFrameBufWords, 8, digital_nm, 1.0);
     } else {
-        d->addMemory(makeSramMemory("FrameBuffer", digital_layer,
-                                    MemoryKind::FrameBuffer,
-                                    uc::edgazeFrameBufWords, 8,
-                                    digital_nm, 1.0));
+        b.sram("FrameBuffer", digital_layer, MemoryKind::FrameBuffer,
+               uc::edgazeFrameBufWords, 8, digital_nm, 1.0);
     }
 
     ComputeUnitParams down;
@@ -214,7 +196,7 @@ buildDigitalVariant(EdgazeVariant variant, int sensor_nm)
                           uc::edgazeAluOverhead;
     down.numStages = 2;
     down.opsPerCycle = 4;
-    d->addComputeUnit(ComputeUnit(down));
+    b.computeUnit(down, {"LineBuffer"}, {"PixFifo", "FrameBuffer"});
 
     ComputeUnitParams sub;
     sub.name = "SubtractUnit";
@@ -225,124 +207,124 @@ buildDigitalVariant(EdgazeVariant variant, int sensor_nm)
                          uc::edgazeAluOverhead;
     sub.numStages = 2;
     sub.opsPerCycle = 1;
-    d->addComputeUnit(ComputeUnit(sub));
+    b.computeUnit(sub, {"PixFifo", "FrameBuffer"});
 
-    addDnn(*d, digital_layer, digital_nm, sttram);
+    declareDnn(b, digital_layer, digital_nm, sttram);
+    // The DNN buffer exists only now, so wire the subtractor's output
+    // here instead of at its declaration.
+    b.connectUnitToMemory("SubtractUnit", "DnnBuffer");
 
-    d->setAdcOutput("LineBuffer");
-    d->connectMemoryToUnit("LineBuffer", "DownsampleUnit");
-    d->connectUnitToMemory("DownsampleUnit", "PixFifo");
-    d->connectUnitToMemory("DownsampleUnit", "FrameBuffer");
-    d->connectMemoryToUnit("PixFifo", "SubtractUnit");
-    d->connectMemoryToUnit("FrameBuffer", "SubtractUnit");
-    d->connectUnitToMemory("SubtractUnit", "DnnBuffer");
-
-    d->setMipi(makeMipiCsi2());
+    b.adcOutput("LineBuffer").mipi();
     if (digital_layer == Layer::Compute)
-        d->setTsv(makeMicroTsv());
+        b.tsv();
 
     if (variant != EdgazeVariant::TwoDOff)
-        d->setPipelineOutputBytes(uc::edgazeRoiBytes);
+        b.pipelineOutputBytes(uc::edgazeRoiBytes);
 
-    Mapping &m = d->mapping();
-    m.map("Input", "PixelArray");
-    m.map("Downsample", "DownsampleUnit");
-    m.map("PrevFrame", "FrameBuffer");
-    m.map("FrameSubtract", "SubtractUnit");
+    b.map("Input", "PixelArray")
+        .map("Downsample", "DownsampleUnit")
+        .map("PrevFrame", "FrameBuffer")
+        .map("FrameSubtract", "SubtractUnit");
     for (const ConvSpec &c : dnnLayers)
-        m.map(c.name, "DnnArray");
-    return d;
+        b.map(c.name, "DnnArray");
+    return b.spec();
 }
 
-std::shared_ptr<Design>
-buildMixedVariant(int sensor_nm)
+spec::DesignSpec
+mixedVariantSpec(int sensor_nm)
 {
-    DesignParams dp;
-    dp.name = std::string("edgaze-2D-In-Mixed-") +
-              std::to_string(sensor_nm) + "nm";
-    dp.fps = uc::edgazeFps;
-    dp.digitalClock = 100e6;
-    auto d = std::make_shared<Design>(dp);
+    spec::DesignBuilder b(std::string("edgaze-2D-In-Mixed-") +
+                          std::to_string(sensor_nm) + "nm");
+    b.fps(uc::edgazeFps).digitalClock(100e6);
 
     // Binary event map out of the analog comparator.
-    buildSwGraph(d->sw(), 1);
+    declareSwGraph(b, 1);
 
     const NodeParams node = nodeParams(sensor_nm);
 
     // S1 (2x2 downsample) happens by charge binning inside the pixel.
-    d->addAnalogArray(buildPixelArray(sensor_nm, true),
-                      AnalogRole::Sensing);
+    b.analogArray(pixelArraySpec(sensor_nm, true));
 
     // Active analog frame buffer (Fig. 10's 4T-APS-style memory).
     {
-        AnalogMemoryParams am;
-        am.bits = 8;
-        am.vdda = node.vdda;
-        am.storageCap = uc::edgazeMixedCap;
-        am.readoutLoadCap = 0.5e-12;
-        am.readsPerValue = 1;
-        AnalogArrayParams ap;
-        ap.name = "AnalogFrameBuffer";
-        ap.numComponents = {320, 200, 1};
-        ap.inputShape = {1, 320, 1};
-        ap.outputShape = {1, 320, 1};
-        ap.componentArea = 1.0e-10;
-        d->addAnalogArray(AnalogArray(ap, makeActiveAnalogMemory(am)),
-                          AnalogRole::AnalogMemory);
+        spec::ComponentSpec mem;
+        mem.kind = spec::ComponentKind::ActiveAnalogMemory;
+        mem.analogMem.bits = 8;
+        mem.analogMem.vdda = node.vdda;
+        mem.analogMem.storageCap = uc::edgazeMixedCap;
+        mem.analogMem.readoutLoadCap = 0.5e-12;
+        mem.analogMem.readsPerValue = 1;
+        b.analogArray({.name = "AnalogFrameBuffer",
+                       .role = AnalogRole::AnalogMemory,
+                       .numComponents = {320, 200, 1},
+                       .inputShape = {1, 320, 1},
+                       .outputShape = {1, 320, 1},
+                       .componentArea = 1.0e-10,
+                       .component = mem});
     }
 
-    // S2: switched-capacitor subtractor + comparator per column.
+    // S2: switched-capacitor subtractor + comparator per column,
+    // declared as an explicit Sec. 4.2 cell chain.
     {
-        AComponent pe("SubCompPe", SignalDomain::Voltage,
-                      SignalDomain::Digital);
-        pe.addCell(std::make_shared<DynamicCell>(
-                       "sc-sub-caps",
-                       std::vector<CapNode>(
-                           2, CapNode{ uc::edgazeMixedCap, 1.0 })),
-                   1, 1);
-        StaticBiasParams ob;
+        spec::CustomComponentSpec pe;
+        pe.name = "SubCompPe";
+        pe.input = SignalDomain::Voltage;
+        pe.output = SignalDomain::Digital;
+
+        spec::CellSpec caps;
+        caps.cls = spec::CellClass::Dynamic;
+        caps.name = "sc-sub-caps";
+        caps.caps = std::vector<CapNode>(
+            2, CapNode{ uc::edgazeMixedCap, 1.0 });
+        pe.cells.push_back(caps);
+
         // Settling to 8-bit accuracy needs GBW ~ (bits+1)*ln2 / t
         // (the Eq. 6 precision requirement reflected in the opamp
         // bandwidth), and the subtractor drives the full column bus
         // plus the comparator input, not just its own 100 fF caps.
         // This is why Fig. 13's analog compute energy *increases*.
-        ob.loadCapacitance = 2.0e-12;
-        ob.voltageSwing = 1.0;
-        ob.vdda = node.vdda;
-        ob.gain = 6.24; // (8+1) * ln2
-        ob.gmOverId = 10.0;
-        ob.mode = BiasMode::GmOverId;
-        pe.addCell(std::make_shared<StaticBiasedCell>("sub-opamp", ob),
-                   1, 1);
-        pe.addCell(std::make_shared<NonLinearCell>("event-comparator",
-                                                   1),
-                   1, 1);
+        spec::CellSpec opamp;
+        opamp.cls = spec::CellClass::StaticBias;
+        opamp.name = "sub-opamp";
+        opamp.bias.loadCapacitance = 2.0e-12;
+        opamp.bias.voltageSwing = 1.0;
+        opamp.bias.vdda = node.vdda;
+        opamp.bias.gain = 6.24; // (8+1) * ln2
+        opamp.bias.gmOverId = 10.0;
+        opamp.bias.mode = BiasMode::GmOverId;
+        pe.cells.push_back(opamp);
 
-        AnalogArrayParams ap;
-        ap.name = "AnalogPeArray";
-        ap.numComponents = {320, 1, 1};
-        ap.inputShape = {1, 320, 1};
-        ap.outputShape = {1, 320, 1};
-        ap.componentArea = 2.0e-10;
-        d->addAnalogArray(AnalogArray(ap, pe),
-                          AnalogRole::AnalogCompute);
+        spec::CellSpec cmp;
+        cmp.cls = spec::CellClass::NonLinear;
+        cmp.name = "event-comparator";
+        cmp.bits = 1;
+        pe.cells.push_back(cmp);
+
+        spec::ComponentSpec comp;
+        comp.kind = spec::ComponentKind::Custom;
+        comp.custom = pe;
+        b.analogArray({.name = "AnalogPeArray",
+                       .role = AnalogRole::AnalogCompute,
+                       .numComponents = {320, 1, 1},
+                       .inputShape = {1, 320, 1},
+                       .outputShape = {1, 320, 1},
+                       .componentArea = 2.0e-10,
+                       .component = comp});
     }
 
     // S3 stays digital at the sensor node.
-    addDnn(*d, Layer::Sensor, sensor_nm, false);
-    d->setAdcOutput("DnnBuffer");
+    declareDnn(b, Layer::Sensor, sensor_nm, false);
+    b.adcOutput("DnnBuffer");
 
-    d->setMipi(makeMipiCsi2());
-    d->setPipelineOutputBytes(uc::edgazeRoiBytes);
+    b.mipi().pipelineOutputBytes(uc::edgazeRoiBytes);
 
-    Mapping &m = d->mapping();
-    m.map("Input", "PixelArray");
-    m.map("Downsample", "PixelArray");
-    m.map("PrevFrame", "AnalogFrameBuffer");
-    m.map("FrameSubtract", "AnalogPeArray");
+    b.map("Input", "PixelArray")
+        .map("Downsample", "PixelArray")
+        .map("PrevFrame", "AnalogFrameBuffer")
+        .map("FrameSubtract", "AnalogPeArray");
     for (const ConvSpec &c : dnnLayers)
-        m.map(c.name, "DnnArray");
-    return d;
+        b.map(c.name, "DnnArray");
+    return b.spec();
 }
 
 } // namespace
@@ -356,12 +338,19 @@ edgazeDnnMacs()
     return total;
 }
 
+spec::DesignSpec
+edgazeSpec(EdgazeVariant variant, int sensor_nm)
+{
+    if (variant == EdgazeVariant::TwoDInMixed)
+        return mixedVariantSpec(sensor_nm);
+    return digitalVariantSpec(variant, sensor_nm);
+}
+
 std::shared_ptr<Design>
 buildEdgaze(EdgazeVariant variant, int sensor_nm)
 {
-    if (variant == EdgazeVariant::TwoDInMixed)
-        return buildMixedVariant(sensor_nm);
-    return buildDigitalVariant(variant, sensor_nm);
+    return std::make_shared<Design>(
+        edgazeSpec(variant, sensor_nm).materialize());
 }
 
 } // namespace camj

@@ -7,6 +7,10 @@
  * Fig. 10, where the first two stages move into the analog domain
  * (charge binning in the pixel array, an active analog frame buffer,
  * and a switched-capacitor subtractor + comparator PE array).
+ *
+ * Every variant is defined as a DesignSpec generator (edgazeSpec), so
+ * the studies are serializable documents; buildEdgaze() is a thin
+ * materializing wrapper.
  */
 
 #ifndef CAMJ_USECASES_EDGAZE_H
@@ -16,6 +20,7 @@
 #include <memory>
 
 #include "core/design.h"
+#include "spec/spec.h"
 #include "usecases/rhythmic.h" // SensorVariant
 
 namespace camj
@@ -40,12 +45,15 @@ const char *edgazeVariantName(EdgazeVariant variant);
 int64_t edgazeDnnMacs();
 
 /**
- * Build the Ed-Gaze design.
+ * The Ed-Gaze design as a serializable spec.
  *
  * @param variant Placement / signal-domain variant.
  * @param sensor_nm CIS process node (130 or 65 in the paper).
  * @throws ConfigError on invalid nodes.
  */
+spec::DesignSpec edgazeSpec(EdgazeVariant variant, int sensor_nm);
+
+/** Materialize edgazeSpec() onto the Design engine. */
 std::shared_ptr<Design> buildEdgaze(EdgazeVariant variant,
                                     int sensor_nm);
 

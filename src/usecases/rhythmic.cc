@@ -1,5 +1,6 @@
 #include "usecases/rhythmic.h"
 
+#include "spec/builder.h"
 #include "tech/process_node.h"
 #include "tech/scaling.h"
 #include "usecases/params.h"
@@ -19,8 +20,8 @@ sensorVariantName(SensorVariant variant)
     return "?";
 }
 
-std::shared_ptr<Design>
-buildRhythmic(SensorVariant variant, int sensor_nm, double fps)
+spec::DesignSpec
+rhythmicSpec(SensorVariant variant, int sensor_nm, double fps)
 {
     namespace uc = usecase;
 
@@ -28,7 +29,7 @@ buildRhythmic(SensorVariant variant, int sensor_nm, double fps)
         fps = uc::rhythmicFps;
 
     if (variant == SensorVariant::ThreeDInStt) {
-        fatal("buildRhythmic: the 2 KB region buffer is below the "
+        fatal("rhythmicSpec: the 2 KB region buffer is below the "
               "4 KB STT-RAM minimum (the paper has no Rhythmic "
               "STT-RAM result for the same reason)");
     }
@@ -48,71 +49,15 @@ buildRhythmic(SensorVariant variant, int sensor_nm, double fps)
         break;
     }
 
-    DesignParams dp;
-    dp.name = std::string("rhythmic-") + sensorVariantName(variant) +
-              "-" + std::to_string(sensor_nm) + "nm";
-    dp.fps = fps;
-    dp.digitalClock = 100e6;
-    auto d = std::make_shared<Design>(dp);
-
-    // ---- algorithm ----
-    SwGraph &sw = d->sw();
-    StageId in = sw.addStage({.name = "Input",
-                              .op = StageOp::Input,
-                              .outputSize = {uc::rhythmicWidth,
-                                             uc::rhythmicHeight, 1},
-                              .bitDepth = 8});
-    StageId cs = sw.addStage(
-        {.name = "CompareSample",
-         .op = StageOp::CompareSample,
-         .inputSize = {uc::rhythmicWidth, uc::rhythmicHeight, 1},
-         .outputSize = {uc::rhythmicWidth, uc::rhythmicHeight, 1},
-         .bitDepth = 8,
-         .opsPerOutputOverride = uc::rhythmicOpsPerPixel});
-    sw.connect(in, cs);
-    // Per-region configuration state resident in the metadata buffer
-    // (consulted for every pixel group by the encoder).
-    sw.addStage({.name = "RegionState",
-                 .op = StageOp::Input,
-                 .outputSize = {256, 8, 1},
-                 .bitDepth = 8});
-
-    // ---- analog front-end (always on the sensor die) ----
+    // ---- analog front-end components (always on the sensor die) ----
     const NodeParams sensor_node = nodeParams(sensor_nm);
-    ApsParams aps;
-    aps.vdda = sensor_node.vdda;
-    aps.columnLoadCap = 1.5e-12; // 720-row column line
-    {
-        AnalogArrayParams ap;
-        ap.name = "PixelArray";
-        ap.numComponents = {uc::rhythmicWidth, uc::rhythmicHeight, 1};
-        ap.inputShape = {1, uc::rhythmicWidth, 1};
-        ap.outputShape = {1, uc::rhythmicWidth, 1};
-        ap.componentArea = uc::rhythmicPitchUm * uc::rhythmicPitchUm *
-                           units::um2;
-        d->addAnalogArray(AnalogArray(ap, makeAps4T(aps)),
-                          AnalogRole::Sensing);
-    }
-    {
-        AnalogArrayParams ap;
-        ap.name = "AdcArray";
-        ap.numComponents = {uc::rhythmicWidth, 1, 1};
-        ap.inputShape = {1, uc::rhythmicWidth, 1};
-        ap.outputShape = {1, uc::rhythmicWidth, 1};
-        ap.componentArea = 1.0e-9;
-        d->addAnalogArray(AnalogArray(ap, makeColumnAdc({.bits = 8})),
-                          AnalogRole::Adc);
-    }
-
-    // ---- digital part (placement varies) ----
-    d->addMemory(makeSramMemory("PixFifo", digital_layer,
-                                MemoryKind::Fifo, 2 * uc::rhythmicWidth,
-                                8, digital_nm,
-                                uc::streamBufActiveFraction));
-    d->addMemory(makeSramMemory("RoiBuf", digital_layer,
-                                MemoryKind::DoubleBuffer,
-                                uc::rhythmicRoiBufBytes / 2, 16,
-                                digital_nm, 1.0));
+    spec::ComponentSpec pixel;
+    pixel.kind = spec::ComponentKind::Aps4T;
+    pixel.aps.vdda = sensor_node.vdda;
+    pixel.aps.columnLoadCap = 1.5e-12; // 720-row column line
+    spec::ComponentSpec adc;
+    adc.kind = spec::ComponentKind::ColumnAdc;
+    adc.adc = {.bits = 8};
 
     ComputeUnitParams cu;
     cu.name = "CompareSampleUnit";
@@ -123,28 +68,72 @@ buildRhythmic(SensorVariant variant, int sensor_nm, double fps)
                         uc::rhythmicLaneOverhead;
     cu.numStages = 4;
     cu.opsPerCycle = uc::rhythmicLanes * uc::rhythmicOpsPerPixel;
-    d->addComputeUnit(ComputeUnit(cu));
 
-    d->setAdcOutput("PixFifo");
-    d->connectMemoryToUnit("PixFifo", "CompareSampleUnit");
-    d->connectMemoryToUnit("RoiBuf", "CompareSampleUnit");
+    spec::DesignBuilder b(std::string("rhythmic-") +
+                          sensorVariantName(variant) + "-" +
+                          std::to_string(sensor_nm) + "nm");
+    b.fps(fps)
+        .digitalClock(100e6)
+        // ---- algorithm ----
+        .inputStage("Input", {uc::rhythmicWidth, uc::rhythmicHeight, 1})
+        .stage({.name = "CompareSample",
+                .op = StageOp::CompareSample,
+                .inputSize = {uc::rhythmicWidth, uc::rhythmicHeight, 1},
+                .outputSize = {uc::rhythmicWidth, uc::rhythmicHeight, 1},
+                .bitDepth = 8,
+                .opsPerOutputOverride = uc::rhythmicOpsPerPixel},
+               {"Input"})
+        // Per-region configuration state resident in the metadata
+        // buffer (consulted for every pixel group by the encoder).
+        .inputStage("RegionState", {256, 8, 1})
+        // ---- analog chain ----
+        .analogArray({.name = "PixelArray",
+                      .role = AnalogRole::Sensing,
+                      .numComponents = {uc::rhythmicWidth,
+                                        uc::rhythmicHeight, 1},
+                      .inputShape = {1, uc::rhythmicWidth, 1},
+                      .outputShape = {1, uc::rhythmicWidth, 1},
+                      .componentArea = uc::rhythmicPitchUm *
+                                       uc::rhythmicPitchUm * units::um2,
+                      .component = pixel})
+        .analogArray({.name = "AdcArray",
+                      .role = AnalogRole::Adc,
+                      .numComponents = {uc::rhythmicWidth, 1, 1},
+                      .inputShape = {1, uc::rhythmicWidth, 1},
+                      .outputShape = {1, uc::rhythmicWidth, 1},
+                      .componentArea = 1.0e-9,
+                      .component = adc})
+        // ---- digital part (placement varies) ----
+        .sram("PixFifo", digital_layer, MemoryKind::Fifo,
+              2 * uc::rhythmicWidth, 8, digital_nm,
+              uc::streamBufActiveFraction)
+        .sram("RoiBuf", digital_layer, MemoryKind::DoubleBuffer,
+              uc::rhythmicRoiBufBytes / 2, 16, digital_nm, 1.0)
+        .computeUnit(cu, {"PixFifo", "RoiBuf"})
+        .adcOutput("PixFifo")
+        .mipi();
 
-    d->setMipi(makeMipiCsi2());
     if (variant == SensorVariant::ThreeDIn)
-        d->setTsv(makeMicroTsv());
+        b.tsv();
 
     if (variant != SensorVariant::TwoDOff) {
         // ROI encoding halves the transmitted volume.
         int64_t full = uc::rhythmicWidth * uc::rhythmicHeight;
-        d->setPipelineOutputBytes(static_cast<int64_t>(
+        b.pipelineOutputBytes(static_cast<int64_t>(
             static_cast<double>(full) * uc::rhythmicRoiFraction));
     }
 
-    Mapping &m = d->mapping();
-    m.map("Input", "PixelArray");
-    m.map("CompareSample", "CompareSampleUnit");
-    m.map("RegionState", "RoiBuf");
-    return d;
+    b.map("Input", "PixelArray")
+        .map("CompareSample", "CompareSampleUnit")
+        .map("RegionState", "RoiBuf");
+    return b.spec();
+}
+
+std::shared_ptr<Design>
+buildRhythmic(SensorVariant variant, int sensor_nm, double fps)
+{
+    return std::make_shared<Design>(
+        rhythmicSpec(variant, sensor_nm, fps).materialize());
 }
 
 } // namespace camj

@@ -5,6 +5,11 @@
  * (the paper's Fig. 8a). The hardware variants explored in Fig. 9a
  * and Table 3 differ only in where the Compare & Sample accelerator
  * and its buffers live and in which process node they use.
+ *
+ * The study is defined as a DesignSpec generator (rhythmicSpec), so
+ * every variant is a serializable document that can be saved, swept,
+ * and diffed; buildRhythmic() is a thin materializing wrapper kept
+ * for callers that want the imperative Design directly.
  */
 
 #ifndef CAMJ_USECASES_RHYTHMIC_H
@@ -14,6 +19,7 @@
 #include <string>
 
 #include "core/design.h"
+#include "spec/spec.h"
 
 namespace camj
 {
@@ -35,7 +41,7 @@ enum class SensorVariant
 const char *sensorVariantName(SensorVariant variant);
 
 /**
- * Build the Rhythmic Pixel Regions design.
+ * The Rhythmic Pixel Regions design as a serializable spec.
  *
  * @param variant Placement variant. ThreeDInStt is rejected: the
  *        workload's 2 KB metadata buffer is below the STT-RAM
@@ -46,6 +52,10 @@ const char *sensorVariantName(SensorVariant variant);
  * @param fps Frame-rate target; defaults to the paper's 30 fps.
  * @throws ConfigError for ThreeDInStt or invalid nodes.
  */
+spec::DesignSpec rhythmicSpec(SensorVariant variant, int sensor_nm,
+                              double fps = 0.0);
+
+/** Materialize rhythmicSpec() onto the Design engine. */
 std::shared_ptr<Design> buildRhythmic(SensorVariant variant,
                                       int sensor_nm,
                                       double fps = 0.0);

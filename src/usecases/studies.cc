@@ -1,0 +1,59 @@
+#include "usecases/studies.h"
+
+#include "spec/samples.h"
+#include "usecases/edgaze.h"
+#include "usecases/rhythmic.h"
+#include "validation/chips.h"
+
+namespace camj
+{
+
+std::vector<PaperStudy>
+allPaperStudies()
+{
+    std::vector<PaperStudy> studies;
+    auto add = [&](spec::DesignSpec spec) {
+        studies.push_back({spec.name, std::move(spec)});
+    };
+
+    // Fig. 9a / Table 3: Rhythmic Pixel Regions placements. The
+    // 3D-In-STT cell is absent here exactly as in the paper (the
+    // metadata buffer is below the STT-RAM minimum).
+    for (int nm : {130, 65}) {
+        for (SensorVariant v : {SensorVariant::TwoDOff,
+                                SensorVariant::TwoDIn,
+                                SensorVariant::ThreeDIn})
+            add(rhythmicSpec(v, nm));
+    }
+
+    // Fig. 9b / 10-13 / Table 3: every Ed-Gaze variant.
+    for (int nm : {130, 65}) {
+        for (EdgazeVariant v : {EdgazeVariant::TwoDOff,
+                                EdgazeVariant::TwoDIn,
+                                EdgazeVariant::ThreeDIn,
+                                EdgazeVariant::ThreeDInStt,
+                                EdgazeVariant::TwoDInMixed})
+            add(edgazeSpec(v, nm));
+    }
+
+    // Table 2 / Fig. 7: the nine validation chips.
+    for (ChipSpec &chip : allChipSpecs())
+        add(std::move(chip.design));
+
+    // The canonical sample detector at both paper CIS nodes.
+    add(spec::sampleDetectorSpec(30.0, 130));
+    add(spec::sampleDetectorSpec(30.0, 65));
+
+    return studies;
+}
+
+std::vector<spec::DesignSpec>
+allPaperStudySpecs()
+{
+    std::vector<spec::DesignSpec> specs;
+    for (PaperStudy &s : allPaperStudies())
+        specs.push_back(std::move(s.spec));
+    return specs;
+}
+
+} // namespace camj

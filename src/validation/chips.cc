@@ -1,7 +1,6 @@
 #include "validation/chips.h"
 
-#include "analog/acomponent.h"
-#include "memmodel/regfile.h"
+#include "spec/builder.h"
 #include "tech/process_node.h"
 #include "tech/scaling.h"
 
@@ -12,64 +11,100 @@ namespace
 {
 
 /** Pixel-array helper: components = pixels / pixelsPerComponent. */
-AnalogArray
-makePixelArray(const std::string &name, int64_t comp_w, int64_t comp_h,
-               const AComponent &pixel, double pitch_um,
-               int pixels_per_component, int64_t row_width)
+spec::AnalogArraySpec
+pixelArray(const std::string &name, int64_t comp_w, int64_t comp_h,
+           spec::ComponentSpec pixel, double pitch_um,
+           int pixels_per_component, int64_t row_width)
 {
-    AnalogArrayParams p;
-    p.name = name;
-    p.layer = Layer::Sensor;
-    p.numComponents = {comp_w, comp_h, 1};
-    p.inputShape = {1, row_width, 1};
-    p.outputShape = {1, row_width, 1};
-    p.componentArea = pitch_um * pitch_um * units::um2 *
+    spec::AnalogArraySpec a;
+    a.name = name;
+    a.layer = Layer::Sensor;
+    a.role = AnalogRole::Sensing;
+    a.numComponents = {comp_w, comp_h, 1};
+    a.inputShape = {1, row_width, 1};
+    a.outputShape = {1, row_width, 1};
+    a.componentArea = pitch_um * pitch_um * units::um2 *
                       pixels_per_component;
-    return AnalogArray(p, pixel);
+    a.component = std::move(pixel);
+    return a;
 }
 
 /** Column-parallel helper for PE / memory / ADC arrays. */
-AnalogArray
-makeColumnArray(const std::string &name, int64_t cols,
-                const AComponent &comp, Area component_area,
-                int64_t row_width)
+spec::AnalogArraySpec
+columnArray(const std::string &name, int64_t cols,
+            spec::ComponentSpec comp, Area component_area,
+            int64_t row_width, AnalogRole role)
 {
-    AnalogArrayParams p;
-    p.name = name;
-    p.layer = Layer::Sensor;
-    p.numComponents = {cols, 1, 1};
-    p.inputShape = {1, row_width, 1};
-    p.outputShape = {1, row_width, 1};
-    p.componentArea = component_area;
-    return AnalogArray(p, comp);
+    spec::AnalogArraySpec a;
+    a.name = name;
+    a.layer = Layer::Sensor;
+    a.role = role;
+    a.numComponents = {cols, 1, 1};
+    a.inputShape = {1, row_width, 1};
+    a.outputShape = {1, row_width, 1};
+    a.componentArea = component_area;
+    a.component = std::move(comp);
+    return a;
 }
 
 /** Current-domain MAC used by the PWM-pixel chips (time in,
  *  current out): integration cap plus a bias branch. */
-AComponent
-makeCurrentMac(Voltage vdda, Capacitance integration_cap)
+spec::ComponentSpec
+currentMac(Voltage vdda, Capacitance integration_cap)
 {
-    AComponent c("I-MAC", SignalDomain::Time, SignalDomain::Current);
-    c.addCell(std::make_shared<DynamicCell>(
-                  "integration-cap",
-                  std::vector<CapNode>{ { integration_cap, 0.3 } }),
-              1, 1);
-    StaticBiasParams sb;
-    sb.loadCapacitance = integration_cap;
-    sb.voltageSwing = 0.3;
-    sb.vdda = vdda;
-    sb.mode = BiasMode::DirectDrive;
-    c.addCell(std::make_shared<StaticBiasedCell>("bias-branch", sb), 1,
-              1);
+    spec::CustomComponentSpec mac;
+    mac.name = "I-MAC";
+    mac.input = SignalDomain::Time;
+    mac.output = SignalDomain::Current;
+
+    spec::CellSpec cap;
+    cap.cls = spec::CellClass::Dynamic;
+    cap.name = "integration-cap";
+    cap.caps = { { integration_cap, 0.3 } };
+    mac.cells.push_back(cap);
+
+    spec::CellSpec bias;
+    bias.cls = spec::CellClass::StaticBias;
+    bias.name = "bias-branch";
+    bias.bias.loadCapacitance = integration_cap;
+    bias.bias.voltageSwing = 0.3;
+    bias.bias.vdda = vdda;
+    bias.bias.mode = BiasMode::DirectDrive;
+    mac.cells.push_back(bias);
+
+    spec::ComponentSpec c;
+    c.kind = spec::ComponentKind::Custom;
+    c.custom = std::move(mac);
     return c;
 }
 
 /** Current-input ADC (current-domain designs digitize directly). */
-AComponent
-makeCurrentAdc(int bits)
+spec::ComponentSpec
+currentAdc(int bits)
 {
-    AComponent c("I-ADC", SignalDomain::Current, SignalDomain::Digital);
-    c.addCell(std::make_shared<NonLinearCell>("i-adc", bits), 1, 1);
+    spec::CustomComponentSpec adc;
+    adc.name = "I-ADC";
+    adc.input = SignalDomain::Current;
+    adc.output = SignalDomain::Digital;
+
+    spec::CellSpec cell;
+    cell.cls = spec::CellClass::NonLinear;
+    cell.name = "i-adc";
+    cell.bits = bits;
+    adc.cells.push_back(cell);
+
+    spec::ComponentSpec c;
+    c.kind = spec::ComponentKind::Custom;
+    c.custom = std::move(adc);
+    return c;
+}
+
+spec::ComponentSpec
+columnAdc(int bits)
+{
+    spec::ComponentSpec c;
+    c.kind = spec::ComponentKind::ColumnAdc;
+    c.adc = {.bits = bits};
     return c;
 }
 
@@ -80,119 +115,115 @@ constexpr Area analogMemArea = 1.0e-10;  // analog memory cell
 } // namespace
 
 ChipInfo
-buildIsscc17()
+materializeChip(const ChipSpec &chip)
 {
     ChipInfo info;
+    info.id = chip.id;
+    info.description = chip.description;
+    info.pixels = chip.pixels;
+    info.design =
+        std::make_shared<Design>(chip.design.materialize());
+    info.groups = chip.groups;
+    return info;
+}
+
+ChipSpec
+isscc17Spec()
+{
+    ChipSpec info;
     info.id = "ISSCC'17";
     info.description =
         "65nm CNN face-recognition CIS: 3T APS, analog average/add "
         "front-end, 20x80 analog memory, 160KB SRAM, MAC array";
     info.pixels = 320 * 240;
 
-    DesignParams dp;
-    dp.name = "isscc17-facerec";
-    dp.fps = 10.0;
-    dp.digitalClock = 50e6;
-    auto d = std::make_shared<Design>(dp);
+    spec::DesignBuilder b("isscc17-facerec");
+    b.fps(10.0).digitalClock(50e6);
 
     // Algorithm: 4x4 analog binning (Haar front-end), analog feature
     // scaling, then a small two-layer CNN in the digital domain.
-    SwGraph &sw = d->sw();
-    StageId in = sw.addStage({.name = "Input",
-                              .op = StageOp::Input,
-                              .outputSize = {320, 240, 1},
-                              .bitDepth = 8});
-    StageId bin = sw.addStage({.name = "HaarBin",
-                               .op = StageOp::Binning,
-                               .inputSize = {320, 240, 1},
-                               .outputSize = {80, 60, 1},
-                               .kernel = {4, 4, 1},
-                               .stride = {4, 4, 1}});
-    StageId haar = sw.addStage({.name = "HaarFeature",
-                                .op = StageOp::Scale,
-                                .inputSize = {80, 60, 1},
-                                .outputSize = {80, 60, 1}});
-    StageId conv1 = sw.addStage({.name = "Conv1",
-                                 .op = StageOp::Conv2d,
-                                 .inputSize = {80, 60, 1},
-                                 .outputSize = {39, 29, 8},
-                                 .kernel = {4, 4, 1},
-                                 .stride = {2, 2, 1}});
-    StageId conv2 = sw.addStage({.name = "Conv2",
-                                 .op = StageOp::Conv2d,
-                                 .inputSize = {39, 29, 8},
-                                 .outputSize = {19, 14, 16},
-                                 .kernel = {3, 3, 8},
-                                 .stride = {2, 2, 1}});
-    sw.connect(in, bin);
-    sw.connect(bin, haar);
-    sw.connect(haar, conv1);
-    sw.connect(conv1, conv2);
+    b.inputStage("Input", {320, 240, 1})
+        .stage({.name = "HaarBin",
+                .op = StageOp::Binning,
+                .inputSize = {320, 240, 1},
+                .outputSize = {80, 60, 1},
+                .kernel = {4, 4, 1},
+                .stride = {4, 4, 1}},
+               {"Input"})
+        .stage({.name = "HaarFeature",
+                .op = StageOp::Scale,
+                .inputSize = {80, 60, 1},
+                .outputSize = {80, 60, 1}},
+               {"HaarBin"})
+        .stage({.name = "Conv1",
+                .op = StageOp::Conv2d,
+                .inputSize = {80, 60, 1},
+                .outputSize = {39, 29, 8},
+                .kernel = {4, 4, 1},
+                .stride = {2, 2, 1}},
+               {"HaarFeature"})
+        .stage({.name = "Conv2",
+                .op = StageOp::Conv2d,
+                .inputSize = {39, 29, 8},
+                .outputSize = {19, 14, 16},
+                .kernel = {3, 3, 8},
+                .stride = {2, 2, 1}},
+               {"Conv1"});
 
     // Analog chain.
     const NodeParams node = nodeParams(65);
-    ApsParams aps;
-    aps.vdda = node.vdda;
-    aps.columnLoadCap = 1.0e-12;
-    aps.pixelsPerComponent = 16; // 4x4 charge-binning cluster
-    d->addAnalogArray(makePixelArray("PixelArray", 80, 60,
-                                     makeAps3T(aps), 7.0, 16, 80),
-                      AnalogRole::Sensing);
+    spec::ComponentSpec pixel;
+    pixel.kind = spec::ComponentKind::Aps3T;
+    pixel.aps.vdda = node.vdda;
+    pixel.aps.columnLoadCap = 1.0e-12;
+    pixel.aps.pixelsPerComponent = 16; // 4x4 charge-binning cluster
+    b.analogArray(pixelArray("PixelArray", 80, 60, pixel, 7.0, 16, 80));
 
-    SwitchedCapParams sc;
-    sc.vdda = node.vdda;
-    sc.bits = 6;
-    d->addAnalogArray(makeColumnArray("HaarAddArray", 80,
-                                      makeScaler(sc), analogPeArea, 80),
-                      AnalogRole::AnalogCompute);
+    spec::ComponentSpec scaler;
+    scaler.kind = spec::ComponentKind::Scaler;
+    scaler.sc.vdda = node.vdda;
+    scaler.sc.bits = 6;
+    b.analogArray(columnArray("HaarAddArray", 80, scaler, analogPeArea,
+                              80, AnalogRole::AnalogCompute));
 
-    AnalogMemoryParams am;
-    am.vdda = node.vdda;
-    am.bits = 6;
-    {
-        AnalogArrayParams ap;
-        ap.name = "AnalogMem";
-        ap.numComponents = {80, 20, 1};
-        ap.inputShape = {1, 80, 1};
-        ap.outputShape = {1, 80, 1};
-        ap.componentArea = analogMemArea;
-        d->addAnalogArray(AnalogArray(ap, makeActiveAnalogMemory(am)),
-                          AnalogRole::AnalogMemory);
-    }
+    spec::ComponentSpec mem;
+    mem.kind = spec::ComponentKind::ActiveAnalogMemory;
+    mem.analogMem.vdda = node.vdda;
+    mem.analogMem.bits = 6;
+    b.analogArray({.name = "AnalogMem",
+                   .role = AnalogRole::AnalogMemory,
+                   .numComponents = {80, 20, 1},
+                   .inputShape = {1, 80, 1},
+                   .outputShape = {1, 80, 1},
+                   .componentArea = analogMemArea,
+                   .component = mem});
 
-    d->addAnalogArray(makeColumnArray("AdcArray", 80,
-                                      makeColumnAdc({.bits = 10}),
-                                      columnAdcArea, 80),
-                      AnalogRole::Adc);
+    b.analogArray(columnArray("AdcArray", 80, columnAdc(10),
+                              columnAdcArea, 80, AnalogRole::Adc));
 
     // Digital: 16x16 MAC array plus the 160 KB SRAM.
     // The chip power-collapses the CNN memory between face events;
     // only a small always-on fraction of the frame keeps it powered.
-    d->addMemory(makeSramMemory("Sram160K", Layer::Sensor,
-                                MemoryKind::DoubleBuffer,
-                                160 * 1024 / 8, 64, 65, 0.12));
-    SystolicArrayParams sp;
-    sp.name = "CnnPe";
-    sp.layer = Layer::Sensor;
-    sp.rows = 16;
-    sp.cols = 16;
-    sp.energyPerMac = macEnergy8bit(65);
-    sp.peArea = macArea8bit(65);
-    d->addSystolicArray(SystolicArray(sp));
-    d->setAdcOutput("Sram160K");
-    d->connectMemoryToUnit("Sram160K", "CnnPe");
+    b.sram("Sram160K", Layer::Sensor, MemoryKind::DoubleBuffer,
+           160 * 1024 / 8, 64, 65, 0.12);
+    b.systolicArray({.name = "CnnPe",
+                     .layer = Layer::Sensor,
+                     .rows = 16,
+                     .cols = 16,
+                     .energyPerMac = macEnergy8bit(65),
+                     .peArea = macArea8bit(65)},
+                    {"Sram160K"});
+    b.adcOutput("Sram160K");
 
-    d->setMipi(makeMipiCsi2());
-    d->setPipelineOutputBytes(16); // face-detection result record
+    b.mipi().pipelineOutputBytes(16); // face-detection result record
 
-    Mapping &m = d->mapping();
-    m.map("Input", "PixelArray");
-    m.map("HaarBin", "PixelArray");
-    m.map("HaarFeature", "HaarAddArray");
-    m.map("Conv1", "CnnPe");
-    m.map("Conv2", "CnnPe");
+    b.map("Input", "PixelArray")
+        .map("HaarBin", "PixelArray")
+        .map("HaarFeature", "HaarAddArray")
+        .map("Conv1", "CnnPe")
+        .map("Conv2", "CnnPe");
 
-    info.design = d;
+    info.design = b.spec();
     info.groups = {
         {"Pixel", {"PixelArray"}},
         {"Analog PE", {"HaarAddArray"}},
@@ -205,56 +236,49 @@ buildIsscc17()
     return info;
 }
 
-ChipInfo
-buildJssc19()
+ChipSpec
+jssc19Spec()
 {
-    ChipInfo info;
+    ChipSpec info;
     info.id = "JSSC'19";
     info.description =
         "130nm data-compressive log-gradient QVGA sensor: 4T APS, "
         "column logarithmic response, 2.75b multi-scale readout";
     info.pixels = 320 * 240;
 
-    DesignParams dp;
-    dp.name = "jssc19-loggrad";
-    dp.fps = 30.0;
-    auto d = std::make_shared<Design>(dp);
+    spec::DesignBuilder b("jssc19-loggrad");
+    b.fps(30.0);
 
-    SwGraph &sw = d->sw();
-    StageId in = sw.addStage({.name = "Input",
-                              .op = StageOp::Input,
-                              .outputSize = {320, 240, 1},
-                              .bitDepth = 8});
-    StageId lg = sw.addStage({.name = "LogGradient",
-                              .op = StageOp::LogResponse,
-                              .inputSize = {320, 240, 1},
-                              .outputSize = {320, 240, 1},
-                              .bitDepth = 3});
-    sw.connect(in, lg);
+    b.inputStage("Input", {320, 240, 1})
+        .stage({.name = "LogGradient",
+                .op = StageOp::LogResponse,
+                .inputSize = {320, 240, 1},
+                .outputSize = {320, 240, 1},
+                .bitDepth = 3},
+               {"Input"});
 
     const NodeParams node = nodeParams(130);
-    ApsParams aps;
-    aps.vdda = node.vdda;
-    aps.columnLoadCap = 1.2e-12;
-    d->addAnalogArray(makePixelArray("PixelArray", 320, 240,
-                                     makeAps4T(aps), 5.0, 1, 320),
-                      AnalogRole::Sensing);
-    d->addAnalogArray(makeColumnArray("LogArray", 320,
-                                      makeLogUnit(50e-15, node.vdda),
-                                      analogPeArea, 320),
-                      AnalogRole::AnalogCompute);
-    d->addAnalogArray(makeColumnArray("AdcArray", 320,
-                                      makeColumnAdc({.bits = 3}),
-                                      columnAdcArea, 320),
-                      AnalogRole::Adc);
+    spec::ComponentSpec pixel;
+    pixel.kind = spec::ComponentKind::Aps4T;
+    pixel.aps.vdda = node.vdda;
+    pixel.aps.columnLoadCap = 1.2e-12;
+    b.analogArray(pixelArray("PixelArray", 320, 240, pixel, 5.0, 1,
+                             320));
 
-    d->setMipi(makeMipiCsi2());
+    spec::ComponentSpec log;
+    log.kind = spec::ComponentKind::LogUnit;
+    log.logLoadCap = 50e-15;
+    log.logVdda = node.vdda;
+    b.analogArray(columnArray("LogArray", 320, log, analogPeArea, 320,
+                              AnalogRole::AnalogCompute));
+    b.analogArray(columnArray("AdcArray", 320, columnAdc(3),
+                              columnAdcArea, 320, AnalogRole::Adc));
 
-    Mapping &m = d->mapping();
-    m.map("Input", "PixelArray");
-    m.map("LogGradient", "LogArray");
+    b.mipi();
 
-    info.design = d;
+    b.map("Input", "PixelArray").map("LogGradient", "LogArray");
+
+    info.design = b.spec();
     info.groups = {
         {"Pixel", {"PixelArray"}},
         {"Analog PE", {"LogArray"}},
@@ -264,74 +288,66 @@ buildJssc19()
     return info;
 }
 
-ChipInfo
-buildSensors20()
+ChipSpec
+sensors20Spec()
 {
-    ChipInfo info;
+    ChipSpec info;
     info.id = "Sensors'20";
     info.description =
         "110nm always-on analog-CNN sensor: 4T APS, column-parallel "
         "switched-capacitor MAC and max-pool";
     info.pixels = 160 * 120;
 
-    DesignParams dp;
-    dp.name = "sensors20-analogcnn";
-    dp.fps = 10.0;
-    auto d = std::make_shared<Design>(dp);
+    spec::DesignBuilder b("sensors20-analogcnn");
+    b.fps(10.0);
 
-    SwGraph &sw = d->sw();
-    StageId in = sw.addStage({.name = "Input",
-                              .op = StageOp::Input,
-                              .outputSize = {160, 120, 1},
-                              .bitDepth = 8});
-    StageId conv = sw.addStage({.name = "ConvAnalog",
-                                .op = StageOp::Conv2d,
-                                .inputSize = {160, 120, 1},
-                                .outputSize = {158, 118, 1},
-                                .kernel = {3, 3, 1},
-                                .stride = {1, 1, 1}});
-    StageId pool = sw.addStage({.name = "MaxPoolAnalog",
-                                .op = StageOp::MaxPool,
-                                .inputSize = {158, 118, 1},
-                                .outputSize = {79, 59, 1},
-                                .kernel = {2, 2, 1},
-                                .stride = {2, 2, 1}});
-    sw.connect(in, conv);
-    sw.connect(conv, pool);
+    b.inputStage("Input", {160, 120, 1})
+        .stage({.name = "ConvAnalog",
+                .op = StageOp::Conv2d,
+                .inputSize = {160, 120, 1},
+                .outputSize = {158, 118, 1},
+                .kernel = {3, 3, 1},
+                .stride = {1, 1, 1}},
+               {"Input"})
+        .stage({.name = "MaxPoolAnalog",
+                .op = StageOp::MaxPool,
+                .inputSize = {158, 118, 1},
+                .outputSize = {79, 59, 1},
+                .kernel = {2, 2, 1},
+                .stride = {2, 2, 1}},
+               {"ConvAnalog"});
 
     const NodeParams node = nodeParams(110);
-    ApsParams aps;
-    aps.vdda = node.vdda;
-    aps.columnLoadCap = 0.8e-12;
-    d->addAnalogArray(makePixelArray("PixelArray", 160, 120,
-                                     makeAps4T(aps), 6.0, 1, 160),
-                      AnalogRole::Sensing);
+    spec::ComponentSpec pixel;
+    pixel.kind = spec::ComponentKind::Aps4T;
+    pixel.aps.vdda = node.vdda;
+    pixel.aps.columnLoadCap = 0.8e-12;
+    b.analogArray(pixelArray("PixelArray", 160, 120, pixel, 6.0, 1,
+                             160));
 
-    SwitchedCapParams sc;
-    sc.vdda = node.vdda;
-    sc.bits = 6;
-    sc.numCaps = 9;
-    d->addAnalogArray(makeColumnArray("MacArray", 160,
-                                      makeSwitchedCapMac(sc),
-                                      analogPeArea, 160),
-                      AnalogRole::AnalogCompute);
-    d->addAnalogArray(makeColumnArray("MaxPoolArray", 160,
-                                      makeMaxUnit(4), analogPeArea,
-                                      160),
-                      AnalogRole::AnalogCompute);
-    d->addAnalogArray(makeColumnArray("AdcArray", 160,
-                                      makeColumnAdc({.bits = 8}),
-                                      columnAdcArea, 160),
-                      AnalogRole::Adc);
+    spec::ComponentSpec mac;
+    mac.kind = spec::ComponentKind::SwitchedCapMac;
+    mac.sc.vdda = node.vdda;
+    mac.sc.bits = 6;
+    mac.sc.numCaps = 9;
+    b.analogArray(columnArray("MacArray", 160, mac, analogPeArea, 160,
+                              AnalogRole::AnalogCompute));
 
-    d->setMipi(makeMipiCsi2());
+    spec::ComponentSpec pool;
+    pool.kind = spec::ComponentKind::MaxUnit;
+    pool.maxInputs = 4;
+    b.analogArray(columnArray("MaxPoolArray", 160, pool, analogPeArea,
+                              160, AnalogRole::AnalogCompute));
+    b.analogArray(columnArray("AdcArray", 160, columnAdc(8),
+                              columnAdcArea, 160, AnalogRole::Adc));
 
-    Mapping &m = d->mapping();
-    m.map("Input", "PixelArray");
-    m.map("ConvAnalog", "MacArray");
-    m.map("MaxPoolAnalog", "MaxPoolArray");
+    b.mipi();
 
-    info.design = d;
+    b.map("Input", "PixelArray")
+        .map("ConvAnalog", "MacArray")
+        .map("MaxPoolAnalog", "MaxPoolArray");
+
+    info.design = b.spec();
     info.groups = {
         {"Pixel", {"PixelArray"}},
         {"Analog PE", {"MacArray", "MaxPoolArray"}},
@@ -341,69 +357,58 @@ buildSensors20()
     return info;
 }
 
-ChipInfo
-buildIsscc21()
+ChipSpec
+isscc21Spec()
 {
-    ChipInfo info;
+    ChipSpec info;
     info.id = "ISSCC'21";
     info.description =
         "Sony IMX500-class 65/22nm stacked 12.3Mpx CIS with on-chip "
         "DNN processor (8MB, 4.97 TOPS/W class)";
     info.pixels = static_cast<int64_t>(4056) * 3040;
 
-    DesignParams dp;
-    dp.name = "isscc21-imx500";
-    dp.fps = 30.0;
-    dp.digitalClock = 400e6;
-    auto d = std::make_shared<Design>(dp);
+    spec::DesignBuilder b("isscc21-imx500");
+    b.fps(30.0).digitalClock(400e6);
 
-    SwGraph &sw = d->sw();
-    StageId in = sw.addStage({.name = "Input",
-                              .op = StageOp::Input,
-                              .outputSize = {4056, 3040, 1},
-                              .bitDepth = 10});
-    StageId bin = sw.addStage({.name = "DownScale",
-                               .op = StageOp::Binning,
-                               .inputSize = {4056, 3040, 1},
-                               .outputSize = {507, 380, 1},
-                               .kernel = {8, 8, 1},
-                               .stride = {8, 8, 1},
-                               .bitDepth = 8});
-    StageId c1 = sw.addStage({.name = "Conv1",
-                              .op = StageOp::Conv2d,
-                              .inputSize = {507, 380, 1},
-                              .outputSize = {505, 378, 8},
-                              .kernel = {3, 3, 1},
-                              .stride = {1, 1, 1}});
-    StageId c2 = sw.addStage({.name = "Conv2",
-                              .op = StageOp::Conv2d,
-                              .inputSize = {505, 378, 8},
-                              .outputSize = {503, 376, 8},
-                              .kernel = {3, 3, 8},
-                              .stride = {1, 1, 1}});
-    sw.connect(in, bin);
-    sw.connect(bin, c1);
-    sw.connect(c1, c2);
+    b.inputStage("Input", {4056, 3040, 1}, 10)
+        .stage({.name = "DownScale",
+                .op = StageOp::Binning,
+                .inputSize = {4056, 3040, 1},
+                .outputSize = {507, 380, 1},
+                .kernel = {8, 8, 1},
+                .stride = {8, 8, 1},
+                .bitDepth = 8},
+               {"Input"})
+        .stage({.name = "Conv1",
+                .op = StageOp::Conv2d,
+                .inputSize = {507, 380, 1},
+                .outputSize = {505, 378, 8},
+                .kernel = {3, 3, 1},
+                .stride = {1, 1, 1}},
+               {"DownScale"})
+        .stage({.name = "Conv2",
+                .op = StageOp::Conv2d,
+                .inputSize = {505, 378, 8},
+                .outputSize = {503, 376, 8},
+                .kernel = {3, 3, 8},
+                .stride = {1, 1, 1}},
+               {"Conv1"});
 
     const NodeParams node = nodeParams(65);
-    ApsParams aps;
-    aps.vdda = node.vdda;
-    aps.columnLoadCap = 2.0e-12; // tall column in a 12 Mpx array
-    d->addAnalogArray(makePixelArray("PixelArray", 4056, 3040,
-                                     makeAps4T(aps), 1.55, 1, 4056),
-                      AnalogRole::Sensing);
-    d->addAnalogArray(makeColumnArray("AdcArray", 4056,
-                                      makeColumnAdc({.bits = 10}),
-                                      columnAdcArea, 4056),
-                      AnalogRole::Adc);
+    spec::ComponentSpec pixel;
+    pixel.kind = spec::ComponentKind::Aps4T;
+    pixel.aps.vdda = node.vdda;
+    pixel.aps.columnLoadCap = 2.0e-12; // tall column in a 12 Mpx array
+    b.analogArray(pixelArray("PixelArray", 4056, 3040, pixel, 1.55, 1,
+                             4056));
+    b.analogArray(columnArray("AdcArray", 4056, columnAdc(10),
+                              columnAdcArea, 4056, AnalogRole::Adc));
 
     // Stacked 22 nm logic die.
-    d->addMemory(makeSramMemory("BinLineBuf", Layer::Compute,
-                                MemoryKind::LineBuffer,
-                                8 * 4056, 16, 22, 1.0));
-    d->addMemory(makeSramMemory("Sram8M", Layer::Compute,
-                                MemoryKind::DoubleBuffer,
-                                8 * 1024 * 1024 / 16, 128, 22, 0.5));
+    b.sram("BinLineBuf", Layer::Compute, MemoryKind::LineBuffer,
+           8 * 4056, 16, 22, 1.0);
+    b.sram("Sram8M", Layer::Compute, MemoryKind::DoubleBuffer,
+           8 * 1024 * 1024 / 16, 128, 22, 0.5);
 
     ComputeUnitParams bu;
     bu.name = "BinUnit";
@@ -413,33 +418,27 @@ buildIsscc21()
     bu.energyPerCycle = 64.0 * aluEnergy16bit(22);
     bu.numStages = 3;
     bu.opsPerCycle = 64;
-    d->addComputeUnit(ComputeUnit(bu));
+    b.computeUnit(bu, {"BinLineBuf"}, {"Sram8M"});
 
-    SystolicArrayParams sp;
-    sp.name = "DnnArray";
-    sp.layer = Layer::Compute;
-    sp.rows = 48;
-    sp.cols = 48;
-    sp.energyPerMac = macEnergy8bit(22);
-    sp.peArea = macArea8bit(22);
-    d->addSystolicArray(SystolicArray(sp));
+    b.systolicArray({.name = "DnnArray",
+                     .layer = Layer::Compute,
+                     .rows = 48,
+                     .cols = 48,
+                     .energyPerMac = macEnergy8bit(22),
+                     .peArea = macArea8bit(22)},
+                    {"Sram8M"});
 
-    d->setAdcOutput("BinLineBuf");
-    d->connectMemoryToUnit("BinLineBuf", "BinUnit");
-    d->connectUnitToMemory("BinUnit", "Sram8M");
-    d->connectMemoryToUnit("Sram8M", "DnnArray");
+    b.adcOutput("BinLineBuf");
 
-    d->setMipi(makeMipiCsi2());
-    d->setTsv(makeMicroTsv());
-    d->setPipelineOutputBytes(16 * 1024); // metadata + thumbnail
+    b.mipi().tsv();
+    b.pipelineOutputBytes(16 * 1024); // metadata + thumbnail
 
-    Mapping &m = d->mapping();
-    m.map("Input", "PixelArray");
-    m.map("DownScale", "BinUnit");
-    m.map("Conv1", "DnnArray");
-    m.map("Conv2", "DnnArray");
+    b.map("Input", "PixelArray")
+        .map("DownScale", "BinUnit")
+        .map("Conv1", "DnnArray")
+        .map("Conv2", "DnnArray");
 
-    info.design = d;
+    info.design = b.spec();
     info.groups = {
         {"Pixel", {"PixelArray"}},
         {"ADC", {"AdcArray"}},
@@ -450,58 +449,47 @@ buildIsscc21()
     return info;
 }
 
-ChipInfo
-buildJssc21I()
+ChipSpec
+jssc21ISpec()
 {
-    ChipInfo info;
+    ChipSpec info;
     info.id = "JSSC'21-I";
     info.description =
         "180nm 0.5V computational CIS: PWM pixels, time/current "
         "domain column MAC with programmable kernel";
     info.pixels = 128 * 128;
 
-    DesignParams dp;
-    dp.name = "jssc21i-pwm";
-    dp.fps = 120.0;
-    auto d = std::make_shared<Design>(dp);
+    spec::DesignBuilder b("jssc21i-pwm");
+    b.fps(120.0);
 
-    SwGraph &sw = d->sw();
-    StageId in = sw.addStage({.name = "Input",
-                              .op = StageOp::Input,
-                              .outputSize = {128, 128, 1},
-                              .bitDepth = 8});
-    StageId conv = sw.addStage({.name = "FeatureConv",
-                                .op = StageOp::Conv2d,
-                                .inputSize = {128, 128, 1},
-                                .outputSize = {126, 126, 1},
-                                .kernel = {3, 3, 1},
-                                .stride = {1, 1, 1},
-                                .bitDepth = 4});
-    sw.connect(in, conv);
+    b.inputStage("Input", {128, 128, 1})
+        .stage({.name = "FeatureConv",
+                .op = StageOp::Conv2d,
+                .inputSize = {128, 128, 1},
+                .outputSize = {126, 126, 1},
+                .kernel = {3, 3, 1},
+                .stride = {1, 1, 1},
+                .bitDepth = 4},
+               {"Input"});
 
-    ApsParams aps;
-    aps.vdda = 0.5;
-    aps.pixelSwing = 0.3;
-    aps.columnLoadCap = 0.3e-12;
-    d->addAnalogArray(makePixelArray("PixelArray", 128, 128,
-                                     makePwmPixel(aps), 10.0, 1, 128),
-                      AnalogRole::Sensing);
-    d->addAnalogArray(makeColumnArray("MacArray", 128,
-                                      makeCurrentMac(0.5, 50e-15),
-                                      analogPeArea, 128),
-                      AnalogRole::AnalogCompute);
-    d->addAnalogArray(makeColumnArray("AdcArray", 128,
-                                      makeCurrentAdc(8),
-                                      columnAdcArea, 128),
-                      AnalogRole::Adc);
+    spec::ComponentSpec pixel;
+    pixel.kind = spec::ComponentKind::PwmPixel;
+    pixel.aps.vdda = 0.5;
+    pixel.aps.pixelSwing = 0.3;
+    pixel.aps.columnLoadCap = 0.3e-12;
+    b.analogArray(pixelArray("PixelArray", 128, 128, pixel, 10.0, 1,
+                             128));
+    b.analogArray(columnArray("MacArray", 128,
+                              currentMac(0.5, 50e-15), analogPeArea,
+                              128, AnalogRole::AnalogCompute));
+    b.analogArray(columnArray("AdcArray", 128, currentAdc(8),
+                              columnAdcArea, 128, AnalogRole::Adc));
 
-    d->setMipi(makeMipiCsi2());
+    b.mipi();
 
-    Mapping &m = d->mapping();
-    m.map("Input", "PixelArray");
-    m.map("FeatureConv", "MacArray");
+    b.map("Input", "PixelArray").map("FeatureConv", "MacArray");
 
-    info.design = d;
+    info.design = b.spec();
     info.groups = {
         {"Pixel", {"PixelArray"}},
         {"Analog PE", {"MacArray"}},
@@ -511,63 +499,53 @@ buildJssc21I()
     return info;
 }
 
-ChipInfo
-buildJssc21II()
+ChipSpec
+jssc21IISpec()
 {
-    ChipInfo info;
+    ChipSpec info;
     info.id = "JSSC'21-II";
     info.description =
         "110nm 51pJ/px compressive CIS: 4T APS, column-parallel "
         "single-shot charge-domain compressive MAC (4x)";
     info.pixels = 640 * 480;
 
-    DesignParams dp;
-    dp.name = "jssc21ii-compressive";
-    dp.fps = 30.0;
-    auto d = std::make_shared<Design>(dp);
+    spec::DesignBuilder b("jssc21ii-compressive");
+    b.fps(30.0);
 
-    SwGraph &sw = d->sw();
-    StageId in = sw.addStage({.name = "Input",
-                              .op = StageOp::Input,
-                              .outputSize = {640, 480, 1},
-                              .bitDepth = 8});
-    StageId cs = sw.addStage({.name = "CompressiveProjection",
-                              .op = StageOp::Conv2d,
-                              .inputSize = {640, 480, 1},
-                              .outputSize = {320, 240, 1},
-                              .kernel = {2, 2, 1},
-                              .stride = {2, 2, 1}});
-    sw.connect(in, cs);
+    b.inputStage("Input", {640, 480, 1})
+        .stage({.name = "CompressiveProjection",
+                .op = StageOp::Conv2d,
+                .inputSize = {640, 480, 1},
+                .outputSize = {320, 240, 1},
+                .kernel = {2, 2, 1},
+                .stride = {2, 2, 1}},
+               {"Input"});
 
     const NodeParams node = nodeParams(110);
-    ApsParams aps;
-    aps.vdda = node.vdda;
-    aps.columnLoadCap = 1.5e-12;
-    d->addAnalogArray(makePixelArray("PixelArray", 640, 480,
-                                     makeAps4T(aps), 3.2, 1, 640),
-                      AnalogRole::Sensing);
+    spec::ComponentSpec pixel;
+    pixel.kind = spec::ComponentKind::Aps4T;
+    pixel.aps.vdda = node.vdda;
+    pixel.aps.columnLoadCap = 1.5e-12;
+    b.analogArray(pixelArray("PixelArray", 640, 480, pixel, 3.2, 1,
+                             640));
 
-    SwitchedCapParams sc;
-    sc.vdda = node.vdda;
-    sc.unitCap = 150e-15;
-    sc.numCaps = 4;
-    sc.active = false; // passive charge redistribution
-    d->addAnalogArray(makeColumnArray("MacArray", 640,
-                                      makeSwitchedCapMac(sc),
-                                      analogPeArea, 640),
-                      AnalogRole::AnalogCompute);
-    d->addAnalogArray(makeColumnArray("AdcArray", 320,
-                                      makeColumnAdc({.bits = 10}),
-                                      columnAdcArea, 320),
-                      AnalogRole::Adc);
+    spec::ComponentSpec mac;
+    mac.kind = spec::ComponentKind::SwitchedCapMac;
+    mac.sc.vdda = node.vdda;
+    mac.sc.unitCap = 150e-15;
+    mac.sc.numCaps = 4;
+    mac.sc.active = false; // passive charge redistribution
+    b.analogArray(columnArray("MacArray", 640, mac, analogPeArea, 640,
+                              AnalogRole::AnalogCompute));
+    b.analogArray(columnArray("AdcArray", 320, columnAdc(10),
+                              columnAdcArea, 320, AnalogRole::Adc));
 
-    d->setMipi(makeMipiCsi2());
+    b.mipi();
 
-    Mapping &m = d->mapping();
-    m.map("Input", "PixelArray");
-    m.map("CompressiveProjection", "MacArray");
+    b.map("Input", "PixelArray")
+        .map("CompressiveProjection", "MacArray");
 
-    info.design = d;
+    info.design = b.spec();
     info.groups = {
         {"Pixel", {"PixelArray"}},
         {"Analog PE", {"MacArray"}},
@@ -577,46 +555,39 @@ buildJssc21II()
     return info;
 }
 
-ChipInfo
-buildVlsi21()
+ChipSpec
+vlsi21Spec()
 {
-    ChipInfo info;
+    ChipSpec info;
     info.id = "VLSI'21";
     info.description =
         "65/28nm stacked 2Mpx global-shutter CIS with pixel-level "
         "ADC (DPS) and in-pixel memory (116.2mW class)";
     info.pixels = static_cast<int64_t>(1632) * 1224;
 
-    DesignParams dp;
-    dp.name = "vlsi21-gs-dps";
-    dp.fps = 120.0;
-    dp.digitalClock = 200e6;
-    auto d = std::make_shared<Design>(dp);
+    spec::DesignBuilder b("vlsi21-gs-dps");
+    b.fps(120.0).digitalClock(200e6);
 
-    SwGraph &sw = d->sw();
-    StageId in = sw.addStage({.name = "Input",
-                              .op = StageOp::Input,
-                              .outputSize = {1632, 1224, 1},
-                              .bitDepth = 10});
-    StageId ro = sw.addStage({.name = "Readout",
-                              .op = StageOp::Identity,
-                              .inputSize = {1632, 1224, 1},
-                              .outputSize = {1632, 1224, 1},
-                              .bitDepth = 10});
-    sw.connect(in, ro);
+    b.inputStage("Input", {1632, 1224, 1}, 10)
+        .stage({.name = "Readout",
+                .op = StageOp::Identity,
+                .inputSize = {1632, 1224, 1},
+                .outputSize = {1632, 1224, 1},
+                .bitDepth = 10},
+               {"Input"});
 
-    ApsParams aps;
-    aps.vdda = nodeParams(65).vdda;
-    aps.photodiodeCap = 4e-15;
-    d->addAnalogArray(makePixelArray("DpsArray", 1632, 1224,
-                                     makeDps(10, aps), 2.2, 1, 1632),
-                      AnalogRole::Sensing);
+    spec::ComponentSpec dps;
+    dps.kind = spec::ComponentKind::Dps;
+    dps.aps.vdda = nodeParams(65).vdda;
+    dps.aps.photodiodeCap = 4e-15;
+    dps.adc = {.bits = 10};
+    b.analogArray(pixelArray("DpsArray", 1632, 1224, dps, 2.2, 1,
+                             1632));
 
     // Stacked 28 nm die holds the 6 MB frame memory; global shutter
     // storage cannot be power-gated during the frame.
-    d->addMemory(makeSramMemory("FrameMem6M", Layer::Compute,
-                                MemoryKind::FrameBuffer,
-                                6 * 1024 * 1024 / 2, 16, 28, 1.0));
+    b.sram("FrameMem6M", Layer::Compute, MemoryKind::FrameBuffer,
+           6 * 1024 * 1024 / 2, 16, 28, 1.0);
     ComputeUnitParams ru;
     ru.name = "ReadoutUnit";
     ru.layer = Layer::Compute;
@@ -625,19 +596,15 @@ buildVlsi21()
     ru.energyPerCycle = 2.0 * aluEnergy16bit(28);
     ru.numStages = 2;
     ru.opsPerCycle = 0;
-    d->addComputeUnit(ComputeUnit(ru));
+    b.computeUnit(ru, {"FrameMem6M"});
 
-    d->setAdcOutput("FrameMem6M");
-    d->connectMemoryToUnit("FrameMem6M", "ReadoutUnit");
+    b.adcOutput("FrameMem6M");
 
-    d->setMipi(makeMipiCsi2());
-    d->setTsv(makeMicroTsv());
+    b.mipi().tsv();
 
-    Mapping &m = d->mapping();
-    m.map("Input", "DpsArray");
-    m.map("Readout", "ReadoutUnit");
+    b.map("Input", "DpsArray").map("Readout", "ReadoutUnit");
 
-    info.design = d;
+    info.design = b.spec();
     info.groups = {
         {"Pixel+ADC", {"DpsArray"}},
         {"Digital PE", {"ReadoutUnit"}},
@@ -647,90 +614,86 @@ buildVlsi21()
     return info;
 }
 
-ChipInfo
-buildIsscc22()
+ChipSpec
+isscc22Spec()
 {
-    ChipInfo info;
+    ChipSpec info;
     info.id = "ISSCC'22";
     info.description =
         "180nm 0.8V intelligent vision sensor: PWM pixels, mixed-mode "
         "tiny CNN, 256B digital memory, single MAC PE";
     info.pixels = 160 * 120;
 
-    DesignParams dp;
-    dp.name = "isscc22-pis";
-    dp.fps = 10.0;
-    dp.digitalClock = 10e6;
-    auto d = std::make_shared<Design>(dp);
+    spec::DesignBuilder b("isscc22-pis");
+    b.fps(10.0).digitalClock(10e6);
 
-    SwGraph &sw = d->sw();
-    StageId in = sw.addStage({.name = "Input",
-                              .op = StageOp::Input,
-                              .outputSize = {160, 120, 1},
-                              .bitDepth = 8});
-    StageId conv = sw.addStage({.name = "TinyConv",
-                                .op = StageOp::Conv2d,
-                                .inputSize = {160, 120, 1},
-                                .outputSize = {158, 118, 1},
-                                .kernel = {3, 3, 1},
-                                .stride = {1, 1, 1},
-                                .bitDepth = 4});
-    StageId pool = sw.addStage({.name = "TinyPool",
-                                .op = StageOp::MaxPool,
-                                .inputSize = {158, 118, 1},
-                                .outputSize = {79, 59, 1},
-                                .kernel = {2, 2, 1},
-                                .stride = {2, 2, 1},
-                                .bitDepth = 4});
-    StageId fc = sw.addStage({.name = "Classifier",
-                              .op = StageOp::FullyConnected,
-                              .inputSize = {79, 59, 1},
-                              .outputSize = {10, 1, 1},
-                              .bitDepth = 8});
-    sw.connect(in, conv);
-    sw.connect(conv, pool);
-    sw.connect(pool, fc);
+    b.inputStage("Input", {160, 120, 1})
+        .stage({.name = "TinyConv",
+                .op = StageOp::Conv2d,
+                .inputSize = {160, 120, 1},
+                .outputSize = {158, 118, 1},
+                .kernel = {3, 3, 1},
+                .stride = {1, 1, 1},
+                .bitDepth = 4},
+               {"Input"})
+        .stage({.name = "TinyPool",
+                .op = StageOp::MaxPool,
+                .inputSize = {158, 118, 1},
+                .outputSize = {79, 59, 1},
+                .kernel = {2, 2, 1},
+                .stride = {2, 2, 1},
+                .bitDepth = 4},
+               {"TinyConv"})
+        .stage({.name = "Classifier",
+                .op = StageOp::FullyConnected,
+                .inputSize = {79, 59, 1},
+                .outputSize = {10, 1, 1},
+                .bitDepth = 8},
+               {"TinyPool"});
 
-    ApsParams aps;
-    aps.vdda = 0.8;
-    aps.pixelSwing = 0.4;
-    aps.columnLoadCap = 0.4e-12;
-    d->addAnalogArray(makePixelArray("PixelArray", 160, 120,
-                                     makePwmPixel(aps), 7.0, 1, 160),
-                      AnalogRole::Sensing);
-    d->addAnalogArray(makeColumnArray("MacArray", 160,
-                                      makeCurrentMac(0.8, 60e-15),
-                                      analogPeArea, 160),
-                      AnalogRole::AnalogCompute);
+    spec::ComponentSpec pixel;
+    pixel.kind = spec::ComponentKind::PwmPixel;
+    pixel.aps.vdda = 0.8;
+    pixel.aps.pixelSwing = 0.4;
+    pixel.aps.columnLoadCap = 0.4e-12;
+    b.analogArray(pixelArray("PixelArray", 160, 120, pixel, 7.0, 1,
+                             160));
+    b.analogArray(columnArray("MacArray", 160,
+                              currentMac(0.8, 60e-15), analogPeArea,
+                              160, AnalogRole::AnalogCompute));
     {
         // Current-domain winner-take-all pooling (2x2 window).
-        AComponent wta("I-WTA", SignalDomain::Current,
-                       SignalDomain::Current);
-        wta.addCell(std::make_shared<NonLinearCell>("wta-comparator", 1),
-                    3, 1);
-        d->addAnalogArray(makeColumnArray("PoolArray", 160, wta,
-                                          analogPeArea, 160),
-                          AnalogRole::AnalogCompute);
+        spec::CustomComponentSpec wta;
+        wta.name = "I-WTA";
+        wta.input = SignalDomain::Current;
+        wta.output = SignalDomain::Current;
+        spec::CellSpec cmp;
+        cmp.cls = spec::CellClass::NonLinear;
+        cmp.name = "wta-comparator";
+        cmp.bits = 1;
+        cmp.spatial = 3;
+        wta.cells.push_back(cmp);
+
+        spec::ComponentSpec c;
+        c.kind = spec::ComponentKind::Custom;
+        c.custom = std::move(wta);
+        b.analogArray(columnArray("PoolArray", 160, c, analogPeArea,
+                                  160, AnalogRole::AnalogCompute));
     }
-    d->addAnalogArray(makeColumnArray("AdcArray", 160,
-                                      makeCurrentAdc(4),
-                                      columnAdcArea, 160),
-                      AnalogRole::Adc);
+    b.analogArray(columnArray("AdcArray", 160, currentAdc(4),
+                              columnAdcArea, 160, AnalogRole::Adc));
 
     // 256 B register file plus one MAC PE for the classifier.
     {
-        MemoryCharacteristics rf = regfileModel(256, 16, 180);
-        DigitalMemoryParams mp;
-        mp.name = "RegFile256";
-        mp.layer = Layer::Sensor;
-        mp.kind = MemoryKind::Fifo;
-        mp.capacityWords = 128;
-        mp.wordBits = 16;
-        mp.readEnergyPerWord = rf.readEnergyPerWord;
-        mp.writeEnergyPerWord = rf.writeEnergyPerWord;
-        mp.leakagePower = rf.leakagePower;
-        mp.area = rf.area;
-        d->addMemory(DigitalMemory(mp));
+        spec::MemorySpec rf;
+        rf.name = "RegFile256";
+        rf.layer = Layer::Sensor;
+        rf.kind = MemoryKind::Fifo;
+        rf.model = spec::MemoryModel::Regfile;
+        rf.capacityWords = 128;
+        rf.wordBits = 16;
+        rf.nodeNm = 180;
+        b.memory(rf);
     }
     ComputeUnitParams fu;
     fu.name = "MacPe";
@@ -740,20 +703,18 @@ buildIsscc22()
     fu.energyPerCycle = macEnergy8bit(180);
     fu.numStages = 2;
     fu.opsPerCycle = 1; // a single MAC: one cycle per multiply-add
-    d->addComputeUnit(ComputeUnit(fu));
+    b.computeUnit(fu, {"RegFile256"});
 
-    d->setAdcOutput("RegFile256");
-    d->connectMemoryToUnit("RegFile256", "MacPe");
+    b.adcOutput("RegFile256");
 
-    d->setMipi(makeMipiCsi2());
+    b.mipi();
 
-    Mapping &m = d->mapping();
-    m.map("Input", "PixelArray");
-    m.map("TinyConv", "MacArray");
-    m.map("TinyPool", "PoolArray");
-    m.map("Classifier", "MacPe");
+    b.map("Input", "PixelArray")
+        .map("TinyConv", "MacArray")
+        .map("TinyPool", "PoolArray")
+        .map("Classifier", "MacPe");
 
-    info.design = d;
+    info.design = b.spec();
     info.groups = {
         {"Pixel", {"PixelArray"}},
         {"Analog PE", {"MacArray", "PoolArray"}},
@@ -765,78 +726,75 @@ buildIsscc22()
     return info;
 }
 
-ChipInfo
-buildTcas22()
+ChipSpec
+tcas22Spec()
 {
-    ChipInfo info;
+    ChipSpec info;
     info.id = "TCAS-I'22";
     info.description =
         "180nm Senputing ultra-low-power always-on chip: 3T APS with "
         "current-domain multiply fused into pixels, chip-level add";
     info.pixels = 64 * 64;
 
-    DesignParams dp;
-    dp.name = "tcas22-senputing";
-    dp.fps = 10.0;
-    auto d = std::make_shared<Design>(dp);
+    spec::DesignBuilder b("tcas22-senputing");
+    b.fps(10.0);
 
-    SwGraph &sw = d->sw();
-    StageId in = sw.addStage({.name = "Input",
-                              .op = StageOp::Input,
-                              .outputSize = {64, 64, 1},
-                              .bitDepth = 8});
-    StageId fc = sw.addStage({.name = "BnnLayer1",
-                              .op = StageOp::FullyConnected,
-                              .inputSize = {64, 64, 1},
-                              .outputSize = {16, 1, 1},
-                              .bitDepth = 1});
-    sw.connect(in, fc);
+    b.inputStage("Input", {64, 64, 1})
+        .stage({.name = "BnnLayer1",
+                .op = StageOp::FullyConnected,
+                .inputSize = {64, 64, 1},
+                .outputSize = {16, 1, 1},
+                .bitDepth = 1},
+               {"Input"});
 
-    ApsParams aps;
-    aps.vdda = 3.3;
-    aps.pixelSwing = 0.5;
-    aps.columnLoadCap = 0.5e-12;
-    d->addAnalogArray(makePixelArray("PixelArray", 64, 64,
-                                     makeAps3T(aps), 15.0, 1, 64),
-                      AnalogRole::Sensing);
+    spec::ComponentSpec pixel;
+    pixel.kind = spec::ComponentKind::Aps3T;
+    pixel.aps.vdda = 3.3;
+    pixel.aps.pixelSwing = 0.5;
+    pixel.aps.columnLoadCap = 0.5e-12;
+    b.analogArray(pixelArray("PixelArray", 64, 64, pixel, 15.0, 1,
+                             64));
 
     // Pixel-level binary multiply + chip-level current summing.
     {
-        AComponent mul("pixel-mul", SignalDomain::Voltage,
-                       SignalDomain::Current);
-        mul.addCell(std::make_shared<DynamicCell>(
-                        "steer-cap",
-                        std::vector<CapNode>{ { 10e-15, 0.5 } }),
-                    1, 1);
-        AnalogArrayParams ap;
-        ap.name = "MulArray";
-        ap.numComponents = {64, 64, 1};
-        ap.inputShape = {1, 64, 1};
-        ap.outputShape = {1, 64, 1};
-        ap.componentArea = analogMemArea;
-        d->addAnalogArray(AnalogArray(ap, mul),
-                          AnalogRole::AnalogCompute);
+        spec::CustomComponentSpec mul;
+        mul.name = "pixel-mul";
+        mul.input = SignalDomain::Voltage;
+        mul.output = SignalDomain::Current;
+        spec::CellSpec steer;
+        steer.cls = spec::CellClass::Dynamic;
+        steer.name = "steer-cap";
+        steer.caps = { { 10e-15, 0.5 } };
+        mul.cells.push_back(steer);
+
+        spec::ComponentSpec c;
+        c.kind = spec::ComponentKind::Custom;
+        c.custom = std::move(mul);
+        b.analogArray({.name = "MulArray",
+                       .role = AnalogRole::AnalogCompute,
+                       .numComponents = {64, 64, 1},
+                       .inputShape = {1, 64, 1},
+                       .outputShape = {1, 64, 1},
+                       .componentArea = analogMemArea,
+                       .component = c});
     }
     {
         // 16 current-summing comparators digitize the BNN outputs;
         // each consumes a full 64-current column bundle.
-        AnalogArrayParams ap;
-        ap.name = "SumAdc";
-        ap.numComponents = {16, 1, 1};
-        ap.inputShape = {1, 64, 1};
-        ap.outputShape = {1, 16, 1};
-        ap.componentArea = columnAdcArea;
-        d->addAnalogArray(AnalogArray(ap, makeCurrentAdc(1)),
-                          AnalogRole::Adc);
+        b.analogArray({.name = "SumAdc",
+                       .role = AnalogRole::Adc,
+                       .numComponents = {16, 1, 1},
+                       .inputShape = {1, 64, 1},
+                       .outputShape = {1, 16, 1},
+                       .componentArea = columnAdcArea,
+                       .component = currentAdc(1)});
     }
 
-    d->setMipi(makeMipiCsi2());
+    b.mipi();
 
-    Mapping &m = d->mapping();
-    m.map("Input", "PixelArray");
-    m.map("BnnLayer1", "MulArray");
+    b.map("Input", "PixelArray").map("BnnLayer1", "MulArray");
 
-    info.design = d;
+    info.design = b.spec();
     info.groups = {
         {"Pixel", {"PixelArray"}},
         {"Analog PE", {"MulArray"}},
@@ -846,14 +804,34 @@ buildTcas22()
     return info;
 }
 
+ChipInfo buildIsscc17() { return materializeChip(isscc17Spec()); }
+ChipInfo buildJssc19() { return materializeChip(jssc19Spec()); }
+ChipInfo buildSensors20() { return materializeChip(sensors20Spec()); }
+ChipInfo buildIsscc21() { return materializeChip(isscc21Spec()); }
+ChipInfo buildJssc21I() { return materializeChip(jssc21ISpec()); }
+ChipInfo buildJssc21II() { return materializeChip(jssc21IISpec()); }
+ChipInfo buildVlsi21() { return materializeChip(vlsi21Spec()); }
+ChipInfo buildIsscc22() { return materializeChip(isscc22Spec()); }
+ChipInfo buildTcas22() { return materializeChip(tcas22Spec()); }
+
+std::vector<ChipSpec>
+allChipSpecs()
+{
+    return {
+        isscc17Spec(), jssc19Spec(), sensors20Spec(),
+        isscc21Spec(), jssc21ISpec(), jssc21IISpec(),
+        vlsi21Spec(), isscc22Spec(), tcas22Spec(),
+    };
+}
+
 std::vector<ChipInfo>
 buildAllChips()
 {
-    return {
-        buildIsscc17(), buildJssc19(), buildSensors20(),
-        buildIsscc21(), buildJssc21I(), buildJssc21II(),
-        buildVlsi21(), buildIsscc22(), buildTcas22(),
-    };
+    std::vector<ChipInfo> chips;
+    chips.reserve(9);
+    for (const ChipSpec &spec : allChipSpecs())
+        chips.push_back(materializeChip(spec));
+    return chips;
 }
 
 } // namespace camj

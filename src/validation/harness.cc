@@ -42,12 +42,18 @@ validateChip(const ChipInfo &chip)
     return v;
 }
 
+ChipValidation
+validateChip(const ChipSpec &chip)
+{
+    return validateChip(materializeChip(chip));
+}
+
 ValidationSummary
 runValidation()
 {
     ValidationSummary summary;
     std::vector<double> est, ref;
-    for (const ChipInfo &chip : buildAllChips()) {
+    for (const ChipSpec &chip : allChipSpecs()) {
         ChipValidation v = validateChip(chip);
         est.push_back(v.estimatedPJPerPixel);
         ref.push_back(v.reportedPJPerPixel);

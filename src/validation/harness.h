@@ -55,9 +55,13 @@ struct ValidationSummary
  */
 ChipValidation validateChip(const ChipInfo &chip);
 
+/** Materialize and validate a chip spec. */
+ChipValidation validateChip(const ChipSpec &chip);
+
 /**
- * Run the full nine-chip validation and compute the Fig. 7a
- * statistics against the reconstructed reported values.
+ * Run the full nine-chip validation — materializing every chip from
+ * its serializable spec — and compute the Fig. 7a statistics against
+ * the reconstructed reported values.
  *
  * @throws ConfigError if any design fails its checks.
  */

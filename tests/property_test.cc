@@ -9,6 +9,8 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <string>
+#include <vector>
 
 #include "analog/acomponent.h"
 #include "analog/adc_fom.h"
@@ -18,6 +20,7 @@
 #include "core/area.h"
 #include "core/design.h"
 #include "memmodel/dram.h"
+#include "study_fixture.h"
 #include "tech/scaling.h"
 #include "usecases/edgaze.h"
 #include "usecases/rhythmic.h"
@@ -256,6 +259,62 @@ TEST_P(FpsSweep, AdcEnergyFollowsTheFomCurve)
 
 INSTANTIATE_TEST_SUITE_P(Sweep, FpsSweep,
                          ::testing::Values(15.0, 30.0, 60.0, 120.0));
+
+// ------------------------------------------- paper-study spec properties
+//
+// Invariants over EVERY serializable study (all sample, usecase and
+// validation specs in the registry): serialization is a fixed point
+// after one round trip, and materialization is deterministic down to
+// the last bit of every per-unit energy.
+
+class StudySpecSweep : public ::testing::TestWithParam<std::string>
+{
+  protected:
+    const PaperStudy &study() const
+    {
+        return testfix::studyByKey(GetParam());
+    }
+};
+
+TEST_P(StudySpecSweep, SaveLoadSaveIsAFixedPoint)
+{
+    const spec::DesignSpec &s = study().spec;
+    const std::string once = spec::toJson(s);
+    const std::string twice = spec::toJson(spec::fromJson(once));
+    EXPECT_EQ(once, twice) << study().key;
+    // And a third pass stays put: save(load(save(s))) == save(s).
+    EXPECT_EQ(spec::toJson(spec::fromJson(twice)), once)
+        << study().key;
+}
+
+TEST_P(StudySpecSweep, MaterializeTwiceYieldsIdenticalReports)
+{
+    const spec::DesignSpec &s = study().spec;
+    EnergyReport a = s.materialize().simulate();
+    EnergyReport b = s.materialize().simulate();
+    EXPECT_EQ(a.total(), b.total()) << study().key;
+    ASSERT_EQ(a.units.size(), b.units.size()) << study().key;
+    for (size_t i = 0; i < a.units.size(); ++i) {
+        EXPECT_EQ(a.units[i].name, b.units[i].name) << study().key;
+        EXPECT_EQ(a.units[i].energy, b.units[i].energy)
+            << study().key << "/" << a.units[i].name;
+    }
+    EXPECT_EQ(a.frameTime, b.frameTime) << study().key;
+    EXPECT_EQ(a.footprint, b.footprint) << study().key;
+}
+
+TEST_P(StudySpecSweep, LoadedSpecSimulatesLikeTheOriginal)
+{
+    const spec::DesignSpec &s = study().spec;
+    EnergyReport direct = s.materialize().simulate();
+    EnergyReport via_json =
+        spec::fromJson(spec::toJson(s)).materialize().simulate();
+    EXPECT_EQ(direct.total(), via_json.total()) << study().key;
+}
+
+INSTANTIATE_TEST_SUITE_P(Registry, StudySpecSweep,
+                         ::testing::ValuesIn(testfix::studyKeys()),
+                         testfix::paramName);
 
 // ------------------------------------------------- three-layer stacking
 

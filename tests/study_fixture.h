@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Shared gtest plumbing for suites parameterized over the paper-study
+ * registry (golden_test, property_test): the cached registry, key
+ * lookup, and the gtest-safe parameter-name sanitizer, in one place
+ * so the fixtures cannot drift apart.
+ */
+
+#ifndef CAMJ_TESTS_STUDY_FIXTURE_H
+#define CAMJ_TESTS_STUDY_FIXTURE_H
+
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <string>
+#include <vector>
+
+#include "common/logging.h"
+#include "usecases/studies.h"
+
+namespace camj::testfix
+{
+
+/** The study registry, built once per test binary. */
+inline const std::vector<PaperStudy> &
+studies()
+{
+    static const std::vector<PaperStudy> all = [] {
+        setLoggingEnabled(false);
+        return allPaperStudies();
+    }();
+    return all;
+}
+
+inline std::vector<std::string>
+studyKeys()
+{
+    std::vector<std::string> keys;
+    for (const PaperStudy &s : studies())
+        keys.push_back(s.key);
+    return keys;
+}
+
+/** Key lookup; reports a test failure (and returns an empty study)
+ *  for an unknown key. */
+inline const PaperStudy &
+studyByKey(const std::string &key)
+{
+    for (const PaperStudy &s : studies()) {
+        if (s.key == key)
+            return s;
+    }
+    ADD_FAILURE() << "unknown study key " << key;
+    static const PaperStudy empty;
+    return empty;
+}
+
+/** gtest-safe test-parameter name for a study key. */
+inline std::string
+paramName(const ::testing::TestParamInfo<std::string> &info)
+{
+    std::string n = info.param;
+    for (char &ch : n) {
+        if (!std::isalnum(static_cast<unsigned char>(ch)))
+            ch = '_';
+    }
+    return n;
+}
+
+} // namespace camj::testfix
+
+#endif // CAMJ_TESTS_STUDY_FIXTURE_H

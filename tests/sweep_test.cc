@@ -16,6 +16,7 @@
 #include "explore/sweep.h"
 #include "spec/builder.h"
 #include "spec/samples.h"
+#include "usecases/studies.h"
 
 namespace camj
 {
@@ -201,6 +202,65 @@ TEST(SweepEngine, NoiseMetricsFlowThroughSweep)
         engine.run({spec::sampleDetectorSpec(30.0, 65)});
     ASSERT_TRUE(results[0].feasible);
     EXPECT_GT(results[0].snrPenaltyDb, 0.0);
+}
+
+// ------------------------------------------- paper-study spec sweeps
+
+TEST(SweepEngine, UsecaseSpecBatchParallelMatchesSerial)
+{
+    // The paper studies exercise every spec feature (custom cell
+    // chains, STT-RAM and regfile memories, stacked layers); the
+    // threaded sweep must still be bit-identical to the serial one.
+    std::vector<spec::DesignSpec> specs = allPaperStudySpecs();
+    ASSERT_EQ(specs.size(), 27u);
+
+    SweepEngine serial_engine(SweepOptions{.threads = 1});
+    SweepEngine parallel_engine(SweepOptions{.threads = 4});
+    std::vector<SweepResult> serial = serial_engine.run(specs);
+    std::vector<SweepResult> parallel = parallel_engine.run(specs);
+
+    ASSERT_EQ(serial.size(), specs.size());
+    ASSERT_EQ(parallel.size(), specs.size());
+    for (size_t i = 0; i < specs.size(); ++i) {
+        EXPECT_EQ(parallel[i].index, i);
+        EXPECT_EQ(parallel[i].designName, specs[i].name);
+        ASSERT_TRUE(serial[i].feasible)
+            << specs[i].name << ": " << serial[i].error;
+        EXPECT_EQ(parallel[i].feasible, serial[i].feasible);
+        EXPECT_EQ(parallel[i].report.total(),
+                  serial[i].report.total())
+            << specs[i].name;
+        ASSERT_EQ(parallel[i].report.units.size(),
+                  serial[i].report.units.size());
+        for (size_t u = 0; u < serial[i].report.units.size(); ++u) {
+            EXPECT_EQ(parallel[i].report.units[u].energy,
+                      serial[i].report.units[u].energy)
+                << specs[i].name << "/"
+                << serial[i].report.units[u].name;
+        }
+    }
+}
+
+TEST(SweepEngine, UsecaseSpecSweepMatchesDirectSimulate)
+{
+    // Spot-check one of each study family against the direct path.
+    std::vector<spec::DesignSpec> all = allPaperStudySpecs();
+    std::vector<spec::DesignSpec> specs;
+    for (spec::DesignSpec &s : all) {
+        if (s.name == "rhythmic-3D-In-65nm" ||
+            s.name == "edgaze-2D-In-Mixed-130nm" ||
+            s.name == "isscc22-pis" || s.name == "vlsi21-gs-dps")
+            specs.push_back(std::move(s));
+    }
+    ASSERT_EQ(specs.size(), 4u);
+    SweepEngine engine(SweepOptions{.threads = 2});
+    std::vector<SweepResult> results = engine.run(specs);
+    for (size_t i = 0; i < specs.size(); ++i) {
+        ASSERT_TRUE(results[i].feasible) << results[i].error;
+        EnergyReport direct = specs[i].materialize().simulate();
+        EXPECT_EQ(results[i].report.total(), direct.total())
+            << specs[i].name;
+    }
 }
 
 // -------------------------------------------- promoted breakdown API

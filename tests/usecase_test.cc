@@ -9,6 +9,7 @@
 
 #include "common/logging.h"
 #include "common/units.h"
+#include "spec/spec.h"
 #include "usecases/edgaze.h"
 #include "usecases/explorer.h"
 #include "usecases/params.h"
@@ -34,16 +35,18 @@ totalUJ(const EnergyReport &r)
     return r.total() / units::uJ;
 }
 
+// All findings are asserted through the serializable spec path — the
+// same documents the golden harness pins down.
 EnergyReport
 rhythmic(SensorVariant v, int nm)
 {
-    return buildRhythmic(v, nm)->simulate();
+    return rhythmicSpec(v, nm).materialize().simulate();
 }
 
 EnergyReport
 edgaze(EdgazeVariant v, int nm)
 {
-    return buildEdgaze(v, nm)->simulate();
+    return edgazeSpec(v, nm).materialize().simulate();
 }
 
 // ------------------------------------------------------------- Fig. 9a
@@ -110,7 +113,10 @@ TEST(Fig9a, InSensorComputePaysTheOldNodeTax)
 TEST(Fig9a, SttVariantRejectedLikeThePaper)
 {
     // The 2 KB metadata buffer is below the STT-RAM minimum; the
-    // paper's Table lacks the same cell.
+    // paper's Table lacks the same cell. Both the spec generator and
+    // the materializing wrapper refuse.
+    EXPECT_THROW(rhythmicSpec(SensorVariant::ThreeDInStt, 130),
+                 ConfigError);
     EXPECT_THROW(buildRhythmic(SensorVariant::ThreeDInStt, 130),
                  ConfigError);
 }
@@ -345,6 +351,39 @@ TEST(Usecases, DesignsAreDeterministic)
     double a = totalUJ(edgaze(EdgazeVariant::ThreeDIn, 65));
     double b = totalUJ(edgaze(EdgazeVariant::ThreeDIn, 65));
     EXPECT_DOUBLE_EQ(a, b);
+}
+
+TEST(Usecases, BuildWrappersMatchTheSpecPath)
+{
+    // buildRhythmic/buildEdgaze are thin materialize() wrappers: bit-
+    // identical to simulating the spec directly.
+    EnergyReport via_spec =
+        rhythmicSpec(SensorVariant::ThreeDIn, 65).materialize()
+            .simulate();
+    EnergyReport via_wrapper =
+        buildRhythmic(SensorVariant::ThreeDIn, 65)->simulate();
+    EXPECT_EQ(via_spec.total(), via_wrapper.total());
+
+    EnergyReport e_spec =
+        edgazeSpec(EdgazeVariant::TwoDInMixed, 130).materialize()
+            .simulate();
+    EnergyReport e_wrapper =
+        buildEdgaze(EdgazeVariant::TwoDInMixed, 130)->simulate();
+    EXPECT_EQ(e_spec.total(), e_wrapper.total());
+}
+
+TEST(Usecases, SpecsSerializeLosslessly)
+{
+    // A usecase spec shipped as JSON simulates identically after the
+    // round trip — the property that makes the studies shippable.
+    for (int nm : {130, 65}) {
+        spec::DesignSpec s = edgazeSpec(EdgazeVariant::ThreeDInStt, nm);
+        EnergyReport direct = s.materialize().simulate();
+        EnergyReport loaded = spec::fromJson(spec::toJson(s))
+                                  .materialize()
+                                  .simulate();
+        EXPECT_EQ(direct.total(), loaded.total()) << nm;
+    }
 }
 
 TEST(Usecases, SensorSideIsVariantInvariant)

@@ -13,6 +13,7 @@
 
 #include "common/logging.h"
 #include "common/units.h"
+#include "spec/spec.h"
 #include "validation/harness.h"
 #include "validation/reported.h"
 
@@ -201,6 +202,42 @@ TEST(Table2, BreakdownGroupsAreChipSpecific)
             EXPECT_TRUE(found_pixel_adc) << c.id;
         else
             EXPECT_TRUE(found_pixel) << c.id;
+    }
+}
+
+// ------------------------------------------------- spec-path parity
+
+TEST(Validation, ChipSpecsAreSerializableAndLossless)
+{
+    // Every Table 2 chip — including the custom current-domain MACs,
+    // WTA pools and the regfile memory — survives the JSON round trip
+    // with bit-identical simulated energies.
+    for (const ChipSpec &chip : allChipSpecs()) {
+        EnergyReport direct = chip.design.materialize().simulate();
+        EnergyReport loaded =
+            spec::fromJson(spec::toJson(chip.design))
+                .materialize()
+                .simulate();
+        EXPECT_EQ(direct.total(), loaded.total()) << chip.id;
+        ASSERT_EQ(direct.units.size(), loaded.units.size()) << chip.id;
+        for (size_t i = 0; i < direct.units.size(); ++i) {
+            EXPECT_EQ(direct.units[i].energy, loaded.units[i].energy)
+                << chip.id << "/" << direct.units[i].name;
+        }
+    }
+}
+
+TEST(Validation, BuildWrappersMatchTheSpecPath)
+{
+    std::vector<ChipSpec> specs = allChipSpecs();
+    std::vector<ChipInfo> chips = buildAllChips();
+    ASSERT_EQ(specs.size(), chips.size());
+    for (size_t i = 0; i < specs.size(); ++i) {
+        EXPECT_EQ(specs[i].id, chips[i].id);
+        EXPECT_EQ(specs[i].design.name, chips[i].design->name());
+        EXPECT_EQ(specs[i].design.materialize().simulate().total(),
+                  chips[i].design->simulate().total())
+            << specs[i].id;
     }
 }
 
