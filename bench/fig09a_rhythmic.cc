@@ -4,51 +4,82 @@
  * 130 nm and 65 nm CIS nodes. Expected shape (paper): 2D-In saves
  * 14.5% (130 nm) and 33.4% (65 nm) over 2D-Off; 3D-In saves a
  * further ~16% on average; MIPI dominates the off-sensor design.
+ *
+ * The six variants run as ONE streaming sweep: specs are generated
+ * lazily as workers pull them, and the in-order sink prints each
+ * node's table as soon as its three variants complete.
  */
 
 #include <cstdio>
+#include <optional>
+#include <string>
+#include <vector>
 
 #include "common/units.h"
-#include "explore/breakdown.h"
-#include "explore/simulator.h"
+#include "explore/sweep.h"
 #include "usecases/rhythmic.h"
 
 using namespace camj;
+
+namespace
+{
+
+const SensorVariant kVariants[] = {SensorVariant::TwoDOff,
+                                   SensorVariant::TwoDIn,
+                                   SensorVariant::ThreeDIn};
+const int kNodes[] = {130, 65};
+
+} // namespace
 
 int
 main()
 {
     setLoggingEnabled(false);
-    Simulator simulator;
     std::printf("Fig. 9a | Rhythmic Pixel Regions energy per frame\n\n");
 
-    for (int nm : {130, 65}) {
-        std::vector<BreakdownRow> rows;
-        double off = 0.0, in2d = 0.0, in3d = 0.0;
-        for (SensorVariant v : {SensorVariant::TwoDOff,
-                                SensorVariant::TwoDIn,
-                                SensorVariant::ThreeDIn}) {
-            // Each variant is evaluated through its serializable spec.
-            EnergyReport r = simulator.simulate(rhythmicSpec(v, nm));
-            rows.push_back(breakdownOf(
-                std::string(sensorVariantName(v)) + "(" +
-                    std::to_string(nm) + "nm)",
-                r));
-            double t = r.total() / units::uJ;
-            if (v == SensorVariant::TwoDOff)
-                off = t;
-            else if (v == SensorVariant::TwoDIn)
-                in2d = t;
-            else
-                in3d = t;
+    // Each pull builds one variant's serializable spec.
+    spec::GeneratorSpecSource source(
+        [](size_t i) -> std::optional<spec::DesignSpec> {
+            return rhythmicSpec(kVariants[i % 3], kNodes[i / 3]);
+        },
+        6);
+
+    std::vector<BreakdownRow> rows;
+    double off = 0.0, in2d = 0.0, in3d = 0.0;
+    bool failed = false;
+    CallbackSink print([&](SweepResult r) {
+        if (!r.feasible) {
+            std::fprintf(stderr, "error: %s is infeasible: %s\n",
+                         r.designName.c_str(), r.error.c_str());
+            failed = true;
+            return false;
         }
-        std::printf("%s", formatBreakdownTable(rows).c_str());
-        std::printf("  2D-In saves %.1f%% vs 2D-Off (paper: %s); "
-                    "3D-In saves %.1f%% vs 2D-In\n\n",
-                    100.0 * (off - in2d) / off,
-                    nm == 130 ? "14.5%" : "33.4%",
-                    100.0 * (in2d - in3d) / in2d);
-    }
+        const SensorVariant v = kVariants[r.index % 3];
+        const int nm = kNodes[r.index / 3];
+        rows.push_back(r.breakdown(std::string(sensorVariantName(v)) +
+                                   "(" + std::to_string(nm) + "nm)"));
+        double t = r.report.total() / units::uJ;
+        if (v == SensorVariant::TwoDOff)
+            off = t;
+        else if (v == SensorVariant::TwoDIn)
+            in2d = t;
+        else
+            in3d = t;
+        if (r.index % 3 == 2) { // node group complete
+            std::printf("%s", formatBreakdownTable(rows).c_str());
+            std::printf("  2D-In saves %.1f%% vs 2D-Off (paper: %s); "
+                        "3D-In saves %.1f%% vs 2D-In\n\n",
+                        100.0 * (off - in2d) / off,
+                        nm == 130 ? "14.5%" : "33.4%",
+                        100.0 * (in2d - in3d) / in2d);
+            rows.clear();
+        }
+        return true;
+    });
+    InOrderSink inorder(print);
+    SweepEngine().runStream(source, inorder);
+    if (failed)
+        return 1;
 
     std::printf("shape check: in-sensor wins for this communication-"
                 "dominated workload, more at 65 nm; stacking adds a "

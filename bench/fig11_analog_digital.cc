@@ -5,14 +5,17 @@
  * energy (38.8% at 130 nm, 77.1% at 65 nm), with the savings coming
  * from removing the ADCs (SEN) and replacing SRAM with analog
  * buffers (MEM-D -> MEM-A) — not from cheaper compute.
+ *
+ * The four design points (digital & mixed at both nodes) run as one
+ * streaming sweep (bench/edgaze_digital_mixed.h).
  */
 
 #include <cstdio>
+#include <string>
+#include <vector>
 
 #include "common/units.h"
-#include "explore/breakdown.h"
-#include "explore/simulator.h"
-#include "usecases/edgaze.h"
+#include "edgaze_digital_mixed.h"
 
 using namespace camj;
 
@@ -20,15 +23,14 @@ int
 main()
 {
     setLoggingEnabled(false);
-    Simulator simulator;
     std::printf("Fig. 11 | Mixed-signal vs digital in-sensor "
                 "Ed-Gaze\n\n");
 
-    for (int nm : {130, 65}) {
-        EnergyReport digital =
-            simulator.simulate(*buildEdgaze(EdgazeVariant::TwoDIn, nm));
-        EnergyReport mixed = simulator.simulate(
-            *buildEdgaze(EdgazeVariant::TwoDInMixed, nm));
+    std::vector<SweepResult> results = bench::sweepEdgazeDigitalMixed();
+    for (size_t n = 0; n < 2; ++n) {
+        const int nm = n == 0 ? 130 : 65;
+        const EnergyReport &digital = results[2 * n].report;
+        const EnergyReport &mixed = results[2 * n + 1].report;
 
         std::vector<BreakdownRow> rows = {
             breakdownOf(std::string("2D-In(") + std::to_string(nm) +

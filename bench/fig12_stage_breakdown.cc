@@ -4,13 +4,16 @@
  * subtraction, S3 ROI DNN) for digital vs mixed-signal in-sensor
  * Ed-Gaze. Expected shape (paper): S3 becomes the dominant stage
  * after moving S1/S2 into the analog domain.
+ *
+ * The four design points run as one streaming sweep
+ * (bench/edgaze_digital_mixed.h).
  */
 
 #include <cstdio>
+#include <vector>
 
 #include "common/units.h"
-#include "explore/simulator.h"
-#include "usecases/edgaze.h"
+#include "edgaze_digital_mixed.h"
 
 using namespace camj;
 
@@ -50,18 +53,17 @@ int
 main()
 {
     setLoggingEnabled(false);
-    Simulator simulator;
     std::printf("Fig. 12 | Normalized stage energy breakdown "
                 "(S1/S2/S3)\n\n");
     std::printf("%-24s %8s %8s %8s\n", "config", "S1[%]", "S2[%]",
                 "S3[%]");
 
+    std::vector<SweepResult> results = bench::sweepEdgazeDigitalMixed();
     double mixed_s3_share = 0.0;
-    for (int nm : {130, 65}) {
-        EnergyReport digital =
-            simulator.simulate(*buildEdgaze(EdgazeVariant::TwoDIn, nm));
-        EnergyReport mixed = simulator.simulate(
-            *buildEdgaze(EdgazeVariant::TwoDInMixed, nm));
+    for (size_t n = 0; n < 2; ++n) {
+        const int nm = n == 0 ? 130 : 65;
+        const EnergyReport &digital = results[2 * n].report;
+        const EnergyReport &mixed = results[2 * n + 1].report;
 
         StageSplit d = splitStages(digital, false);
         StageSplit m = splitStages(mixed, true);

@@ -5,13 +5,16 @@
  * collapses when S1/S2 move to the analog domain, while the compute
  * energy INCREASES — maintaining 8-bit precision makes the opamps
  * expensive (Eq. 6).
+ *
+ * The four design points run as one streaming sweep
+ * (bench/edgaze_digital_mixed.h).
  */
 
 #include <cstdio>
+#include <vector>
 
 #include "common/units.h"
-#include "explore/simulator.h"
-#include "usecases/edgaze.h"
+#include "edgaze_digital_mixed.h"
 
 using namespace camj;
 
@@ -19,16 +22,15 @@ int
 main()
 {
     setLoggingEnabled(false);
-    Simulator simulator;
     std::printf("Fig. 13 | S1+S2 compute vs memory energy [uJ]\n\n");
     std::printf("%-24s %12s %12s\n", "config", "compute", "memory");
 
+    std::vector<SweepResult> results = bench::sweepEdgazeDigitalMixed();
     bool compute_rises = true, memory_drops = true;
-    for (int nm : {130, 65}) {
-        EnergyReport digital =
-            simulator.simulate(*buildEdgaze(EdgazeVariant::TwoDIn, nm));
-        EnergyReport mixed = simulator.simulate(
-            *buildEdgaze(EdgazeVariant::TwoDInMixed, nm));
+    for (size_t n = 0; n < 2; ++n) {
+        const int nm = n == 0 ? 130 : 65;
+        const EnergyReport &digital = results[2 * n].report;
+        const EnergyReport &mixed = results[2 * n + 1].report;
 
         double dig_comp = (digital.energyOf("DownsampleUnit") +
                            digital.energyOf("SubtractUnit")) /

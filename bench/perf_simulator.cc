@@ -7,8 +7,13 @@
  * Besides the interactive benchmark output, the binary always writes
  * BENCH_simulator.json (override the path with the BENCH_JSON_PATH
  * environment variable): designs/sec for a serial sweep vs. a
- * >= 4-thread SweepEngine run over the same spec batch, so CI can
- * track the simulator's evaluation-throughput trajectory across PRs.
+ * >= 4-thread SweepEngine run over the same spec batch, the
+ * streaming pipeline over that batch, and a lazily expanded
+ * SweepGrid, so CI can track the simulator's evaluation-throughput
+ * trajectory across PRs.
+ *
+ * `--points N` scales the artifact workload (batch copies and grid
+ * size) so CI can run a quick smoke sweep: perf_simulator --points 8.
  */
 
 #include <benchmark/benchmark.h>
@@ -16,7 +21,9 @@
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <fstream>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -24,6 +31,7 @@
 #include "digital/cyclesim.h"
 #include "explore/sweep.h"
 #include "functional/executor.h"
+#include "spec/grid.h"
 #include "spec/json.h"
 #include "spec/samples.h"
 #include "usecases/edgaze.h"
@@ -35,6 +43,9 @@ using namespace camj;
 
 namespace
 {
+
+/** Artifact workload size; override with --points N. */
+int g_points = 64;
 
 /** The sweep workload: the canonical sample detector over a fps x
  *  node grid spanning the feasibility boundary, repeated `copies`
@@ -50,6 +61,25 @@ sweepBatch(int copies)
             specs.push_back(std::move(s));
     }
     return specs;
+}
+
+/** A sweepGrid document over the sample detector: an fps axis sized
+ *  so the grid has ~`points` design points, times the buffer node. */
+spec::SweepDocument
+gridDocument(int points)
+{
+    spec::SweepDocument doc;
+    doc.base = spec::sampleDetectorSpec(30.0, 65);
+    spec::GridAxis rate{"rate", "fps", {}};
+    const int nrates = points / 4 > 0 ? points / 4 : 1;
+    for (int i = 0; i < nrates; ++i)
+        rate.values.push_back(
+            json::Value(1.0 + (119.0 * i) / nrates));
+    spec::GridAxis node{"bufnode", "memories[ActBuf].nodeNm",
+                        {json::Value(180), json::Value(110),
+                         json::Value(65), json::Value(45)}};
+    doc.grid.axes = {std::move(rate), std::move(node)};
+    return doc;
 }
 
 void
@@ -130,6 +160,47 @@ BM_SweepThreaded(benchmark::State &state)
                             static_cast<int64_t>(specs.size()));
 }
 BENCHMARK(BM_SweepThreaded)->Arg(4)->Unit(benchmark::kMillisecond);
+
+void
+BM_SweepStreaming(benchmark::State &state)
+{
+    setLoggingEnabled(false);
+    std::vector<spec::DesignSpec> specs = sweepBatch(1);
+    SweepOptions options;
+    options.threads = static_cast<int>(state.range(0));
+    options.reuseMaterializations = true;
+    SweepEngine engine(options);
+    for (auto _ : state) {
+        spec::VectorSpecSource source(specs);
+        size_t delivered = 0;
+        CallbackSink count([&](SweepResult) {
+            ++delivered;
+            return true;
+        });
+        engine.runStream(source, count);
+        benchmark::DoNotOptimize(delivered);
+    }
+    state.SetItemsProcessed(state.iterations() *
+                            static_cast<int64_t>(specs.size()));
+}
+BENCHMARK(BM_SweepStreaming)->Arg(4)->Unit(benchmark::kMillisecond);
+
+void
+BM_GridExpansion(benchmark::State &state)
+{
+    setLoggingEnabled(false);
+    spec::SweepDocument doc = gridDocument(256);
+    for (auto _ : state) {
+        spec::GridSpecSource source = doc.source();
+        size_t n = 0;
+        while (source.next())
+            ++n;
+        benchmark::DoNotOptimize(n);
+    }
+    state.SetItemsProcessed(state.iterations() *
+                            static_cast<int64_t>(doc.grid.points()));
+}
+BENCHMARK(BM_GridExpansion)->Unit(benchmark::kMillisecond);
 
 void
 BM_UsecaseSpecSweep(benchmark::State &state)
@@ -275,10 +346,47 @@ setSweepMembers(json::Value &obj, size_t points, int threads,
             json::Value(t.serialSeconds / t.threadedSeconds));
 }
 
+/** Wall-clock one streaming run over @p specs; returns seconds. */
+double
+timeStreaming(const SweepEngine &engine,
+              const std::vector<spec::DesignSpec> &specs)
+{
+    spec::VectorSpecSource source(specs);
+    size_t delivered = 0;
+    CallbackSink count([&](SweepResult) {
+        ++delivered;
+        return true;
+    });
+    const auto t0 = std::chrono::steady_clock::now();
+    engine.runStream(source, count);
+    const auto t1 = std::chrono::steady_clock::now();
+    benchmark::DoNotOptimize(delivered);
+    return std::chrono::duration<double>(t1 - t0).count();
+}
+
+/** Wall-clock one lazily expanded grid sweep; returns seconds. */
+double
+timeGridSweep(const SweepEngine &engine, const spec::SweepDocument &doc)
+{
+    spec::GridSpecSource source = doc.source();
+    size_t delivered = 0;
+    CallbackSink count([&](SweepResult) {
+        ++delivered;
+        return true;
+    });
+    const auto t0 = std::chrono::steady_clock::now();
+    engine.runStream(source, count);
+    const auto t1 = std::chrono::steady_clock::now();
+    benchmark::DoNotOptimize(delivered);
+    return std::chrono::duration<double>(t1 - t0).count();
+}
+
 /**
  * The CI artifact: serial vs. threaded sweep throughput over the same
- * batch, in designs/sec. Returns false when the file cannot be
- * written, so CI fails loudly instead of trusting a missing artifact.
+ * batch, the streaming pipeline over that same spec set, and a lazily
+ * expanded SweepGrid, in designs/sec. Returns false when the file
+ * cannot be written, so CI fails loudly instead of trusting a missing
+ * artifact.
  */
 bool
 writeBenchJson()
@@ -286,7 +394,8 @@ writeBenchJson()
     setLoggingEnabled(false);
 
     const int threads = 4;
-    std::vector<spec::DesignSpec> specs = sweepBatch(4);
+    const int copies = g_points / 16 > 0 ? g_points / 16 : 1;
+    std::vector<spec::DesignSpec> specs = sweepBatch(copies);
     SweepEngine serial_engine(SweepOptions{.threads = 1});
     SweepEngine threaded_engine(SweepOptions{.threads = threads});
 
@@ -310,6 +419,50 @@ writeBenchJson()
     setSweepMembers(usecase, uspecs.size(), threads, usecase_t);
     doc.set("usecaseSweep", std::move(usecase));
 
+    // Streaming sweep: the SAME spec set as the batch sections
+    // through runStream (callback sink, per-worker materialization
+    // cache) — the acceptance bar is throughput >= the batch path.
+    SweepOptions stream_options;
+    stream_options.threads = threads;
+    stream_options.reuseMaterializations = true;
+    SweepEngine stream_engine(stream_options);
+    timeStreaming(stream_engine, specs); // warm-up
+    double stream_seconds = 1e30;
+    for (int rep = 0; rep < 3; ++rep)
+        stream_seconds =
+            std::min(stream_seconds, timeStreaming(stream_engine, specs));
+    const double n_specs = static_cast<double>(specs.size());
+    json::Value streaming = json::Value::makeObject();
+    streaming.set("designPoints",
+                  json::Value(static_cast<int64_t>(specs.size())));
+    streaming.set("threads", json::Value(threads));
+    streaming.set("seconds", json::Value(stream_seconds));
+    streaming.set("designsPerSec",
+                  json::Value(n_specs / stream_seconds));
+    streaming.set("speedupVsBatch",
+                  json::Value(sample.threadedSeconds / stream_seconds));
+    doc.set("streamingSweep", std::move(streaming));
+
+    // Grid sweep: a sweepGrid document expanded lazily point by
+    // point while workers evaluate — expansion cost is part of the
+    // measured pipeline.
+    const spec::SweepDocument grid_doc = gridDocument(g_points);
+    timeGridSweep(stream_engine, grid_doc); // warm-up
+    double grid_seconds = 1e30;
+    for (int rep = 0; rep < 3; ++rep)
+        grid_seconds =
+            std::min(grid_seconds, timeGridSweep(stream_engine, grid_doc));
+    const double n_grid = static_cast<double>(grid_doc.grid.points());
+    json::Value grid = json::Value::makeObject();
+    grid.set("designPoints",
+             json::Value(static_cast<int64_t>(grid_doc.grid.points())));
+    grid.set("axes", json::Value(static_cast<int64_t>(
+                         grid_doc.grid.axes.size())));
+    grid.set("threads", json::Value(threads));
+    grid.set("seconds", json::Value(grid_seconds));
+    grid.set("designsPerSec", json::Value(n_grid / grid_seconds));
+    doc.set("gridSweep", std::move(grid));
+
     const char *env_path = std::getenv("BENCH_JSON_PATH");
     const std::string path =
         env_path != nullptr ? env_path : "BENCH_simulator.json";
@@ -332,7 +485,36 @@ writeBenchJson()
                 un / usecase_t.serialSeconds,
                 un / usecase_t.threadedSeconds, threads,
                 usecase_t.serialSeconds / usecase_t.threadedSeconds);
+    std::printf("streaming sweep: %.1f designs/sec (%.2fx of the "
+                "threaded batch path)\n", n / stream_seconds,
+                sample.threadedSeconds / stream_seconds);
+    std::printf("grid sweep: %.0f lazily expanded points, %.1f "
+                "designs/sec\n", n_grid, n_grid / grid_seconds);
     return true;
+}
+
+/** Strip and apply `--points N` / `--points=N` (the CI smoke-sweep
+ *  knob) before google-benchmark sees the argument list. */
+void
+parsePointsFlag(int &argc, char **argv)
+{
+    int out = 1;
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        if (arg == "--points" && i + 1 < argc) {
+            g_points = std::atoi(argv[++i]);
+        } else if (arg.rfind("--points=", 0) == 0) {
+            g_points = std::atoi(arg.c_str() + std::strlen("--points="));
+        } else {
+            argv[out++] = argv[i];
+        }
+    }
+    if (g_points < 1) {
+        std::fprintf(stderr,
+                     "error: --points wants a positive count\n");
+        std::exit(1);
+    }
+    argc = out;
 }
 
 } // namespace
@@ -340,6 +522,7 @@ writeBenchJson()
 int
 main(int argc, char **argv)
 {
+    parsePointsFlag(argc, argv);
     benchmark::Initialize(&argc, argv);
     if (benchmark::ReportUnrecognizedArguments(argc, argv))
         return 1;

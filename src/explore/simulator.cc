@@ -62,12 +62,13 @@ Simulator::run(const Design &design) const
 }
 
 SimulationOutcome
-Simulator::run(const spec::DesignSpec &spec) const
+Simulator::run(const spec::DesignSpec &spec,
+               spec::MaterializeCache *cache) const
 {
     if (options_.checkMode == CheckMode::Strict)
-        return finish(spec.materialize().simulate());
+        return finish(spec.materialize(cache).simulate());
     try {
-        return finish(spec.materialize().simulate());
+        return finish(spec.materialize(cache).simulate());
     } catch (const ConfigError &e) {
         return failure(e.what());
     }

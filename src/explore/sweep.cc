@@ -1,8 +1,11 @@
 #include "explore/sweep.h"
 
-#include <atomic>
+#include <limits>
+#include <mutex>
+#include <optional>
 #include <sstream>
 #include <thread>
+#include <utility>
 
 #include "common/logging.h"
 
@@ -43,22 +46,29 @@ SweepEngine::SweepEngine(SweepOptions options)
 }
 
 int
-SweepEngine::effectiveThreads(size_t jobs) const
+SweepEngine::threadsFor(int requested, size_t jobs,
+                        unsigned hardware_concurrency)
 {
-    unsigned hw = std::thread::hardware_concurrency();
-    if (hw == 0)
-        hw = 1;
-    size_t n = options_.threads > 0
-                   ? static_cast<size_t>(options_.threads)
-                   : static_cast<size_t>(hw);
+    if (hardware_concurrency == 0)
+        hardware_concurrency = 1;
+    size_t n = requested > 0
+                   ? static_cast<size_t>(requested)
+                   : static_cast<size_t>(hardware_concurrency);
     if (n > jobs)
         n = jobs;
     return static_cast<int>(n == 0 ? 1 : n);
 }
 
+int
+SweepEngine::effectiveThreads(size_t jobs) const
+{
+    return threadsFor(options_.threads, jobs,
+                      std::thread::hardware_concurrency());
+}
+
 SweepResult
-SweepEngine::evaluateOne(const spec::DesignSpec &spec,
-                         size_t index) const
+SweepEngine::evaluateOne(const spec::DesignSpec &spec, size_t index,
+                         spec::MaterializeCache *cache) const
 {
     SweepResult r;
     r.index = index;
@@ -69,7 +79,7 @@ SweepEngine::evaluateOne(const spec::DesignSpec &spec,
     // batch can never behave differently across thread counts.
     try {
         Simulator sim(options_.sim);
-        SimulationOutcome out = sim.run(spec);
+        SimulationOutcome out = sim.run(spec, cache);
         r.feasible = out.feasible;
         r.error = std::move(out.error);
         r.report = std::move(out.report);
@@ -82,46 +92,179 @@ SweepEngine::evaluateOne(const spec::DesignSpec &spec,
     return r;
 }
 
+StreamStats
+SweepEngine::runStream(spec::SpecSource &source, ResultSink &sink,
+                       const CancelToken *cancel) const
+{
+    const size_t jobs = source.sizeHint().value_or(
+        std::numeric_limits<size_t>::max());
+    const int workers = threadsFor(
+        options_.threads, jobs, std::thread::hardware_concurrency());
+
+    StreamStats stats;
+    std::atomic<bool> stop{false};
+    std::atomic<size_t> produced{0};
+    std::atomic<size_t> delivered{0};
+    std::atomic<bool> sink_cancelled{false};
+    std::mutex source_mutex; // serial sources only
+    std::mutex sink_mutex;
+    std::mutex error_mutex;
+    std::exception_ptr first_error; // guarded by error_mutex
+    size_t next_index = 0; // guarded by source_mutex
+    const bool concurrent = source.concurrentPulls();
+
+    // Pull one point off the source and stamp it with its stream
+    // index — the streaming equivalent of the old atomic vector
+    // cursor, generalized to any SpecSource. Sources that support
+    // concurrent pulls assign indices themselves off their own
+    // atomic cursor, so production never serializes; everything else
+    // is pulled under the source lock.
+    auto pull = [&](size_t &index) -> std::optional<spec::DesignSpec> {
+        std::optional<spec::DesignSpec> spec;
+        if (concurrent) {
+            if (stop.load(std::memory_order_relaxed))
+                return std::nullopt;
+            spec = source.nextIndexed(index);
+        } else {
+            std::lock_guard<std::mutex> lock(source_mutex);
+            if (stop.load(std::memory_order_relaxed))
+                return std::nullopt;
+            spec = source.next();
+            if (spec)
+                index = next_index++;
+        }
+        if (spec)
+            produced.fetch_add(1, std::memory_order_relaxed);
+        return spec;
+    };
+
+    auto deliver = [&](SweepResult result) {
+        std::lock_guard<std::mutex> lock(sink_mutex);
+        // In-flight results completing after a cancellation are
+        // dropped: the sink said stop, so it never sees another one.
+        if (stop.load(std::memory_order_relaxed))
+            return;
+        if (sink.accept(std::move(result))) {
+            delivered.fetch_add(1, std::memory_order_relaxed);
+        } else {
+            stop.store(true, std::memory_order_relaxed);
+            sink_cancelled.store(true, std::memory_order_relaxed);
+        }
+    };
+
+    auto worker = [&] {
+        // Each worker owns its cache: no lock contention, and reuse
+        // still catches the common case of consecutive points along
+        // one grid axis sharing most components.
+        spec::MaterializeCache cache;
+        spec::MaterializeCache *cache_ptr =
+            options_.reuseMaterializations ? &cache : nullptr;
+        // Anything escaping the source or the sink (a generator
+        // throwing, a JsonlSink write failure) must not unwind a
+        // std::thread — that would terminate the process. Capture
+        // the first error, stop the sweep, rethrow on the caller.
+        try {
+            while (!stop.load(std::memory_order_relaxed)) {
+                if (cancel != nullptr && cancel->cancelled()) {
+                    stop.store(true, std::memory_order_relaxed);
+                    break;
+                }
+                size_t index = 0;
+                std::optional<spec::DesignSpec> spec = pull(index);
+                if (!spec)
+                    break;
+                deliver(evaluateOne(*spec, index, cache_ptr));
+            }
+        } catch (...) {
+            std::lock_guard<std::mutex> lock(error_mutex);
+            if (!first_error)
+                first_error = std::current_exception();
+            stop.store(true, std::memory_order_relaxed);
+        }
+    };
+
+    if (workers <= 1) {
+        worker();
+    } else {
+        std::vector<std::thread> pool;
+        pool.reserve(static_cast<size_t>(workers));
+        for (int t = 0; t < workers; ++t)
+            pool.emplace_back(worker);
+        for (std::thread &t : pool)
+            t.join();
+    }
+
+    stats.produced = produced.load(std::memory_order_relaxed);
+    stats.delivered = delivered.load(std::memory_order_relaxed);
+    stats.cancelled = sink_cancelled.load(std::memory_order_relaxed);
+    if (cancel != nullptr && cancel->cancelled())
+        stats.cancelled = true;
+    sink.finish();
+    if (first_error)
+        std::rethrow_exception(first_error);
+    return stats;
+}
+
+namespace
+{
+
+/** Non-owning source over the batch API's input vector; concurrent
+ *  pulls keep batch production lock-free, as the old atomic-cursor
+ *  loop was. */
+class RefVectorSource : public spec::SpecSource
+{
+  public:
+    explicit RefVectorSource(const std::vector<spec::DesignSpec> &specs)
+        : specs_(specs)
+    {
+    }
+
+    std::optional<spec::DesignSpec> next() override
+    {
+        size_t index = 0;
+        return nextIndexed(index);
+    }
+
+    std::optional<spec::DesignSpec> nextIndexed(size_t &index) override
+    {
+        const size_t i =
+            cursor_.fetch_add(1, std::memory_order_relaxed);
+        if (i >= specs_.size())
+            return std::nullopt;
+        index = i;
+        return specs_[i];
+    }
+
+    bool concurrentPulls() const override { return true; }
+
+    std::optional<size_t> sizeHint() const override
+    {
+        return specs_.size();
+    }
+
+  private:
+    const std::vector<spec::DesignSpec> &specs_;
+    std::atomic<size_t> cursor_{0};
+};
+
+} // namespace
+
 std::vector<SweepResult>
 SweepEngine::runSerial(const std::vector<spec::DesignSpec> &specs) const
 {
     std::vector<SweepResult> results(specs.size());
     for (size_t i = 0; i < specs.size(); ++i)
-        results[i] = evaluateOne(specs[i], i);
+        results[i] = evaluateOne(specs[i], i, nullptr);
     return results;
 }
 
 std::vector<SweepResult>
 SweepEngine::run(const std::vector<spec::DesignSpec> &specs) const
 {
-    const size_t n = specs.size();
-    const int workers = effectiveThreads(n);
-    if (n == 0)
-        return {};
-    if (workers <= 1)
-        return runSerial(specs);
-
-    std::vector<SweepResult> results(n);
-    std::atomic<size_t> next{0};
-
-    auto worker = [&] {
-        // Workers touch disjoint result slots; evaluateOne never
-        // throws, so nothing can escape across the thread boundary.
-        while (true) {
-            const size_t i = next.fetch_add(1);
-            if (i >= n)
-                return;
-            results[i] = evaluateOne(specs[i], i);
-        }
-    };
-
-    std::vector<std::thread> pool;
-    pool.reserve(static_cast<size_t>(workers));
-    for (int t = 0; t < workers; ++t)
-        pool.emplace_back(worker);
-    for (std::thread &t : pool)
-        t.join();
-    return results;
+    RefVectorSource source(specs);
+    CollectSink sink;
+    runStream(source, sink);
+    return sink.take();
 }
 
 std::string

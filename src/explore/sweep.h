@@ -1,26 +1,33 @@
 /**
  * @file
- * SweepEngine: parallel evaluation of many DesignSpec points — the
- * Fig. 4 exploration feedback loop as a batch operation. A sweep
- * takes a vector of specs, evaluates each on a std::thread pool
- * (materialize -> simulate), and returns structured SweepResults
- * carrying a feasibility verdict, the per-frame EnergyReport, and the
- * promoted breakdown helpers — no ConfigError ever escapes a sweep.
+ * SweepEngine: the Fig. 4 exploration feedback loop as a streaming
+ * pipeline. A sweep pulls DesignSpecs from a SpecSource (a vector, a
+ * lazy SweepGrid expansion, a generator), evaluates each point on a
+ * std::thread pool (materialize -> simulate), and pushes structured
+ * SweepResults into a ResultSink as they complete — no ConfigError
+ * ever escapes a sweep, results stream instead of accumulating, and
+ * a sink (or a CancelToken) can stop the sweep early.
  *
- * Specs are value types and the engine is stateless, so workers share
- * nothing but the input vector and their own result slots; results
- * are bit-identical to a serial loop over Design::simulate().
+ * Specs are value types and the engine is stateless; the source is
+ * pulled and the sink is fed under per-side locks, so neither needs
+ * to be thread-safe. Evaluation itself shares nothing, which keeps
+ * every result bit-identical to a serial loop over the same specs —
+ * the classic run(vector) API survives as a thin wrapper (ref-source
+ * + CollectSink) over the streaming core.
  */
 
 #ifndef CAMJ_EXPLORE_SWEEP_H
 #define CAMJ_EXPLORE_SWEEP_H
 
+#include <atomic>
 #include <cstddef>
 #include <string>
 #include <vector>
 
-#include "explore/breakdown.h"
 #include "explore/simulator.h"
+#include "explore/sink.h"
+#include "explore/sweep_result.h"
+#include "spec/source.h"
 #include "spec/spec.h"
 
 namespace camj
@@ -35,35 +42,39 @@ struct SweepOptions
      *  Report inside the sweep: infeasibility is a result, not an
      *  exception. */
     SimulationOptions sim;
+    /** Give each worker a MaterializeCache, reusing instantiated
+     *  analog components across spec deltas (e.g. along one grid
+     *  axis). Results are bit-identical either way. */
+    bool reuseMaterializations = false;
 };
 
-/** The outcome of one design point of a sweep. */
-struct SweepResult
+/**
+ * Cooperative cancellation handle: share one token with a running
+ * sweep and cancel() it from anywhere (another thread, a signal
+ * handler's deferred path). Workers observe it between design points.
+ */
+class CancelToken
 {
-    /** Position in the input vector. */
-    size_t index = 0;
-    /** Design name from the spec. */
-    std::string designName;
-    /** Feasibility verdict (false: a check failed, see error). */
-    bool feasible = false;
-    /** Failure text for infeasible points. */
-    std::string error;
-    /** Per-frame report; valid when feasible. */
-    EnergyReport report;
-    /** Frames the result covers (SweepOptions.sim.frames). */
-    int frames = 1;
-    /** SNR penalty [dB] when the sweep ran with noise enabled. */
-    double snrPenaltyDb = 0.0;
+  public:
+    void cancel() { flag_.store(true, std::memory_order_relaxed); }
+    bool cancelled() const
+    {
+        return flag_.load(std::memory_order_relaxed);
+    }
 
-    /** Category breakdown row ("" label = the design name). */
-    BreakdownRow breakdown(const std::string &label = "") const;
+  private:
+    std::atomic<bool> flag_{false};
+};
 
-    /** Sec. 6.2 power density [mW/mm^2]. @throws ConfigError when
-     *  infeasible or the footprint is zero. */
-    double powerDensityMwPerMm2() const;
-
-    /** Energy over all simulated frames [J]; 0 when infeasible. */
-    Energy totalEnergy() const;
+/** What one streaming run did. */
+struct StreamStats
+{
+    /** Design points pulled from the source. */
+    size_t produced = 0;
+    /** Results the sink accepted. */
+    size_t delivered = 0;
+    /** True when the sink or a CancelToken stopped the sweep early. */
+    bool cancelled = false;
 };
 
 /** Parallel design-space evaluator. */
@@ -75,12 +86,37 @@ class SweepEngine
 
     const SweepOptions &options() const { return options_; }
 
-    /** Worker count a run() will actually use for @p jobs points. */
+    /** Worker count a run will actually use for @p jobs points. */
     int effectiveThreads(size_t jobs) const;
 
     /**
-     * Evaluate every spec; results come back in input order. Never
-     * throws ConfigError — infeasible points carry their error text.
+     * The thread-count policy as a pure function: a requested count
+     * of 0 means "use @p hardware_concurrency", a reported hardware
+     * concurrency of 0 (unknown) means 1, and the result is clamped
+     * to the job count but never below 1.
+     */
+    static int threadsFor(int requested, size_t jobs,
+                          unsigned hardware_concurrency);
+
+    /**
+     * The streaming core: pull every point of @p source, evaluate
+     * across the worker pool, push each completed SweepResult into
+     * @p sink (calls serialized, completion order — wrap the sink in
+     * InOrderSink for input order). Stops early when the sink's
+     * accept() returns false or @p cancel fires; either way the
+     * sink's finish() runs exactly once before returning.
+     *
+     * Evaluation never throws (infeasibility is data), but the
+     * source or sink itself may: such an exception stops the sweep
+     * and is rethrown here on the calling thread, after finish().
+     */
+    StreamStats runStream(spec::SpecSource &source, ResultSink &sink,
+                          const CancelToken *cancel = nullptr) const;
+
+    /**
+     * Classic batch API: evaluate every spec; results come back in
+     * input order. Never throws ConfigError — infeasible points
+     * carry their error text. (A thin wrapper over runStream.)
      */
     std::vector<SweepResult> run(
         const std::vector<spec::DesignSpec> &specs) const;
@@ -93,8 +129,8 @@ class SweepEngine
   private:
     SweepOptions options_;
 
-    SweepResult evaluateOne(const spec::DesignSpec &spec,
-                            size_t index) const;
+    SweepResult evaluateOne(const spec::DesignSpec &spec, size_t index,
+                            spec::MaterializeCache *cache) const;
 };
 
 /** Render the feasible rows as a breakdown table; infeasible rows

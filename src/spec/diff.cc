@@ -1,0 +1,186 @@
+#include "spec/diff.h"
+
+#include <set>
+
+#include "common/logging.h"
+
+namespace camj::spec
+{
+
+using json::Value;
+
+namespace
+{
+
+/** True when every element is an object with a unique string "name"
+ *  member — the spec's hardware/stage list shape. */
+bool
+nameKeyed(const Value::Array &arr)
+{
+    if (arr.empty())
+        return false;
+    std::set<std::string> names;
+    for (const Value &e : arr) {
+        if (!e.isObject())
+            return false;
+        const Value *n = e.find("name");
+        if (n == nullptr || !n->isString() ||
+            !names.insert(n->asString()).second)
+            return false;
+    }
+    return true;
+}
+
+bool
+sameValue(const Value &a, const Value &b)
+{
+    // Structural equality via the deterministic writer: same type,
+    // same members in the same order, numbers via %.17g (bit-exact
+    // doubles). Exactly the notion of equality save/load preserves.
+    return a.dump(0) == b.dump(0);
+}
+
+void
+emit(std::vector<SpecDifference> &out, SpecDifference::Kind kind,
+     const std::string &path, const Value *a, const Value *b)
+{
+    SpecDifference d;
+    d.kind = kind;
+    d.path = path;
+    if (a != nullptr)
+        d.before = a->dump(0);
+    if (b != nullptr)
+        d.after = b->dump(0);
+    out.push_back(std::move(d));
+}
+
+void diffValues(const Value &a, const Value &b, const std::string &path,
+                std::vector<SpecDifference> &out);
+
+void
+diffObjects(const Value &a, const Value &b, const std::string &path,
+            std::vector<SpecDifference> &out)
+{
+    const std::string prefix = path.empty() ? "" : path + ".";
+    for (const auto &[key, va] : a.asObject()) {
+        if (const Value *vb = b.find(key))
+            diffValues(va, *vb, prefix + key, out);
+        else
+            emit(out, SpecDifference::Kind::Removed, prefix + key,
+                 &va, nullptr);
+    }
+    for (const auto &[key, vb] : b.asObject()) {
+        if (a.find(key) == nullptr)
+            emit(out, SpecDifference::Kind::Added, prefix + key,
+                 nullptr, &vb);
+    }
+}
+
+void
+diffArrays(const Value &a, const Value &b, const std::string &path,
+           std::vector<SpecDifference> &out)
+{
+    const Value::Array &aa = a.asArray();
+    const Value::Array &ba = b.asArray();
+
+    if (nameKeyed(aa) && nameKeyed(ba)) {
+        for (const Value &ea : aa) {
+            const std::string &name = ea.at("name").asString();
+            const std::string epath = path + "[" + name + "]";
+            const Value *match = nullptr;
+            for (const Value &eb : ba) {
+                if (eb.at("name").asString() == name) {
+                    match = &eb;
+                    break;
+                }
+            }
+            if (match != nullptr)
+                diffValues(ea, *match, epath, out);
+            else
+                emit(out, SpecDifference::Kind::Removed, epath, &ea,
+                     nullptr);
+        }
+        for (const Value &eb : ba) {
+            const std::string &name = eb.at("name").asString();
+            bool present = false;
+            for (const Value &ea : aa) {
+                if (ea.at("name").asString() == name) {
+                    present = true;
+                    break;
+                }
+            }
+            if (!present)
+                emit(out, SpecDifference::Kind::Added,
+                     path + "[" + name + "]", nullptr, &eb);
+        }
+        return;
+    }
+
+    const size_t common = aa.size() < ba.size() ? aa.size() : ba.size();
+    for (size_t i = 0; i < common; ++i)
+        diffValues(aa[i], ba[i], path + "[" + std::to_string(i) + "]",
+                   out);
+    for (size_t i = common; i < aa.size(); ++i)
+        emit(out, SpecDifference::Kind::Removed,
+             path + "[" + std::to_string(i) + "]", &aa[i], nullptr);
+    for (size_t i = common; i < ba.size(); ++i)
+        emit(out, SpecDifference::Kind::Added,
+             path + "[" + std::to_string(i) + "]", nullptr, &ba[i]);
+}
+
+void
+diffValues(const Value &a, const Value &b, const std::string &path,
+           std::vector<SpecDifference> &out)
+{
+    if (a.isObject() && b.isObject()) {
+        diffObjects(a, b, path, out);
+        return;
+    }
+    if (a.isArray() && b.isArray()) {
+        diffArrays(a, b, path, out);
+        return;
+    }
+    if (!sameValue(a, b))
+        emit(out, SpecDifference::Kind::Changed, path, &a, &b);
+}
+
+} // namespace
+
+std::vector<SpecDifference>
+diffJsonValues(const Value &a, const Value &b)
+{
+    std::vector<SpecDifference> out;
+    diffValues(a, b, "", out);
+    return out;
+}
+
+std::vector<SpecDifference>
+diffSpecs(const DesignSpec &a, const DesignSpec &b)
+{
+    return diffJsonValues(toJsonValue(a), toJsonValue(b));
+}
+
+std::string
+formatSpecDiff(const std::vector<SpecDifference> &diffs)
+{
+    std::string out;
+    for (const SpecDifference &d : diffs) {
+        switch (d.kind) {
+          case SpecDifference::Kind::Added:
+            out += strprintf("+ %s = %s\n", d.path.c_str(),
+                             d.after.c_str());
+            break;
+          case SpecDifference::Kind::Removed:
+            out += strprintf("- %s = %s\n", d.path.c_str(),
+                             d.before.c_str());
+            break;
+          case SpecDifference::Kind::Changed:
+            out += strprintf("  %s: %s -> %s\n", d.path.c_str(),
+                             d.before.c_str(), d.after.c_str());
+            break;
+        }
+    }
+    return out;
+}
+
+} // namespace camj::spec

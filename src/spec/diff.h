@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Field-level spec diffing — the first step of the spec diff/merge
+ * toolchain, and the debugging companion of SweepGrid expansion: the
+ * paths it prints ("memories[ActBuf].nodeNm") are exactly the paths
+ * a grid axis declares, so diffing a base spec against one expanded
+ * point shows precisely what the axis changed.
+ *
+ * The diff walks the serialized JSON trees, so it covers every field
+ * the spec format covers, by construction. Arrays whose elements all
+ * carry unique "name" members (stages, analogArrays, memories, units)
+ * are matched BY NAME — reordering reports as add+remove, and a
+ * renamed memory doesn't cascade into dozens of false field edits —
+ * everything else is matched by index.
+ */
+
+#ifndef CAMJ_SPEC_DIFF_H
+#define CAMJ_SPEC_DIFF_H
+
+#include <string>
+#include <vector>
+
+#include "spec/json.h"
+#include "spec/spec.h"
+
+namespace camj::spec
+{
+
+/** One elementary difference between two specs. */
+struct SpecDifference
+{
+    enum class Kind
+    {
+        /** The field exists only in the second spec. */
+        Added,
+        /** The field exists only in the first spec. */
+        Removed,
+        /** The field exists in both with different values. */
+        Changed,
+    };
+
+    Kind kind = Kind::Changed;
+    /** Grid-axis-style field path ("fps", "memories[Buf].nodeNm"). */
+    std::string path;
+    /** Compact JSON of the first spec's value ("" when Added). */
+    std::string before;
+    /** Compact JSON of the second spec's value ("" when Removed). */
+    std::string after;
+};
+
+/** Diff two parsed JSON documents (any shape). */
+std::vector<SpecDifference> diffJsonValues(const json::Value &a,
+                                           const json::Value &b);
+
+/** Diff two specs through their serialized form. */
+std::vector<SpecDifference> diffSpecs(const DesignSpec &a,
+                                      const DesignSpec &b);
+
+/**
+ * Render differences as aligned "path: before -> after" lines, with
+ * +/- prefixes for added/removed fields; "" for an empty diff.
+ */
+std::string formatSpecDiff(const std::vector<SpecDifference> &diffs);
+
+} // namespace camj::spec
+
+#endif // CAMJ_SPEC_DIFF_H

@@ -1,0 +1,385 @@
+#include "spec/grid.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "common/logging.h"
+
+namespace camj::spec
+{
+
+using json::Value;
+
+namespace
+{
+
+// ------------------------------------------------------------ paths
+
+/** One parsed path segment: a member name plus optional selector. */
+struct PathSegment
+{
+    std::string member;
+    /** Array selector: an index, an element name, or "*". */
+    std::string selector;
+    bool hasSelector = false;
+};
+
+std::vector<PathSegment>
+parsePath(const std::string &path)
+{
+    if (path.empty())
+        fatal("sweepGrid: empty field path");
+    std::vector<PathSegment> segments;
+    size_t pos = 0;
+    while (pos <= path.size()) {
+        size_t dot = path.find('.', pos);
+        std::string token = path.substr(
+            pos, dot == std::string::npos ? std::string::npos
+                                          : dot - pos);
+        PathSegment seg;
+        size_t open = token.find('[');
+        if (open == std::string::npos) {
+            seg.member = token;
+        } else {
+            if (token.back() != ']' || open + 2 > token.size() - 1)
+                fatal("sweepGrid: path '%s': malformed selector in "
+                      "segment '%s' (expected member[selector])",
+                      path.c_str(), token.c_str());
+            seg.member = token.substr(0, open);
+            seg.selector =
+                token.substr(open + 1, token.size() - open - 2);
+            seg.hasSelector = true;
+            if (seg.selector.empty())
+                fatal("sweepGrid: path '%s': empty selector in "
+                      "segment '%s'", path.c_str(), token.c_str());
+        }
+        if (seg.member.empty())
+            fatal("sweepGrid: path '%s': empty member name",
+                  path.c_str());
+        segments.push_back(std::move(seg));
+        if (dot == std::string::npos)
+            break;
+        pos = dot + 1;
+    }
+    return segments;
+}
+
+bool
+isIndexSelector(const std::string &selector)
+{
+    for (char c : selector) {
+        if (c < '0' || c > '9')
+            return false;
+    }
+    return !selector.empty();
+}
+
+std::string
+objectKeys(const Value &node)
+{
+    std::string keys;
+    for (const auto &[k, v] : node.asObject())
+        keys += (keys.empty() ? "" : ", ") + k;
+    return keys.empty() ? "<empty>" : keys;
+}
+
+/** Select the elements a segment's selector names within @p arr. */
+std::vector<Value *>
+selectElements(Value &child, const PathSegment &seg,
+               const std::string &path)
+{
+    if (!child.isArray())
+        fatal("sweepGrid: path '%s': member '%s' is not an array but "
+              "carries selector '[%s]'", path.c_str(),
+              seg.member.c_str(), seg.selector.c_str());
+    auto &arr = child.mutableArray();
+    std::vector<Value *> selected;
+    if (seg.selector == "*") {
+        for (Value &e : arr)
+            selected.push_back(&e);
+        if (selected.empty())
+            fatal("sweepGrid: path '%s': '%s[*]' matches no elements "
+                  "(the array is empty)", path.c_str(),
+                  seg.member.c_str());
+    } else if (isIndexSelector(seg.selector)) {
+        // Over-long digit strings would overflow stoull; anything
+        // past 12 digits can't index a real array anyway.
+        if (seg.selector.size() > 12)
+            fatal("sweepGrid: path '%s': index selector '[%s]' is "
+                  "out of range", path.c_str(), seg.selector.c_str());
+        size_t idx = static_cast<size_t>(std::stoull(seg.selector));
+        if (idx >= arr.size())
+            fatal("sweepGrid: path '%s': index %zu out of range "
+                  "(array '%s' has %zu elements)", path.c_str(), idx,
+                  seg.member.c_str(), arr.size());
+        selected.push_back(&arr[idx]);
+    } else {
+        std::vector<std::string> names;
+        for (Value &e : arr) {
+            const Value *n = e.find("name");
+            if (n != nullptr && n->isString()) {
+                if (n->asString() == seg.selector) {
+                    selected.push_back(&e);
+                    continue;
+                }
+                names.push_back(n->asString());
+            }
+        }
+        if (selected.empty())
+            fatal("sweepGrid: path '%s': no element of '%s' is named "
+                  "'%s' (elements: %s)", path.c_str(),
+                  seg.member.c_str(), seg.selector.c_str(),
+                  joinNames(names).c_str());
+    }
+    return selected;
+}
+
+void
+applySegments(Value &node, const std::vector<PathSegment> &segments,
+              size_t i, const Value &value, const std::string &path)
+{
+    const PathSegment &seg = segments[i];
+    if (!node.isObject())
+        fatal("sweepGrid: path '%s': segment '%s' applied to a "
+              "non-object value", path.c_str(), seg.member.c_str());
+    Value *child = node.find(seg.member);
+    if (child == nullptr)
+        fatal("sweepGrid: path '%s': no member '%s' (object has: %s); "
+              "to sweep an optional member, set it in the base spec "
+              "first", path.c_str(), seg.member.c_str(),
+              objectKeys(node).c_str());
+
+    const bool last = i + 1 == segments.size();
+    if (!seg.hasSelector) {
+        if (last)
+            *child = value;
+        else
+            applySegments(*child, segments, i + 1, value, path);
+        return;
+    }
+    for (Value *element : selectElements(*child, seg, path)) {
+        if (last)
+            *element = value;
+        else
+            applySegments(*element, segments, i + 1, value, path);
+    }
+}
+
+/** Render an axis value for a point name ("30", "sram", "true"). */
+std::string
+renderAxisValue(const Value &v)
+{
+    switch (v.type()) {
+      case Value::Type::String:
+        return v.asString();
+      case Value::Type::Number:
+        return strprintf("%g", v.asNumber());
+      case Value::Type::Bool:
+        return v.asBool() ? "true" : "false";
+      default:
+        return v.dump(0);
+    }
+}
+
+} // namespace
+
+// -------------------------------------------------------------- grid
+
+size_t
+SweepGrid::points() const
+{
+    size_t n = 1;
+    for (const GridAxis &axis : axes)
+        n *= axis.values.size();
+    return n;
+}
+
+void
+SweepGrid::validate() const
+{
+    std::vector<std::string> seen;
+    for (const GridAxis &axis : axes) {
+        if (axis.name.empty())
+            fatal("sweepGrid: an axis has an empty name");
+        for (char c : axis.name) {
+            if (c == '=' || c == ',' || c == '/')
+                fatal("sweepGrid: axis name '%s' contains '%c' "
+                      "(reserved for point-name encoding)",
+                      axis.name.c_str(), c);
+        }
+        for (const std::string &s : seen) {
+            if (s == axis.name)
+                fatal("sweepGrid: duplicate axis name '%s'",
+                      axis.name.c_str());
+        }
+        seen.push_back(axis.name);
+        if (axis.values.empty())
+            fatal("sweepGrid: axis '%s' has no values",
+                  axis.name.c_str());
+        parsePath(axis.path); // throws on malformed paths
+    }
+}
+
+json::Value
+gridToJson(const SweepGrid &grid)
+{
+    Value block = Value::makeObject();
+    Value axes = Value::makeArray();
+    for (const GridAxis &axis : grid.axes) {
+        Value a = Value::makeObject();
+        a.set("name", Value(axis.name));
+        a.set("path", Value(axis.path));
+        Value values = Value::makeArray();
+        for (const Value &v : axis.values)
+            values.push(v);
+        a.set("values", std::move(values));
+        axes.push(std::move(a));
+    }
+    block.set("axes", std::move(axes));
+    return block;
+}
+
+SweepGrid
+gridFromJson(const json::Value &block)
+{
+    SweepGrid grid;
+    for (const Value &a : block.at("axes").asArray()) {
+        GridAxis axis;
+        axis.name = a.at("name").asString();
+        axis.path = a.at("path").asString();
+        for (const Value &v : a.at("values").asArray())
+            axis.values.push_back(v);
+        grid.axes.push_back(std::move(axis));
+    }
+    grid.validate();
+    return grid;
+}
+
+void
+applySpecOverride(json::Value &doc, const std::string &path,
+                  const json::Value &value)
+{
+    applySegments(doc, parsePath(path), 0, value, path);
+}
+
+// ---------------------------------------------------------- expansion
+
+GridSpecSource::GridSpecSource(const DesignSpec &base, SweepGrid grid)
+    : baseDoc_(toJsonValue(base)), baseName_(base.name),
+      grid_(std::move(grid))
+{
+    grid_.validate();
+    total_ = grid_.points();
+    // Probe every axis value against the base document: the path
+    // must resolve AND the overridden document must still parse as a
+    // spec (a value of the wrong type, or an unknown enum token,
+    // fails here with its axis named — not mid-sweep on a worker).
+    for (size_t a = 0; a < grid_.axes.size(); ++a) {
+        for (const Value &v : grid_.axes[a].values) {
+            Value probe = baseDoc_;
+            for (size_t b = 0; b < grid_.axes.size(); ++b)
+                applySpecOverride(probe, grid_.axes[b].path,
+                                  b == a ? v
+                                         : grid_.axes[b].values.front());
+            try {
+                fromJsonValue(probe);
+            } catch (const ConfigError &e) {
+                fatal("sweepGrid: axis '%s' value %s does not produce "
+                      "a valid spec: %s", grid_.axes[a].name.c_str(),
+                      v.dump(0).c_str(), e.what());
+            }
+        }
+    }
+}
+
+GridSpecSource::GridSpecSource(const GridSpecSource &other)
+    : baseDoc_(other.baseDoc_), baseName_(other.baseName_),
+      grid_(other.grid_), total_(other.total_),
+      cursor_(other.cursor_.load(std::memory_order_relaxed))
+{
+}
+
+DesignSpec
+GridSpecSource::at(size_t index) const
+{
+    if (index >= total_)
+        fatal("GridSpecSource: point %zu out of range (grid has %zu "
+              "points)", index, total_);
+    Value doc = baseDoc_;
+    std::string suffix;
+    size_t stride = total_;
+    for (const GridAxis &axis : grid_.axes) {
+        stride /= axis.values.size();
+        const Value &v = axis.values[(index / stride) %
+                                     axis.values.size()];
+        applySpecOverride(doc, axis.path, v);
+        suffix += (suffix.empty() ? "" : ",") + axis.name + "=" +
+                  renderAxisValue(v);
+    }
+    if (!suffix.empty())
+        doc.set("name", Value(baseName_ + "/" + suffix));
+    return fromJsonValue(doc);
+}
+
+std::optional<DesignSpec>
+GridSpecSource::next()
+{
+    size_t index = 0;
+    return nextIndexed(index);
+}
+
+std::optional<DesignSpec>
+GridSpecSource::nextIndexed(size_t &index)
+{
+    const size_t i = cursor_.fetch_add(1, std::memory_order_relaxed);
+    if (i >= total_)
+        return std::nullopt;
+    index = i;
+    return at(i);
+}
+
+std::vector<DesignSpec>
+expandGrid(const DesignSpec &base, const SweepGrid &grid)
+{
+    GridSpecSource source(base, grid);
+    std::vector<DesignSpec> specs;
+    specs.reserve(grid.points());
+    while (std::optional<DesignSpec> spec = source.next())
+        specs.push_back(std::move(*spec));
+    return specs;
+}
+
+// ---------------------------------------------------- sweep documents
+
+SweepDocument
+sweepDocumentFromJson(const std::string &text)
+{
+    Value doc = Value::parse(text);
+    SweepDocument out;
+    if (const Value *block = doc.find("sweepGrid"))
+        out.grid = gridFromJson(*block);
+    out.base = fromJsonValue(doc);
+    return out;
+}
+
+std::string
+toJson(const SweepDocument &doc)
+{
+    Value v = toJsonValue(doc.base);
+    if (!doc.grid.axes.empty())
+        v.set("sweepGrid", gridToJson(doc.grid));
+    return v.dump(2) + "\n";
+}
+
+SweepDocument
+loadSweepFile(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        fatal("spec: cannot open '%s' for reading", path.c_str());
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    return sweepDocumentFromJson(buf.str());
+}
+
+} // namespace camj::spec

@@ -1,0 +1,161 @@
+/**
+ * @file
+ * SweepGrid: parameterized spec templates — grid expansion declared
+ * inside the spec file. A grid is a list of named axes, each naming a
+ * spec field (by path) and the values it sweeps over; the cartesian
+ * product of the axes defines the design points. The grid lives in a
+ * "sweepGrid" block of an ordinary DesignSpec JSON document, so one
+ * file describes an entire design-space study:
+ *
+ *   {
+ *     "name": "detector", "fps": 30, ...,
+ *     "sweepGrid": {
+ *       "axes": [
+ *         {"name": "rate", "path": "fps", "values": [1, 30, 120]},
+ *         {"name": "node", "path": "memories[*].nodeNm",
+ *          "values": [65, 130]}
+ *       ]
+ *     }
+ *   }
+ *
+ * Paths are dot-separated member names; a segment may carry a
+ * selector — `memories[ActBuf]` (element whose "name" is ActBuf),
+ * `stages[2]` (index), `memories[*]` (every element). Expansion is
+ * LAZY: GridSpecSource yields one point at a time off a shared parsed
+ * base document, so a 10k-point grid never exists as a vector. Each
+ * point's design name is suffixed with its coordinates
+ * ("detector/rate=30,node=65"), keeping every point's identity stable
+ * and diffable.
+ */
+
+#ifndef CAMJ_SPEC_GRID_H
+#define CAMJ_SPEC_GRID_H
+
+#include <atomic>
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "spec/json.h"
+#include "spec/source.h"
+#include "spec/spec.h"
+
+namespace camj::spec
+{
+
+/** One grid axis: a spec field and the values it sweeps over. */
+struct GridAxis
+{
+    /** Axis label, used in expanded design names ("rate=30"). */
+    std::string name;
+    /** Spec-field path ("fps", "memories[ActBuf].nodeNm", ...). */
+    std::string path;
+    /** Values the axis takes; any JSON value the field accepts. */
+    std::vector<json::Value> values;
+};
+
+/** A serializable cartesian sweep declaration. */
+struct SweepGrid
+{
+    std::vector<GridAxis> axes;
+
+    /** Total design points (product of axis sizes; 1 when no axes —
+     *  the base spec itself). */
+    size_t points() const;
+
+    /** Structural validation: non-empty unique axis names, non-empty
+     *  value lists, well-formed paths. @throws ConfigError. */
+    void validate() const;
+};
+
+/** Grid -> its "sweepGrid" JSON block. */
+json::Value gridToJson(const SweepGrid &grid);
+
+/** "sweepGrid" JSON block -> grid. @throws ConfigError. */
+SweepGrid gridFromJson(const json::Value &block);
+
+/**
+ * Set the field at @p path inside a spec JSON document to @p value.
+ * Intermediate segments must resolve; the final member must already
+ * exist in the document (a misspelled leaf is an error, not a silent
+ * extra member) unless the enclosing object simply omits an optional
+ * member, in which case set it in the base document first.
+ *
+ * @throws ConfigError naming the path and the first segment that
+ *         failed to resolve.
+ */
+void applySpecOverride(json::Value &doc, const std::string &path,
+                       const json::Value &value);
+
+/**
+ * The lazy cartesian expander: yields one DesignSpec per grid point
+ * in row-major order (first axis outermost, last axis fastest).
+ * Cheap per point — the base document is parsed once and cloned per
+ * point; no text re-parse, no pre-materialized vector. Supports
+ * concurrent pulls (sweep workers expand points in parallel off an
+ * atomic cursor).
+ */
+class GridSpecSource : public SpecSource
+{
+  public:
+    /**
+     * Validates the grid against the base document up front: every
+     * axis path must resolve and every axis VALUE must yield a spec
+     * that still parses, so a bad grid fails here with its axis
+     * named — never thousands of points into a sweep on a worker
+     * thread. (One probe parse per axis value.)
+     *
+     * @throws ConfigError.
+     */
+    GridSpecSource(const DesignSpec &base, SweepGrid grid);
+
+    GridSpecSource(const GridSpecSource &other);
+
+    std::optional<DesignSpec> next() override;
+    std::optional<size_t> sizeHint() const override { return total_; }
+    bool concurrentPulls() const override { return true; }
+    std::optional<DesignSpec> nextIndexed(size_t &index) override;
+
+    /** Rewind to the first point (not thread-safe). */
+    void reset() { cursor_.store(0, std::memory_order_relaxed); }
+
+    /** The spec of point @p index without advancing the stream. */
+    DesignSpec at(size_t index) const;
+
+  private:
+    json::Value baseDoc_;
+    std::string baseName_;
+    SweepGrid grid_;
+    size_t total_ = 0;
+    std::atomic<size_t> cursor_{0};
+};
+
+/** Eager expansion, for small grids and tests. @throws ConfigError. */
+std::vector<DesignSpec> expandGrid(const DesignSpec &base,
+                                   const SweepGrid &grid);
+
+// ------------------------------------------------------ sweep documents
+
+/** A spec document plus its (possibly empty) sweepGrid block. */
+struct SweepDocument
+{
+    DesignSpec base;
+    SweepGrid grid;
+
+    /** The lazy source over this document's grid. */
+    GridSpecSource source() const { return {base, grid}; }
+};
+
+/** Parse a spec document, capturing the "sweepGrid" block when
+ *  present. @throws ConfigError. */
+SweepDocument sweepDocumentFromJson(const std::string &text);
+
+/** Render base + sweepGrid back into one document. */
+std::string toJson(const SweepDocument &doc);
+
+/** Load a sweep document from a JSON file. @throws ConfigError. */
+SweepDocument loadSweepFile(const std::string &path);
+
+} // namespace camj::spec
+
+#endif // CAMJ_SPEC_GRID_H

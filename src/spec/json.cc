@@ -118,6 +118,21 @@ Value::find(const std::string &key) const
     return nullptr;
 }
 
+Value *
+Value::find(const std::string &key)
+{
+    return const_cast<Value *>(
+        static_cast<const Value *>(this)->find(key));
+}
+
+Value::Array &
+Value::mutableArray()
+{
+    if (type_ != Type::Array)
+        fatal("json: expected array, got %s", typeName(type_));
+    return arr_;
+}
+
 const Value &
 Value::at(const std::string &key) const
 {

@@ -89,6 +89,13 @@ class Value
     /** Member lookup returning nullptr when absent. */
     const Value *find(const std::string &key) const;
 
+    /** Mutable member lookup, for in-place document edits (e.g. grid
+     *  expansion overriding one field of a cloned spec document). */
+    Value *find(const std::string &key);
+
+    /** Mutable element access. @throws ConfigError unless an array. */
+    Array &mutableArray();
+
     /** Set/overwrite a member (converts a Null value into an object). */
     void set(const std::string &key, Value v);
 

@@ -1,0 +1,58 @@
+#include "spec/source.h"
+
+#include "common/logging.h"
+
+namespace camj::spec
+{
+
+std::optional<DesignSpec>
+SpecSource::nextIndexed(size_t &)
+{
+    panic("SpecSource: nextIndexed() called on a source that does "
+          "not support concurrent pulls");
+}
+
+std::optional<DesignSpec>
+VectorSpecSource::next()
+{
+    size_t index = 0;
+    return nextIndexed(index);
+}
+
+std::optional<DesignSpec>
+VectorSpecSource::nextIndexed(size_t &index)
+{
+    const size_t i = cursor_.fetch_add(1, std::memory_order_relaxed);
+    if (i >= specs_.size())
+        return std::nullopt;
+    index = i;
+    return specs_[i];
+}
+
+GeneratorSpecSource::GeneratorSpecSource(Generator generate,
+                                         std::optional<size_t> size_hint)
+    : generate_(std::move(generate)), hint_(size_hint)
+{
+    if (!generate_)
+        fatal("GeneratorSpecSource: null generator function");
+}
+
+std::optional<DesignSpec>
+GeneratorSpecSource::next()
+{
+    if (done_)
+        return std::nullopt;
+    if (hint_ && cursor_ >= *hint_) {
+        done_ = true;
+        return std::nullopt;
+    }
+    std::optional<DesignSpec> spec = generate_(cursor_);
+    if (!spec) {
+        done_ = true;
+        return std::nullopt;
+    }
+    ++cursor_;
+    return spec;
+}
+
+} // namespace camj::spec

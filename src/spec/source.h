@@ -1,0 +1,120 @@
+/**
+ * @file
+ * SpecSource: a pull-based stream of DesignSpecs — the producer side
+ * of the streaming sweep pipeline. Where a std::vector<DesignSpec>
+ * forces every design point of a sweep to exist in memory up front, a
+ * SpecSource yields points one at a time, so a 10k-point grid is
+ * never materialized as a whole and a sweep can start evaluating
+ * before the last point is even generated.
+ *
+ * Sources are single-consumer iterators: next() is not thread-safe
+ * (the SweepEngine serializes its pulls), and a drained source stays
+ * drained unless it documents a reset().
+ */
+
+#ifndef CAMJ_SPEC_SOURCE_H
+#define CAMJ_SPEC_SOURCE_H
+
+#include <atomic>
+#include <cstddef>
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "spec/spec.h"
+
+namespace camj::spec
+{
+
+/** A pull-based stream of design points. */
+class SpecSource
+{
+  public:
+    virtual ~SpecSource() = default;
+
+    /** The next design point, or nullopt when the stream is done. */
+    virtual std::optional<DesignSpec> next() = 0;
+
+    /**
+     * Total points the source will yield (including already-yielded
+     * ones), when known; nullopt for unbounded/unknown streams. Used
+     * by the SweepEngine to clamp its worker count.
+     */
+    virtual std::optional<size_t> sizeHint() const
+    {
+        return std::nullopt;
+    }
+
+    /**
+     * True when nextIndexed() may be called from several threads at
+     * once. Sources backed by random access (a vector, a grid
+     * expansion) claim this so sweep workers can produce points
+     * concurrently off an atomic cursor instead of serializing under
+     * the engine's source lock.
+     */
+    virtual bool concurrentPulls() const { return false; }
+
+    /**
+     * Pull one point together with its 0-based stream index (the
+     * identity InOrderSink and shard mergers key on). Only called by
+     * the engine when concurrentPulls() is true; such sources must
+     * make it thread-safe. @throws InternalError by default.
+     */
+    virtual std::optional<DesignSpec> nextIndexed(size_t &index);
+};
+
+/** A source over an owned vector (the batch API's adapter).
+ *  Supports concurrent pulls. */
+class VectorSpecSource : public SpecSource
+{
+  public:
+    explicit VectorSpecSource(std::vector<DesignSpec> specs)
+        : specs_(std::move(specs))
+    {
+    }
+
+    std::optional<DesignSpec> next() override;
+    std::optional<size_t> sizeHint() const override
+    {
+        return specs_.size();
+    }
+    bool concurrentPulls() const override { return true; }
+    std::optional<DesignSpec> nextIndexed(size_t &index) override;
+
+    /** Rewind to the first point (not thread-safe). */
+    void reset() { cursor_.store(0, std::memory_order_relaxed); }
+
+  private:
+    std::vector<DesignSpec> specs_;
+    std::atomic<size_t> cursor_{0};
+};
+
+/**
+ * A source driven by a generator function: the callback receives the
+ * running point index (0, 1, 2, ...) and returns the spec for that
+ * index, or nullopt to end the stream. Lets procedural generators
+ * (e.g. the paper-study registry) feed a sweep lazily.
+ */
+class GeneratorSpecSource : public SpecSource
+{
+  public:
+    using Generator = std::function<std::optional<DesignSpec>(size_t)>;
+
+    /** @param size_hint Total points when known (see sizeHint()). */
+    explicit GeneratorSpecSource(
+        Generator generate,
+        std::optional<size_t> size_hint = std::nullopt);
+
+    std::optional<DesignSpec> next() override;
+    std::optional<size_t> sizeHint() const override { return hint_; }
+
+  private:
+    Generator generate_;
+    std::optional<size_t> hint_;
+    size_t cursor_ = 0;
+    bool done_ = false;
+};
+
+} // namespace camj::spec
+
+#endif // CAMJ_SPEC_SOURCE_H

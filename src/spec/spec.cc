@@ -663,7 +663,7 @@ DesignSpec::validate() const
 // --------------------------------------------------------- materialize
 
 Design
-DesignSpec::materialize() const
+DesignSpec::materialize(MaterializeCache *cache) const
 {
     validate();
 
@@ -689,8 +689,11 @@ DesignSpec::materialize() const
         p.inputShape = a.inputShape;
         p.outputShape = a.outputShape;
         p.componentArea = a.componentArea;
-        d.addAnalogArray(AnalogArray(p, a.component.instantiate()),
-                         a.role);
+        d.addAnalogArray(
+            AnalogArray(p, cache != nullptr
+                               ? cache->component(a.component)
+                               : a.component.instantiate()),
+            a.role);
     }
     for (const MemorySpec &m : memories)
         d.addMemory(m.instantiate());
@@ -1135,8 +1138,8 @@ unitFromJson(const Value &o)
 
 } // namespace
 
-std::string
-toJson(const DesignSpec &spec)
+json::Value
+toJsonValue(const DesignSpec &spec)
 {
     Value o = Value::makeObject();
     o.set("camjSpecVersion", Value(1));
@@ -1188,13 +1191,18 @@ toJson(const DesignSpec &spec)
     }
     o.set("mapping", std::move(mapping));
 
-    return o.dump(2) + "\n";
+    return o;
+}
+
+std::string
+toJson(const DesignSpec &spec)
+{
+    return toJsonValue(spec).dump(2) + "\n";
 }
 
 DesignSpec
-fromJson(const std::string &text)
+fromJsonValue(const Value &o)
 {
-    Value o = Value::parse(text);
     const int64_t version = o.getInt("camjSpecVersion", 1);
     if (version != 1)
         fatal("spec: unsupported camjSpecVersion %lld (this build "
@@ -1238,6 +1246,39 @@ fromJson(const std::string &text)
         }
     }
     return spec;
+}
+
+DesignSpec
+fromJson(const std::string &text)
+{
+    return fromJsonValue(Value::parse(text));
+}
+
+// ------------------------------------------------------ delta caching
+
+const AComponent &
+MaterializeCache::component(const ComponentSpec &component)
+{
+    // The single-line dump of the serialized parameters is a complete,
+    // deterministic key: two specs with equal keys instantiate
+    // bit-identical components.
+    std::string key = componentToJson(component).dump(0);
+    auto it = components_.find(key);
+    if (it != components_.end()) {
+        ++hits_;
+        return it->second;
+    }
+    ++misses_;
+    return components_.emplace(std::move(key), component.instantiate())
+        .first->second;
+}
+
+void
+MaterializeCache::clear()
+{
+    components_.clear();
+    hits_ = 0;
+    misses_ = 0;
 }
 
 DesignSpec

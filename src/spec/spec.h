@@ -24,8 +24,10 @@
 #ifndef CAMJ_SPEC_SPEC_H
 #define CAMJ_SPEC_SPEC_H
 
+#include <cstddef>
 #include <cstdint>
 #include <string>
+#include <unordered_map>
 #include <utility>
 #include <vector>
 
@@ -263,6 +265,8 @@ struct CommSpec
     Energy energyPerByte = 0.0;
 };
 
+class MaterializeCache;
+
 /** A complete, serializable design point. */
 struct DesignSpec
 {
@@ -297,9 +301,46 @@ struct DesignSpec
     /**
      * Lower onto the imperative Design engine.
      *
+     * @param cache Optional materialization cache: analog components
+     *        whose serialized parameters match a previously built one
+     *        are reused instead of re-instantiated. Results are
+     *        bit-identical either way (instantiation is a pure
+     *        function of the parameters); the cache only saves the
+     *        rebuild cost across spec deltas, e.g. along one grid
+     *        axis of a sweep.
+     *
      * @throws ConfigError on any invalid parameter or reference.
      */
-    Design materialize() const;
+    Design materialize(MaterializeCache *cache = nullptr) const;
+};
+
+// ------------------------------------------------------ delta caching
+
+/**
+ * Reusable store of instantiated analog components, keyed by the
+ * component's serialized spec. Sweeps over spec deltas (one grid axis
+ * changing at a time) rebuild only the sub-structures the delta
+ * touches; unchanged components are shared (AComponents are cheap to
+ * copy and their cells are immutable).
+ *
+ * NOT thread-safe: give each sweep worker its own cache.
+ */
+class MaterializeCache
+{
+  public:
+    /** Instantiate @p component, or reuse an identical earlier one.
+     *  @throws ConfigError on invalid parameters (never cached). */
+    const AComponent &component(const ComponentSpec &component);
+
+    size_t hits() const { return hits_; }
+    size_t misses() const { return misses_; }
+    size_t size() const { return components_.size(); }
+    void clear();
+
+  private:
+    std::unordered_map<std::string, AComponent> components_;
+    size_t hits_ = 0;
+    size_t misses_ = 0;
 };
 
 // ---------------------------------------------------------- diagnostics
@@ -310,8 +351,19 @@ std::string joinNames(const std::vector<std::string> &names);
 
 // -------------------------------------------------------- serialization
 
+/** Spec -> JSON value tree (the document toJson() renders). */
+json::Value toJsonValue(const DesignSpec &spec);
+
 /** Spec -> pretty-printed JSON document. */
 std::string toJson(const DesignSpec &spec);
+
+/**
+ * Parsed JSON document -> spec. The tree-level twin of fromJson();
+ * grid expansion uses it to avoid re-parsing text per design point.
+ *
+ * @throws ConfigError on unknown enum tokens or missing members.
+ */
+DesignSpec fromJsonValue(const json::Value &doc);
 
 /**
  * JSON document -> spec.

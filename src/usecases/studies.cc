@@ -56,4 +56,42 @@ allPaperStudySpecs()
     return specs;
 }
 
+spec::GeneratorSpecSource
+paperStudySource()
+{
+    // The same 27 points in the same order as allPaperStudies(), but
+    // each pull runs exactly one spec generator. The index layout:
+    // [0,6) rhythmic, [6,16) edgaze, [16,25) chips, [25,27) samples.
+    static constexpr SensorVariant kRhythmic[] = {
+        SensorVariant::TwoDOff, SensorVariant::TwoDIn,
+        SensorVariant::ThreeDIn};
+    static constexpr EdgazeVariant kEdgaze[] = {
+        EdgazeVariant::TwoDOff, EdgazeVariant::TwoDIn,
+        EdgazeVariant::ThreeDIn, EdgazeVariant::ThreeDInStt,
+        EdgazeVariant::TwoDInMixed};
+    static constexpr ChipSpec (*kChips[])() = {
+        isscc17Spec, jssc19Spec, sensors20Spec, isscc21Spec,
+        jssc21ISpec, jssc21IISpec, vlsi21Spec, isscc22Spec,
+        tcas22Spec};
+    static constexpr size_t kTotal = 27;
+
+    return spec::GeneratorSpecSource(
+        [](size_t i) -> std::optional<spec::DesignSpec> {
+            if (i < 6)
+                return rhythmicSpec(kRhythmic[i % 3],
+                                    i < 3 ? 130 : 65);
+            if (i < 16) {
+                const size_t j = i - 6;
+                return edgazeSpec(kEdgaze[j % 5], j < 5 ? 130 : 65);
+            }
+            if (i < 25)
+                return kChips[i - 16]().design;
+            if (i < kTotal)
+                return spec::sampleDetectorSpec(30.0,
+                                                i == 25 ? 130 : 65);
+            return std::nullopt;
+        },
+        kTotal);
+}
+
 } // namespace camj

@@ -17,6 +17,7 @@
 #include <string>
 #include <vector>
 
+#include "spec/source.h"
 #include "spec/spec.h"
 
 namespace camj
@@ -41,6 +42,14 @@ std::vector<PaperStudy> allPaperStudies();
 /** The bare specs of allPaperStudies(), ready for a SweepEngine
  *  batch. */
 std::vector<spec::DesignSpec> allPaperStudySpecs();
+
+/**
+ * The registry as a lazy stream for SweepEngine::runStream(): study
+ * specs are generated one at a time as workers pull them, so the
+ * whole registry never has to exist as a vector. (Each pull builds
+ * one study through its spec generator.)
+ */
+spec::GeneratorSpecSource paperStudySource();
 
 } // namespace camj
 

@@ -1,0 +1,162 @@
+/**
+ * @file
+ * Tests for the field-level spec differ: grid-style paths, add/remove
+ * vs change classification, name-keyed array matching, and the
+ * round-trip with SweepGrid expansion (diffing a base spec against an
+ * expanded point shows exactly what the axes changed).
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "common/logging.h"
+#include "spec/diff.h"
+#include "spec/grid.h"
+#include "spec/samples.h"
+
+namespace camj
+{
+namespace
+{
+
+class QuietLogging : public ::testing::Environment
+{
+  public:
+    void SetUp() override { setLoggingEnabled(false); }
+};
+
+::testing::Environment *const quiet_env =
+    ::testing::AddGlobalTestEnvironment(new QuietLogging);
+
+const spec::SpecDifference *
+findPath(const std::vector<spec::SpecDifference> &diffs,
+         const std::string &path)
+{
+    for (const spec::SpecDifference &d : diffs) {
+        if (d.path == path)
+            return &d;
+    }
+    return nullptr;
+}
+
+TEST(SpecDiff, IdenticalSpecsProduceEmptyDiff)
+{
+    spec::DesignSpec a = spec::sampleDetectorSpec(30.0, 65);
+    EXPECT_TRUE(spec::diffSpecs(a, a).empty());
+    EXPECT_EQ(spec::formatSpecDiff({}), "");
+}
+
+TEST(SpecDiff, ChangedFieldsUseGridAxisPaths)
+{
+    spec::DesignSpec a = spec::sampleDetectorSpec(30.0, 65);
+    spec::DesignSpec b = a;
+    b.fps = 60.0;
+    b.memories[0].nodeNm = 130;
+
+    std::vector<spec::SpecDifference> diffs = spec::diffSpecs(a, b);
+    ASSERT_EQ(diffs.size(), 2u);
+
+    const spec::SpecDifference *fps = findPath(diffs, "fps");
+    ASSERT_NE(fps, nullptr);
+    EXPECT_EQ(fps->kind, spec::SpecDifference::Kind::Changed);
+    EXPECT_EQ(fps->before, "30");
+    EXPECT_EQ(fps->after, "60");
+
+    // The memory is addressed by name, exactly like a sweepGrid axis.
+    const spec::SpecDifference *node =
+        findPath(diffs, "memories[ActBuf].nodeNm");
+    ASSERT_NE(node, nullptr);
+    EXPECT_EQ(node->before, "65");
+    EXPECT_EQ(node->after, "130");
+}
+
+TEST(SpecDiff, AddedAndRemovedMembersAreClassified)
+{
+    spec::DesignSpec a = spec::sampleDetectorSpec(30.0, 65);
+    spec::DesignSpec b = a;
+    b.tsv.present = true; // serializes a new "tsv" member
+    b.mipi.present = false; // drops the "mipi" member
+
+    std::vector<spec::SpecDifference> diffs = spec::diffSpecs(a, b);
+    const spec::SpecDifference *tsv = findPath(diffs, "tsv");
+    ASSERT_NE(tsv, nullptr);
+    EXPECT_EQ(tsv->kind, spec::SpecDifference::Kind::Added);
+    EXPECT_EQ(tsv->before, "");
+
+    const spec::SpecDifference *mipi = findPath(diffs, "mipi");
+    ASSERT_NE(mipi, nullptr);
+    EXPECT_EQ(mipi->kind, spec::SpecDifference::Kind::Removed);
+    EXPECT_EQ(mipi->after, "");
+}
+
+TEST(SpecDiff, RenamedElementIsAddRemoveNotFieldCascade)
+{
+    spec::DesignSpec a = spec::sampleDetectorSpec(30.0, 65);
+    spec::DesignSpec b = a;
+    b.memories[0].name = "OtherBuf";
+
+    // Name-keyed matching: the rename reports as one removed and one
+    // added element (plus the dangling wiring references), never as
+    // a cascade of per-field edits under a positional match.
+    std::vector<spec::SpecDifference> diffs = spec::diffSpecs(a, b);
+    const spec::SpecDifference *removed =
+        findPath(diffs, "memories[ActBuf]");
+    ASSERT_NE(removed, nullptr);
+    EXPECT_EQ(removed->kind, spec::SpecDifference::Kind::Removed);
+    const spec::SpecDifference *added =
+        findPath(diffs, "memories[OtherBuf]");
+    ASSERT_NE(added, nullptr);
+    EXPECT_EQ(added->kind, spec::SpecDifference::Kind::Added);
+    EXPECT_EQ(findPath(diffs, "memories[ActBuf].name"), nullptr);
+}
+
+TEST(SpecDiff, PositionalArraysFallBackToIndices)
+{
+    spec::DesignSpec a = spec::sampleDetectorSpec(30.0, 65);
+    spec::DesignSpec b = a;
+    b.mapping[0].second = "Classifier"; // {stage, hw} pairs: no names
+
+    std::vector<spec::SpecDifference> diffs = spec::diffSpecs(a, b);
+    ASSERT_EQ(diffs.size(), 1u);
+    EXPECT_EQ(diffs[0].path, "mapping[0].hw");
+    EXPECT_EQ(diffs[0].kind, spec::SpecDifference::Kind::Changed);
+}
+
+TEST(SpecDiff, GridPointDiffShowsExactlyTheAxisChanges)
+{
+    spec::DesignSpec base = spec::sampleDetectorSpec(30.0, 65);
+    spec::SweepGrid grid;
+    grid.axes = {
+        {"rate", "fps", {json::Value(120.0)}},
+        {"bufnode", "memories[ActBuf].nodeNm", {json::Value(130)}},
+    };
+    std::vector<spec::DesignSpec> points =
+        spec::expandGrid(base, grid);
+    ASSERT_EQ(points.size(), 1u);
+
+    std::vector<spec::SpecDifference> diffs =
+        spec::diffSpecs(base, points[0]);
+    // Exactly the two axes plus the coordinate-encoding name.
+    ASSERT_EQ(diffs.size(), 3u);
+    EXPECT_NE(findPath(diffs, "name"), nullptr);
+    EXPECT_NE(findPath(diffs, "fps"), nullptr);
+    EXPECT_NE(findPath(diffs, "memories[ActBuf].nodeNm"), nullptr);
+}
+
+TEST(SpecDiff, FormatRendersAllThreeKinds)
+{
+    std::vector<spec::SpecDifference> diffs = {
+        {spec::SpecDifference::Kind::Changed, "fps", "30", "60"},
+        {spec::SpecDifference::Kind::Added, "tsv", "", "{}"},
+        {spec::SpecDifference::Kind::Removed, "mipi", "{}", ""},
+    };
+    const std::string text = spec::formatSpecDiff(diffs);
+    EXPECT_NE(text.find("  fps: 30 -> 60"), std::string::npos);
+    EXPECT_NE(text.find("+ tsv = {}"), std::string::npos);
+    EXPECT_NE(text.find("- mipi = {}"), std::string::npos);
+}
+
+} // namespace
+} // namespace camj
