@@ -6,11 +6,13 @@
  *
  * Besides the interactive benchmark output, the binary always writes
  * BENCH_simulator.json (override the path with the BENCH_JSON_PATH
- * environment variable): designs/sec for a serial sweep vs. a
- * >= 4-thread SweepEngine run over the same spec batch, the
- * streaming pipeline over that batch, and a lazily expanded
- * SweepGrid, so CI can track the simulator's evaluation-throughput
- * trajectory across PRs.
+ * environment variable; the resolved absolute path is printed on
+ * exit): designs/sec for a serial sweep vs. a >= 4-thread SweepEngine
+ * run over the same spec batch, the streaming pipeline over that
+ * batch, a lazily expanded SweepGrid, and the sharded multi-process
+ * pipeline (1 process vs. 4 forked shard workers over the 108-point
+ * grid, plus the merge), so CI can track the simulator's
+ * evaluation-throughput trajectory across PRs.
  *
  * `--points N` scales the artifact workload (batch copies and grid
  * size) so CI can run a quick smoke sweep: perf_simulator --points 8.
@@ -18,22 +20,30 @@
 
 #include <benchmark/benchmark.h>
 
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <filesystem>
 #include <fstream>
+#include <sstream>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "common/logging.h"
 #include "digital/cyclesim.h"
+#include "explore/jsonl.h"
 #include "explore/sweep.h"
 #include "functional/executor.h"
 #include "spec/grid.h"
 #include "spec/json.h"
 #include "spec/samples.h"
+#include "spec/shard.h"
 #include "usecases/edgaze.h"
 #include "usecases/rhythmic.h"
 #include "usecases/studies.h"
@@ -46,6 +56,9 @@ namespace
 
 /** Artifact workload size; override with --points N. */
 int g_points = 64;
+/** True when --points was given: smoke runs also shrink the
+ *  (otherwise canonical 108-point) sharded section. */
+bool g_points_set = false;
 
 /** The sweep workload: the canonical sample detector over a fps x
  *  node grid spanning the feasibility boundary, repeated `copies`
@@ -381,6 +394,107 @@ timeGridSweep(const SweepEngine &engine, const spec::SweepDocument &doc)
     return std::chrono::duration<double>(t1 - t0).count();
 }
 
+/** The sharding workload: the canonical 108-point study (rate x
+ *  buffer node x duty cycle). An explicit --points N shrinks the
+ *  rate axis so CI smoke runs stay quick (~N points, >= 12). */
+spec::SweepDocument
+shardedStudyDocument()
+{
+    spec::SweepDocument doc = spec::sampleDetectorStudy();
+    if (g_points_set) {
+        auto &rates = doc.grid.axes[0].values;
+        const size_t nrates = std::max<size_t>(
+            1, std::min(rates.size(),
+                        static_cast<size_t>(g_points) / 12));
+        rates.resize(nrates);
+    }
+    return doc;
+}
+
+/** One shard's JSONL bytes, exactly as `camj_sweep run` writes them
+ *  (in-order, global indices), on a 1-thread engine — the unit of
+ *  work one shard process performs. */
+std::string
+runShardJsonl(const spec::SweepDocument &doc,
+              const spec::ShardAssignment &assignment)
+{
+    std::ostringstream out;
+    spec::GridSpecSource grid = doc.source();
+    spec::ShardSpecSource source(grid, assignment);
+    JsonlSink lines(out);
+    ReindexSink global(lines, [&](size_t local) {
+        return assignment.globalIndex(local);
+    });
+    InOrderSink ordered(global);
+    SweepOptions options;
+    options.threads = 1;
+    options.reuseMaterializations = true;
+    SweepEngine engine(options);
+    engine.runStream(source, ordered);
+    return out.str();
+}
+
+/** Wall-clock the whole study in THIS process (the 1-process
+ *  baseline); @p bytes receives the JSONL the merge must reproduce. */
+double
+timeSingleProcessShard(const spec::SweepDocument &doc,
+                       std::string *bytes)
+{
+    const spec::ShardAssignment whole =
+        spec::planShards(doc.grid.points(), 1).shards.front();
+    const auto t0 = std::chrono::steady_clock::now();
+    std::string out = runShardJsonl(doc, whole);
+    const auto t1 = std::chrono::steady_clock::now();
+    if (bytes != nullptr)
+        *bytes = std::move(out);
+    return std::chrono::duration<double>(t1 - t0).count();
+}
+
+/**
+ * Wall-clock the study as @p plan.shards.size() forked worker
+ * PROCESSES (one 1-thread engine each, writing @p shard_paths), the
+ * real camj_sweep deployment shape minus ssh. Returns a negative
+ * number when a worker fails.
+ */
+double
+timeForkedShards(const spec::SweepDocument &doc,
+                 const spec::ShardPlan &plan,
+                 const std::vector<std::string> &shard_paths)
+{
+    const auto t0 = std::chrono::steady_clock::now();
+    std::vector<pid_t> children;
+    for (size_t k = 0; k < plan.shards.size(); ++k) {
+        const pid_t pid = fork();
+        if (pid < 0) {
+            std::fprintf(stderr, "error: fork failed for shard %zu\n",
+                         k);
+            return -1.0;
+        }
+        if (pid == 0) {
+            // Worker process: evaluate one shard, write its file,
+            // leave without running parent-owned cleanup.
+            std::ofstream out(shard_paths[k], std::ios::binary);
+            out << runShardJsonl(doc, plan.shards[k]);
+            out.flush();
+            _exit(out ? 0 : 1);
+        }
+        children.push_back(pid);
+    }
+    bool ok = true;
+    for (pid_t pid : children) {
+        int status = 0;
+        if (waitpid(pid, &status, 0) < 0 || !WIFEXITED(status) ||
+            WEXITSTATUS(status) != 0)
+            ok = false;
+    }
+    const auto t1 = std::chrono::steady_clock::now();
+    if (!ok) {
+        std::fprintf(stderr, "error: a shard worker failed\n");
+        return -1.0;
+    }
+    return std::chrono::duration<double>(t1 - t0).count();
+}
+
 /**
  * The CI artifact: serial vs. threaded sweep throughput over the same
  * batch, the streaming pipeline over that same spec set, and a lazily
@@ -463,6 +577,88 @@ writeBenchJson()
     grid.set("designsPerSec", json::Value(n_grid / grid_seconds));
     doc.set("gridSweep", std::move(grid));
 
+    // Sharded sweep: the multi-PROCESS pipeline. The canonical
+    // 108-point grid document once in this process (1 thread,
+    // in-order JSONL) and once as 4 forked shard workers — the
+    // camj_sweep plan/run/merge deployment shape — then the stream
+    // merge, which must reproduce the 1-process bytes exactly.
+    const spec::SweepDocument sharded_doc = shardedStudyDocument();
+    const size_t n_sharded = sharded_doc.grid.points();
+    const size_t n_shards = 4;
+    const spec::ShardPlan shard_plan =
+        spec::planShards(n_sharded, n_shards);
+    std::vector<std::string> shard_paths;
+    for (size_t k = 0; k < n_shards; ++k)
+        shard_paths.push_back(
+            strprintf("BENCH_shard_%zu.jsonl", k));
+    const auto remove_shard_files = [&shard_paths] {
+        for (const std::string &p : shard_paths)
+            std::remove(p.c_str());
+    };
+    std::string single_bytes;
+    timeSingleProcessShard(sharded_doc, nullptr); // warm-up
+    double single_seconds = 1e30, forked_seconds = 1e30;
+    for (int rep = 0; rep < 2; ++rep) {
+        single_seconds = std::min(
+            single_seconds,
+            timeSingleProcessShard(sharded_doc, &single_bytes));
+        const double f =
+            timeForkedShards(sharded_doc, shard_plan, shard_paths);
+        if (f < 0.0) {
+            remove_shard_files();
+            return false;
+        }
+        forked_seconds = std::min(forked_seconds, f);
+    }
+    const auto m0 = std::chrono::steady_clock::now();
+    std::ostringstream merged;
+    MergeSummary merge_summary;
+    try {
+        merge_summary = mergeShardFiles(shard_paths, merged, 5,
+                                        n_sharded);
+    } catch (const std::exception &e) {
+        // A gap/duplicate here means a shard worker misbehaved (or a
+        // concurrent run shares this directory): fail the bench run
+        // with the diagnostic, not std::terminate.
+        std::fprintf(stderr, "error: shard merge failed: %s\n",
+                     e.what());
+        remove_shard_files();
+        return false;
+    }
+    const auto m1 = std::chrono::steady_clock::now();
+    const double merge_seconds =
+        std::chrono::duration<double>(m1 - m0).count();
+    const bool merge_identical = merged.str() == single_bytes;
+    remove_shard_files();
+    if (!merge_identical) {
+        std::fprintf(stderr, "error: merged shard output differs "
+                     "from the 1-process run\n");
+        return false;
+    }
+    const double nd = static_cast<double>(n_sharded);
+    json::Value sharded = json::Value::makeObject();
+    sharded.set("designPoints",
+                json::Value(static_cast<int64_t>(n_sharded)));
+    sharded.set("feasiblePoints",
+                json::Value(static_cast<int64_t>(
+                    merge_summary.feasible)));
+    json::Value one_proc = json::Value::makeObject();
+    one_proc.set("seconds", json::Value(single_seconds));
+    one_proc.set("designsPerSec", json::Value(nd / single_seconds));
+    sharded.set("singleProcess", std::move(one_proc));
+    json::Value multi_proc = json::Value::makeObject();
+    multi_proc.set("processes",
+                   json::Value(static_cast<int64_t>(n_shards)));
+    multi_proc.set("seconds", json::Value(forked_seconds));
+    multi_proc.set("designsPerSec", json::Value(nd / forked_seconds));
+    sharded.set("forkedShards", std::move(multi_proc));
+    sharded.set("speedup",
+                json::Value(single_seconds / forked_seconds));
+    sharded.set("mergeSeconds", json::Value(merge_seconds));
+    sharded.set("mergeMatchesSingleProcess",
+                json::Value(merge_identical));
+    doc.set("shardedSweep", std::move(sharded));
+
     const char *env_path = std::getenv("BENCH_JSON_PATH");
     const std::string path =
         env_path != nullptr ? env_path : "BENCH_simulator.json";
@@ -490,6 +686,18 @@ writeBenchJson()
                 sample.threadedSeconds / stream_seconds);
     std::printf("grid sweep: %.0f lazily expanded points, %.1f "
                 "designs/sec\n", n_grid, n_grid / grid_seconds);
+    std::printf("sharded sweep: %zu points, %.1f designs/sec in 1 "
+                "process, %.1f designs/sec across %zu processes "
+                "(%.2fx); merge of %zu shard files byte-identical in "
+                "%.3fs\n", n_sharded, nd / single_seconds,
+                nd / forked_seconds, n_shards,
+                single_seconds / forked_seconds, n_shards,
+                merge_seconds);
+    std::error_code abs_ec;
+    const std::filesystem::path abs_path =
+        std::filesystem::absolute(path, abs_ec);
+    std::printf("bench artifact: %s\n",
+                abs_ec ? path.c_str() : abs_path.c_str());
     return true;
 }
 
@@ -503,8 +711,10 @@ parsePointsFlag(int &argc, char **argv)
         std::string arg = argv[i];
         if (arg == "--points" && i + 1 < argc) {
             g_points = std::atoi(argv[++i]);
+            g_points_set = true;
         } else if (arg.rfind("--points=", 0) == 0) {
             g_points = std::atoi(arg.c_str() + std::strlen("--points="));
+            g_points_set = true;
         } else {
             argv[out++] = argv[i];
         }

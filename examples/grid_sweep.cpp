@@ -32,21 +32,9 @@ main()
     // The study: the canonical always-on detector swept over frame
     // rate, buffer process node, and buffer duty cycle. In a real
     // workflow this whole document lives in one JSON file
-    // (spec::loadSweepFile); here we assemble it in code and print
-    // the block it round-trips through.
-    spec::SweepDocument doc;
-    doc.base = spec::sampleDetectorSpec(30.0, 65);
-    doc.grid.axes = {
-        {"rate", "fps",
-         {json::Value(1.0), json::Value(5.0), json::Value(15.0),
-          json::Value(30.0), json::Value(60.0), json::Value(120.0),
-          json::Value(240.0), json::Value(480.0), json::Value(960.0)}},
-        {"bufnode", "memories[ActBuf].nodeNm",
-         {json::Value(180), json::Value(110), json::Value(65),
-          json::Value(45)}},
-        {"duty", "memories[ActBuf].activeFraction",
-         {json::Value(0.25), json::Value(0.5), json::Value(1.0)}},
-    };
+    // (spec::loadSweepFile) — examples/detector_sweep.json is exactly
+    // this document.
+    spec::SweepDocument doc = spec::sampleDetectorStudy();
 
     std::printf("sweepGrid block (as it appears in the spec file):\n%s\n",
                 spec::gridToJson(doc.grid).dump(2).c_str());

@@ -82,6 +82,22 @@ InOrderSink::finish()
     inner_.finish();
 }
 
+// -------------------------------------------------------- ReindexSink
+
+ReindexSink::ReindexSink(ResultSink &inner, Mapper map)
+    : inner_(inner), map_(std::move(map))
+{
+    if (!map_)
+        fatal("ReindexSink: null index mapper");
+}
+
+bool
+ReindexSink::accept(SweepResult result)
+{
+    result.index = map_(result.index);
+    return inner_.accept(std::move(result));
+}
+
 // ----------------------------------------------------------- TopKSink
 
 TopKSink::TopKSink(size_t k)

@@ -110,6 +110,31 @@ class InOrderSink : public ResultSink
 };
 
 /**
+ * Index-remapping adapter: rewrites each result's stream index
+ * through a mapper before forwarding. The shard runner composes
+ * InOrderSink -> ReindexSink -> JsonlSink: the engine and the
+ * in-order adapter see a shard's dense LOCAL indices (0, 1, ...),
+ * while the JSONL lines carry the GLOBAL grid indices the merge
+ * reducer keys on (assignment.globalIndex).
+ */
+class ReindexSink : public ResultSink
+{
+  public:
+    using Mapper = std::function<size_t(size_t)>;
+
+    /** @p inner must outlive this adapter. @throws ConfigError on a
+     *  null mapper. */
+    ReindexSink(ResultSink &inner, Mapper map);
+
+    bool accept(SweepResult result) override;
+    void finish() override { inner_.finish(); }
+
+  private:
+    ResultSink &inner_;
+    Mapper map_;
+};
+
+/**
  * Keeps the K best feasible points by total energy (ascending — the
  * design-space-exploration "give me the most efficient candidates"
  * selector); infeasible points only count toward dropped().

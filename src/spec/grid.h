@@ -95,7 +95,7 @@ void applySpecOverride(json::Value &doc, const std::string &path,
  * concurrent pulls (sweep workers expand points in parallel off an
  * atomic cursor).
  */
-class GridSpecSource : public SpecSource
+class GridSpecSource : public IndexableSpecSource
 {
   public:
     /**
@@ -120,7 +120,8 @@ class GridSpecSource : public SpecSource
     void reset() { cursor_.store(0, std::memory_order_relaxed); }
 
     /** The spec of point @p index without advancing the stream. */
-    DesignSpec at(size_t index) const;
+    DesignSpec at(size_t index) const override;
+    size_t totalPoints() const override { return total_; }
 
   private:
     json::Value baseDoc_;

@@ -93,4 +93,23 @@ sampleDetectorGrid(const std::vector<int> &nodes,
     return grid;
 }
 
+SweepDocument
+sampleDetectorStudy()
+{
+    SweepDocument doc;
+    doc.base = sampleDetectorSpec(30.0, 65);
+    doc.grid.axes = {
+        {"rate", "fps",
+         {json::Value(1.0), json::Value(5.0), json::Value(15.0),
+          json::Value(30.0), json::Value(60.0), json::Value(120.0),
+          json::Value(240.0), json::Value(480.0), json::Value(960.0)}},
+        {"bufnode", "memories[ActBuf].nodeNm",
+         {json::Value(180), json::Value(110), json::Value(65),
+          json::Value(45)}},
+        {"duty", "memories[ActBuf].activeFraction",
+         {json::Value(0.25), json::Value(0.5), json::Value(1.0)}},
+    };
+    return doc;
+}
+
 } // namespace camj::spec

@@ -12,6 +12,7 @@
 
 #include <vector>
 
+#include "spec/grid.h"
 #include "spec/spec.h"
 
 namespace camj::spec
@@ -37,6 +38,18 @@ DesignSpec sampleDetectorSpec(double fps, int node_nm);
  */
 std::vector<DesignSpec> sampleDetectorGrid(
     const std::vector<int> &nodes, const std::vector<double> &rates);
+
+/**
+ * The canonical 108-point design-space study: sampleDetectorSpec(30,
+ * 65) swept over frame rate (9 values), buffer process node (4), and
+ * buffer duty cycle (3) as a sweepGrid document. The ONE definition
+ * shared by the grid_sweep and sharded_sweep examples, the
+ * perf_simulator sharded section, and the checked-in
+ * examples/detector_sweep.json (which is its toJson() output
+ * verbatim — regenerate the file from this function when the study
+ * changes).
+ */
+SweepDocument sampleDetectorStudy();
 
 } // namespace camj::spec
 

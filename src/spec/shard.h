@@ -1,0 +1,199 @@
+/**
+ * @file
+ * ShardPlan: splitting one sweep across processes and hosts. A
+ * SweepGrid (or any IndexableSpecSource) enumerates its design points
+ * by a global 0-based index; a shard plan partitions [0, total) into
+ * N disjoint index sets, one per worker process, in one of two modes:
+ *
+ *   - Contiguous: shard k owns one [begin, end) range, balanced to
+ *     within one point. Ranges follow the grid's row-major order, so
+ *     a shard covers a contiguous run along the outermost axis —
+ *     cache-friendly for delta materialization.
+ *   - Strided: shard k owns indices {k, k+N, k+2N, ...} — round-robin
+ *     striping, which balances heterogeneous point costs (e.g. an fps
+ *     axis where high rates simulate slower) across shards.
+ *
+ * Each shard serializes as a SELF-CONTAINED JSON descriptor — the
+ * full sweep document (base spec + sweepGrid block) plus a "shard"
+ * block naming the mode, k/N, the grid total, and the index range —
+ * so a worker host needs exactly one file and no shared state:
+ *
+ *   camj_sweep plan study.json --shards 4        # 4 descriptors
+ *   camj_sweep run study-shard-2-of-4.json ...   # on any host
+ *   camj_sweep merge study-shard-*.jsonl ...     # back to one file
+ *
+ * ShardSpecSource re-enumerates a shard's subset of the global index
+ * space: it yields LOCAL indices (0, 1, ..., count) so the engine's
+ * InOrderSink works unchanged, and globalIndex() maps a local index
+ * back to the grid point it names — the identity shard JSONL lines
+ * carry and the merge reducer keys on.
+ */
+
+#ifndef CAMJ_SPEC_SHARD_H
+#define CAMJ_SPEC_SHARD_H
+
+#include <atomic>
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "spec/grid.h"
+#include "spec/json.h"
+#include "spec/source.h"
+
+namespace camj::spec
+{
+
+/** How a plan partitions the global index space. */
+enum class ShardMode
+{
+    /** Shard k owns one contiguous [begin, end) range. */
+    Contiguous,
+    /** Shard k owns {k, k+N, k+2N, ...}. */
+    Strided,
+};
+
+/** ShardMode <-> its JSON token ("contiguous"/"strided"). */
+std::string shardModeName(ShardMode mode);
+ShardMode shardModeFromName(const std::string &name);
+
+/** One shard's slice of a sweep: which global indices it owns. */
+struct ShardAssignment
+{
+    ShardMode mode = ShardMode::Contiguous;
+    /** This shard's number k, 0-based. */
+    size_t shardIndex = 0;
+    /** Total shards N in the plan. */
+    size_t shardCount = 1;
+    /** Global design points in the sweep (grid.points()). */
+    size_t total = 0;
+    /** Contiguous mode: the owned [begin, end) range. Strided mode:
+     *  begin == shardIndex and end == total (informational). */
+    size_t begin = 0;
+    size_t end = 0;
+
+    /** Design points this shard owns. */
+    size_t count() const;
+
+    /** The global grid index of this shard's @p local-th point
+     *  (local in [0, count())). @throws ConfigError out of range. */
+    size_t globalIndex(size_t local) const;
+
+    /** Internal consistency (k < N, begin <= end <= total, mode/range
+     *  agreement). @throws ConfigError naming the bad field. */
+    void validate() const;
+};
+
+/** A full partition of [0, total) into shardCount assignments. */
+struct ShardPlan
+{
+    ShardMode mode = ShardMode::Contiguous;
+    size_t total = 0;
+    std::vector<ShardAssignment> shards;
+};
+
+/**
+ * Partition @p total points into @p shard_count shards. Contiguous
+ * ranges are balanced to within one point (the first total %% N
+ * shards take the extra one); strided shards interleave. Shards may
+ * be empty when shard_count > total — plans stay valid, the empty
+ * shard just produces an empty JSONL file.
+ *
+ * @throws ConfigError when shard_count is zero.
+ */
+ShardPlan planShards(size_t total, size_t shard_count,
+                     ShardMode mode = ShardMode::Contiguous);
+
+/**
+ * The per-process view of a sweep: yields exactly the points of
+ * @p assignment out of @p parent, in ascending GLOBAL order, but
+ * numbered by LOCAL stream index (0-based, dense) so InOrderSink and
+ * StreamStats behave as for any other source. Map results back to
+ * grid identity with assignment().globalIndex(result.index) — or let
+ * ReindexSink do it (see explore/sink.h).
+ *
+ * Supports concurrent pulls; @p parent must outlive the source and
+ * its at() must be thread-safe (GridSpecSource and VectorSpecSource
+ * both are).
+ */
+class ShardSpecSource : public SpecSource
+{
+  public:
+    /** @throws ConfigError when the assignment does not fit the
+     *  parent (totals disagree) or is internally inconsistent. */
+    ShardSpecSource(const IndexableSpecSource &parent,
+                    ShardAssignment assignment);
+
+    std::optional<DesignSpec> next() override;
+    std::optional<size_t> sizeHint() const override
+    {
+        return assignment_.count();
+    }
+    bool concurrentPulls() const override { return true; }
+    std::optional<DesignSpec> nextIndexed(size_t &index) override;
+
+    const ShardAssignment &assignment() const { return assignment_; }
+
+    /** Rewind to the first point (not thread-safe). */
+    void reset() { cursor_.store(0, std::memory_order_relaxed); }
+
+  private:
+    const IndexableSpecSource &parent_;
+    ShardAssignment assignment_;
+    std::atomic<size_t> cursor_{0};
+};
+
+// --------------------------------------------------- shard descriptors
+
+/**
+ * A self-contained shard work order: the sweep document a worker
+ * expands plus the slice of it this worker owns.
+ */
+struct ShardDescriptor
+{
+    SweepDocument doc;
+    ShardAssignment shard;
+
+    /** The lazy source over exactly this shard's points. The returned
+     *  GridSpecSource (first) must outlive the ShardSpecSource. */
+    GridSpecSource gridSource() const { return doc.source(); }
+};
+
+/** Descriptor -> one JSON document (spec + sweepGrid + shard). */
+std::string shardDescriptorToJson(const ShardDescriptor &descriptor);
+
+/**
+ * Parse a shard descriptor document. The shard block is validated
+ * against the document's own grid (shard.total must equal
+ * grid.points()). @throws ConfigError.
+ */
+ShardDescriptor shardDescriptorFromJson(const std::string &text);
+
+/** Load a descriptor file. A plain sweep document (no "shard" block)
+ *  loads as the whole sweep: shard 0 of 1. @throws ConfigError. */
+ShardDescriptor loadShardFile(const std::string &path);
+
+/**
+ * Write one descriptor file per shard of @p plan into @p out_dir,
+ * named "<prefix>-shard-<k>-of-<N>.json". The plan must cover @p
+ * doc's own grid (shard totals are validated at load time).
+ *
+ * @return the paths written, in shard order. @throws ConfigError on
+ *         I/O failure.
+ */
+std::vector<std::string> writeShardPlan(const SweepDocument &doc,
+                                        const ShardPlan &plan,
+                                        const std::string &out_dir,
+                                        const std::string &prefix);
+
+/** Convenience overload: plan @p shard_count shards over @p doc's
+ *  grid, then write the descriptor files. @throws ConfigError. */
+std::vector<std::string> writeShardPlan(const SweepDocument &doc,
+                                        size_t shard_count,
+                                        ShardMode mode,
+                                        const std::string &out_dir,
+                                        const std::string &prefix);
+
+} // namespace camj::spec
+
+#endif // CAMJ_SPEC_SHARD_H

@@ -29,6 +29,15 @@ VectorSpecSource::nextIndexed(size_t &index)
     return specs_[i];
 }
 
+DesignSpec
+VectorSpecSource::at(size_t index) const
+{
+    if (index >= specs_.size())
+        fatal("VectorSpecSource: point %zu out of range (%zu points)",
+              index, specs_.size());
+    return specs_[index];
+}
+
 GeneratorSpecSource::GeneratorSpecSource(Generator generate,
                                          std::optional<size_t> size_hint)
     : generate_(std::move(generate)), hint_(size_hint)

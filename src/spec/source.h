@@ -63,9 +63,29 @@ class SpecSource
     virtual std::optional<DesignSpec> nextIndexed(size_t &index);
 };
 
+/**
+ * A SpecSource with random access: every point can be produced by its
+ * 0-based index without disturbing the stream cursor. This is the
+ * contract sharding builds on — a ShardSpecSource re-enumerates an
+ * arbitrary index subset of any indexable source, so the same grid
+ * document can be split across processes and hosts while every point
+ * keeps its global identity.
+ */
+class IndexableSpecSource : public SpecSource
+{
+  public:
+    /** The spec of point @p index without advancing the stream.
+     *  Thread-safe. @throws ConfigError when out of range. */
+    virtual DesignSpec at(size_t index) const = 0;
+
+    /** Total points the source covers (same value sizeHint()
+     *  reports, but never unknown). */
+    virtual size_t totalPoints() const = 0;
+};
+
 /** A source over an owned vector (the batch API's adapter).
  *  Supports concurrent pulls. */
-class VectorSpecSource : public SpecSource
+class VectorSpecSource : public IndexableSpecSource
 {
   public:
     explicit VectorSpecSource(std::vector<DesignSpec> specs)
@@ -80,6 +100,9 @@ class VectorSpecSource : public SpecSource
     }
     bool concurrentPulls() const override { return true; }
     std::optional<DesignSpec> nextIndexed(size_t &index) override;
+
+    DesignSpec at(size_t index) const override;
+    size_t totalPoints() const override { return specs_.size(); }
 
     /** Rewind to the first point (not thread-safe). */
     void reset() { cursor_.store(0, std::memory_order_relaxed); }

@@ -1,0 +1,537 @@
+/**
+ * @file
+ * Tests for the multi-process sweep sharding subsystem: shard plans
+ * partition the global index space exactly, shard descriptors
+ * round-trip bit-exactly, a merged set of shard files is
+ * byte-identical to a single-process in-order run over the same grid
+ * (both through the library API and through the camj_sweep CLI), and
+ * the merge reducer fails loudly on gaps, overlaps, duplicates, and
+ * short merges.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/logging.h"
+#include "explore/jsonl.h"
+#include "explore/sweep.h"
+#include "spec/samples.h"
+#include "spec/shard.h"
+
+namespace camj
+{
+namespace
+{
+
+namespace fs = std::filesystem;
+
+class QuietLogging : public ::testing::Environment
+{
+  public:
+    void SetUp() override { setLoggingEnabled(false); }
+};
+
+::testing::Environment *const quiet_env =
+    ::testing::AddGlobalTestEnvironment(new QuietLogging);
+
+/** A fresh per-test scratch directory under the gtest temp root. */
+fs::path
+scratchDir(const std::string &name)
+{
+    fs::path dir = fs::path(::testing::TempDir()) / ("camj_" + name);
+    fs::remove_all(dir);
+    fs::create_directories(dir);
+    return dir;
+}
+
+std::string
+readFile(const fs::path &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    EXPECT_TRUE(in) << path;
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    return buf.str();
+}
+
+void
+writeFile(const fs::path &path, const std::string &content)
+{
+    std::ofstream out(path, std::ios::binary);
+    out << content;
+    ASSERT_TRUE(out) << path;
+}
+
+/** A 12-point study (4 rates x 3 buffer nodes) spanning both sides
+ *  of the feasibility boundary, so shard files carry both feasible
+ *  lines and error lines. */
+spec::SweepDocument
+smallStudy()
+{
+    spec::SweepDocument doc;
+    doc.base = spec::sampleDetectorSpec(30.0, 65);
+    doc.grid.axes = {
+        {"rate", "fps",
+         {json::Value(15.0), json::Value(30.0), json::Value(120.0),
+          json::Value(960.0)}},
+        {"node", "memories[ActBuf].nodeNm",
+         {json::Value(110), json::Value(65), json::Value(45)}},
+    };
+    return doc;
+}
+
+/** The reference bytes: a single-process in-order run over the whole
+ *  grid through InOrderSink -> JsonlSink. */
+std::string
+singleProcessJsonl(const spec::SweepDocument &doc)
+{
+    std::ostringstream out;
+    spec::GridSpecSource source = doc.source();
+    JsonlSink lines(out);
+    InOrderSink ordered(lines);
+    SweepEngine engine(SweepOptions{.threads = 2});
+    engine.runStream(source, ordered);
+    return out.str();
+}
+
+/** One shard's JSONL bytes, exactly as `camj_sweep run` writes them:
+ *  local order restored, indices remapped to grid identity. */
+std::string
+shardJsonl(const spec::SweepDocument &doc,
+           const spec::ShardAssignment &assignment)
+{
+    std::ostringstream out;
+    spec::GridSpecSource grid = doc.source();
+    spec::ShardSpecSource source(grid, assignment);
+    JsonlSink lines(out);
+    ReindexSink global(lines, [&](size_t local) {
+        return assignment.globalIndex(local);
+    });
+    InOrderSink ordered(global);
+    SweepEngine engine(SweepOptions{.threads = 2});
+    engine.runStream(source, ordered);
+    return out.str();
+}
+
+// ---------------------------------------------------------- shard plans
+
+TEST(ShardPlan, ContiguousRangesPartitionExactly)
+{
+    for (size_t total : {size_t{0}, size_t{1}, size_t{5}, size_t{12},
+                         size_t{107}, size_t{108}}) {
+        for (size_t n : {size_t{1}, size_t{2}, size_t{3}, size_t{7},
+                         size_t{16}}) {
+            const spec::ShardPlan plan = spec::planShards(total, n);
+            ASSERT_EQ(plan.shards.size(), n);
+            size_t cursor = 0, min_count = total, max_count = 0;
+            for (const spec::ShardAssignment &a : plan.shards) {
+                EXPECT_EQ(a.begin, cursor) << total << "/" << n;
+                EXPECT_LE(a.begin, a.end);
+                cursor = a.end;
+                min_count = std::min(min_count, a.count());
+                max_count = std::max(max_count, a.count());
+            }
+            // Exactly [0, total), balanced to within one point.
+            EXPECT_EQ(cursor, total) << total << "/" << n;
+            EXPECT_LE(max_count - min_count, 1u) << total << "/" << n;
+        }
+    }
+}
+
+TEST(ShardPlan, StridedShardsCoverEveryIndexOnce)
+{
+    for (size_t total : {size_t{1}, size_t{12}, size_t{107}}) {
+        for (size_t n : {size_t{1}, size_t{3}, size_t{16}}) {
+            const spec::ShardPlan plan =
+                spec::planShards(total, n, spec::ShardMode::Strided);
+            std::vector<size_t> covered;
+            for (const spec::ShardAssignment &a : plan.shards) {
+                for (size_t l = 0; l < a.count(); ++l)
+                    covered.push_back(a.globalIndex(l));
+            }
+            std::sort(covered.begin(), covered.end());
+            ASSERT_EQ(covered.size(), total) << total << "/" << n;
+            for (size_t i = 0; i < total; ++i)
+                EXPECT_EQ(covered[i], i) << total << "/" << n;
+        }
+    }
+}
+
+TEST(ShardPlan, RejectsBadParameters)
+{
+    EXPECT_THROW(spec::planShards(10, 0), ConfigError);
+    EXPECT_THROW(spec::shardModeFromName("diagonal"), ConfigError);
+
+    spec::ShardAssignment a;
+    a.shardIndex = 3;
+    a.shardCount = 2;
+    a.total = a.end = 10;
+    EXPECT_THROW(a.validate(), ConfigError);
+    a.shardIndex = 0;
+    a.begin = 8;
+    a.end = 12; // escapes [0, 10)
+    EXPECT_THROW(a.validate(), ConfigError);
+}
+
+TEST(ShardAssignment, GlobalIndexBoundsChecked)
+{
+    const spec::ShardPlan plan =
+        spec::planShards(10, 3, spec::ShardMode::Strided);
+    const spec::ShardAssignment &last = plan.shards[2];
+    ASSERT_EQ(last.count(), 3u); // {2, 5, 8}
+    EXPECT_EQ(last.globalIndex(0), 2u);
+    EXPECT_EQ(last.globalIndex(2), 8u);
+    EXPECT_THROW(last.globalIndex(3), ConfigError);
+}
+
+// -------------------------------------------------------- shard sources
+
+TEST(ShardSpecSource, YieldsExactlyTheAssignedSlice)
+{
+    const spec::SweepDocument doc = smallStudy();
+    spec::GridSpecSource grid = doc.source();
+    const spec::ShardPlan plan = spec::planShards(grid.totalPoints(), 3);
+    for (const spec::ShardAssignment &a : plan.shards) {
+        spec::ShardSpecSource source(grid, a);
+        ASSERT_EQ(source.sizeHint(), a.count());
+        size_t local = 0;
+        size_t reported = 0;
+        while (std::optional<spec::DesignSpec> s =
+                   source.nextIndexed(reported)) {
+            EXPECT_EQ(reported, local);
+            // The shard's point IS the grid's point, by global index.
+            EXPECT_EQ(s->name, grid.at(a.globalIndex(local)).name);
+            ++local;
+        }
+        EXPECT_EQ(local, a.count());
+    }
+}
+
+TEST(ShardSpecSource, WorksOverAnyIndexableSource)
+{
+    std::vector<spec::DesignSpec> specs;
+    for (int node : {180, 130, 110, 65, 45})
+        specs.push_back(spec::sampleDetectorSpec(30.0, node));
+    spec::VectorSpecSource vec(specs);
+    const spec::ShardPlan plan = spec::planShards(5, 2);
+    spec::ShardSpecSource tail(vec, plan.shards[1]); // [3, 5)
+    std::vector<std::string> names;
+    while (std::optional<spec::DesignSpec> s = tail.next())
+        names.push_back(s->name);
+    ASSERT_EQ(names.size(), 2u);
+    EXPECT_EQ(names[0], specs[3].name);
+    EXPECT_EQ(names[1], specs[4].name);
+}
+
+TEST(ShardSpecSource, RejectsAssignmentFromAnotherSweep)
+{
+    const spec::SweepDocument doc = smallStudy();
+    spec::GridSpecSource grid = doc.source(); // 12 points
+    const spec::ShardPlan plan = spec::planShards(99, 3);
+    EXPECT_THROW(spec::ShardSpecSource(grid, plan.shards[0]),
+                 ConfigError);
+}
+
+// ---------------------------------------------------------- descriptors
+
+TEST(ShardDescriptor, RoundTripsBitExact)
+{
+    const spec::SweepDocument doc = smallStudy();
+    const spec::ShardPlan plan = spec::planShards(
+        doc.grid.points(), 4, spec::ShardMode::Strided);
+    for (const spec::ShardAssignment &a : plan.shards) {
+        const spec::ShardDescriptor d{doc, a};
+        const std::string text = spec::shardDescriptorToJson(d);
+        const spec::ShardDescriptor back =
+            spec::shardDescriptorFromJson(text);
+        EXPECT_EQ(back.shard.mode, a.mode);
+        EXPECT_EQ(back.shard.shardIndex, a.shardIndex);
+        EXPECT_EQ(back.shard.shardCount, a.shardCount);
+        EXPECT_EQ(back.shard.total, a.total);
+        EXPECT_EQ(back.shard.begin, a.begin);
+        EXPECT_EQ(back.shard.end, a.end);
+        // Save -> load -> save is byte-identical.
+        EXPECT_EQ(spec::shardDescriptorToJson(back), text);
+    }
+}
+
+TEST(ShardDescriptor, PlainSweepDocumentLoadsAsWholeSweep)
+{
+    const spec::SweepDocument doc = smallStudy();
+    const spec::ShardDescriptor d =
+        spec::shardDescriptorFromJson(spec::toJson(doc));
+    EXPECT_EQ(d.shard.shardIndex, 0u);
+    EXPECT_EQ(d.shard.shardCount, 1u);
+    EXPECT_EQ(d.shard.count(), doc.grid.points());
+}
+
+TEST(ShardDescriptor, RejectsPlanDisagreeingWithItsOwnGrid)
+{
+    const spec::SweepDocument doc = smallStudy(); // 12 points
+    spec::ShardDescriptor d{doc, spec::planShards(12, 2).shards[0]};
+    std::string text = spec::shardDescriptorToJson(d);
+    // A descriptor whose shard block was planned for a different
+    // grid: claim 13 total points.
+    const size_t pos = text.find("\"total\": 12");
+    ASSERT_NE(pos, std::string::npos);
+    text.replace(pos, 11, "\"total\": 13");
+    EXPECT_THROW(spec::shardDescriptorFromJson(text), ConfigError);
+}
+
+TEST(ShardDescriptor, WriteShardPlanEmitsLoadableFiles)
+{
+    const fs::path dir = scratchDir("plan_files");
+    const spec::SweepDocument doc = smallStudy();
+    const std::vector<std::string> paths = spec::writeShardPlan(
+        doc, 3, spec::ShardMode::Contiguous, dir.string(), "study");
+    ASSERT_EQ(paths.size(), 3u);
+    size_t covered = 0;
+    for (size_t k = 0; k < paths.size(); ++k) {
+        const spec::ShardDescriptor d = spec::loadShardFile(paths[k]);
+        EXPECT_EQ(d.shard.shardIndex, k);
+        EXPECT_EQ(d.doc.grid.points(), doc.grid.points());
+        covered += d.shard.count();
+    }
+    EXPECT_EQ(covered, doc.grid.points());
+}
+
+// ---------------------------------------------------------------- merge
+
+TEST(ShardMerge, MergedShardsAreByteIdenticalToSingleProcess)
+{
+    const spec::SweepDocument doc = smallStudy();
+    const std::string reference = singleProcessJsonl(doc);
+    ASSERT_FALSE(reference.empty());
+
+    const fs::path dir = scratchDir("merge_identity");
+    // 13 shards over 12 points exercises an empty shard file too.
+    for (spec::ShardMode mode :
+         {spec::ShardMode::Contiguous, spec::ShardMode::Strided}) {
+        for (size_t n : {size_t{1}, size_t{3}, size_t{13}}) {
+            const spec::ShardPlan plan =
+                spec::planShards(doc.grid.points(), n, mode);
+            std::vector<std::string> paths;
+            for (const spec::ShardAssignment &a : plan.shards) {
+                fs::path p = dir / strprintf("%s-%zu-%zu.jsonl",
+                                             spec::shardModeName(mode)
+                                                 .c_str(),
+                                             n, a.shardIndex);
+                writeFile(p, shardJsonl(doc, a));
+                paths.push_back(p.string());
+            }
+            std::ostringstream merged;
+            const MergeSummary summary = mergeShardFiles(
+                paths, merged, 5, doc.grid.points());
+            EXPECT_EQ(merged.str(), reference)
+                << spec::shardModeName(mode) << " x" << n;
+            EXPECT_EQ(summary.records, doc.grid.points());
+            EXPECT_EQ(summary.feasible + summary.infeasible,
+                      summary.records);
+        }
+    }
+}
+
+TEST(ShardMerge, SummarizesFeasibilityAndTopK)
+{
+    const fs::path dir = scratchDir("merge_summary");
+    writeFile(dir / "a.jsonl",
+              "{\"index\": 0, \"design\": \"a\", \"feasible\": true, "
+              "\"totalEnergy\": 3.0, \"categories\": {\"SEN\": 2.0, "
+              "\"MEM-D\": 1.0}}\n"
+              "{\"index\": 1, \"design\": \"b\", \"feasible\": false, "
+              "\"error\": \"stall\"}\n");
+    writeFile(dir / "b.jsonl",
+              "{\"index\": 2, \"design\": \"c\", \"feasible\": true, "
+              "\"totalEnergy\": 1.0, \"categories\": {\"SEN\": 1.0}}\n");
+    std::ostringstream out;
+    const MergeSummary s = mergeShardFiles(
+        {(dir / "a.jsonl").string(), (dir / "b.jsonl").string()}, out,
+        1);
+    EXPECT_EQ(s.records, 3u);
+    EXPECT_EQ(s.feasible, 2u);
+    EXPECT_EQ(s.infeasible, 1u);
+    EXPECT_DOUBLE_EQ(s.totalEnergy, 4.0);
+    EXPECT_DOUBLE_EQ(s.categoryTotals.at("SEN"), 3.0);
+    EXPECT_DOUBLE_EQ(s.categoryTotals.at("MEM-D"), 1.0);
+    ASSERT_EQ(s.topK.size(), 1u); // capped at --top 1
+    EXPECT_EQ(s.topK[0].design, "c"); // the cheaper feasible point
+    const std::string pretty = formatMergeSummary(s);
+    EXPECT_NE(pretty.find("2 feasible"), std::string::npos);
+    EXPECT_NE(pretty.find("top-1"), std::string::npos);
+}
+
+TEST(ShardMerge, FailsLoudlyOnGap)
+{
+    const fs::path dir = scratchDir("merge_gap");
+    writeFile(dir / "a.jsonl", "{\"index\": 0}\n");
+    writeFile(dir / "b.jsonl", "{\"index\": 2}\n");
+    std::ostringstream out;
+    try {
+        mergeShardFiles({(dir / "a.jsonl").string(),
+                         (dir / "b.jsonl").string()}, out);
+        FAIL() << "gap not detected";
+    } catch (const ConfigError &e) {
+        EXPECT_NE(std::string(e.what()).find("missing index 1"),
+                  std::string::npos)
+            << e.what();
+    }
+}
+
+TEST(ShardMerge, FailsLoudlyOnDuplicateAcrossShards)
+{
+    const fs::path dir = scratchDir("merge_dup");
+    writeFile(dir / "a.jsonl", "{\"index\": 0}\n{\"index\": 1}\n");
+    writeFile(dir / "b.jsonl", "{\"index\": 1}\n{\"index\": 2}\n");
+    std::ostringstream out;
+    try {
+        mergeShardFiles({(dir / "a.jsonl").string(),
+                         (dir / "b.jsonl").string()}, out);
+        FAIL() << "overlap not detected";
+    } catch (const ConfigError &e) {
+        EXPECT_NE(std::string(e.what()).find("duplicate index 1"),
+                  std::string::npos)
+            << e.what();
+    }
+}
+
+TEST(ShardMerge, FailsLoudlyOnUnsortedShardFile)
+{
+    const fs::path dir = scratchDir("merge_unsorted");
+    writeFile(dir / "a.jsonl",
+              "{\"index\": 0}\n{\"index\": 0}\n{\"index\": 1}\n");
+    std::ostringstream out;
+    EXPECT_THROW(mergeShardFiles({(dir / "a.jsonl").string()}, out),
+                 ConfigError);
+}
+
+TEST(ShardMerge, FailsLoudlyOnShortOrOverfullTotal)
+{
+    const fs::path dir = scratchDir("merge_total");
+    writeFile(dir / "a.jsonl", "{\"index\": 0}\n{\"index\": 1}\n");
+    std::ostringstream out;
+    // Contiguity holds, but the plan expected one more point — only
+    // --total can catch a missing TAIL shard.
+    EXPECT_THROW(
+        mergeShardFiles({(dir / "a.jsonl").string()}, out, 5, 3),
+        ConfigError);
+    std::ostringstream out2;
+    EXPECT_THROW(
+        mergeShardFiles({(dir / "a.jsonl").string()}, out2, 5, 1),
+        ConfigError);
+    std::ostringstream out3;
+    EXPECT_EQ(mergeShardFiles({(dir / "a.jsonl").string()}, out3, 5, 2)
+                  .records,
+              2u);
+}
+
+TEST(ShardMerge, NamesFileAndLineOnMalformedInput)
+{
+    const fs::path dir = scratchDir("merge_malformed");
+    writeFile(dir / "bad.jsonl", "{\"index\": 0}\nnot json\n");
+    JsonlReader reader((dir / "bad.jsonl").string());
+    EXPECT_TRUE(reader.next().has_value());
+    try {
+        reader.next();
+        FAIL() << "malformed line not detected";
+    } catch (const ConfigError &e) {
+        EXPECT_NE(std::string(e.what()).find("bad.jsonl:2"),
+                  std::string::npos)
+            << e.what();
+    }
+}
+
+// ------------------------------------------------------------------- CLI
+
+#ifdef CAMJ_SWEEP_BIN
+
+int
+runCli(const std::string &args)
+{
+    const std::string cmd =
+        std::string(CAMJ_SWEEP_BIN) + " " + args + " > /dev/null";
+    return std::system(cmd.c_str());
+}
+
+/** The acceptance bar: plan N + N x run + merge through the CLI is
+ *  byte-identical (ordering and values) to one in-order process. */
+TEST(CamjSweepCli, PlanRunMergeRoundTripMatchesSingleProcess)
+{
+    const fs::path dir = scratchDir("cli_roundtrip");
+    const spec::SweepDocument doc = smallStudy();
+    writeFile(dir / "study.json", spec::toJson(doc));
+
+    ASSERT_EQ(runCli("plan " + (dir / "study.json").string() +
+                     " --shards 3 --outdir " + dir.string() +
+                     " --prefix study"),
+              0);
+    std::string merge_args = "merge";
+    for (int k = 0; k < 3; ++k) {
+        const std::string shard =
+            (dir / strprintf("study-shard-%d-of-3.json", k)).string();
+        ASSERT_TRUE(fs::exists(shard)) << shard;
+        const std::string out =
+            (dir / strprintf("s%d.jsonl", k)).string();
+        ASSERT_EQ(runCli("run " + shard + " --out " + out), 0);
+        merge_args += " " + out;
+    }
+    merge_args += " --out " + (dir / "merged.jsonl").string() +
+                  strprintf(" --total %zu", doc.grid.points());
+    ASSERT_EQ(runCli(merge_args), 0);
+
+    EXPECT_EQ(readFile(dir / "merged.jsonl"),
+              singleProcessJsonl(doc));
+}
+
+TEST(CamjSweepCli, InlineShardFlagMatchesPlannedDescriptors)
+{
+    const fs::path dir = scratchDir("cli_inline");
+    const spec::SweepDocument doc = smallStudy();
+    writeFile(dir / "study.json", spec::toJson(doc));
+    std::string merge_args = "merge";
+    for (int k = 0; k < 2; ++k) {
+        const std::string out =
+            (dir / strprintf("s%d.jsonl", k)).string();
+        ASSERT_EQ(runCli("run " + (dir / "study.json").string() +
+                         strprintf(" --shard %d/2 --mode strided", k) +
+                         " --out " + out),
+                  0);
+        merge_args += " " + out;
+    }
+    merge_args += " --out " + (dir / "merged.jsonl").string();
+    ASSERT_EQ(runCli(merge_args), 0);
+    EXPECT_EQ(readFile(dir / "merged.jsonl"),
+              singleProcessJsonl(doc));
+}
+
+TEST(CamjSweepCli, MergeExitsNonZeroOnMissingShard)
+{
+    const fs::path dir = scratchDir("cli_missing");
+    const spec::SweepDocument doc = smallStudy();
+    writeFile(dir / "study.json", spec::toJson(doc));
+    ASSERT_EQ(runCli("run " + (dir / "study.json").string() +
+                     " --shard 0/2 --out " +
+                     (dir / "s0.jsonl").string()),
+              0);
+    // Shard 1 never ran: the merge must fail, not silently emit a
+    // truncated result file.
+    const std::string cmd =
+        std::string(CAMJ_SWEEP_BIN) + " merge " +
+        (dir / "s0.jsonl").string() + " --out " +
+        (dir / "merged.jsonl").string() +
+        strprintf(" --total %zu", doc.grid.points()) +
+        " > /dev/null 2>&1";
+    EXPECT_NE(std::system(cmd.c_str()), 0);
+}
+
+#endif // CAMJ_SWEEP_BIN
+
+} // namespace
+} // namespace camj
