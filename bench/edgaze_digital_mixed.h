@@ -35,7 +35,10 @@ sweepEdgazeDigitalMixed()
         },
         4);
     CollectSink sink;
-    SweepEngine().runStream(source, sink);
+    // Ride the incremental staged-evaluation path (bit-identical to
+    // full rebuilds; see explore/incremental.h).
+    SweepEngine(SweepOptions{.incremental = true})
+        .runStream(source, sink);
     for (const SweepResult &r : sink.results()) {
         if (!r.feasible) {
             std::fprintf(stderr, "error: %s is infeasible: %s\n",

@@ -77,7 +77,9 @@ main()
         return true;
     });
     InOrderSink inorder(print);
-    SweepEngine().runStream(source, inorder);
+    // Ride the incremental staged-evaluation path (bit-identical
+    // to full rebuilds; see explore/incremental.h).
+    SweepEngine(SweepOptions{.incremental = true}).runStream(source, inorder);
     if (failed)
         return 1;
 

@@ -577,6 +577,64 @@ writeBenchJson()
     grid.set("designsPerSec", json::Value(n_grid / grid_seconds));
     doc.set("gridSweep", std::move(grid));
 
+    // Incremental sweep: the canonical grid once through the classic
+    // full-rebuild path and once through per-worker
+    // IncrementalEvaluators (SweepOptions::incremental), single
+    // thread each so the comparison isolates the staged
+    // re-evaluation win on the 1-core CI container. The two in-order
+    // JSONL outputs must be byte-identical — the incremental path is
+    // an optimization, never a different answer.
+    const spec::SweepDocument inc_doc = shardedStudyDocument();
+    const size_t n_inc = inc_doc.grid.points();
+    auto time_grid_jsonl = [&](bool incremental, std::string *bytes) {
+        std::ostringstream out;
+        spec::GridSpecSource source = inc_doc.source();
+        JsonlSink lines(out);
+        InOrderSink ordered(lines);
+        SweepOptions o;
+        o.threads = 1;
+        o.incremental = incremental;
+        o.reuseMaterializations = !incremental;
+        SweepEngine inc_engine(o);
+        const auto t0 = std::chrono::steady_clock::now();
+        inc_engine.runStream(source, ordered);
+        const auto t1 = std::chrono::steady_clock::now();
+        if (bytes != nullptr)
+            *bytes = out.str();
+        return std::chrono::duration<double>(t1 - t0).count();
+    };
+    std::string full_bytes, inc_bytes;
+    time_grid_jsonl(false, nullptr); // warm-up
+    double full_seconds = 1e30, inc_seconds = 1e30;
+    for (int rep = 0; rep < 3; ++rep) {
+        full_seconds = std::min(full_seconds,
+                                time_grid_jsonl(false, &full_bytes));
+        inc_seconds = std::min(inc_seconds,
+                               time_grid_jsonl(true, &inc_bytes));
+    }
+    if (inc_bytes != full_bytes) {
+        std::fprintf(stderr, "error: incremental sweep output "
+                     "differs from the full-rebuild run\n");
+        return false;
+    }
+    const double n_incd = static_cast<double>(n_inc);
+    json::Value incremental = json::Value::makeObject();
+    incremental.set("designPoints",
+                    json::Value(static_cast<int64_t>(n_inc)));
+    json::Value full_rebuild = json::Value::makeObject();
+    full_rebuild.set("seconds", json::Value(full_seconds));
+    full_rebuild.set("designsPerSec",
+                     json::Value(n_incd / full_seconds));
+    incremental.set("fullRebuild", std::move(full_rebuild));
+    json::Value inc_run = json::Value::makeObject();
+    inc_run.set("seconds", json::Value(inc_seconds));
+    inc_run.set("designsPerSec", json::Value(n_incd / inc_seconds));
+    incremental.set("incremental", std::move(inc_run));
+    incremental.set("speedup",
+                    json::Value(full_seconds / inc_seconds));
+    incremental.set("identicalToFullRebuild", json::Value(true));
+    doc.set("incrementalSweep", std::move(incremental));
+
     // Sharded sweep: the multi-PROCESS pipeline. The canonical
     // 108-point grid document once in this process (1 thread,
     // in-order JSONL) and once as 4 forked shard workers — the
@@ -686,6 +744,10 @@ writeBenchJson()
                 sample.threadedSeconds / stream_seconds);
     std::printf("grid sweep: %.0f lazily expanded points, %.1f "
                 "designs/sec\n", n_grid, n_grid / grid_seconds);
+    std::printf("incremental sweep: %zu points, %.1f designs/sec "
+                "full rebuild vs %.1f incremental (%.2fx), outputs "
+                "byte-identical\n", n_inc, n_incd / full_seconds,
+                n_incd / inc_seconds, full_seconds / inc_seconds);
     std::printf("sharded sweep: %zu points, %.1f designs/sec in 1 "
                 "process, %.1f designs/sec across %zu processes "
                 "(%.2fx); merge of %zu shard files byte-identical in "

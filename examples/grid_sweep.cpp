@@ -46,7 +46,7 @@ main()
 
     SweepOptions options;
     options.threads = 4;
-    options.reuseMaterializations = true; // delta-friendly expansion
+    options.incremental = true; // staged re-eval across grid deltas
     SweepEngine engine(options);
 
     TopKSink best(5);

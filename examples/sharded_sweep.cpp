@@ -76,7 +76,7 @@ main()
         });
         InOrderSink ordered(global);
         SweepEngine engine(SweepOptions{.threads = 1,
-                                        .reuseMaterializations = true});
+                                        .incremental = true});
         const StreamStats stats = engine.runStream(source, ordered);
         std::printf("shard %zu/%zu: [%zu, %zu) -> %zu line(s)\n",
                     d.shard.shardIndex, d.shard.shardCount,

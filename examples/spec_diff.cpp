@@ -1,60 +1,127 @@
 /**
  * @file
- * Example: field-level diff of two DesignSpec JSON files.
+ * Example: field-level diff AND merge of DesignSpec JSON files.
  *
- *   ./build/examples/spec_diff a.json b.json
+ *   ./build/examples/spec_diff a.json b.json           # text diff
+ *   ./build/examples/spec_diff --json a.json b.json    # diff document
+ *   ./build/examples/spec_diff --apply base.json diff.json
  *
- * Prints one line per differing field, using the same paths a
+ * Diffing prints one line per differing field, using the same paths a
  * sweepGrid axis declares ("memories[ActBuf].nodeNm"), so the output
  * doubles as a recipe for turning the difference into a grid axis.
- * Exit status: 0 when the specs are identical, 1 when they differ,
- * 2 on usage/parse errors (like diff(1)).
+ * `--json` renders the diff as a shippable document instead; feeding
+ * that document to `--apply` patches it onto a base spec and prints
+ * the resulting spec JSON — apply(a, diff(a, b)) reproduces b.
+ *
+ * Exit status: 0 when identical (or an apply succeeded), 1 when the
+ * specs differ, 2 on usage/parse errors (like diff(1)).
  *
  * With no arguments it runs a self-demo: the canonical sample
  * detector at 65 nm vs 130 nm / 30 fps vs 120 fps.
  */
 
 #include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
 #include <vector>
 
+#include "common/logging.h"
 #include "spec/diff.h"
 #include "spec/samples.h"
 #include "spec/spec.h"
 
 using namespace camj;
 
+namespace
+{
+
+int
+usage(const char *argv0)
+{
+    std::fprintf(stderr,
+                 "usage: %s [a.json b.json]\n"
+                 "       %s --json a.json b.json\n"
+                 "       %s --apply base.json diff.json\n",
+                 argv0, argv0, argv0);
+    return 2;
+}
+
+std::string
+readFile(const char *path)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        fatal("cannot open '%s' for reading", path);
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    return buf.str();
+}
+
+int
+applyMode(const char *base_path, const char *diff_path)
+{
+    const spec::DesignSpec base = spec::loadSpecFile(base_path);
+    const std::vector<spec::SpecDifference> diffs =
+        spec::diffFromJson(readFile(diff_path));
+    const spec::DesignSpec patched = spec::applyDiff(base, diffs);
+    std::printf("%s", spec::toJson(patched).c_str());
+    return 0;
+}
+
+} // namespace
+
 int
 main(int argc, char **argv)
 {
-    if (argc != 1 && argc != 3) {
-        std::fprintf(stderr, "usage: %s [a.json b.json]\n", argv[0]);
-        return 2;
+    bool as_json = false, apply = false;
+    std::vector<const char *> files;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--json")
+            as_json = true;
+        else if (arg == "--apply")
+            apply = true;
+        else if (!arg.empty() && arg[0] == '-')
+            return usage(argv[0]);
+        else
+            files.push_back(argv[i]);
     }
+    if ((apply && (as_json || files.size() != 2)) ||
+        (!apply && files.size() != 0 && files.size() != 2))
+        return usage(argv[0]);
 
-    spec::DesignSpec a, b;
     try {
-        if (argc == 3) {
-            a = spec::loadSpecFile(argv[1]);
-            b = spec::loadSpecFile(argv[2]);
+        if (apply)
+            return applyMode(files[0], files[1]);
+
+        spec::DesignSpec a, b;
+        if (files.size() == 2) {
+            a = spec::loadSpecFile(files[0]);
+            b = spec::loadSpecFile(files[1]);
         } else {
             std::printf("(self-demo: sample detector 30fps@65nm vs "
                         "120fps@130nm)\n\n");
             a = spec::sampleDetectorSpec(30.0, 65);
             b = spec::sampleDetectorSpec(120.0, 130);
         }
+
+        std::vector<spec::SpecDifference> diffs = spec::diffSpecs(a, b);
+        if (as_json) {
+            std::printf("%s", spec::diffToJson(diffs).c_str());
+            return diffs.empty() ? 0 : 1;
+        }
+        if (diffs.empty()) {
+            std::printf("specs '%s' and '%s' are identical\n",
+                        a.name.c_str(), b.name.c_str());
+            return 0;
+        }
+        std::printf("%zu field(s) differ between '%s' and '%s':\n\n",
+                    diffs.size(), a.name.c_str(), b.name.c_str());
+        std::printf("%s", spec::formatSpecDiff(diffs).c_str());
+        return 1;
     } catch (const ConfigError &e) {
         std::fprintf(stderr, "error: %s\n", e.what());
         return 2;
     }
-
-    std::vector<spec::SpecDifference> diffs = spec::diffSpecs(a, b);
-    if (diffs.empty()) {
-        std::printf("specs '%s' and '%s' are identical\n",
-                    a.name.c_str(), b.name.c_str());
-        return 0;
-    }
-    std::printf("%zu field(s) differ between '%s' and '%s':\n\n",
-                diffs.size(), a.name.c_str(), b.name.c_str());
-    std::printf("%s", spec::formatSpecDiff(diffs).c_str());
-    return 1;
 }

@@ -4,38 +4,10 @@
 #include <cmath>
 
 #include "common/logging.h"
-#include "core/area.h"
-#include "core/checks.h"
-#include "core/delay.h"
-#include "digital/cyclesim.h"
+#include "core/pipeline.h"
 
 namespace camj
 {
-
-namespace
-{
-
-int64_t
-ceilDiv(int64_t a, int64_t b)
-{
-    return (a + b - 1) / b;
-}
-
-/** Elements at elem_bits converted to whole memory words. */
-int64_t
-elemsToWords(int64_t elems, int elem_bits, int word_bits)
-{
-    return ceilDiv(elems * elem_bits, word_bits);
-}
-
-/** Elements at elem_bits converted to whole bytes. */
-int64_t
-elemsToBytes(int64_t elems, int elem_bits)
-{
-    return ceilDiv(elems * elem_bits, 8);
-}
-
-} // namespace
 
 const std::string &
 Design::UnitEntry::name() const
@@ -230,438 +202,36 @@ Design::setPipelineOutputBytes(int64_t bytes)
 EnergyReport
 Design::simulate() const
 {
-    // ------------------------------------------------------------------
-    // 0. DAG well-formedness and mapping completeness.
-    // ------------------------------------------------------------------
-    sw_.validate();
-    if (analog_.empty())
-        fatal("Design %s: no analog arrays (a CIS starts with a pixel "
-              "array)", params_.name.c_str());
+    // The staged evaluation pipeline run end to end — see
+    // core/pipeline.h for the stage decomposition the incremental
+    // evaluator re-runs suffixes of.
+    EvalPipeline pipeline;
+    return pipeline.runAll(*this);
+}
 
-    const std::vector<StageId> topo = sw_.topoOrder();
-    std::vector<int> topo_pos(static_cast<size_t>(sw_.size()), 0);
-    for (size_t i = 0; i < topo.size(); ++i)
-        topo_pos[static_cast<size_t>(topo[i])] = static_cast<int>(i);
+void
+Design::setName(std::string name)
+{
+    if (name.empty())
+        fatal("Design: empty name");
+    params_.name = std::move(name);
+}
 
-    // Per-target mapped stage ids.
-    std::vector<std::vector<StageId>> analogStages(analog_.size());
-    std::vector<std::vector<StageId>> unitStages(units_.size());
-    std::vector<bool> memPrefilled(mems_.size(), false);
+void
+Design::setFps(double fps)
+{
+    if (fps <= 0.0)
+        fatal("Design %s: fps must be positive", params_.name.c_str());
+    params_.fps = fps;
+}
 
-    for (StageId id = 0; id < sw_.size(); ++id) {
-        const Stage &s = sw_.stage(id);
-        if (!mapping_.isMapped(s.name()))
-            fatal("Design %s: stage '%s' is not mapped to hardware",
-                  params_.name.c_str(), s.name().c_str());
-        const std::string &hw = mapping_.hwUnitOf(s.name());
-
-        int ai = findAnalog(hw);
-        if (ai >= 0) {
-            analogStages[static_cast<size_t>(ai)].push_back(id);
-            continue;
-        }
-        bool is_mem = false;
-        for (size_t m = 0; m < mems_.size(); ++m) {
-            if (mems_[m].name() == hw) {
-                if (s.op() != StageOp::Input)
-                    fatal("Design %s: only Input stages may map onto a "
-                          "memory ('%s' -> '%s')", params_.name.c_str(),
-                          s.name().c_str(), hw.c_str());
-                // Residency of a retained frame: reads always succeed.
-                memPrefilled[m] = true;
-                is_mem = true;
-                break;
-            }
-        }
-        if (is_mem)
-            continue;
-        int ui = findUnit(hw, "mapping");
-        unitStages[static_cast<size_t>(ui)].push_back(id);
-    }
-
-    auto by_topo = [&](StageId a, StageId b) {
-        return topo_pos[static_cast<size_t>(a)] <
-               topo_pos[static_cast<size_t>(b)];
-    };
-    for (auto &v : analogStages)
-        std::sort(v.begin(), v.end(), by_topo);
-    for (auto &v : unitStages)
-        std::sort(v.begin(), v.end(), by_topo);
-
-    // ------------------------------------------------------------------
-    // 1. Analog chain: per-array ops via the dataflow-volume rule.
-    // ------------------------------------------------------------------
-    std::vector<int64_t> analogOps(analog_.size(), 0);
-    int64_t volume = 0;
-    int volumeBits = 8;
-    for (size_t i = 0; i < analog_.size(); ++i) {
-        const auto &mapped = analogStages[i];
-        if (!mapped.empty()) {
-            const Stage &last = sw_.stage(mapped.back());
-            // Eq. 3 numerator: a compute array performs one component
-            // access per primitive operation (e.g. per MAC of a
-            // convolution); sensing/memory/ADC arrays perform one
-            // access per produced sample (multi-input primitives like
-            // charge binning live inside the component via spatial
-            // cell counts).
-            if (analog_[i].role == AnalogRole::AnalogCompute)
-                analogOps[i] = last.opsPerFrame();
-            else
-                analogOps[i] = last.outputsPerFrame();
-            volume = last.outputsPerFrame();
-            volumeBits = last.bitDepth();
-        } else {
-            if (volume == 0)
-                fatal("Design %s: analog array '%s' precedes any mapped "
-                      "stage; map the Input stage to the pixel array",
-                      params_.name.c_str(),
-                      analog_[i].array.name().c_str());
-            analogOps[i] = volume; // pass-through (e.g. ADC)
-        }
-    }
-
-    std::vector<const AnalogArray *> chain;
-    chain.reserve(analog_.size());
-    for (const auto &e : analog_)
-        chain.push_back(&e.array);
-    checkAnalogDomains(chain);
-    checkAnalogThroughput(chain);
-    checkAdcBoundary(chain);
-
-    // ------------------------------------------------------------------
-    // 2. Digital pipeline analytics: fires, access counts, volumes.
-    // ------------------------------------------------------------------
-    struct UnitStats
-    {
-        int64_t fires = 0;
-        Energy energy = 0.0;
-        int latency = 1;
-        // Per input port, in elements.
-        std::vector<int64_t> portReadElems;
-        int64_t writeElems = 0;
-        int elemBits = 8;
-    };
-    std::vector<UnitStats> ustats(units_.size());
-    std::vector<int64_t> memReadWords(mems_.size(), 0);
-    std::vector<int64_t> memWriteWords(mems_.size(), 0);
-    // Element-granularity counts for the cycle simulation.
-    std::vector<int64_t> memWriteElems(mems_.size(), 0);
-
-    int64_t mipiBytes = 0, tsvBytes = 0;
-    auto cross = [&](Layer from, Layer to, int64_t bytes) {
-        if (from == to)
-            return;
-        if (from == Layer::OffChip || to == Layer::OffChip)
-            mipiBytes += bytes;
-        else
-            tsvBytes += bytes;
-    };
-
-    for (size_t u = 0; u < units_.size(); ++u) {
-        const UnitEntry &ue = units_[u];
-        UnitStats &st = ustats[u];
-        st.portReadElems.assign(ue.inputMems.size(), 0);
-
-        if (unitStages[u].empty()) {
-            warn("Design %s: compute unit '%s' has no mapped stages",
-                 params_.name.c_str(), ue.name().c_str());
-            continue;
-        }
-        if (ue.inputMems.empty())
-            fatal("Design %s: unit '%s' has no input memory",
-                  params_.name.c_str(), ue.name().c_str());
-
-        if (std::holds_alternative<SystolicArray>(ue.unit)) {
-            const auto &sa = std::get<SystolicArray>(ue.unit);
-            if (ue.inputMems.size() != 1)
-                fatal("Design %s: systolic array '%s' needs exactly one "
-                      "input buffer", params_.name.c_str(),
-                      ue.name().c_str());
-            for (StageId id : unitStages[u]) {
-                const Stage &s = sw_.stage(id);
-                SystolicMapping m = sa.mapStage(s);
-                st.fires += m.cycles;
-                st.energy += m.energy;
-                // Weight-stationary traffic: each activation fetch
-                // feeds `rows` PEs, each weight fetch feeds `cols`
-                // streaming pixels.
-                st.portReadElems[0] += m.macs / sa.rows() +
-                                       m.macs / sa.cols();
-                st.writeElems += s.outputsPerFrame();
-                st.elemBits = s.bitDepth();
-            }
-            st.latency = sa.rows() + sa.cols();
-        } else {
-            const auto &cu = std::get<ComputeUnit>(ue.unit);
-            for (StageId id : unitStages[u]) {
-                const Stage &s = sw_.stage(id);
-                int64_t fires = cu.cyclesForStage(s.outputsPerFrame(),
-                                                  s.opsPerFrame());
-                st.fires += fires;
-                for (size_t p = 0; p < ue.inputMems.size(); ++p) {
-                    st.portReadElems[p] +=
-                        fires * cu.inputPixelsPerCycle().count();
-                }
-                st.writeElems +=
-                    fires * cu.outputPixelsPerCycle().count();
-                st.elemBits = s.bitDepth();
-            }
-            st.energy = cu.energyForCycles(st.fires);
-            st.latency = cu.numStages();
-        }
-
-        for (size_t p = 0; p < ue.inputMems.size(); ++p) {
-            const size_t m = static_cast<size_t>(ue.inputMems[p]);
-            memReadWords[m] += elemsToWords(st.portReadElems[p],
-                                            st.elemBits,
-                                            mems_[m].wordBits());
-            cross(mems_[m].layer(), ue.layer(),
-                  elemsToBytes(st.portReadElems[p], st.elemBits));
-        }
-        for (int mi : ue.outputMems) {
-            const size_t m = static_cast<size_t>(mi);
-            memWriteWords[m] += elemsToWords(st.writeElems, st.elemBits,
-                                             mems_[m].wordBits());
-            memWriteElems[m] += st.writeElems;
-            cross(ue.layer(), mems_[m].layer(),
-                  elemsToBytes(st.writeElems, st.elemBits));
-        }
-    }
-
-    // ADC output into the digital pipeline.
-    if (!units_.empty() && adcOutputMem_ < 0)
-        fatal("Design %s: digital units exist but setAdcOutput() was "
-              "not called", params_.name.c_str());
-    if (adcOutputMem_ >= 0) {
-        const size_t m = static_cast<size_t>(adcOutputMem_);
-        memWriteWords[m] += elemsToWords(volume, volumeBits,
-                                         mems_[m].wordBits());
-        memWriteElems[m] += volume;
-        cross(analog_.back().array.layer(), mems_[m].layer(),
-              elemsToBytes(volume, volumeBits));
-    }
-
-    // ------------------------------------------------------------------
-    // 3. Cycle-level simulation: digital latency, then stall check.
-    // ------------------------------------------------------------------
-    Time digital_latency = 0.0;
-
-    auto build_sim = [&](double source_rate_elems) {
-        CycleSim sim;
-        for (size_t m = 0; m < mems_.size(); ++m) {
-            SimMemory sm;
-            sm.name = mems_[m].name();
-            // Track occupancy in elements of the data flowing through.
-            int elem_bits = 8;
-            for (size_t u = 0; u < units_.size(); ++u) {
-                for (int mi : units_[u].outputMems) {
-                    if (mi == static_cast<int>(m))
-                        elem_bits = ustats[u].elemBits;
-                }
-            }
-            if (adcOutputMem_ == static_cast<int>(m))
-                elem_bits = volumeBits;
-            sm.capacityWords = std::max<int64_t>(
-                1, mems_[m].capacityWords() * mems_[m].wordBits() /
-                       elem_bits);
-            sm.readPorts = mems_[m].readPorts();
-            sm.writePorts = mems_[m].writePorts();
-            sm.prefilled = memPrefilled[m];
-            sim.addMemory(sm);
-        }
-        if (adcOutputMem_ >= 0 && volume > 0) {
-            SimSource src;
-            src.name = "adc-source";
-            src.totalWords = volume;
-            src.wordsPerCycle = source_rate_elems;
-            src.memIdx = adcOutputMem_;
-            sim.addSource(src);
-        }
-        for (size_t u = 0; u < units_.size(); ++u) {
-            if (unitStages[u].empty() || ustats[u].fires == 0)
-                continue;
-            const UnitEntry &ue = units_[u];
-            SimUnit su;
-            su.name = ue.name();
-            for (size_t p = 0; p < ue.inputMems.size(); ++p) {
-                SimPort port;
-                port.memIdx = ue.inputMems[p];
-                port.readWords = std::max<int64_t>(
-                    1, ustats[u].portReadElems[p] / ustats[u].fires);
-                port.needWords = port.readWords;
-                // Flow conservation: retire what the producer put in.
-                const size_t m = static_cast<size_t>(port.memIdx);
-                port.retireWords =
-                    static_cast<double>(memWriteElems[m]) /
-                    static_cast<double>(ustats[u].fires);
-                port.expectedWords =
-                    static_cast<double>(memWriteElems[m]);
-                su.inputs.push_back(port);
-            }
-            su.outMemIdx = ue.outputMems.empty() ? -1 : ue.outputMems[0];
-            su.outWords = std::max<int64_t>(
-                1, ustats[u].writeElems / ustats[u].fires);
-            su.totalFires = ustats[u].fires;
-            su.latency = ustats[u].latency;
-            sim.addUnit(su);
-        }
-        return sim;
-    };
-
-    bool have_digital = false;
-    for (size_t u = 0; u < units_.size(); ++u) {
-        if (!unitStages[u].empty() && ustats[u].fires > 0)
-            have_digital = true;
-    }
-
-    if (have_digital) {
-        // Pass A: latency with a source matched to the first
-        // consumer's appetite (the digital side is never input-bound).
-        double fast_rate = 1.0;
-        for (size_t u = 0; u < units_.size(); ++u) {
-            for (size_t p = 0; p < units_[u].inputMems.size(); ++p) {
-                if (units_[u].inputMems[p] == adcOutputMem_ &&
-                    ustats[u].fires > 0) {
-                    fast_rate = std::max(
-                        fast_rate,
-                        static_cast<double>(ustats[u].portReadElems[p]) /
-                            static_cast<double>(ustats[u].fires));
-                }
-            }
-        }
-        CycleSim simA = build_sim(fast_rate);
-        CycleSimResult ra = simA.run();
-        digital_latency = static_cast<double>(ra.cycles) /
-                          params_.digitalClock;
-    }
-
-    DelayEstimate delay = estimateDelays(
-        1.0 / params_.fps, digital_latency,
-        static_cast<int>(analog_.size()));
-
-    if (have_digital && volume > 0) {
-        // Pass B: stall check at the true ADC production rate.
-        double adc_rate = static_cast<double>(volume) /
-                          (delay.analogUnitTime * params_.digitalClock);
-        CycleSim simB = build_sim(adc_rate);
-        CycleSimResult rb = simB.run();
-        if (rb.sourceBlocked) {
-            fatal("Design %s: pipeline stall — the ADC output memory "
-                  "fills up at the required frame rate (%lld blocked "
-                  "cycles); enlarge the buffer or speed up the "
-                  "consumer", params_.name.c_str(),
-                  static_cast<long long>(rb.sourceBlockedCycles));
-        }
-    }
-
-    // ------------------------------------------------------------------
-    // 4. Energy assembly.
-    // ------------------------------------------------------------------
-    EnergyReport rep;
-    rep.designName = params_.name;
-    rep.fps = params_.fps;
-    rep.frameTime = delay.frameTime;
-    rep.digitalLatency = delay.digitalLatency;
-    rep.analogUnitTime = delay.analogUnitTime;
-    rep.numAnalogSlots = delay.numSlots;
-
-    AreaSummary areas;
-
-    for (size_t i = 0; i < analog_.size(); ++i) {
-        const AnalogEntry &e = analog_[i];
-        AnalogArrayEnergy ae = e.array.energyPerFrame(
-            analogOps[i], delay.analogUnitTime, delay.frameTime);
-        EnergyCategory cat = EnergyCategory::Sen;
-        if (e.role == AnalogRole::AnalogCompute)
-            cat = EnergyCategory::CompA;
-        else if (e.role == AnalogRole::AnalogMemory)
-            cat = EnergyCategory::MemA;
-        rep.units.push_back({e.array.name(), cat, e.array.layer(),
-                             ae.total});
-        areas.add(e.array.layer(), e.array.area());
-    }
-
-    for (size_t u = 0; u < units_.size(); ++u) {
-        const UnitEntry &ue = units_[u];
-        rep.units.push_back({ue.name(), EnergyCategory::CompD,
-                             ue.layer(), ustats[u].energy});
-        areas.add(ue.layer(), ue.area());
-    }
-
-    for (size_t m = 0; m < mems_.size(); ++m) {
-        MemoryEnergy me = mems_[m].energyPerFrame(
-            memReadWords[m], memWriteWords[m], delay.frameTime);
-        rep.units.push_back({mems_[m].name(), EnergyCategory::MemD,
-                             mems_[m].layer(), me.total});
-        areas.add(mems_[m].layer(), mems_[m].area());
-    }
-
-    // Final pipeline output leaves toward the host. Use the
-    // topologically-last processing stage; resident-data Inputs (a
-    // frame buffer's previous frame, region state) are not outputs
-    // even when they sort last.
-    {
-        StageId last_stage = topo.back();
-        for (auto it = topo.rbegin(); it != topo.rend(); ++it) {
-            if (sw_.stage(*it).op() != StageOp::Input) {
-                last_stage = *it;
-                break;
-            }
-        }
-        const Stage &s = sw_.stage(last_stage);
-        int64_t out_bytes = outputBytesOverride_ >= 0
-                                ? outputBytesOverride_
-                                : s.outputBytesPerFrame();
-        const std::string &hw = mapping_.hwUnitOf(s.name());
-        Layer out_layer;
-        int ai = findAnalog(hw);
-        if (ai >= 0) {
-            out_layer = analog_[static_cast<size_t>(ai)].array.layer();
-        } else {
-            bool found = false;
-            for (const auto &mem : mems_) {
-                if (mem.name() == hw) {
-                    out_layer = mem.layer();
-                    found = true;
-                    break;
-                }
-            }
-            if (!found) {
-                out_layer = units_[static_cast<size_t>(
-                                       findUnit(hw, "output"))]
-                                .layer();
-            }
-        }
-        if (out_layer != Layer::OffChip)
-            mipiBytes += out_bytes;
-    }
-
-    if (mipiBytes > 0) {
-        if (!mipi_)
-            fatal("Design %s: %lld B cross the package boundary but no "
-                  "MIPI interface is configured", params_.name.c_str(),
-                  static_cast<long long>(mipiBytes));
-        rep.units.push_back({mipi_->name(), EnergyCategory::Mipi,
-                             Layer::Sensor,
-                             mipi_->energyForBytes(mipiBytes)});
-    }
-    if (tsvBytes > 0) {
-        if (!tsv_)
-            fatal("Design %s: %lld B cross between stacked layers but "
-                  "no uTSV interface is configured",
-                  params_.name.c_str(),
-                  static_cast<long long>(tsvBytes));
-        rep.units.push_back({tsv_->name(), EnergyCategory::Tsv,
-                             Layer::Sensor,
-                             tsv_->energyForBytes(tsvBytes)});
-    }
-    rep.mipiBytes = mipiBytes;
-    rep.tsvBytes = tsvBytes;
-
-    rep.sensorLayerArea = areas.sensorLayer;
-    rep.computeLayerArea = areas.computeLayer;
-    rep.footprint = areas.footprint();
-    return rep;
+void
+Design::setDigitalClock(Frequency clock)
+{
+    if (clock <= 0.0)
+        fatal("Design %s: digital clock must be positive",
+              params_.name.c_str());
+    params_.digitalClock = clock;
 }
 
 } // namespace camj

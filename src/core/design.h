@@ -118,14 +118,32 @@ class Design
     void setPipelineOutputBytes(int64_t bytes);
 
     /**
-     * Run all checks and the energy estimation for one frame.
+     * Run all checks and the energy estimation for one frame — every
+     * stage of the evaluation pipeline (core/pipeline.h) in order.
      *
      * @throws ConfigError on any failed pre-simulation check, a
      *         pipeline stall, or a missed FPS target.
      */
     EnergyReport simulate() const;
 
+    // ----- incremental patch points -----
+    //
+    // The IncrementalEvaluator (explore/incremental.h) rebinds these
+    // scalar parameters on a cached Design instead of re-materializing
+    // the whole hardware description; each setter validates like the
+    // constructor does.
+
+    /** @throws ConfigError on an empty name. */
+    void setName(std::string name);
+
+    /** @throws ConfigError unless positive. */
+    void setFps(double fps);
+
+    /** @throws ConfigError unless positive. */
+    void setDigitalClock(Frequency clock);
+
   private:
+    friend class EvalPipeline;
     struct AnalogEntry
     {
         AnalogArray array;

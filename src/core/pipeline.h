@@ -1,0 +1,151 @@
+/**
+ * @file
+ * The staged evaluation core. Design::simulate() used to be one
+ * monolithic function running the full Sec. 4 methodology; this file
+ * splits it into an ordered pipeline of stages, each persisting its
+ * outputs in an EvalPipeline:
+ *
+ *   Map      — DAG validation, mapping analysis (which stages run on
+ *              which hardware), topological order, prefilled memories.
+ *   Analog   — per-array operation counts via the dataflow-volume
+ *              rule, plus the analog-chain checks (domains,
+ *              throughput, ADC boundary).
+ *   Digital  — digital pipeline analytics: unit fire counts and
+ *              energies, per-memory word traffic, cross-layer
+ *              communication volumes.
+ *   CycleSim — cycle-level simulation pass A (consumer-paced source):
+ *              the digital latency in cycles.
+ *   Timing   — delay estimation (T_A from the frame budget) and the
+ *              pass-B stall check at the true ADC rate.
+ *   Energy   — energy assembly into the EnergyReport.
+ *
+ * Running all stages in order is exactly the old simulate() —
+ * Design::simulate() is now a thin wrapper over runAll(). The point
+ * of the split is INCREMENTAL re-simulation: a compiled design point
+ * keeps its EvalPipeline, and when a spec delta only invalidates a
+ * suffix of the stage list (see explore/incremental.h for the
+ * field -> stage dependency table), runFrom() re-runs just that
+ * suffix against the cached earlier outputs — bit-identical to a
+ * full rebuild, because every stage is a pure function of the design
+ * and the outputs of the stages before it.
+ */
+
+#ifndef CAMJ_CORE_PIPELINE_H
+#define CAMJ_CORE_PIPELINE_H
+
+#include <cstdint>
+#include <vector>
+
+#include "core/delay.h"
+#include "core/report.h"
+#include "digital/cyclesim.h"
+#include "sw/graph.h"
+
+namespace camj
+{
+
+class Design;
+
+/** The ordered stages of one design-point evaluation. */
+enum class EvalStage
+{
+    Map = 0,
+    Analog,
+    Digital,
+    CycleSim,
+    Timing,
+    Energy,
+};
+
+/** Number of stages (Energy is the last). */
+inline constexpr int kEvalStageCount = 6;
+
+/** Stable lower-case stage name ("map", "cyclesim", ...). */
+const char *evalStageName(EvalStage stage);
+
+/**
+ * The persisted intermediate state of one evaluated design point —
+ * the CompiledDesign IR's engine half. Each runX() stage reads the
+ * design plus the outputs of earlier stages and overwrites its own
+ * outputs; any failed check throws ConfigError exactly where the
+ * monolithic simulate() did.
+ *
+ * An EvalPipeline is a plain value: copyable, and only meaningful
+ * together with the Design it was last run against.
+ */
+class EvalPipeline
+{
+  public:
+    /** Run every stage in order (the classic simulate()). */
+    EnergyReport runAll(const Design &design);
+
+    /**
+     * Re-run the stage suffix starting at @p first against the cached
+     * outputs of the earlier stages. The caller guarantees those
+     * cached outputs are still valid for @p design (that is what the
+     * dependency table in explore/incremental.h establishes);
+     * given that, the result is bit-identical to runAll().
+     */
+    EnergyReport runFrom(const Design &design, EvalStage first);
+
+    /** The Energy stage's output (valid after a successful run). */
+    const EnergyReport &report() const { return report_; }
+
+  private:
+    /** Per-unit analytics of the Digital stage. */
+    struct UnitStats
+    {
+        int64_t fires = 0;
+        Energy energy = 0.0;
+        int latency = 1;
+        /** Per input port, in elements. */
+        std::vector<int64_t> portReadElems;
+        int64_t writeElems = 0;
+        int elemBits = 8;
+    };
+
+    // ----- Map outputs -----
+    std::vector<StageId> topo_;
+    std::vector<int> topoPos_;
+    std::vector<std::vector<StageId>> analogStages_;
+    std::vector<std::vector<StageId>> unitStages_;
+    std::vector<bool> memPrefilled_;
+
+    // ----- Analog outputs -----
+    std::vector<int64_t> analogOps_;
+    int64_t volume_ = 0;
+    int volumeBits_ = 8;
+
+    // ----- Digital outputs -----
+    std::vector<UnitStats> ustats_;
+    std::vector<int64_t> memReadWords_;
+    std::vector<int64_t> memWriteWords_;
+    std::vector<int64_t> memWriteElems_;
+    int64_t mipiBytes_ = 0;
+    int64_t tsvBytes_ = 0;
+    bool haveDigital_ = false;
+
+    // ----- CycleSim outputs -----
+    int64_t cyclesA_ = 0;
+
+    // ----- Timing outputs -----
+    DelayEstimate delay_;
+
+    // ----- Energy output -----
+    EnergyReport report_;
+
+    void runMap(const Design &d);
+    void runAnalog(const Design &d);
+    void runDigital(const Design &d);
+    void runCycleSim(const Design &d);
+    void runTiming(const Design &d);
+    void runEnergy(const Design &d);
+
+    /** The cycle-level model shared by pass A (CycleSim stage) and
+     *  pass B (Timing stage's stall check). */
+    CycleSim buildSim(const Design &d, double source_rate_elems) const;
+};
+
+} // namespace camj
+
+#endif // CAMJ_CORE_PIPELINE_H

@@ -1,0 +1,304 @@
+#include "explore/incremental.h"
+
+#include "common/logging.h"
+#include "spec/diff.h"
+#include "spec/grid.h"
+
+namespace camj
+{
+
+// ----------------------------------------------------- dependency table
+
+namespace
+{
+
+FieldImpact
+patch(EvalStage first)
+{
+    return {false, first};
+}
+
+FieldImpact
+remat(EvalStage first)
+{
+    return {true, first};
+}
+
+FieldImpact
+mergeImpacts(FieldImpact a, FieldImpact b)
+{
+    FieldImpact out;
+    out.rematerialize = a.rematerialize || b.rematerialize;
+    out.firstStage = static_cast<int>(a.firstStage) <
+                             static_cast<int>(b.firstStage)
+                         ? a.firstStage
+                         : b.firstStage;
+    return out;
+}
+
+/** memories[X].F -> impact; identity/unknown fields -> full. */
+FieldImpact
+classifyMemoryField(const std::string &field)
+{
+    // Word geometry feeds the Digital stage's words-per-access math
+    // and the cross-layer traffic; layer feeds the same traffic.
+    if (field == "wordBits" || field == "layer")
+        return remat(EvalStage::Digital);
+    // Capacity, ports and buffering policy only shape the cycle-level
+    // model (kind also selects the double-buffer port groups).
+    if (field == "capacityWords" || field == "readPorts" ||
+        field == "writePorts" || field == "kind")
+        return remat(EvalStage::CycleSim);
+    // Purely electrical: the access/leakage energies of the Energy
+    // stage (the word traffic they multiply is already cached).
+    if (field == "nodeNm" || field == "activeFraction" ||
+        field == "readEnergyPerWord" || field == "writeEnergyPerWord" ||
+        field == "leakagePower" || field == "area" ||
+        field == "model")
+        return remat(EvalStage::Energy);
+    return FieldImpact::full(); // "name" (identity) or unknown
+}
+
+} // namespace
+
+FieldImpact
+classifyFieldPath(const std::string &path)
+{
+    std::vector<spec::SpecPathSegment> segs;
+    try {
+        segs = spec::parseSpecPath(path);
+    } catch (const ConfigError &) {
+        return FieldImpact::full(); // unparseable -> conservative
+    }
+    const spec::SpecPathSegment &top = segs.front();
+
+    if (segs.size() == 1 && !top.hasSelector) {
+        if (top.member == "name")
+            return patch(EvalStage::Energy); // report identity only
+        if (top.member == "fps" || top.member == "digitalClock")
+            return patch(EvalStage::Timing);
+        // The override is read by the Energy stage's final-output
+        // accounting, but Design has no "unset" transition for it —
+        // re-lowering keeps -1 <-> >= 0 flips correct.
+        if (top.member == "pipelineOutputBytes")
+            return remat(EvalStage::Energy);
+        // Rewiring the ADC changes the Digital stage's traffic.
+        if (top.member == "adcOutputMemory")
+            return remat(EvalStage::Digital);
+        return FieldImpact::full();
+    }
+
+    // Interface blocks only matter when the Energy stage prices the
+    // communication volumes (re-lowering installs/removes them).
+    if (top.member == "mipi" || top.member == "tsv")
+        return remat(EvalStage::Energy);
+
+    // Mapping moves stages between hardware targets.
+    if (top.member == "mapping")
+        return remat(EvalStage::Map);
+
+    // Element identity: renaming (or replacing) a named element of
+    // any hardware/stage list re-keys every reference to it.
+    const bool renames = segs.size() == 2 &&
+                         !segs[1].hasSelector &&
+                         segs[1].member == "name";
+
+    if (top.member == "stages") {
+        if (segs.size() < 2 || renames)
+            return FieldImpact::full();
+        // Only the per-stage work shapes the Map stage never reads
+        // may skip it: they are first consumed by the Analog stage's
+        // dataflow-volume rule. Everything else — op (arity, the
+        // Input-on-memory check), inputSize/outputSize (the DAG's
+        // edge-shape validation), inputs (the edges themselves) —
+        // feeds SwGraph::validate() inside the Map stage, so
+        // skipping Map would silently accept specs a full rebuild
+        // rejects. Full rebuild for all of those.
+        const std::string &field = segs[1].member;
+        if (field == "bitDepth" || field == "kernel" ||
+            field == "stride" || field == "opsPerOutput")
+            return remat(EvalStage::Analog);
+        return FieldImpact::full();
+    }
+    if (top.member == "analogArrays") {
+        if (segs.size() < 2 || renames)
+            return FieldImpact::full();
+        // Component electricals, shapes, roles, layers: the Analog
+        // stage's checks read them, the Energy stage prices them.
+        return remat(EvalStage::Analog);
+    }
+    if (top.member == "memories") {
+        if (segs.size() != 2 || renames)
+            return FieldImpact::full();
+        return classifyMemoryField(segs[1].member);
+    }
+    if (top.member == "units") {
+        if (segs.size() < 2 || renames)
+            return FieldImpact::full();
+        // Swapping a unit's kind swaps the variant the analytics
+        // dispatch on — treat like replacing the unit.
+        if (segs.size() == 2 && !segs[1].hasSelector &&
+            segs[1].member == "kind")
+            return FieldImpact::full();
+        // Everything else (throughput shapes, energies, wiring
+        // lists, layer) first matters to the Digital analytics.
+        return remat(EvalStage::Digital);
+    }
+    return FieldImpact::full();
+}
+
+FieldImpact
+classifyFieldPaths(const std::vector<std::string> &paths)
+{
+    if (paths.empty())
+        return patch(EvalStage::Energy); // callers special-case empty
+    FieldImpact impact = classifyFieldPath(paths.front());
+    for (size_t i = 1; i < paths.size(); ++i) {
+        if (impact.structural())
+            return impact;
+        impact = mergeImpacts(impact, classifyFieldPath(paths[i]));
+    }
+    return impact;
+}
+
+// ------------------------------------------------------------ evaluator
+
+IncrementalEvaluator::IncrementalEvaluator(SimulationOptions options)
+    : options_(options)
+{
+    if (options_.frames < 1)
+        fatal("IncrementalEvaluator: frames must be >= 1 (got %d)",
+              options_.frames);
+    if (options_.exposure < 0.0)
+        fatal("IncrementalEvaluator: negative exposure");
+}
+
+SimulationOutcome
+IncrementalEvaluator::failed(const std::string &what)
+{
+    return failureOutcome(options_, what);
+}
+
+SimulationOutcome
+IncrementalEvaluator::fullBuild(const spec::DesignSpec &spec,
+                                json::Value doc)
+{
+    ++stats_.fullBuilds;
+    stats_.stagesRun += static_cast<size_t>(kEvalStageCount);
+    try {
+        Design design = spec.materialize(&cache_);
+        EvalPipeline pipeline;
+        EnergyReport report = pipeline.runAll(design);
+        SimulationOutcome out = finishOutcome(options_, report);
+        last_.emplace(CompiledDesign{std::move(doc),
+                                     std::move(design),
+                                     std::move(pipeline),
+                                     std::move(report)});
+        return out;
+    } catch (const ConfigError &e) {
+        // A failed check aborts mid-pipeline: nothing reusable.
+        last_.reset();
+        if (options_.checkMode == CheckMode::Strict)
+            throw;
+        return failed(e.what());
+    } catch (...) {
+        last_.reset();
+        throw;
+    }
+}
+
+SimulationOutcome
+IncrementalEvaluator::incrementalRun(const spec::DesignSpec &spec,
+                                     json::Value doc,
+                                     FieldImpact impact)
+{
+    ++stats_.incrementalRuns;
+    const size_t first = static_cast<size_t>(impact.firstStage);
+    stats_.stagesRun += static_cast<size_t>(kEvalStageCount) - first;
+    stats_.stagesSkipped += first;
+    try {
+        if (impact.rematerialize) {
+            ++stats_.rematerializations;
+            last_->design = spec.materialize(&cache_);
+        } else {
+            // Scalar patch. The full path validates the spec inside
+            // materialize(); validating here first keeps a bad value's
+            // error (and its exact text) identical to that path.
+            spec.validate();
+            last_->design.setName(spec.name);
+            last_->design.setFps(spec.fps);
+            last_->design.setDigitalClock(spec.digitalClock);
+        }
+        EnergyReport report =
+            last_->pipeline.runFrom(last_->design, impact.firstStage);
+        SimulationOutcome out = finishOutcome(options_, report);
+        last_->specDoc = std::move(doc);
+        last_->report = std::move(report);
+        return out;
+    } catch (const ConfigError &e) {
+        last_.reset();
+        if (options_.checkMode == CheckMode::Strict)
+            throw;
+        return failed(e.what());
+    } catch (...) {
+        last_.reset();
+        throw;
+    }
+}
+
+SimulationOutcome
+IncrementalEvaluator::evaluate(const spec::DesignSpec &spec)
+{
+    ++stats_.points;
+    json::Value doc = spec::toJsonValue(spec);
+    if (!last_)
+        return fullBuild(spec, std::move(doc));
+
+    ++stats_.diffsComputed;
+    const std::vector<spec::SpecDifference> diffs =
+        spec::diffJsonValues(last_->specDoc, doc);
+    if (diffs.empty()) {
+        ++stats_.identicalHits;
+        stats_.stagesSkipped += static_cast<size_t>(kEvalStageCount);
+        return finishOutcome(options_, last_->report);
+    }
+    FieldImpact impact{false, EvalStage::Energy};
+    bool merged_any = false;
+    for (const spec::SpecDifference &d : diffs) {
+        // Added/Removed fields change the document SHAPE (an element
+        // appeared, an optional member toggled): always structural.
+        const FieldImpact fi =
+            d.kind == spec::SpecDifference::Kind::Changed
+                ? classifyFieldPath(d.path)
+                : FieldImpact::full();
+        impact = merged_any ? mergeImpacts(impact, fi) : fi;
+        merged_any = true;
+        if (impact.structural())
+            break;
+    }
+    if (impact.structural())
+        return fullBuild(spec, std::move(doc));
+    return incrementalRun(spec, std::move(doc), impact);
+}
+
+SimulationOutcome
+IncrementalEvaluator::evaluate(
+    const spec::DesignSpec &spec,
+    const std::vector<std::string> &changed_paths)
+{
+    ++stats_.points;
+    if (!last_)
+        return fullBuild(spec, spec::toJsonValue(spec));
+    if (changed_paths.empty()) {
+        ++stats_.identicalHits;
+        stats_.stagesSkipped += static_cast<size_t>(kEvalStageCount);
+        return finishOutcome(options_, last_->report);
+    }
+    const FieldImpact impact = classifyFieldPaths(changed_paths);
+    json::Value doc = spec::toJsonValue(spec);
+    if (impact.structural())
+        return fullBuild(spec, std::move(doc));
+    return incrementalRun(spec, std::move(doc), impact);
+}
+
+} // namespace camj

@@ -1,0 +1,186 @@
+/**
+ * @file
+ * Dependency-tracked incremental re-simulation — the CompiledDesign
+ * IR over the staged evaluation pipeline of core/pipeline.h.
+ *
+ * A grid sweep's neighboring design points usually differ in one or
+ * two spec fields, yet the classic path rebuilds each point from
+ * scratch: validate -> materialize -> all six evaluation stages. The
+ * IncrementalEvaluator instead keeps the LAST compiled point (spec
+ * document + lowered Design + every persisted stage output), diffs
+ * the next spec against it, maps the changed field paths through a
+ * field -> stage dependency table, and re-runs only the dirty stage
+ * suffix. Scalar fields (fps, digitalClock, name) are patched onto
+ * the cached Design without re-materializing at all; parametric
+ * fields (a memory's node, an analog component's capacitance) force
+ * a re-materialization (cheap through the MaterializeCache) but keep
+ * every stage before their first dirty stage cached; structural
+ * changes (components added/removed/renamed, kinds changed, unknown
+ * fields) fall back to a full rebuild.
+ *
+ * The dependency table is documented in docs/evaluation_pipeline.md;
+ * classifyFieldPath() is its executable form, and
+ * tests/incremental_test.cc pins every row. Soundness rule: a table
+ * row may be CONSERVATIVE (re-run more than strictly needed) but
+ * never optimistic — the bit-identity suite (all 27 paper studies
+ * plus the 108-point canonical grid vs. full rebuilds) guards the
+ * rule.
+ *
+ * Field paths use the grid-axis / spec-diff syntax:
+ * "fps", "memories[ActBuf].nodeNm", "analogArrays[*].componentArea".
+ */
+
+#ifndef CAMJ_EXPLORE_INCREMENTAL_H
+#define CAMJ_EXPLORE_INCREMENTAL_H
+
+#include <cstddef>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/design.h"
+#include "core/pipeline.h"
+#include "explore/simulator.h"
+#include "spec/json.h"
+#include "spec/spec.h"
+
+namespace camj
+{
+
+/** What one changed spec field forces the evaluator to redo. */
+struct FieldImpact
+{
+    /** Re-lower the spec onto a fresh Design (through the evaluator's
+     *  MaterializeCache) before running the dirty stages. When false
+     *  the field is scalar-patchable (Design::setFps and friends). */
+    bool rematerialize = false;
+
+    /** Earliest pipeline stage whose inputs the field feeds; that
+     *  stage and everything after it re-run. */
+    EvalStage firstStage = EvalStage::Map;
+
+    /** A full rebuild: re-materialize and re-run every stage. */
+    bool structural() const
+    {
+        return rematerialize && firstStage == EvalStage::Map;
+    }
+
+    /** The full-rebuild impact (the conservative fallback). */
+    static FieldImpact full() { return {true, EvalStage::Map}; }
+};
+
+/**
+ * The field -> stage dependency table: classify one changed spec
+ * field path. Unknown paths, identity fields (element names, unit
+ * kinds), and whole-element paths classify as a full rebuild.
+ */
+FieldImpact classifyFieldPath(const std::string &path);
+
+/** Union of the impacts of several changed paths: re-materialize if
+ *  any does, first stage = the earliest. Empty input = "nothing
+ *  changed" ({false, Energy} with an identical report guaranteed —
+ *  callers special-case it before running anything). */
+FieldImpact classifyFieldPaths(const std::vector<std::string> &paths);
+
+/**
+ * One compiled design point: the spec document it was compiled from,
+ * the lowered Design, and the evaluation pipeline holding every
+ * persisted stage output. Only FEASIBLE points are kept compiled —
+ * a failed check aborts mid-pipeline, leaving nothing reusable.
+ */
+struct CompiledDesign
+{
+    /** toJsonValue(spec) of the compiled point (diff base). */
+    json::Value specDoc;
+    Design design;
+    EvalPipeline pipeline;
+    /** The Energy stage's report (per frame). */
+    EnergyReport report;
+};
+
+/** Counters of what an evaluator reused vs. redid. */
+struct IncrementalStats
+{
+    /** evaluate() calls. */
+    size_t points = 0;
+    /** Points compiled from scratch (first point, structural changes,
+     *  recovery after an infeasible point). */
+    size_t fullBuilds = 0;
+    /** Points that reused at least one cached stage. */
+    size_t incrementalRuns = 0;
+    /** Points whose spec was identical to the cached one (no stage
+     *  re-ran at all). */
+    size_t identicalHits = 0;
+    /** Incremental points that re-lowered the spec onto a fresh
+     *  Design (parametric changes). */
+    size_t rematerializations = 0;
+    /** Pipeline stages executed / skipped, over all points. */
+    size_t stagesRun = 0;
+    size_t stagesSkipped = 0;
+    /** Points that needed a JSON diff (no changed-path hint). */
+    size_t diffsComputed = 0;
+};
+
+/**
+ * Evaluates a stream of DesignSpecs, reusing the previous point's
+ * compiled state per the dependency table. Results are bit-identical
+ * to a fresh Simulator::run(spec) per point — energies, feasibility
+ * verdicts, and error text alike (pinned by tests/incremental_test).
+ *
+ * NOT thread-safe: give each sweep worker its own evaluator (the
+ * SweepEngine does, under SweepOptions::incremental).
+ */
+class IncrementalEvaluator
+{
+  public:
+    /** @throws ConfigError on invalid options (as Simulator does). */
+    explicit IncrementalEvaluator(SimulationOptions options = {});
+
+    const SimulationOptions &options() const { return options_; }
+
+    /**
+     * Evaluate one design point, diffing its serialized form against
+     * the cached previous point to find the dirty stage suffix.
+     * CheckMode::Report folds failed checks into the outcome;
+     * CheckMode::Strict rethrows them (like Simulator::run).
+     */
+    SimulationOutcome evaluate(const spec::DesignSpec &spec);
+
+    /**
+     * Evaluate with a changed-path hint: @p changed_paths are the
+     * spec field paths that differ from the PREVIOUSLY evaluated
+     * spec (e.g. SpecSource::changedPaths between consecutive grid
+     * points), so no JSON diff is needed. The hint may
+     * over-approximate but must never omit a changed field; an empty
+     * hint asserts the spec is identical to the previous one.
+     */
+    SimulationOutcome evaluate(
+        const spec::DesignSpec &spec,
+        const std::vector<std::string> &changed_paths);
+
+    const IncrementalStats &stats() const { return stats_; }
+
+    /** Drop the compiled point (the next evaluate() fully rebuilds).
+     *  The materialization cache and stats survive. */
+    void reset() { last_.reset(); }
+
+    /** True when a compiled point is cached. */
+    bool hasCompiledPoint() const { return last_.has_value(); }
+
+  private:
+    SimulationOptions options_;
+    std::optional<CompiledDesign> last_;
+    spec::MaterializeCache cache_;
+    IncrementalStats stats_;
+
+    SimulationOutcome fullBuild(const spec::DesignSpec &spec,
+                                json::Value doc);
+    SimulationOutcome incrementalRun(const spec::DesignSpec &spec,
+                                     json::Value doc,
+                                     FieldImpact impact);
+    SimulationOutcome failed(const std::string &what);
+};
+
+} // namespace camj
+
+#endif // CAMJ_EXPLORE_INCREMENTAL_H

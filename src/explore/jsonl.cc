@@ -186,6 +186,30 @@ mergeShardFiles(const std::vector<std::string> &paths,
     return summary;
 }
 
+std::vector<size_t>
+missingShardIndices(const std::vector<std::string> &paths,
+                    size_t total)
+{
+    std::vector<bool> present(total, false);
+    for (const std::string &path : paths) {
+        JsonlReader reader(path);
+        while (std::optional<JsonlRecord> record = reader.next()) {
+            if (record->index >= total)
+                fatal("jsonl: %s carries index %zu but the plan "
+                      "covers only [0, %zu) — these shard files "
+                      "belong to a different plan", path.c_str(),
+                      record->index, total);
+            present[record->index] = true;
+        }
+    }
+    std::vector<size_t> missing;
+    for (size_t i = 0; i < total; ++i) {
+        if (!present[i])
+            missing.push_back(i);
+    }
+    return missing;
+}
+
 std::string
 formatMergeSummary(const MergeSummary &summary)
 {

@@ -107,6 +107,20 @@ MergeSummary mergeShardFiles(const std::vector<std::string> &paths,
  *  top-K table). */
 std::string formatMergeSummary(const MergeSummary &summary);
 
+/**
+ * Gap scan: the global indices of [0, @p total) that no line of the
+ * shard files covers — the retry/resume companion of the strict
+ * merge. Where mergeShardFiles aborts on the first gap, this pass
+ * tolerates them (and duplicate indices) and reports every hole, so
+ * `camj_sweep merge --resume-plan` can emit one explicit-index shard
+ * descriptor covering exactly the missing points.
+ *
+ * @throws ConfigError on unreadable files, malformed lines, or an
+ *         index >= @p total (the inputs belong to a bigger plan).
+ */
+std::vector<size_t> missingShardIndices(
+    const std::vector<std::string> &paths, size_t total);
+
 } // namespace camj
 
 #endif // CAMJ_EXPLORE_JSONL_H

@@ -22,16 +22,16 @@ Simulator::Simulator(SimulationOptions options)
 }
 
 SimulationOutcome
-Simulator::finish(EnergyReport report) const
+finishOutcome(const SimulationOptions &options, EnergyReport report)
 {
     SimulationOutcome out;
     out.feasible = true;
-    out.frames = options_.frames;
+    out.frames = options.frames;
     out.report = std::move(report);
-    if (options_.withNoise) {
-        NoiseModel model(options_.noise);
-        const Time exposure = options_.exposure > 0.0
-                                  ? options_.exposure
+    if (options.withNoise) {
+        NoiseModel model(options.noise);
+        const Time exposure = options.exposure > 0.0
+                                  ? options.exposure
                                   : 0.5 * out.report.frameTime;
         out.snrPenaltyDb =
             model.snrPenaltyDb(out.report.powerDensity(), exposure);
@@ -40,13 +40,25 @@ Simulator::finish(EnergyReport report) const
 }
 
 SimulationOutcome
-Simulator::failure(const std::string &what) const
+failureOutcome(const SimulationOptions &options, std::string what)
 {
     SimulationOutcome out;
     out.feasible = false;
-    out.frames = options_.frames;
-    out.error = what;
+    out.frames = options.frames;
+    out.error = std::move(what);
     return out;
+}
+
+SimulationOutcome
+Simulator::finish(EnergyReport report) const
+{
+    return finishOutcome(options_, std::move(report));
+}
+
+SimulationOutcome
+Simulator::failure(const std::string &what) const
+{
+    return failureOutcome(options_, what);
 }
 
 SimulationOutcome

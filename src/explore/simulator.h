@@ -65,6 +65,19 @@ struct SimulationOutcome
     Energy totalEnergy() const;
 };
 
+/**
+ * Assemble the successful outcome of one evaluation: frames from the
+ * options, plus the Sec. 6.2 noise metric when enabled. Shared by the
+ * Simulator and the IncrementalEvaluator so both paths attach exactly
+ * the same metrics to the same report.
+ */
+SimulationOutcome finishOutcome(const SimulationOptions &options,
+                                EnergyReport report);
+
+/** Assemble the infeasible outcome for a failed check. */
+SimulationOutcome failureOutcome(const SimulationOptions &options,
+                                 std::string what);
+
 /** Stateless design-point evaluator. */
 class Simulator
 {

@@ -92,6 +92,33 @@ SweepEngine::evaluateOne(const spec::DesignSpec &spec, size_t index,
     return r;
 }
 
+SweepResult
+SweepEngine::evaluateIncremental(
+    const spec::DesignSpec &spec, size_t index,
+    IncrementalEvaluator &evaluator,
+    const std::optional<std::vector<std::string>> &changed) const
+{
+    SweepResult r;
+    r.index = index;
+    r.designName = spec.name;
+    // Same exception discipline as evaluateOne: infeasibility is
+    // data, anything else is captured, never a thread unwind.
+    try {
+        SimulationOutcome out =
+            changed ? evaluator.evaluate(spec, *changed)
+                    : evaluator.evaluate(spec);
+        r.feasible = out.feasible;
+        r.error = std::move(out.error);
+        r.report = std::move(out.report);
+        r.frames = out.frames;
+        r.snrPenaltyDb = out.snrPenaltyDb;
+    } catch (const std::exception &e) {
+        r.feasible = false;
+        r.error = std::string("internal error: ") + e.what();
+    }
+    return r;
+}
+
 StreamStats
 SweepEngine::runStream(spec::SpecSource &source, ResultSink &sink,
                        const CancelToken *cancel) const
@@ -159,6 +186,15 @@ SweepEngine::runStream(spec::SpecSource &source, ResultSink &sink,
         spec::MaterializeCache cache;
         spec::MaterializeCache *cache_ptr =
             options_.reuseMaterializations ? &cache : nullptr;
+        // Under SweepOptions::incremental each worker instead owns an
+        // IncrementalEvaluator: consecutive pulls of THIS worker diff
+        // against its last compiled point, with the source asked for
+        // the changed paths first (free for grids) before falling
+        // back to a JSON diff inside the evaluator.
+        std::optional<IncrementalEvaluator> inc;
+        if (options_.incremental)
+            inc.emplace(options_.sim);
+        std::optional<size_t> last_index;
         // Anything escaping the source or the sink (a generator
         // throwing, a JsonlSink write failure) must not unwind a
         // std::thread — that would terminate the process. Capture
@@ -173,7 +209,17 @@ SweepEngine::runStream(spec::SpecSource &source, ResultSink &sink,
                 std::optional<spec::DesignSpec> spec = pull(index);
                 if (!spec)
                     break;
-                deliver(evaluateOne(*spec, index, cache_ptr));
+                if (inc) {
+                    std::optional<std::vector<std::string>> changed;
+                    if (last_index)
+                        changed =
+                            source.changedPaths(*last_index, index);
+                    last_index = index;
+                    deliver(evaluateIncremental(*spec, index, *inc,
+                                                changed));
+                } else {
+                    deliver(evaluateOne(*spec, index, cache_ptr));
+                }
             }
         } catch (...) {
             std::lock_guard<std::mutex> lock(error_mutex);

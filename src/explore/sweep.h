@@ -21,9 +21,11 @@
 
 #include <atomic>
 #include <cstddef>
+#include <optional>
 #include <string>
 #include <vector>
 
+#include "explore/incremental.h"
 #include "explore/simulator.h"
 #include "explore/sink.h"
 #include "explore/sweep_result.h"
@@ -46,6 +48,14 @@ struct SweepOptions
      *  analog components across spec deltas (e.g. along one grid
      *  axis). Results are bit-identical either way. */
     bool reuseMaterializations = false;
+    /** Give each worker an IncrementalEvaluator (the CompiledDesign
+     *  IR of explore/incremental.h): consecutive points a worker
+     *  pulls are diffed — for free when the source implements
+     *  changedPaths(), e.g. grid sweeps — and only the dirty stage
+     *  suffix of the evaluation pipeline re-runs. Results are
+     *  bit-identical to full rebuilds (pinned by
+     *  tests/incremental_test.cc); subsumes reuseMaterializations. */
+    bool incremental = false;
 };
 
 /**
@@ -131,6 +141,10 @@ class SweepEngine
 
     SweepResult evaluateOne(const spec::DesignSpec &spec, size_t index,
                             spec::MaterializeCache *cache) const;
+    SweepResult evaluateIncremental(
+        const spec::DesignSpec &spec, size_t index,
+        IncrementalEvaluator &evaluator,
+        const std::optional<std::vector<std::string>> &changed) const;
 };
 
 /** Render the feasible rows as a breakdown table; infeasible rows

@@ -1,8 +1,10 @@
 #include "spec/diff.h"
 
+#include <algorithm>
 #include <set>
 
 #include "common/logging.h"
+#include "spec/grid.h"
 
 namespace camj::spec
 {
@@ -100,7 +102,8 @@ diffArrays(const Value &a, const Value &b, const std::string &path,
                 emit(out, SpecDifference::Kind::Removed, epath, &ea,
                      nullptr);
         }
-        for (const Value &eb : ba) {
+        for (size_t i = 0; i < ba.size(); ++i) {
+            const Value &eb = ba[i];
             const std::string &name = eb.at("name").asString();
             bool present = false;
             for (const Value &ea : aa) {
@@ -109,9 +112,11 @@ diffArrays(const Value &a, const Value &b, const std::string &path,
                     break;
                 }
             }
-            if (!present)
+            if (!present) {
                 emit(out, SpecDifference::Kind::Added,
                      path + "[" + name + "]", nullptr, &eb);
+                out.back().position = i;
+            }
         }
         return;
     }
@@ -123,9 +128,11 @@ diffArrays(const Value &a, const Value &b, const std::string &path,
     for (size_t i = common; i < aa.size(); ++i)
         emit(out, SpecDifference::Kind::Removed,
              path + "[" + std::to_string(i) + "]", &aa[i], nullptr);
-    for (size_t i = common; i < ba.size(); ++i)
+    for (size_t i = common; i < ba.size(); ++i) {
         emit(out, SpecDifference::Kind::Added,
              path + "[" + std::to_string(i) + "]", nullptr, &ba[i]);
+        out.back().position = i;
+    }
 }
 
 void
@@ -158,6 +165,326 @@ std::vector<SpecDifference>
 diffSpecs(const DesignSpec &a, const DesignSpec &b)
 {
     return diffJsonValues(toJsonValue(a), toJsonValue(b));
+}
+
+// ------------------------------------------------------- serialization
+
+namespace
+{
+
+const char *
+diffKindName(SpecDifference::Kind kind)
+{
+    switch (kind) {
+      case SpecDifference::Kind::Added:
+        return "added";
+      case SpecDifference::Kind::Removed:
+        return "removed";
+      case SpecDifference::Kind::Changed:
+        return "changed";
+    }
+    panic("diffKindName: unknown kind %d", static_cast<int>(kind));
+}
+
+SpecDifference::Kind
+diffKindFromName(const std::string &name)
+{
+    if (name == "added")
+        return SpecDifference::Kind::Added;
+    if (name == "removed")
+        return SpecDifference::Kind::Removed;
+    if (name == "changed")
+        return SpecDifference::Kind::Changed;
+    fatal("specDiff: unknown change kind '%s' (known: added, "
+          "removed, changed)", name.c_str());
+}
+
+} // namespace
+
+Value
+diffToJsonValue(const std::vector<SpecDifference> &diffs)
+{
+    Value doc = Value::makeObject();
+    doc.set("camjSpecDiff", Value(static_cast<int64_t>(1)));
+    Value changes = Value::makeArray();
+    for (const SpecDifference &d : diffs) {
+        Value c = Value::makeObject();
+        c.set("kind", Value(diffKindName(d.kind)));
+        c.set("path", Value(d.path));
+        // before/after are the compact-JSON renderings diffing
+        // produced; storing them verbatim keeps application exact.
+        if (d.kind != SpecDifference::Kind::Added)
+            c.set("before", Value(d.before));
+        if (d.kind != SpecDifference::Kind::Removed)
+            c.set("after", Value(d.after));
+        if (d.position != SpecDifference::kNoPosition)
+            c.set("position",
+                  Value(static_cast<int64_t>(d.position)));
+        changes.push(std::move(c));
+    }
+    doc.set("changes", std::move(changes));
+    return doc;
+}
+
+std::string
+diffToJson(const std::vector<SpecDifference> &diffs)
+{
+    return diffToJsonValue(diffs).dump(2) + "\n";
+}
+
+std::vector<SpecDifference>
+diffFromJsonValue(const Value &doc)
+{
+    std::vector<SpecDifference> diffs;
+    for (const Value &c : doc.at("changes").asArray()) {
+        SpecDifference d;
+        d.kind = diffKindFromName(c.at("kind").asString());
+        d.path = c.at("path").asString();
+        if (d.kind != SpecDifference::Kind::Added)
+            d.before = c.at("before").asString();
+        if (d.kind != SpecDifference::Kind::Removed)
+            d.after = c.at("after").asString();
+        if (const Value *pos = c.find("position")) {
+            const int64_t p = pos->asInt();
+            if (p < 0)
+                fatal("specDiff: negative position %lld",
+                      static_cast<long long>(p));
+            d.position = static_cast<size_t>(p);
+        }
+        if (d.path.empty())
+            fatal("specDiff: a change has an empty path");
+        diffs.push_back(std::move(d));
+    }
+    return diffs;
+}
+
+std::vector<SpecDifference>
+diffFromJson(const std::string &text)
+{
+    return diffFromJsonValue(Value::parse(text));
+}
+
+// --------------------------------------------------------------- merge
+
+namespace
+{
+
+/** Index of @p seg's element within array @p arr, or npos. Diff
+ *  paths select by element name or by index; the grid-only "*"
+ *  wildcard is rejected. */
+size_t
+elementIndex(const Value::Array &arr, const SpecPathSegment &seg,
+             const std::string &path)
+{
+    constexpr size_t npos = static_cast<size_t>(-1);
+    if (seg.selector == "*")
+        fatal("specDiff: path '%s': '*' selectors cannot appear in "
+              "a diff", path.c_str());
+    if (isIndexSelector(seg.selector)) {
+        if (seg.selector.size() > 12)
+            fatal("specDiff: path '%s': index selector '[%s]' is out "
+                  "of range", path.c_str(), seg.selector.c_str());
+        const size_t idx =
+            static_cast<size_t>(std::stoull(seg.selector));
+        return idx < arr.size() ? idx : npos;
+    }
+    for (size_t i = 0; i < arr.size(); ++i) {
+        const Value *n = arr[i].find("name");
+        if (n != nullptr && n->isString() &&
+            n->asString() == seg.selector)
+            return i;
+    }
+    return npos;
+}
+
+/** Walk every segment but the last; the returned object holds the
+ *  final segment. @throws ConfigError when a step fails. */
+Value &
+resolveParent(Value &doc, const std::vector<SpecPathSegment> &segs,
+              const std::string &path)
+{
+    Value *node = &doc;
+    for (size_t i = 0; i + 1 < segs.size(); ++i) {
+        const SpecPathSegment &seg = segs[i];
+        if (!node->isObject())
+            fatal("specDiff: path '%s': segment '%s' applied to a "
+                  "non-object value", path.c_str(),
+                  seg.member.c_str());
+        Value *child = node->find(seg.member);
+        if (child == nullptr)
+            fatal("specDiff: path '%s': no member '%s' — the diff "
+                  "does not fit this document", path.c_str(),
+                  seg.member.c_str());
+        if (seg.hasSelector) {
+            if (!child->isArray())
+                fatal("specDiff: path '%s': member '%s' carries "
+                      "selector '[%s]' but is not an array",
+                      path.c_str(), seg.member.c_str(),
+                      seg.selector.c_str());
+            const size_t idx =
+                elementIndex(child->asArray(), seg, path);
+            if (idx == static_cast<size_t>(-1))
+                fatal("specDiff: path '%s': no element '[%s]' in "
+                      "'%s'", path.c_str(), seg.selector.c_str(),
+                      seg.member.c_str());
+            child = &child->mutableArray()[idx];
+        }
+        node = child;
+    }
+    if (!node->isObject())
+        fatal("specDiff: path '%s': the final segment's container is "
+              "not an object", path.c_str());
+    return *node;
+}
+
+/** Verify a leaf's current rendering matches the diff's recorded
+ *  value — a mismatch means the diff was taken against a different
+ *  base document. */
+void
+verifyBefore(const Value &leaf, const SpecDifference &d)
+{
+    if (leaf.dump(0) != d.before)
+        fatal("specDiff: path '%s': document value %s does not match "
+              "the diff's recorded value %s — this diff belongs to a "
+              "different base spec", d.path.c_str(),
+              leaf.dump(0).c_str(), d.before.c_str());
+}
+
+void
+applyChanged(Value &doc, const SpecDifference &d,
+             const std::vector<SpecPathSegment> &segs)
+{
+    Value &parent = resolveParent(doc, segs, d.path);
+    const SpecPathSegment &last = segs.back();
+    Value *leaf = parent.find(last.member);
+    if (leaf == nullptr)
+        fatal("specDiff: path '%s': no member '%s' — the diff does "
+              "not fit this document", d.path.c_str(),
+              last.member.c_str());
+    if (last.hasSelector) {
+        if (!leaf->isArray())
+            fatal("specDiff: path '%s': member '%s' carries selector "
+                  "'[%s]' but is not an array", d.path.c_str(),
+                  last.member.c_str(), last.selector.c_str());
+        const size_t idx = elementIndex(leaf->asArray(), last, d.path);
+        if (idx == static_cast<size_t>(-1))
+            fatal("specDiff: path '%s': no element '[%s]' in '%s'",
+                  d.path.c_str(), last.selector.c_str(),
+                  last.member.c_str());
+        leaf = &leaf->mutableArray()[idx];
+    }
+    verifyBefore(*leaf, d);
+    *leaf = Value::parse(d.after);
+}
+
+void
+applyAdded(Value &doc, const SpecDifference &d,
+           const std::vector<SpecPathSegment> &segs)
+{
+    Value &parent = resolveParent(doc, segs, d.path);
+    const SpecPathSegment &last = segs.back();
+    Value value = Value::parse(d.after);
+    if (!last.hasSelector) {
+        if (parent.find(last.member) != nullptr)
+            fatal("specDiff: path '%s': member '%s' already exists — "
+                  "this diff belongs to a different base spec",
+                  d.path.c_str(), last.member.c_str());
+        parent.set(last.member, std::move(value));
+        return;
+    }
+    Value *arr = parent.find(last.member);
+    if (arr == nullptr || !arr->isArray())
+        fatal("specDiff: path '%s': '%s' is not an existing array",
+              d.path.c_str(), last.member.c_str());
+    if (elementIndex(arr->asArray(), last, d.path) !=
+        static_cast<size_t>(-1))
+        fatal("specDiff: path '%s': element '[%s]' already exists — "
+              "this diff belongs to a different base spec",
+              d.path.c_str(), last.selector.c_str());
+    // Insert where the element sits in the target spec's array when
+    // the diff recorded it, else append. Removals have already been
+    // applied (see applyDiffToJson's pass order), so the surviving
+    // elements are in target relative order and the recorded index
+    // lands exactly; the clamp only covers hand-written diffs.
+    Value::Array &elements = arr->mutableArray();
+    const size_t at = d.position == SpecDifference::kNoPosition
+                          ? elements.size()
+                          : std::min(d.position, elements.size());
+    elements.insert(elements.begin() + static_cast<long>(at),
+                    std::move(value));
+}
+
+void
+applyRemoved(Value &doc, const SpecDifference &d,
+             const std::vector<SpecPathSegment> &segs)
+{
+    Value &parent = resolveParent(doc, segs, d.path);
+    const SpecPathSegment &last = segs.back();
+    Value *member = parent.find(last.member);
+    if (member == nullptr)
+        fatal("specDiff: path '%s': no member '%s' to remove — this "
+              "diff belongs to a different base spec", d.path.c_str(),
+              last.member.c_str());
+    if (!last.hasSelector) {
+        verifyBefore(*member, d);
+        Value::Object &obj = parent.mutableObject();
+        obj.erase(std::find_if(obj.begin(), obj.end(),
+                               [&](const auto &kv) {
+                                   return kv.first == last.member;
+                               }));
+        return;
+    }
+    if (!member->isArray())
+        fatal("specDiff: path '%s': member '%s' carries selector "
+              "'[%s]' but is not an array", d.path.c_str(),
+              last.member.c_str(), last.selector.c_str());
+    const size_t idx = elementIndex(member->asArray(), last, d.path);
+    if (idx == static_cast<size_t>(-1))
+        fatal("specDiff: path '%s': no element '[%s]' to remove — "
+              "this diff belongs to a different base spec",
+              d.path.c_str(), last.selector.c_str());
+    verifyBefore(member->asArray()[idx], d);
+    Value::Array &arr = member->mutableArray();
+    arr.erase(arr.begin() + static_cast<long>(idx));
+}
+
+} // namespace
+
+void
+applyDiffToJson(Value &doc, const std::vector<SpecDifference> &diffs)
+{
+    // Three passes, ordered so no pass can disturb another's
+    // addressing. Changed first (it addresses only elements common
+    // to both specs, untouched by the other passes). Removed second,
+    // in REVERSE diff order, so index-keyed removals go highest-first
+    // and never shift a pending lower index. Added LAST: once the
+    // removed elements are gone, the surviving elements sit in the
+    // target's relative order, so inserting each addition at its
+    // recorded target-array position (ascending, the order diffs
+    // emit them) reproduces the target array exactly — inserting
+    // before the removals would land additions after still-present
+    // doomed elements and scramble the order.
+    for (const SpecDifference &d : diffs) {
+        if (d.kind == SpecDifference::Kind::Changed)
+            applyChanged(doc, d, parseSpecPath(d.path));
+    }
+    for (auto it = diffs.rbegin(); it != diffs.rend(); ++it) {
+        if (it->kind == SpecDifference::Kind::Removed)
+            applyRemoved(doc, *it, parseSpecPath(it->path));
+    }
+    for (const SpecDifference &d : diffs) {
+        if (d.kind == SpecDifference::Kind::Added)
+            applyAdded(doc, d, parseSpecPath(d.path));
+    }
+}
+
+DesignSpec
+applyDiff(const DesignSpec &base,
+          const std::vector<SpecDifference> &diffs)
+{
+    Value doc = toJsonValue(base);
+    applyDiffToJson(doc, diffs);
+    return fromJsonValue(doc);
 }
 
 std::string

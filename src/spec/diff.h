@@ -39,6 +39,9 @@ struct SpecDifference
         Changed,
     };
 
+    /** "Not an array insertion" marker for position. */
+    static constexpr size_t kNoPosition = static_cast<size_t>(-1);
+
     Kind kind = Kind::Changed;
     /** Grid-axis-style field path ("fps", "memories[Buf].nodeNm"). */
     std::string path;
@@ -46,6 +49,10 @@ struct SpecDifference
     std::string before;
     /** Compact JSON of the second spec's value ("" when Removed). */
     std::string after;
+    /** Added array elements: the element's index in the SECOND
+     *  spec's array, so applyDiff can insert rather than append
+     *  (kNoPosition for member additions). */
+    size_t position = kNoPosition;
 };
 
 /** Diff two parsed JSON documents (any shape). */
@@ -61,6 +68,50 @@ std::vector<SpecDifference> diffSpecs(const DesignSpec &a,
  * +/- prefixes for added/removed fields; "" for an empty diff.
  */
 std::string formatSpecDiff(const std::vector<SpecDifference> &diffs);
+
+// ------------------------------------------------------- serialization
+
+/** Diff -> its shippable JSON document: {"camjSpecDiff": 1,
+ *  "changes": [{"kind", "path", "before", "after"}, ...]}. */
+json::Value diffToJsonValue(const std::vector<SpecDifference> &diffs);
+std::string diffToJson(const std::vector<SpecDifference> &diffs);
+
+/** JSON diff document -> differences. @throws ConfigError on unknown
+ *  kinds or missing members. */
+std::vector<SpecDifference> diffFromJsonValue(const json::Value &doc);
+std::vector<SpecDifference> diffFromJson(const std::string &text);
+
+// --------------------------------------------------------------- merge
+
+/**
+ * Apply a diff to a parsed spec document IN PLACE — the inverse of
+ * diffJsonValues: applying diff(a, b) to a reproduces b (up to
+ * canonical member order; re-serialize through fromJsonValue /
+ * toJsonValue for byte equality, as applyDiff does).
+ *
+ * Changed fields are verified against their recorded "before" value
+ * and replaced; Added fields are appended (new object members at the
+ * end, new array elements after the existing ones); Removed fields
+ * are verified and deleted. Index-keyed removals are applied
+ * highest-index-first so earlier removals cannot shift later ones.
+ *
+ * @throws ConfigError when the diff does not fit the document (a
+ *         path fails to resolve, or a before-value does not match —
+ *         the diff was taken against a different base).
+ */
+void applyDiffToJson(json::Value &doc,
+                     const std::vector<SpecDifference> &diffs);
+
+/**
+ * The spec-level inverse of diffSpecs: for any two valid specs,
+ * applyDiff(a, diffSpecs(a, b)) equals b exactly (toJson-byte
+ * equality; pinned over the golden studies by tests/specdiff_test).
+ *
+ * @throws ConfigError when the diff does not fit @p base or the
+ *         patched document no longer parses as a spec.
+ */
+DesignSpec applyDiff(const DesignSpec &base,
+                     const std::vector<SpecDifference> &diffs);
 
 } // namespace camj::spec
 

@@ -1,6 +1,7 @@
 #include "spec/grid.h"
 
 #include <fstream>
+#include <set>
 #include <sstream>
 
 #include "common/logging.h"
@@ -10,33 +11,21 @@ namespace camj::spec
 
 using json::Value;
 
-namespace
-{
-
 // ------------------------------------------------------------ paths
 
-/** One parsed path segment: a member name plus optional selector. */
-struct PathSegment
-{
-    std::string member;
-    /** Array selector: an index, an element name, or "*". */
-    std::string selector;
-    bool hasSelector = false;
-};
-
-std::vector<PathSegment>
-parsePath(const std::string &path)
+std::vector<SpecPathSegment>
+parseSpecPath(const std::string &path)
 {
     if (path.empty())
         fatal("sweepGrid: empty field path");
-    std::vector<PathSegment> segments;
+    std::vector<SpecPathSegment> segments;
     size_t pos = 0;
     while (pos <= path.size()) {
         size_t dot = path.find('.', pos);
         std::string token = path.substr(
             pos, dot == std::string::npos ? std::string::npos
                                           : dot - pos);
-        PathSegment seg;
+        SpecPathSegment seg;
         size_t open = token.find('[');
         if (open == std::string::npos) {
             seg.member = token;
@@ -74,6 +63,9 @@ isIndexSelector(const std::string &selector)
     return !selector.empty();
 }
 
+namespace
+{
+
 std::string
 objectKeys(const Value &node)
 {
@@ -85,7 +77,7 @@ objectKeys(const Value &node)
 
 /** Select the elements a segment's selector names within @p arr. */
 std::vector<Value *>
-selectElements(Value &child, const PathSegment &seg,
+selectElements(Value &child, const SpecPathSegment &seg,
                const std::string &path)
 {
     if (!child.isArray())
@@ -135,10 +127,10 @@ selectElements(Value &child, const PathSegment &seg,
 }
 
 void
-applySegments(Value &node, const std::vector<PathSegment> &segments,
+applySegments(Value &node, const std::vector<SpecPathSegment> &segments,
               size_t i, const Value &value, const std::string &path)
 {
-    const PathSegment &seg = segments[i];
+    const SpecPathSegment &seg = segments[i];
     if (!node.isObject())
         fatal("sweepGrid: path '%s': segment '%s' applied to a "
               "non-object value", path.c_str(), seg.member.c_str());
@@ -188,6 +180,8 @@ renderAxisValue(const Value &v)
 size_t
 SweepGrid::points() const
 {
+    if (!pointList.empty())
+        return pointList.size();
     size_t n = 1;
     for (const GridAxis &axis : axes)
         n *= axis.values.size();
@@ -213,10 +207,21 @@ SweepGrid::validate() const
                       axis.name.c_str());
         }
         seen.push_back(axis.name);
-        if (axis.values.empty())
+        if (pointList.empty() && axis.values.empty())
             fatal("sweepGrid: axis '%s' has no values",
                   axis.name.c_str());
-        parsePath(axis.path); // throws on malformed paths
+        parseSpecPath(axis.path); // throws on malformed paths
+    }
+    if (!pointList.empty()) {
+        if (axes.empty())
+            fatal("sweepGrid: a \"points\" list needs axes declaring "
+                  "the field paths the tuples bind to");
+        for (size_t i = 0; i < pointList.size(); ++i) {
+            if (pointList[i].size() != axes.size())
+                fatal("sweepGrid: point %zu has %zu value(s) but the "
+                      "grid declares %zu axes", i,
+                      pointList[i].size(), axes.size());
+        }
     }
 }
 
@@ -229,13 +234,27 @@ gridToJson(const SweepGrid &grid)
         Value a = Value::makeObject();
         a.set("name", Value(axis.name));
         a.set("path", Value(axis.path));
-        Value values = Value::makeArray();
-        for (const Value &v : axis.values)
-            values.push(v);
-        a.set("values", std::move(values));
+        // Point-list grids may omit the per-axis value lists; keep
+        // cartesian documents byte-stable by always emitting theirs.
+        if (!axis.values.empty() || grid.pointList.empty()) {
+            Value values = Value::makeArray();
+            for (const Value &v : axis.values)
+                values.push(v);
+            a.set("values", std::move(values));
+        }
         axes.push(std::move(a));
     }
     block.set("axes", std::move(axes));
+    if (!grid.pointList.empty()) {
+        Value points = Value::makeArray();
+        for (const auto &tuple : grid.pointList) {
+            Value t = Value::makeArray();
+            for (const Value &v : tuple)
+                t.push(v);
+            points.push(std::move(t));
+        }
+        block.set("points", std::move(points));
+    }
     return block;
 }
 
@@ -243,12 +262,26 @@ SweepGrid
 gridFromJson(const json::Value &block)
 {
     SweepGrid grid;
+    if (const Value *points = block.find("points")) {
+        for (const Value &tuple : points->asArray()) {
+            std::vector<Value> t;
+            for (const Value &v : tuple.asArray())
+                t.push_back(v);
+            grid.pointList.push_back(std::move(t));
+        }
+    }
     for (const Value &a : block.at("axes").asArray()) {
         GridAxis axis;
         axis.name = a.at("name").asString();
         axis.path = a.at("path").asString();
-        for (const Value &v : a.at("values").asArray())
-            axis.values.push_back(v);
+        // "values" is optional when the grid declares explicit
+        // points; validate() enforces it for cartesian grids.
+        const Value *values =
+            grid.pointList.empty() ? &a.at("values") : a.find("values");
+        if (values != nullptr) {
+            for (const Value &v : values->asArray())
+                axis.values.push_back(v);
+        }
         grid.axes.push_back(std::move(axis));
     }
     grid.validate();
@@ -259,7 +292,7 @@ void
 applySpecOverride(json::Value &doc, const std::string &path,
                   const json::Value &value)
 {
-    applySegments(doc, parsePath(path), 0, value, path);
+    applySegments(doc, parseSpecPath(path), 0, value, path);
 }
 
 // ---------------------------------------------------------- expansion
@@ -270,6 +303,35 @@ GridSpecSource::GridSpecSource(const DesignSpec &base, SweepGrid grid)
 {
     grid_.validate();
     total_ = grid_.points();
+    if (!grid_.pointList.empty()) {
+        // Explicit point list: probe each DISTINCT value per axis
+        // against the base document, so a bad path or value fails
+        // here with the axis and value named — not mid-sweep on a
+        // worker — at O(distinct values) cost rather than one probe
+        // per tuple (a 100k-point list stays cheap to open). This
+        // matches the cartesian branch's coverage: per-value
+        // validity is checked up front, cross-axis interactions
+        // surface at expansion.
+        for (size_t a = 0; a < grid_.axes.size(); ++a) {
+            std::set<std::string> seen;
+            for (const auto &tuple : grid_.pointList) {
+                const Value &v = tuple[a];
+                if (!seen.insert(v.dump(0)).second)
+                    continue;
+                Value probe = baseDoc_;
+                applySpecOverride(probe, grid_.axes[a].path, v);
+                try {
+                    fromJsonValue(probe);
+                } catch (const ConfigError &e) {
+                    fatal("sweepGrid: axis '%s' point-list value %s "
+                          "does not produce a valid spec: %s",
+                          grid_.axes[a].name.c_str(),
+                          v.dump(0).c_str(), e.what());
+                }
+            }
+        }
+        return;
+    }
     // Probe every axis value against the base document: the path
     // must resolve AND the overridden document must still parse as a
     // spec (a value of the wrong type, or an unknown enum token,
@@ -307,18 +369,67 @@ GridSpecSource::at(size_t index) const
               "points)", index, total_);
     Value doc = baseDoc_;
     std::string suffix;
-    size_t stride = total_;
-    for (const GridAxis &axis : grid_.axes) {
-        stride /= axis.values.size();
-        const Value &v = axis.values[(index / stride) %
-                                     axis.values.size()];
-        applySpecOverride(doc, axis.path, v);
-        suffix += (suffix.empty() ? "" : ",") + axis.name + "=" +
-                  renderAxisValue(v);
+    if (!grid_.pointList.empty()) {
+        for (size_t a = 0; a < grid_.axes.size(); ++a) {
+            const Value &v = grid_.pointList[index][a];
+            applySpecOverride(doc, grid_.axes[a].path, v);
+            suffix += (suffix.empty() ? "" : ",") +
+                      grid_.axes[a].name + "=" + renderAxisValue(v);
+        }
+    } else {
+        size_t stride = total_;
+        for (const GridAxis &axis : grid_.axes) {
+            stride /= axis.values.size();
+            const Value &v = axis.values[(index / stride) %
+                                         axis.values.size()];
+            applySpecOverride(doc, axis.path, v);
+            suffix += (suffix.empty() ? "" : ",") + axis.name + "=" +
+                      renderAxisValue(v);
+        }
     }
     if (!suffix.empty())
         doc.set("name", Value(baseName_ + "/" + suffix));
     return fromJsonValue(doc);
+}
+
+std::optional<std::vector<std::string>>
+GridSpecSource::changedPaths(size_t from, size_t to) const
+{
+    if (from >= total_ || to >= total_)
+        return std::nullopt;
+    std::vector<std::string> paths;
+    if (from == to)
+        return paths;
+    // Values are compared through the deterministic writer (the same
+    // equality save/load preserves), so an axis listing the same
+    // value twice correctly reports "unchanged" between those two
+    // coordinates — and equal values render into equal name parts.
+    auto differs = [](const Value &a, const Value &b) {
+        return a.dump(0) != b.dump(0);
+    };
+    if (!grid_.pointList.empty()) {
+        for (size_t a = 0; a < grid_.axes.size(); ++a) {
+            if (differs(grid_.pointList[from][a],
+                        grid_.pointList[to][a]))
+                paths.push_back(grid_.axes[a].path);
+        }
+    } else {
+        size_t stride = total_;
+        for (const GridAxis &axis : grid_.axes) {
+            stride /= axis.values.size();
+            const Value &va =
+                axis.values[(from / stride) % axis.values.size()];
+            const Value &vb =
+                axis.values[(to / stride) % axis.values.size()];
+            if (differs(va, vb))
+                paths.push_back(axis.path);
+        }
+    }
+    // Point names encode the coordinates, so they change exactly
+    // when some axis value does.
+    if (!paths.empty())
+        paths.push_back("name");
+    return paths;
 }
 
 std::optional<DesignSpec>

@@ -43,6 +43,29 @@
 namespace camj::spec
 {
 
+// ----------------------------------------------------------- field paths
+
+/**
+ * One parsed segment of a spec field path ("memories[ActBuf].nodeNm"):
+ * a member name plus an optional array selector — an index, an element
+ * name, or "*". Shared by grid expansion, spec-diff application, and
+ * the incremental evaluator's dependency table.
+ */
+struct SpecPathSegment
+{
+    std::string member;
+    /** Array selector: an index, an element name, or "*". */
+    std::string selector;
+    bool hasSelector = false;
+};
+
+/** Parse a dot-separated spec field path into segments.
+ *  @throws ConfigError on malformed paths (empty members/selectors). */
+std::vector<SpecPathSegment> parseSpecPath(const std::string &path);
+
+/** True when the selector is all digits (an array index). */
+bool isIndexSelector(const std::string &selector);
+
 /** One grid axis: a spec field and the values it sweeps over. */
 struct GridAxis
 {
@@ -54,17 +77,39 @@ struct GridAxis
     std::vector<json::Value> values;
 };
 
-/** A serializable cartesian sweep declaration. */
+/**
+ * A serializable sweep declaration: named axes, expanded either as
+ * the cartesian product of per-axis value lists (the classic grid) or
+ * as an EXPLICIT point list — one axis-value tuple per design point,
+ * for non-cartesian studies (coupled axes, pareto fronts, re-runs of
+ * hand-picked points). With a point list, the axes contribute their
+ * names and field paths and may omit "values":
+ *
+ *   "sweepGrid": {
+ *     "axes": [{"name": "rate", "path": "fps"},
+ *              {"name": "node", "path": "memories[*].nodeNm"}],
+ *     "points": [[30, 65], [60, 65], [120, 45]]
+ *   }
+ */
 struct SweepGrid
 {
     std::vector<GridAxis> axes;
 
-    /** Total design points (product of axis sizes; 1 when no axes —
-     *  the base spec itself). */
+    /** Explicit axis-value tuples (JSON "points"); one inner vector
+     *  per design point, one value per axis in axis order. When
+     *  non-empty, the per-axis value lists are ignored for
+     *  expansion. */
+    std::vector<std::vector<json::Value>> pointList;
+
+    /** Total design points: the explicit point count when a point
+     *  list is declared, else the product of axis sizes (1 when no
+     *  axes — the base spec itself). */
     size_t points() const;
 
-    /** Structural validation: non-empty unique axis names, non-empty
-     *  value lists, well-formed paths. @throws ConfigError. */
+    /** Structural validation: non-empty unique axis names,
+     *  well-formed paths, non-empty value lists (cartesian mode) or
+     *  axis-arity-matching tuples (point-list mode).
+     *  @throws ConfigError. */
     void validate() const;
 };
 
@@ -115,6 +160,15 @@ class GridSpecSource : public IndexableSpecSource
     std::optional<size_t> sizeHint() const override { return total_; }
     bool concurrentPulls() const override { return true; }
     std::optional<DesignSpec> nextIndexed(size_t &index) override;
+
+    /**
+     * Two grid points differ exactly along the axes whose values
+     * differ (plus the encoded point name), so the incremental
+     * evaluator's spec diff is free for grid sweeps: the axis paths
+     * are read straight off the coordinates. Thread-safe.
+     */
+    std::optional<std::vector<std::string>> changedPaths(
+        size_t from, size_t to) const override;
 
     /** Rewind to the first point (not thread-safe). */
     void reset() { cursor_.store(0, std::memory_order_relaxed); }

@@ -133,6 +133,14 @@ Value::mutableArray()
     return arr_;
 }
 
+Value::Object &
+Value::mutableObject()
+{
+    if (type_ != Type::Object)
+        fatal("json: expected object, got %s", typeName(type_));
+    return obj_;
+}
+
 const Value &
 Value::at(const std::string &key) const
 {

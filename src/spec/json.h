@@ -96,6 +96,11 @@ class Value
     /** Mutable element access. @throws ConfigError unless an array. */
     Array &mutableArray();
 
+    /** Mutable member storage, for structural document edits (e.g.
+     *  spec-diff application removing a member).
+     *  @throws ConfigError unless an object. */
+    Object &mutableObject();
+
     /** Set/overwrite a member (converts a Null value into an object). */
     void set(const std::string &key, Value v);
 

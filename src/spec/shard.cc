@@ -19,6 +19,8 @@ shardModeName(ShardMode mode)
         return "contiguous";
       case ShardMode::Strided:
         return "strided";
+      case ShardMode::Explicit:
+        return "explicit";
     }
     panic("shardModeName: unknown mode %d", static_cast<int>(mode));
 }
@@ -30,8 +32,10 @@ shardModeFromName(const std::string &name)
         return ShardMode::Contiguous;
     if (name == "strided")
         return ShardMode::Strided;
-    fatal("shard: unknown mode '%s' (known: contiguous, strided)",
-          name.c_str());
+    if (name == "explicit")
+        return ShardMode::Explicit;
+    fatal("shard: unknown mode '%s' (known: contiguous, strided, "
+          "explicit)", name.c_str());
 }
 
 // --------------------------------------------------------- assignments
@@ -41,6 +45,8 @@ ShardAssignment::count() const
 {
     if (mode == ShardMode::Contiguous)
         return end - begin;
+    if (mode == ShardMode::Explicit)
+        return indices.size();
     // Strided: indices {k, k+N, ...} below total.
     if (shardIndex >= total)
         return 0;
@@ -56,6 +62,8 @@ ShardAssignment::globalIndex(size_t local) const
               count());
     if (mode == ShardMode::Contiguous)
         return begin + local;
+    if (mode == ShardMode::Explicit)
+        return indices[local];
     return shardIndex + local * shardCount;
 }
 
@@ -74,6 +82,35 @@ ShardAssignment::validate() const
         globalIndex(count() - 1) >= total)
         panic("shard %zu/%zu: strided range escapes [0, %zu)",
               shardIndex, shardCount, total);
+    if (mode == ShardMode::Explicit) {
+        for (size_t i = 0; i < indices.size(); ++i) {
+            if (indices[i] >= total)
+                fatal("shard: explicit index %zu out of range "
+                      "[0, %zu)", indices[i], total);
+            if (i > 0 && indices[i] <= indices[i - 1])
+                fatal("shard: explicit index list must be strictly "
+                      "ascending (%zu follows %zu)", indices[i],
+                      indices[i - 1]);
+        }
+    } else if (!indices.empty()) {
+        fatal("shard: %s mode does not take an index list",
+              shardModeName(mode).c_str());
+    }
+}
+
+ShardAssignment
+explicitShard(size_t total, std::vector<size_t> indices)
+{
+    ShardAssignment a;
+    a.mode = ShardMode::Explicit;
+    a.shardIndex = 0;
+    a.shardCount = 1;
+    a.total = total;
+    a.begin = indices.empty() ? 0 : indices.front();
+    a.end = indices.empty() ? 0 : indices.back() + 1;
+    a.indices = std::move(indices);
+    a.validate();
+    return a;
 }
 
 // ---------------------------------------------------------------- plans
@@ -83,6 +120,9 @@ planShards(size_t total, size_t shard_count, ShardMode mode)
 {
     if (shard_count == 0)
         fatal("planShards: shard count must be >= 1");
+    if (mode == ShardMode::Explicit)
+        fatal("planShards: explicit shards carry their own index "
+              "list — build them with explicitShard()");
     ShardPlan plan;
     plan.mode = mode;
     plan.total = total;
@@ -141,6 +181,15 @@ ShardSpecSource::nextIndexed(size_t &index)
     return parent_.at(assignment_.globalIndex(local));
 }
 
+std::optional<std::vector<std::string>>
+ShardSpecSource::changedPaths(size_t from, size_t to) const
+{
+    if (from >= assignment_.count() || to >= assignment_.count())
+        return std::nullopt;
+    return parent_.changedPaths(assignment_.globalIndex(from),
+                                assignment_.globalIndex(to));
+}
+
 // ---------------------------------------------------------- descriptors
 
 namespace
@@ -156,6 +205,12 @@ shardToJson(const ShardAssignment &a)
     block.set("total", Value(static_cast<int64_t>(a.total)));
     block.set("begin", Value(static_cast<int64_t>(a.begin)));
     block.set("end", Value(static_cast<int64_t>(a.end)));
+    if (a.mode == ShardMode::Explicit) {
+        Value indices = Value::makeArray();
+        for (size_t i : a.indices)
+            indices.push(Value(static_cast<int64_t>(i)));
+        block.set("indices", std::move(indices));
+    }
     return block;
 }
 
@@ -176,6 +231,15 @@ shardFromJson(const Value &block)
     a.total = member("total");
     a.begin = member("begin");
     a.end = member("end");
+    if (a.mode == ShardMode::Explicit) {
+        for (const Value &v : block.at("indices").asArray()) {
+            const int64_t i = v.asInt();
+            if (i < 0)
+                fatal("shard: negative explicit index %lld",
+                      static_cast<long long>(i));
+            a.indices.push_back(static_cast<size_t>(i));
+        }
+    }
     a.validate();
     return a;
 }

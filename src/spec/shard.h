@@ -51,9 +51,14 @@ enum class ShardMode
     Contiguous,
     /** Shard k owns {k, k+N, k+2N, ...}. */
     Strided,
+    /** The shard owns an explicit ascending index list — the
+     *  retry/resume shape: `camj_sweep merge --resume-plan` emits a
+     *  descriptor covering exactly the indices a crashed or lost
+     *  shard run left missing. */
+    Explicit,
 };
 
-/** ShardMode <-> its JSON token ("contiguous"/"strided"). */
+/** ShardMode <-> its JSON token ("contiguous"/"strided"/"explicit"). */
 std::string shardModeName(ShardMode mode);
 ShardMode shardModeFromName(const std::string &name);
 
@@ -68,9 +73,13 @@ struct ShardAssignment
     /** Global design points in the sweep (grid.points()). */
     size_t total = 0;
     /** Contiguous mode: the owned [begin, end) range. Strided mode:
-     *  begin == shardIndex and end == total (informational). */
+     *  begin == shardIndex and end == total (informational).
+     *  Explicit mode: the hull [first, last+1) of the index list
+     *  (informational). */
     size_t begin = 0;
     size_t end = 0;
+    /** Explicit mode: the owned global indices, strictly ascending. */
+    std::vector<size_t> indices;
 
     /** Design points this shard owns. */
     size_t count() const;
@@ -80,9 +89,16 @@ struct ShardAssignment
     size_t globalIndex(size_t local) const;
 
     /** Internal consistency (k < N, begin <= end <= total, mode/range
-     *  agreement). @throws ConfigError naming the bad field. */
+     *  agreement, explicit index lists strictly ascending and in
+     *  range). @throws ConfigError naming the bad field. */
     void validate() const;
 };
+
+/** The explicit-index assignment over @p indices (strictly ascending,
+ *  all < @p total): shard 0 of 1 covering exactly those points.
+ *  @throws ConfigError on unordered/duplicate/out-of-range indices. */
+ShardAssignment explicitShard(size_t total,
+                              std::vector<size_t> indices);
 
 /** A full partition of [0, total) into shardCount assignments. */
 struct ShardPlan
@@ -131,6 +147,11 @@ class ShardSpecSource : public SpecSource
     }
     bool concurrentPulls() const override { return true; }
     std::optional<DesignSpec> nextIndexed(size_t &index) override;
+
+    /** Delegates to the parent over the global indices, so shard
+     *  workers get the same free diffs a whole-grid sweep gets. */
+    std::optional<std::vector<std::string>> changedPaths(
+        size_t from, size_t to) const override;
 
     const ShardAssignment &assignment() const { return assignment_; }
 

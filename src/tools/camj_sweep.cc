@@ -58,11 +58,21 @@ usage(std::FILE *to)
 "      --mode contiguous|strided   with --shard (default contiguous)\n"
 "      --threads T                 worker threads (default: all cores)\n"
 "      --frames F                  frames per design point (default 1)\n"
+"      --full-rebuild              evaluate every point from scratch\n"
+"                                  instead of the incremental staged\n"
+"                                  pipeline (results are identical)\n"
 "  camj_sweep merge <shard.jsonl>... --out FILE [options]\n"
 "      reduce shard files into one in-order result file + summary\n"
 "      --top K                     top-K table size (default 5)\n"
 "      --total N                   expected design points (catches a\n"
-"                                  missing tail shard)\n");
+"                                  missing tail shard)\n"
+"      --resume-plan FILE          on gaps, write an explicit-index\n"
+"                                  shard descriptor covering exactly\n"
+"                                  the missing points (exit 3) so\n"
+"                                  only the hole is re-run; needs\n"
+"                                  --doc\n"
+"      --doc FILE                  the original sweep document the\n"
+"                                  resume descriptor embeds\n");
     return to == stdout ? 0 : 2;
 }
 
@@ -171,6 +181,7 @@ cmdRun(int argc, char **argv)
     std::string input, out_path, shard_arg;
     spec::ShardMode mode = spec::ShardMode::Contiguous;
     int threads = 0, frames = 1;
+    bool incremental = true;
     for (int i = 0; i < argc; ++i) {
         const std::string arg = argv[i];
         if (arg == "--out")
@@ -179,6 +190,8 @@ cmdRun(int argc, char **argv)
             shard_arg = flagValue(argc, argv, i);
         else if (arg == "--mode")
             mode = spec::shardModeFromName(flagValue(argc, argv, i));
+        else if (arg == "--full-rebuild")
+            incremental = false;
         else if (arg == "--threads")
             threads = static_cast<int>(
                 parseCount(flagValue(argc, argv, i), "--threads"));
@@ -221,7 +234,10 @@ cmdRun(int argc, char **argv)
     SweepOptions options;
     options.threads = threads;
     options.sim.frames = frames;
-    options.reuseMaterializations = true;
+    // Grid deltas ride the incremental staged pipeline by default
+    // (bit-identical to full rebuilds; --full-rebuild opts out).
+    options.incremental = incremental;
+    options.reuseMaterializations = !incremental;
     SweepEngine engine(options);
 
     // Local stream order -> global grid identity -> bytes: the
@@ -248,7 +264,7 @@ int
 cmdMerge(int argc, char **argv)
 {
     std::vector<std::string> inputs;
-    std::string out_path;
+    std::string out_path, resume_path, doc_path;
     size_t top_k = 5;
     std::optional<size_t> expected_total;
     for (int i = 0; i < argc; ++i) {
@@ -261,6 +277,10 @@ cmdMerge(int argc, char **argv)
         else if (arg == "--total")
             expected_total = static_cast<size_t>(
                 parseCount(flagValue(argc, argv, i), "--total"));
+        else if (arg == "--resume-plan")
+            resume_path = flagValue(argc, argv, i);
+        else if (arg == "--doc")
+            doc_path = flagValue(argc, argv, i);
         else if (arg[0] != '-')
             inputs.push_back(arg);
         else {
@@ -273,6 +293,50 @@ cmdMerge(int argc, char **argv)
         std::fprintf(stderr, "error: merge wants shard files and "
                      "--out FILE\n");
         return usage(stderr);
+    }
+
+    if (!resume_path.empty()) {
+        // Retry/resume: scan the shard files for holes BEFORE the
+        // strict merge (which would abort at the first gap). A hole
+        // becomes one explicit-index shard descriptor covering
+        // exactly the missing global indices — re-run it, add its
+        // JSONL to the merge inputs, and the merge completes.
+        if (doc_path.empty()) {
+            std::fprintf(stderr, "error: --resume-plan needs --doc "
+                         "<sweep.json> (the document the resume "
+                         "descriptor embeds)\n");
+            return usage(stderr);
+        }
+        const spec::SweepDocument doc = spec::loadSweepFile(doc_path);
+        const size_t total = doc.grid.points();
+        if (expected_total && *expected_total != total)
+            fatal("merge: --total %zu disagrees with %s, whose grid "
+                  "expands to %zu points", *expected_total,
+                  doc_path.c_str(), total);
+        expected_total = total;
+        const std::vector<size_t> missing =
+            missingShardIndices(inputs, total);
+        if (!missing.empty()) {
+            spec::ShardDescriptor resume{
+                doc, spec::explicitShard(total, missing)};
+            std::ofstream plan(resume_path, std::ios::binary);
+            plan << spec::shardDescriptorToJson(resume);
+            plan.flush();
+            if (!plan)
+                fatal("merge: cannot write '%s'", resume_path.c_str());
+            std::printf(
+                "merge: %zu of %zu design point(s) missing "
+                "(first: %zu, last: %zu)\n"
+                "wrote resume shard descriptor %s\n"
+                "re-run it and merge again with its output added:\n"
+                "  camj_sweep run %s --out resume.jsonl\n",
+                missing.size(), total, missing.front(),
+                missing.back(), resume_path.c_str(),
+                resume_path.c_str());
+            return 3;
+        }
+        std::printf("merge: no gaps — all %zu design point(s) "
+                    "covered\n", total);
     }
 
     std::ofstream out(out_path, std::ios::binary);

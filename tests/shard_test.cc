@@ -11,6 +11,8 @@
 
 #include <gtest/gtest.h>
 
+#include <sys/wait.h>
+
 #include <algorithm>
 #include <cstdlib>
 #include <filesystem>
@@ -448,6 +450,90 @@ TEST(ShardMerge, NamesFileAndLineOnMalformedInput)
     }
 }
 
+// -------------------------------------------------- explicit + resume
+
+TEST(ExplicitShard, CoversExactlyTheListedIndices)
+{
+    const spec::ShardAssignment a =
+        spec::explicitShard(12, {1, 4, 5, 11});
+    EXPECT_EQ(a.mode, spec::ShardMode::Explicit);
+    EXPECT_EQ(a.count(), 4u);
+    EXPECT_EQ(a.globalIndex(0), 1u);
+    EXPECT_EQ(a.globalIndex(3), 11u);
+    EXPECT_THROW(a.globalIndex(4), ConfigError);
+
+    // Strictly ascending, in range, and only in explicit mode.
+    EXPECT_THROW(spec::explicitShard(12, {4, 4}), ConfigError);
+    EXPECT_THROW(spec::explicitShard(12, {5, 4}), ConfigError);
+    EXPECT_THROW(spec::explicitShard(12, {12}), ConfigError);
+    EXPECT_THROW(
+        spec::planShards(12, 2, spec::ShardMode::Explicit),
+        ConfigError);
+    spec::ShardAssignment contiguous_with_list =
+        spec::planShards(12, 2).shards[0];
+    contiguous_with_list.indices = {0};
+    EXPECT_THROW(contiguous_with_list.validate(), ConfigError);
+}
+
+TEST(ExplicitShard, DescriptorRoundTripsAndYieldsItsSlice)
+{
+    const spec::SweepDocument doc = smallStudy();
+    spec::ShardDescriptor d{
+        doc, spec::explicitShard(doc.grid.points(), {2, 3, 7})};
+    const std::string text = spec::shardDescriptorToJson(d);
+    EXPECT_NE(text.find("\"indices\""), std::string::npos);
+    spec::ShardDescriptor back = spec::shardDescriptorFromJson(text);
+    EXPECT_EQ(spec::shardDescriptorToJson(back), text);
+    ASSERT_EQ(back.shard.indices,
+              (std::vector<size_t>{2, 3, 7}));
+
+    // Its JSONL is exactly the matching lines of the whole run.
+    const std::string whole = singleProcessJsonl(doc);
+    std::vector<std::string> lines;
+    std::istringstream in(whole);
+    for (std::string line; std::getline(in, line);)
+        lines.push_back(line);
+    const std::string slice = shardJsonl(doc, back.shard);
+    EXPECT_EQ(slice,
+              lines[2] + "\n" + lines[3] + "\n" + lines[7] + "\n");
+}
+
+TEST(ShardMerge, MissingIndicesScanToleratesGapsAndDuplicates)
+{
+    const fs::path dir = scratchDir("gap_scan");
+    const spec::SweepDocument doc = smallStudy();
+    const size_t total = doc.grid.points();
+    const spec::ShardPlan plan = spec::planShards(total, 3);
+
+    // Shard 1 lost; shard 0 written twice (a retried worker).
+    writeFile(dir / "s0.jsonl", shardJsonl(doc, plan.shards[0]));
+    writeFile(dir / "s0b.jsonl", shardJsonl(doc, plan.shards[0]));
+    writeFile(dir / "s2.jsonl", shardJsonl(doc, plan.shards[2]));
+
+    const std::vector<size_t> missing = missingShardIndices(
+        {(dir / "s0.jsonl").string(), (dir / "s0b.jsonl").string(),
+         (dir / "s2.jsonl").string()},
+        total);
+    std::vector<size_t> expected;
+    for (size_t i = plan.shards[1].begin; i < plan.shards[1].end; ++i)
+        expected.push_back(i);
+    EXPECT_EQ(missing, expected);
+
+    // Complete coverage scans clean.
+    writeFile(dir / "s1.jsonl", shardJsonl(doc, plan.shards[1]));
+    EXPECT_TRUE(missingShardIndices(
+                    {(dir / "s0.jsonl").string(),
+                     (dir / "s1.jsonl").string(),
+                     (dir / "s2.jsonl").string()},
+                    total)
+                    .empty());
+
+    // Indices beyond the plan mean the inputs belong elsewhere.
+    EXPECT_THROW(
+        missingShardIndices({(dir / "s2.jsonl").string()}, 2),
+        ConfigError);
+}
+
 // ------------------------------------------------------------------- CLI
 
 #ifdef CAMJ_SWEEP_BIN
@@ -529,6 +615,72 @@ TEST(CamjSweepCli, MergeExitsNonZeroOnMissingShard)
         strprintf(" --total %zu", doc.grid.points()) +
         " > /dev/null 2>&1";
     EXPECT_NE(std::system(cmd.c_str()), 0);
+}
+
+TEST(CamjSweepCli, ResumePlanCoversExactlyTheHoleAndMergeCompletes)
+{
+    const fs::path dir = scratchDir("cli_resume");
+    const spec::SweepDocument doc = smallStudy();
+    writeFile(dir / "study.json", spec::toJson(doc));
+
+    // Run shards 0 and 2 of 3; shard 1 is the hole.
+    for (int k : {0, 2}) {
+        ASSERT_EQ(runCli("run " + (dir / "study.json").string() +
+                         strprintf(" --shard %d/3", k) + " --out " +
+                         (dir / strprintf("s%d.jsonl", k)).string()),
+                  0);
+    }
+
+    // Merge with --resume-plan: exit 3 and an explicit-index
+    // descriptor covering exactly the missing global indices.
+    const std::string base_merge =
+        "merge " + (dir / "s0.jsonl").string() + " " +
+        (dir / "s2.jsonl").string() + " --out " +
+        (dir / "merged.jsonl").string() + " --resume-plan " +
+        (dir / "resume.json").string() + " --doc " +
+        (dir / "study.json").string();
+    const int status = runCli(base_merge);
+    ASSERT_TRUE(WIFEXITED(status));
+    EXPECT_EQ(WEXITSTATUS(status), 3);
+    const spec::ShardDescriptor resume =
+        spec::shardDescriptorFromJson(readFile(dir / "resume.json"));
+    EXPECT_EQ(resume.shard.mode, spec::ShardMode::Explicit);
+    const spec::ShardAssignment hole =
+        spec::planShards(doc.grid.points(), 3).shards[1];
+    std::vector<size_t> expected;
+    for (size_t i = hole.begin; i < hole.end; ++i)
+        expected.push_back(i);
+    EXPECT_EQ(resume.shard.indices, expected);
+
+    // Re-run ONLY the hole, then the same merge succeeds and the
+    // result is byte-identical to a single-process run.
+    ASSERT_EQ(runCli("run " + (dir / "resume.json").string() +
+                     " --out " + (dir / "hole.jsonl").string()),
+              0);
+    ASSERT_EQ(runCli(base_merge + " " +
+                     (dir / "hole.jsonl").string()),
+              0);
+    EXPECT_EQ(readFile(dir / "merged.jsonl"),
+              singleProcessJsonl(doc));
+}
+
+TEST(CamjSweepCli, FullRebuildFlagMatchesIncrementalDefault)
+{
+    // `run` rides the incremental pipeline by default; --full-rebuild
+    // must produce byte-identical output (the whole point).
+    const fs::path dir = scratchDir("cli_full_rebuild");
+    const spec::SweepDocument doc = smallStudy();
+    writeFile(dir / "study.json", spec::toJson(doc));
+    ASSERT_EQ(runCli("run " + (dir / "study.json").string() +
+                     " --out " + (dir / "inc.jsonl").string()),
+              0);
+    ASSERT_EQ(runCli("run " + (dir / "study.json").string() +
+                     " --full-rebuild --out " +
+                     (dir / "full.jsonl").string()),
+              0);
+    EXPECT_EQ(readFile(dir / "inc.jsonl"),
+              readFile(dir / "full.jsonl"));
+    EXPECT_EQ(readFile(dir / "inc.jsonl"), singleProcessJsonl(doc));
 }
 
 #endif // CAMJ_SWEEP_BIN

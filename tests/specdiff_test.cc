@@ -15,6 +15,7 @@
 #include "spec/diff.h"
 #include "spec/grid.h"
 #include "spec/samples.h"
+#include "usecases/studies.h"
 
 namespace camj
 {
@@ -143,6 +144,150 @@ TEST(SpecDiff, GridPointDiffShowsExactlyTheAxisChanges)
     EXPECT_NE(findPath(diffs, "name"), nullptr);
     EXPECT_NE(findPath(diffs, "fps"), nullptr);
     EXPECT_NE(findPath(diffs, "memories[ActBuf].nodeNm"), nullptr);
+}
+
+// ------------------------------------------------------ apply / merge
+
+/** apply(a, diff(a, b)) must reproduce b byte-for-byte. */
+void
+expectRoundTrip(const spec::DesignSpec &a, const spec::DesignSpec &b)
+{
+    const std::vector<spec::SpecDifference> diffs =
+        spec::diffSpecs(a, b);
+    const spec::DesignSpec patched = spec::applyDiff(a, diffs);
+    EXPECT_EQ(spec::toJson(patched), spec::toJson(b))
+        << a.name << " -> " << b.name;
+}
+
+TEST(SpecDiffApply, EmptyDiffIsIdentity)
+{
+    const spec::DesignSpec a = spec::sampleDetectorSpec(30.0, 65);
+    EXPECT_EQ(spec::toJson(spec::applyDiff(a, {})), spec::toJson(a));
+}
+
+TEST(SpecDiffApply, ChangedAddedRemovedRoundTrip)
+{
+    const spec::DesignSpec a = spec::sampleDetectorSpec(30.0, 65);
+
+    spec::DesignSpec changed = a;
+    changed.fps = 75.0;
+    changed.memories[0].nodeNm = 130;
+    changed.name = "patched";
+    expectRoundTrip(a, changed);
+
+    spec::DesignSpec grown = a;
+    spec::MemorySpec extra = grown.memories[0];
+    extra.name = "SpareBuf";
+    grown.memories.push_back(extra); // Added element (appended)
+    grown.tsv.present = true; // Added member
+    expectRoundTrip(a, grown);
+    expectRoundTrip(grown, a); // the same edits as Removed
+
+    // Added element in the MIDDLE of a name-keyed array: the diff's
+    // recorded position restores the exact order.
+    spec::DesignSpec middle = a;
+    middle.memories.insert(middle.memories.begin(), extra);
+    expectRoundTrip(a, middle);
+
+    // Regression: a removal AND a positioned addition in the same
+    // array — the addition's target index is only correct after the
+    // doomed element is gone (a=[X], b=[X2,New] with X removed must
+    // not come out as [New,X2]).
+    spec::DesignSpec swapped = a;
+    spec::MemorySpec first = swapped.memories[0];
+    first.name = "FrontBuf";
+    spec::MemorySpec second = extra; // "SpareBuf"
+    swapped.memories = {first, second};
+    for (spec::UnitSpec &u : swapped.units) {
+        for (std::string &m : u.inputMemories)
+            m = "FrontBuf";
+        for (std::string &m : u.outputMemories)
+            m = "FrontBuf";
+    }
+    if (!swapped.adcOutputMemory.empty())
+        swapped.adcOutputMemory = "FrontBuf";
+    expectRoundTrip(a, swapped);
+    expectRoundTrip(swapped, a);
+}
+
+TEST(SpecDiffApply, RoundTripsAcrossAllGoldenStudies)
+{
+    // Cross-study diffs remove/add nearly everything — the heaviest
+    // merge workload. Every consecutive golden pair (plus the
+    // wrap-around pair, 27 in all) must round-trip byte-exactly.
+    const std::vector<spec::DesignSpec> studies =
+        allPaperStudySpecs();
+    ASSERT_EQ(studies.size(), 27u);
+    for (size_t i = 0; i < studies.size(); ++i)
+        expectRoundTrip(studies[i],
+                        studies[(i + 1) % studies.size()]);
+}
+
+TEST(SpecDiffApply, MismatchedBaseFailsLoudly)
+{
+    const spec::DesignSpec a = spec::sampleDetectorSpec(30.0, 65);
+    spec::DesignSpec b = a;
+    b.fps = 60.0;
+    const std::vector<spec::SpecDifference> diffs =
+        spec::diffSpecs(a, b);
+
+    // Applying a diff taken against a DIFFERENT base must fail on
+    // the before-value check, not silently produce garbage.
+    spec::DesignSpec other = spec::sampleDetectorSpec(15.0, 65);
+    try {
+        spec::applyDiff(other, diffs);
+        FAIL() << "expected ConfigError";
+    } catch (const ConfigError &e) {
+        EXPECT_NE(std::string(e.what()).find("different base"),
+                  std::string::npos);
+    }
+
+    // A dangling path fails with the path named.
+    std::vector<spec::SpecDifference> bogus = {
+        {spec::SpecDifference::Kind::Changed,
+         "memories[NoSuchBuf].nodeNm", "65", "130"},
+    };
+    EXPECT_THROW(spec::applyDiff(a, bogus), ConfigError);
+}
+
+TEST(SpecDiffApply, JsonDiffDocumentRoundTrips)
+{
+    const spec::DesignSpec a = spec::sampleDetectorSpec(30.0, 65);
+    spec::DesignSpec b = a;
+    b.fps = 90.0;
+    b.tsv.present = true;
+    b.mipi.present = false;
+    const std::vector<spec::SpecDifference> diffs =
+        spec::diffSpecs(a, b);
+
+    // diff -> JSON text -> diff: identical fields, and applying the
+    // re-parsed diff still reproduces b.
+    const std::vector<spec::SpecDifference> reparsed =
+        spec::diffFromJson(spec::diffToJson(diffs));
+    ASSERT_EQ(reparsed.size(), diffs.size());
+    for (size_t i = 0; i < diffs.size(); ++i) {
+        EXPECT_EQ(reparsed[i].kind, diffs[i].kind);
+        EXPECT_EQ(reparsed[i].path, diffs[i].path);
+        EXPECT_EQ(reparsed[i].before, diffs[i].before);
+        EXPECT_EQ(reparsed[i].after, diffs[i].after);
+        EXPECT_EQ(reparsed[i].position, diffs[i].position);
+    }
+    EXPECT_EQ(spec::toJson(spec::applyDiff(a, reparsed)),
+              spec::toJson(b));
+
+    EXPECT_THROW(spec::diffFromJson("{\"changes\": [{\"kind\": "
+                                    "\"sideways\", \"path\": \"x\"}]}"),
+                 ConfigError);
+}
+
+TEST(SpecDiffApply, WildcardPathsAreRejected)
+{
+    const spec::DesignSpec a = spec::sampleDetectorSpec(30.0, 65);
+    std::vector<spec::SpecDifference> bogus = {
+        {spec::SpecDifference::Kind::Changed, "memories[*].nodeNm",
+         "65", "130"},
+    };
+    EXPECT_THROW(spec::applyDiff(a, bogus), ConfigError);
 }
 
 TEST(SpecDiff, FormatRendersAllThreeKinds)

@@ -23,6 +23,7 @@
 #include "explore/sweep.h"
 #include "spec/grid.h"
 #include "spec/samples.h"
+#include "spec/shard.h"
 #include "usecases/studies.h"
 
 namespace camj
@@ -254,6 +255,152 @@ TEST(SweepGrid, SweepDocumentRoundTripsThroughJson)
         spec::sweepDocumentFromJson(spec::toJson(doc.base));
     EXPECT_TRUE(plain.grid.axes.empty());
     EXPECT_EQ(plain.grid.points(), 1u);
+}
+
+TEST(SweepGrid, ExplicitPointListExpandsNonCartesian)
+{
+    spec::DesignSpec base = spec::sampleDetectorSpec(30.0, 65);
+    spec::SweepGrid grid;
+    // Coupled axes: high rates only at the small node — exactly the
+    // tuples listed, not their cartesian product.
+    grid.axes = {{"rate", "fps", {}},
+                 {"node", "memories[ActBuf].nodeNm", {}}};
+    grid.pointList = {
+        {json::Value(15.0), json::Value(130)},
+        {json::Value(30.0), json::Value(65)},
+        {json::Value(120.0), json::Value(65)},
+    };
+    EXPECT_EQ(grid.points(), 3u);
+
+    spec::GridSpecSource source(base, grid);
+    std::vector<spec::DesignSpec> points = drain(source);
+    ASSERT_EQ(points.size(), 3u);
+    EXPECT_EQ(points[0].name, base.name + "/rate=15,node=130");
+    EXPECT_EQ(points[2].name, base.name + "/rate=120,node=65");
+    EXPECT_DOUBLE_EQ(points[0].fps, 15.0);
+    EXPECT_EQ(points[0].memories[0].nodeNm, 130);
+    EXPECT_DOUBLE_EQ(points[2].fps, 120.0);
+    EXPECT_EQ(points[2].memories[0].nodeNm, 65);
+
+    // at() is random access over the same tuples.
+    EXPECT_EQ(spec::toJson(source.at(1)), spec::toJson(points[1]));
+}
+
+TEST(SweepGrid, PointListValidation)
+{
+    spec::DesignSpec base = spec::sampleDetectorSpec(30.0, 65);
+
+    // Tuple arity must match the axis count.
+    spec::SweepGrid ragged;
+    ragged.axes = {{"rate", "fps", {}},
+                   {"node", "memories[ActBuf].nodeNm", {}}};
+    ragged.pointList = {{json::Value(15.0)}};
+    EXPECT_THROW(ragged.validate(), ConfigError);
+
+    // A point list without axes has nothing to bind to.
+    spec::SweepGrid axisless;
+    axisless.pointList = {{json::Value(15.0)}};
+    EXPECT_THROW(axisless.validate(), ConfigError);
+
+    // A bad tuple value fails at construction with the axis and
+    // value named (one probe per DISTINCT value, so huge point
+    // lists stay cheap to open).
+    spec::SweepGrid bad;
+    bad.axes = {{"model", "memories[ActBuf].model", {}}};
+    bad.pointList = {{json::Value("sram")}, {json::Value("flash")}};
+    try {
+        spec::GridSpecSource source(base, bad);
+        FAIL() << "bad point value did not throw";
+    } catch (const ConfigError &e) {
+        EXPECT_NE(std::string(e.what()).find("axis 'model'"),
+                  std::string::npos)
+            << e.what();
+        EXPECT_NE(std::string(e.what()).find("flash"),
+                  std::string::npos)
+            << e.what();
+    }
+
+    // With a point list, empty per-axis value lists are legal.
+    spec::SweepGrid ok;
+    ok.axes = {{"rate", "fps", {}}};
+    ok.pointList = {{json::Value(15.0)}, {json::Value(60.0)}};
+    EXPECT_NO_THROW(ok.validate());
+}
+
+TEST(SweepGrid, PointListDocumentRoundTripsAndShards)
+{
+    spec::SweepDocument doc;
+    doc.base = spec::sampleDetectorSpec(30.0, 65);
+    doc.grid.axes = {{"rate", "fps", {}},
+                     {"node", "memories[ActBuf].nodeNm", {}}};
+    doc.grid.pointList = {
+        {json::Value(15.0), json::Value(130)},
+        {json::Value(30.0), json::Value(65)},
+        {json::Value(120.0), json::Value(65)},
+        {json::Value(240.0), json::Value(45)},
+    };
+
+    const std::string text = spec::toJson(doc);
+    EXPECT_NE(text.find("\"points\""), std::string::npos);
+    spec::SweepDocument back = spec::sweepDocumentFromJson(text);
+    EXPECT_EQ(spec::toJson(back), text);
+    EXPECT_EQ(back.grid.points(), 4u);
+    ASSERT_EQ(back.grid.pointList.size(), 4u);
+
+    // Point-list documents shard like any other sweep: a descriptor
+    // embedding the grid round-trips and its source yields exactly
+    // the assigned tuples.
+    const spec::ShardPlan plan = spec::planShards(4, 2);
+    spec::ShardDescriptor d{back, plan.shards[1]};
+    spec::ShardDescriptor loaded =
+        spec::shardDescriptorFromJson(spec::shardDescriptorToJson(d));
+    EXPECT_EQ(loaded.shard.count(), 2u);
+    spec::GridSpecSource grid_source = loaded.gridSource();
+    spec::ShardSpecSource source(grid_source, loaded.shard);
+    std::vector<spec::DesignSpec> points = drain(source);
+    ASSERT_EQ(points.size(), 2u);
+    EXPECT_DOUBLE_EQ(points[0].fps, 120.0);
+    EXPECT_DOUBLE_EQ(points[1].fps, 240.0);
+}
+
+TEST(SweepGrid, ChangedPathsNameTheDifferingAxes)
+{
+    spec::DesignSpec base = spec::sampleDetectorSpec(30.0, 65);
+    // rate x node grid: rate outermost (stride 2), node fastest.
+    spec::GridSpecSource source(base, detectorGrid());
+
+    // Same point: nothing changed.
+    EXPECT_EQ(source.changedPaths(3, 3),
+              std::vector<std::string>{});
+    // Neighbors along the node axis.
+    EXPECT_EQ(source.changedPaths(0, 1),
+              (std::vector<std::string>{"memories[ActBuf].nodeNm",
+                                        "name"}));
+    // A rate-axis step keeping the node coordinate.
+    EXPECT_EQ(source.changedPaths(0, 2),
+              (std::vector<std::string>{"fps", "name"}));
+    // Both axes at once.
+    EXPECT_EQ(source.changedPaths(0, 3),
+              (std::vector<std::string>{
+                  "fps", "memories[ActBuf].nodeNm", "name"}));
+    // Out of range: unknown.
+    EXPECT_FALSE(source.changedPaths(0, 99).has_value());
+
+    // Point-list grids compare tuple values the same way.
+    spec::SweepGrid grid;
+    grid.axes = {{"rate", "fps", {}},
+                 {"node", "memories[ActBuf].nodeNm", {}}};
+    grid.pointList = {
+        {json::Value(15.0), json::Value(65)},
+        {json::Value(30.0), json::Value(65)},
+        {json::Value(15.0), json::Value(65)},
+    };
+    spec::GridSpecSource explicit_source(base, grid);
+    EXPECT_EQ(explicit_source.changedPaths(0, 1),
+              (std::vector<std::string>{"fps", "name"}));
+    // Distinct indices carrying identical tuples: nothing changed.
+    EXPECT_EQ(explicit_source.changedPaths(0, 2),
+              std::vector<std::string>{});
 }
 
 TEST(SweepGrid, GridStreamMatchesBatchOverExpandedSpecs)
