@@ -9,10 +9,12 @@
  * environment variable; the resolved absolute path is printed on
  * exit): designs/sec for a serial sweep vs. a >= 4-thread SweepEngine
  * run over the same spec batch, the streaming pipeline over that
- * batch, a lazily expanded SweepGrid, and the sharded multi-process
+ * batch, a lazily expanded SweepGrid, the sharded multi-process
  * pipeline (1 process vs. 4 forked shard workers over the 108-point
- * grid, plus the merge), so CI can track the simulator's
- * evaluation-throughput trajectory across PRs.
+ * grid, plus the merge), and the statically prefiltered sweep (a
+ * widened grid with provably infeasible axis values, pruned by
+ * GridAnalyzer with zero tolerated false positives), so CI can track
+ * the simulator's evaluation-throughput trajectory across PRs.
  *
  * `--points N` scales the artifact workload (batch copies and grid
  * size) so CI can run a quick smoke sweep: perf_simulator --points 8.
@@ -35,8 +37,10 @@
 #include <thread>
 #include <vector>
 
+#include "analysis/grid_analyzer.h"
 #include "common/logging.h"
 #include "digital/cyclesim.h"
+#include "explore/simulator.h"
 #include "explore/jsonl.h"
 #include "explore/sweep.h"
 #include "functional/executor.h"
@@ -717,6 +721,89 @@ writeBenchJson()
                 json::Value(merge_identical));
     doc.set("shardedSweep", std::move(sharded));
 
+    // Prefiltered sweep: the canonical study widened with axis values
+    // the static grid analysis can prove infeasible (an out-of-range
+    // SRAM node and an active fraction > 1). PrefilterSpecSource must
+    // skip EXACTLY provably-doomed points — every pruned point is
+    // re-simulated and must come back infeasible (false positives
+    // fail the bench) — and the pruned sweep's end-to-end win over
+    // the unfiltered run is the artifact's tracked speedup.
+    spec::SweepDocument pre_doc = shardedStudyDocument();
+    pre_doc.grid.axes[1].values.push_back(json::Value(254));
+    pre_doc.grid.axes[2].values.push_back(json::Value(1.5));
+    const size_t n_pre = pre_doc.grid.points();
+    const analysis::GridAnalysis pre_analysis =
+        analysis::GridAnalyzer().analyze(pre_doc);
+    size_t false_positives = 0;
+    {
+        spec::GridSpecSource probe = pre_doc.source();
+        SimulationOptions check;
+        check.checkMode = CheckMode::Report;
+        const Simulator sim(check);
+        for (size_t i = 0; i < n_pre; ++i) {
+            if (pre_analysis.doomed(i) && sim.run(probe.at(i)).feasible)
+                ++false_positives;
+        }
+    }
+    if (false_positives > 0) {
+        std::fprintf(stderr, "error: the grid prefilter pruned %zu "
+                     "feasible point(s)\n", false_positives);
+        return false;
+    }
+    auto time_prefiltered = [&](bool filtered) {
+        SweepOptions o;
+        o.threads = 1;
+        o.reuseMaterializations = true;
+        SweepEngine pre_engine(o);
+        size_t delivered = 0;
+        CallbackSink count([&](SweepResult) {
+            ++delivered;
+            return true;
+        });
+        const auto t0 = std::chrono::steady_clock::now();
+        if (filtered) {
+            analysis::PrefilterSpecSource source(pre_doc);
+            pre_engine.runStream(source, count);
+        } else {
+            spec::GridSpecSource source = pre_doc.source();
+            pre_engine.runStream(source, count);
+        }
+        const auto t1 = std::chrono::steady_clock::now();
+        benchmark::DoNotOptimize(delivered);
+        return std::chrono::duration<double>(t1 - t0).count();
+    };
+    time_prefiltered(false); // warm-up
+    double unfiltered_seconds = 1e30, filtered_seconds = 1e30;
+    for (int rep = 0; rep < 2; ++rep) {
+        unfiltered_seconds =
+            std::min(unfiltered_seconds, time_prefiltered(false));
+        filtered_seconds =
+            std::min(filtered_seconds, time_prefiltered(true));
+    }
+    json::Value prefiltered = json::Value::makeObject();
+    prefiltered.set("designPoints",
+                    json::Value(static_cast<int64_t>(n_pre)));
+    prefiltered.set("prunedPoints",
+                    json::Value(static_cast<int64_t>(
+                        pre_analysis.prunedPoints())));
+    prefiltered.set("falsePositives",
+                    json::Value(static_cast<int64_t>(false_positives)));
+    json::Value unfiltered_run = json::Value::makeObject();
+    unfiltered_run.set("seconds", json::Value(unfiltered_seconds));
+    unfiltered_run.set("designsPerSec",
+                       json::Value(static_cast<double>(n_pre) /
+                                   unfiltered_seconds));
+    prefiltered.set("unfiltered", std::move(unfiltered_run));
+    json::Value filtered_run = json::Value::makeObject();
+    filtered_run.set("seconds", json::Value(filtered_seconds));
+    filtered_run.set("designsPerSec",
+                     json::Value(static_cast<double>(n_pre) /
+                                 filtered_seconds));
+    prefiltered.set("prefiltered", std::move(filtered_run));
+    prefiltered.set("speedup",
+                    json::Value(unfiltered_seconds / filtered_seconds));
+    doc.set("prefilteredSweep", std::move(prefiltered));
+
     const char *env_path = std::getenv("BENCH_JSON_PATH");
     const std::string path =
         env_path != nullptr ? env_path : "BENCH_simulator.json";
@@ -755,6 +842,13 @@ writeBenchJson()
                 nd / forked_seconds, n_shards,
                 single_seconds / forked_seconds, n_shards,
                 merge_seconds);
+    std::printf("prefiltered sweep: %zu points, %zu statically pruned "
+                "(%zu false positives), %.1f designs/sec unfiltered "
+                "vs %.1f prefiltered (%.2fx)\n", n_pre,
+                pre_analysis.prunedPoints(), false_positives,
+                static_cast<double>(n_pre) / unfiltered_seconds,
+                static_cast<double>(n_pre) / filtered_seconds,
+                unfiltered_seconds / filtered_seconds);
     std::error_code abs_ec;
     const std::filesystem::path abs_path =
         std::filesystem::absolute(path, abs_ec);

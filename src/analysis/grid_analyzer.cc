@@ -1,0 +1,374 @@
+#include "analysis/grid_analyzer.h"
+
+#include <algorithm>
+#include <set>
+#include <utility>
+
+#include "common/logging.h"
+
+namespace camj::analysis
+{
+
+namespace
+{
+
+using spec::DesignSpec;
+using spec::GridAxis;
+using spec::SweepDocument;
+
+/** First path segment's member name ("memories[ActBuf].nodeNm" ->
+ *  "memories"); empty on malformed paths (grid validation owns them). */
+std::string
+pathRoot(const std::string &path)
+{
+    try {
+        auto segs = spec::parseSpecPath(path);
+        return segs.empty() ? std::string() : segs[0].member;
+    } catch (const ConfigError &) {
+        return {};
+    }
+}
+
+/**
+ * Run @p rule on the base document with the given axis overrides
+ * applied, returning its Error diagnostics. An evaluation throw IS an
+ * error finding: materializing that point in a sweep would throw the
+ * same ConfigError, so pruning on it stays sound.
+ */
+std::vector<Diagnostic>
+evalRule(const GridRule &rule, const json::Value &baseDoc,
+         const std::vector<std::pair<const GridAxis *,
+                                     const json::Value *>> &overrides)
+{
+    std::vector<Diagnostic> errors;
+    try {
+        json::Value doc = baseDoc;
+        for (const auto &[axis, value] : overrides)
+            spec::applySpecOverride(doc, axis->path, *value);
+        DesignSpec s = spec::fromJsonValue(doc);
+        // Grid points always get a non-empty "/axis=value" name
+        // suffix, so an empty base name never dooms a point.
+        if (s.name.empty())
+            s.name = "grid-probe";
+        std::vector<Diagnostic> all;
+        rule.check(s, all);
+        for (Diagnostic &d : all) {
+            if (d.severity == Severity::Error)
+                errors.push_back(std::move(d));
+        }
+    } catch (const ConfigError &e) {
+        errors.push_back(makeError(classifyError(e.what()), "",
+                                   e.what()));
+    }
+    return errors;
+}
+
+} // namespace
+
+// --------------------------------------------------------- GridAnalysis
+
+std::vector<size_t>
+GridAnalysis::coords(size_t index) const
+{
+    // Row-major: first axis outermost, last axis fastest.
+    std::vector<size_t> out(axisSizes_.size(), 0);
+    for (size_t i = axisSizes_.size(); i-- > 0;) {
+        out[i] = index % axisSizes_[i];
+        index /= axisSizes_[i];
+    }
+    return out;
+}
+
+bool
+GridAnalysis::doomed(size_t index) const
+{
+    if (index >= total_)
+        return false;
+    if (pointListMode_)
+        return doomedPoints_.count(index) > 0;
+    if (axisSizes_.empty())
+        return false;
+    std::vector<size_t> c = coords(index);
+    for (size_t i = 0; i < c.size(); ++i) {
+        if (doomedValues_[i].count(c[i]))
+            return true;
+    }
+    return false;
+}
+
+std::vector<Diagnostic>
+GridAnalysis::justification(size_t index) const
+{
+    std::vector<Diagnostic> out;
+    if (index >= total_)
+        return out;
+    if (pointListMode_) {
+        auto it = doomedPoints_.find(index);
+        if (it != doomedPoints_.end())
+            out = it->second;
+        return out;
+    }
+    if (axisSizes_.empty())
+        return out;
+    std::vector<size_t> c = coords(index);
+    for (size_t i = 0; i < c.size(); ++i) {
+        auto it = doomedValues_[i].find(c[i]);
+        if (it != doomedValues_[i].end())
+            out.insert(out.end(), it->second.begin(),
+                       it->second.end());
+    }
+    return out;
+}
+
+size_t
+GridAnalysis::prunedPoints() const
+{
+    size_t n = 0;
+    for (size_t i = 0; i < total_; ++i)
+        n += doomed(i) ? 1 : 0;
+    return n;
+}
+
+std::string
+GridAnalysis::summary() const
+{
+    std::string out;
+    if (pointListMode_) {
+        for (const auto &[index, diags] : doomedPoints_) {
+            for (const Diagnostic &d : diags) {
+                out += "point " + std::to_string(index) + ": " +
+                       d.format() + "\n";
+            }
+        }
+        return out;
+    }
+    for (size_t i = 0; i < doomedValues_.size(); ++i) {
+        for (const auto &[value, diags] : doomedValues_[i]) {
+            for (const Diagnostic &d : diags) {
+                out += "axis '" + axisNames_[i] + "' value " +
+                       std::to_string(value) + ": " + d.format() +
+                       "\n";
+            }
+        }
+    }
+    return out;
+}
+
+// --------------------------------------------------------- GridAnalyzer
+
+GridAnalyzer::GridAnalyzer()
+{
+    // Lift the SpecAnalyzer rules whose dependency sets are known.
+    // Each entry's deps list every top-level member the rule reads —
+    // the soundness contract of GridRule.
+    static const struct
+    {
+        const char *slug;
+        std::vector<std::string> deps;
+    } kLiftable[] = {
+        {"top-level-params", {"name", "fps", "digitalClock"}},
+        {"stage-arity", {"stages"}},
+        {"stage-geometry", {"stages"}},
+        {"memory-ranges", {"memories"}},
+        {"component-params", {"analogArrays"}},
+        {"adc-throughput",
+         {"fps", "analogArrays", "stages", "mapping"}},
+        {"unit-params", {"units"}},
+    };
+    SpecAnalyzer base;
+    for (const auto &entry : kLiftable) {
+        for (const AnalysisRule &r : base.rules()) {
+            if (r.name == entry.slug) {
+                rules_.push_back({"gr-" + r.name, r.code, entry.deps,
+                                  r.check});
+                break;
+            }
+        }
+    }
+}
+
+void
+GridAnalyzer::addRule(GridRule rule)
+{
+    rules_.push_back(std::move(rule));
+}
+
+GridAnalysis
+GridAnalyzer::analyze(const SweepDocument &doc) const
+{
+    GridAnalysis out;
+    out.total_ = doc.grid.points();
+    const json::Value baseDoc = spec::toJsonValue(doc.base);
+
+    if (!doc.grid.pointList.empty()) {
+        // Explicit point list: evaluate every point directly.
+        out.pointListMode_ = true;
+        for (size_t p = 0; p < doc.grid.pointList.size(); ++p) {
+            const auto &tuple = doc.grid.pointList[p];
+            std::vector<std::pair<const GridAxis *,
+                                  const json::Value *>>
+                overrides;
+            for (size_t a = 0;
+                 a < doc.grid.axes.size() && a < tuple.size(); ++a)
+                overrides.emplace_back(&doc.grid.axes[a], &tuple[a]);
+            std::vector<Diagnostic> why;
+            for (const GridRule &r : rules_) {
+                std::vector<Diagnostic> errs =
+                    evalRule(r, baseDoc, overrides);
+                why.insert(why.end(), errs.begin(), errs.end());
+            }
+            if (!why.empty())
+                out.doomedPoints_.emplace(p, std::move(why));
+        }
+        return out;
+    }
+
+    if (doc.grid.axes.empty())
+        return out;
+    for (const GridAxis &a : doc.grid.axes) {
+        out.axisNames_.push_back(a.name);
+        out.axisSizes_.push_back(a.values.size());
+    }
+    out.doomedValues_.resize(doc.grid.axes.size());
+
+    for (const GridRule &rule : rules_) {
+        // Axes the rule's verdict can depend on.
+        std::vector<size_t> depAxes;
+        for (size_t a = 0; a < doc.grid.axes.size(); ++a) {
+            const std::string root = pathRoot(doc.grid.axes[a].path);
+            if (std::find(rule.deps.begin(), rule.deps.end(), root) !=
+                rule.deps.end())
+                depAxes.push_back(a);
+        }
+        for (size_t ai = 0; ai < depAxes.size(); ++ai) {
+            const size_t axis = depAxes[ai];
+            // The other dep axes must be enumerated exhaustively: a
+            // value is only doomed when the rule errors for EVERY
+            // combination.
+            std::vector<size_t> others;
+            size_t combos = 1;
+            bool tractable = true;
+            for (size_t oi = 0; oi < depAxes.size(); ++oi) {
+                if (oi == ai)
+                    continue;
+                others.push_back(depAxes[oi]);
+                const size_t n =
+                    doc.grid.axes[depAxes[oi]].values.size();
+                if (combos > kMaxCombos / std::max<size_t>(n, 1)) {
+                    tractable = false;
+                    break;
+                }
+                combos *= n;
+            }
+            if (!tractable)
+                continue; // prove nothing rather than guess
+
+            const GridAxis &ax = doc.grid.axes[axis];
+            for (size_t v = 0; v < ax.values.size(); ++v) {
+                if (out.doomedValues_[axis].count(v))
+                    continue; // already doomed by an earlier rule
+                std::vector<Diagnostic> why;
+                bool allFire = true;
+                std::vector<size_t> combo(others.size(), 0);
+                for (size_t c = 0; c < combos && allFire; ++c) {
+                    std::vector<std::pair<const GridAxis *,
+                                          const json::Value *>>
+                        overrides;
+                    overrides.emplace_back(&ax, &ax.values[v]);
+                    for (size_t oi = 0; oi < others.size(); ++oi) {
+                        const GridAxis &oa =
+                            doc.grid.axes[others[oi]];
+                        overrides.emplace_back(
+                            &oa, &oa.values[combo[oi]]);
+                    }
+                    std::vector<Diagnostic> errs =
+                        evalRule(rule, baseDoc, overrides);
+                    if (errs.empty())
+                        allFire = false;
+                    else if (why.empty())
+                        why = std::move(errs);
+                    // Mixed-radix increment over the other axes.
+                    for (size_t oi = others.size(); oi-- > 0;) {
+                        if (++combo[oi] <
+                            doc.grid.axes[others[oi]].values.size())
+                            break;
+                        combo[oi] = 0;
+                    }
+                }
+                if (allFire && !why.empty())
+                    out.doomedValues_[axis].emplace(v,
+                                                    std::move(why));
+            }
+        }
+    }
+    return out;
+}
+
+// -------------------------------------------------- PrefilterSpecSource
+
+PrefilterSpecSource::PrefilterSpecSource(const SweepDocument &doc)
+    : PrefilterSpecSource(doc, GridAnalyzer())
+{
+}
+
+PrefilterSpecSource::PrefilterSpecSource(const SweepDocument &doc,
+                                         const GridAnalyzer &analyzer)
+    : inner_(doc.base, doc.grid), analysis_(analyzer.analyze(doc))
+{
+    const size_t total = inner_.totalPoints();
+    survivors_.reserve(total);
+    for (size_t i = 0; i < total; ++i) {
+        if (analysis_.doomed(i))
+            pruned_.push_back(i);
+        else
+            survivors_.push_back(i);
+    }
+}
+
+std::optional<DesignSpec>
+PrefilterSpecSource::next()
+{
+    size_t unused = 0;
+    return nextIndexed(unused);
+}
+
+std::optional<DesignSpec>
+PrefilterSpecSource::nextIndexed(size_t &index)
+{
+    const size_t local =
+        cursor_.fetch_add(1, std::memory_order_relaxed);
+    if (local >= survivors_.size())
+        return std::nullopt;
+    index = local;
+    return inner_.at(survivors_[local]);
+}
+
+std::optional<std::vector<std::string>>
+PrefilterSpecSource::changedPaths(size_t from, size_t to) const
+{
+    if (from >= survivors_.size() || to >= survivors_.size())
+        return std::nullopt;
+    return inner_.changedPaths(survivors_[from], survivors_[to]);
+}
+
+DesignSpec
+PrefilterSpecSource::at(size_t index) const
+{
+    if (index >= survivors_.size())
+        fatal("PrefilterSpecSource: index %zu out of range (%zu "
+              "surviving points)",
+              index, survivors_.size());
+    return inner_.at(survivors_[index]);
+}
+
+size_t
+PrefilterSpecSource::globalIndex(size_t local) const
+{
+    if (local >= survivors_.size())
+        fatal("PrefilterSpecSource: local index %zu out of range "
+              "(%zu surviving points)",
+              local, survivors_.size());
+    return survivors_[local];
+}
+
+} // namespace camj::analysis

@@ -1,0 +1,182 @@
+/**
+ * @file
+ * GridAnalyzer: static infeasibility analysis over a sweepGrid — the
+ * SpecAnalyzer's error rules lifted from single specs to whole axis
+ * values. An axis value is DOOMED when the rule fires for every
+ * combination of the other axes the rule depends on; every design
+ * point carrying a doomed coordinate is then provably infeasible
+ * before any worker materializes it.
+ *
+ * The invariant everything downstream relies on (and tests/bench
+ * assert): pruned is a SUBSET of actually-infeasible. The analyzer
+ * only prunes what it can prove — each grid rule reads nothing but
+ * its declared top-level spec members, so fixing the dep axes fixes
+ * the verdict — and whenever a proof would be too expensive (combo
+ * blow-up) it simply proves nothing.
+ *
+ * PrefilterSpecSource packages the analysis as a drop-in
+ * IndexableSpecSource that yields only the surviving points.
+ */
+
+#ifndef CAMJ_ANALYSIS_GRID_ANALYZER_H
+#define CAMJ_ANALYSIS_GRID_ANALYZER_H
+
+#include <atomic>
+#include <cstddef>
+#include <functional>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "analysis/analyzer.h"
+#include "spec/grid.h"
+#include "spec/source.h"
+
+namespace camj::analysis
+{
+
+/**
+ * A spec rule the grid analyzer may lift to axis intervals. The
+ * soundness contract: check() reads ONLY the top-level DesignSpec
+ * members named in deps (plus the design name, which the analyzer
+ * neutralizes — grid points always get a non-empty coordinate
+ * suffix), so its verdict is constant across the values of every
+ * axis outside deps.
+ */
+struct GridRule
+{
+    /** Short slug ("gr-memory-ranges"). */
+    std::string name;
+    /** Primary diagnostic code the rule emits. */
+    std::string code;
+    /** Top-level spec members (first path segment: "fps",
+     *  "memories", ...) the verdict depends on. */
+    std::vector<std::string> deps;
+    /** The underlying spec rule; only Error diagnostics doom. */
+    std::function<void(const spec::DesignSpec &spec,
+                       std::vector<Diagnostic> &out)>
+        check;
+};
+
+/** The result of analyzing one sweep document. */
+class GridAnalysis
+{
+  public:
+    /** Points the grid expands to. */
+    size_t totalPoints() const { return total_; }
+
+    /** Points proven infeasible. */
+    size_t prunedPoints() const;
+
+    /** True when point @p index (global grid index, row-major) is
+     *  provably infeasible. */
+    bool doomed(size_t index) const;
+
+    /**
+     * Why point @p index is doomed: the diagnostics of every doomed
+     * coordinate it carries (cartesian) or of the point itself
+     * (point-list). Empty for surviving points.
+     */
+    std::vector<Diagnostic> justification(size_t index) const;
+
+    /**
+     * Human-readable per-axis summary ("axis 'bufnode': value 254
+     * doomed by CAMJ-E013 ..."), one line per doomed value/point.
+     */
+    std::string summary() const;
+
+  private:
+    friend class GridAnalyzer;
+
+    size_t total_ = 0;
+    bool pointListMode_ = false;
+    std::vector<std::string> axisNames_;
+    std::vector<size_t> axisSizes_;
+    /** Cartesian mode: per axis, doomed value index -> why. */
+    std::vector<std::map<size_t, std::vector<Diagnostic>>> doomedValues_;
+    /** Point-list mode: doomed point index -> why. */
+    std::map<size_t, std::vector<Diagnostic>> doomedPoints_;
+
+    std::vector<size_t> coords(size_t index) const;
+};
+
+/** The grid analyzer: monotone-rule registry + interval evaluation. */
+class GridAnalyzer
+{
+  public:
+    /** Registers the built-in liftable rules (the SpecAnalyzer rules
+     *  whose dependency sets are known). */
+    GridAnalyzer();
+
+    /** Append a custom rule (see GridRule's soundness contract). */
+    void addRule(GridRule rule);
+
+    const std::vector<GridRule> &rules() const { return rules_; }
+
+    /**
+     * Prove what can be proven about @p doc's grid. Never throws on
+     * evaluation failures: a point whose probe evaluation throws
+     * ConfigError is infeasible by definition (the sweep's
+     * materialization would throw the same error).
+     */
+    GridAnalysis analyze(const spec::SweepDocument &doc) const;
+
+    /** Combinations of other-axis values a proof may enumerate
+     *  before the analyzer gives up on that (rule, axis) pair. */
+    static constexpr size_t kMaxCombos = 256;
+
+  private:
+    std::vector<GridRule> rules_;
+};
+
+/**
+ * An IndexableSpecSource yielding only the points a GridAnalysis
+ * could not prove infeasible. Local indices are dense (0..N-1 over
+ * survivors); globalIndex() recovers a point's identity in the
+ * unfiltered grid. Supports concurrent pulls like the grid source it
+ * wraps.
+ */
+class PrefilterSpecSource : public spec::IndexableSpecSource
+{
+  public:
+    /** Analyze with the default GridAnalyzer. @throws ConfigError
+     *  when the document's grid fails structural validation. */
+    explicit PrefilterSpecSource(const spec::SweepDocument &doc);
+
+    PrefilterSpecSource(const spec::SweepDocument &doc,
+                        const GridAnalyzer &analyzer);
+
+    std::optional<spec::DesignSpec> next() override;
+    std::optional<size_t> sizeHint() const override
+    {
+        return survivors_.size();
+    }
+    bool concurrentPulls() const override { return true; }
+    std::optional<spec::DesignSpec> nextIndexed(size_t &index) override;
+    std::optional<std::vector<std::string>> changedPaths(
+        size_t from, size_t to) const override;
+
+    spec::DesignSpec at(size_t index) const override;
+    size_t totalPoints() const override { return survivors_.size(); }
+
+    /** Unfiltered grid index of surviving point @p local. */
+    size_t globalIndex(size_t local) const;
+
+    /** Global indices of the pruned points, ascending. */
+    const std::vector<size_t> &prunedIndices() const { return pruned_; }
+
+    /** The analysis backing the filter (justifications live here). */
+    const GridAnalysis &analysis() const { return analysis_; }
+
+  private:
+    spec::GridSpecSource inner_;
+    GridAnalysis analysis_;
+    std::vector<size_t> survivors_;
+    std::vector<size_t> pruned_;
+    std::atomic<size_t> cursor_{0};
+};
+
+} // namespace camj::analysis
+
+#endif // CAMJ_ANALYSIS_GRID_ANALYZER_H

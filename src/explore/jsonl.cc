@@ -26,6 +26,7 @@ parseJsonlLine(const std::string &line)
     r.design = o.getString("design", "");
     r.feasible = o.getBool("feasible", false);
     r.error = o.getString("error", "");
+    r.ruleCode = o.getString("ruleCode", "");
     r.totalEnergy = o.getNumber("totalEnergy", 0.0);
     if (const Value *cats = o.find("categories")) {
         for (const auto &[name, v] : cats->asObject())

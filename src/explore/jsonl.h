@@ -39,6 +39,9 @@ struct JsonlRecord
     bool feasible = false;
     /** Failure text for infeasible points. */
     std::string error;
+    /** Lint-rule code classifying the failure (docs/lint_rules.md);
+     *  empty when feasible or written by an older tool. */
+    std::string ruleCode;
     /** Energy over all simulated frames [J]; 0 when infeasible. */
     double totalEnergy = 0.0;
     /** Per-category energies [J] (feasible points only). */

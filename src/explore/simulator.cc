@@ -1,5 +1,6 @@
 #include "explore/simulator.h"
 
+#include "analysis/analyzer.h"
 #include "common/logging.h"
 
 namespace camj
@@ -46,6 +47,7 @@ failureOutcome(const SimulationOptions &options, std::string what)
     out.feasible = false;
     out.frames = options.frames;
     out.error = std::move(what);
+    out.ruleCode = analysis::classifyError(out.error);
     return out;
 }
 

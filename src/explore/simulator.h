@@ -54,6 +54,14 @@ struct SimulationOutcome
     bool feasible = false;
     /** ConfigError text when infeasible. */
     std::string error;
+    /**
+     * Lint-rule code matching the failure ("CAMJ-E010", ...; see
+     * docs/lint_rules.md), so dynamic verdicts cross-reference the
+     * static analyzer's catalogue. "CAMJ-D001/D002" mark the
+     * genuinely dynamic failures, "CAMJ-D003" unclassified text;
+     * empty when feasible.
+     */
+    std::string ruleCode;
     /** Valid when feasible; per-frame quantities. */
     EnergyReport report;
     /** Frames the outcome covers (from SimulationOptions). */

@@ -148,6 +148,8 @@ sweepResultToJsonl(const SweepResult &result)
     o.set("feasible", json::Value(result.feasible));
     if (!result.feasible) {
         o.set("error", json::Value(result.error));
+        if (!result.ruleCode.empty())
+            o.set("ruleCode", json::Value(result.ruleCode));
         return o.dump(0);
     }
     o.set("frames", json::Value(result.frames));

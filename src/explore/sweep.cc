@@ -82,12 +82,14 @@ SweepEngine::evaluateOne(const spec::DesignSpec &spec, size_t index,
         SimulationOutcome out = sim.run(spec, cache);
         r.feasible = out.feasible;
         r.error = std::move(out.error);
+        r.ruleCode = std::move(out.ruleCode);
         r.report = std::move(out.report);
         r.frames = out.frames;
         r.snrPenaltyDb = out.snrPenaltyDb;
     } catch (const std::exception &e) {
         r.feasible = false;
         r.error = std::string("internal error: ") + e.what();
+        r.ruleCode = "CAMJ-D003";
     }
     return r;
 }
@@ -109,12 +111,14 @@ SweepEngine::evaluateIncremental(
                     : evaluator.evaluate(spec);
         r.feasible = out.feasible;
         r.error = std::move(out.error);
+        r.ruleCode = std::move(out.ruleCode);
         r.report = std::move(out.report);
         r.frames = out.frames;
         r.snrPenaltyDb = out.snrPenaltyDb;
     } catch (const std::exception &e) {
         r.feasible = false;
         r.error = std::string("internal error: ") + e.what();
+        r.ruleCode = "CAMJ-D003";
     }
     return r;
 }

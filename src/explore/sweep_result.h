@@ -29,6 +29,9 @@ struct SweepResult
     bool feasible = false;
     /** Failure text for infeasible points. */
     std::string error;
+    /** Lint-rule code classifying the failure (docs/lint_rules.md);
+     *  empty when feasible. */
+    std::string ruleCode;
     /** Per-frame report; valid when feasible. */
     EnergyReport report;
     /** Frames the result covers (SweepOptions.sim.frames). */

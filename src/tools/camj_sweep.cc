@@ -29,9 +29,12 @@
 #include <cstring>
 #include <fstream>
 #include <optional>
+#include <sstream>
 #include <string>
 #include <vector>
 
+#include "analysis/analyzer.h"
+#include "analysis/grid_analyzer.h"
 #include "common/logging.h"
 #include "explore/jsonl.h"
 #include "explore/sweep.h"
@@ -58,6 +61,8 @@ usage(std::FILE *to)
 "      --mode contiguous|strided   with --shard (default contiguous)\n"
 "      --threads T                 worker threads (default: all cores)\n"
 "      --frames F                  frames per design point (default 1)\n"
+"      --no-lint                   skip the pre-flight static analysis\n"
+"                                  of the base spec\n"
 "      --full-rebuild              evaluate every point from scratch\n"
 "                                  instead of the incremental staged\n"
 "                                  pipeline (results are identical)\n"
@@ -72,7 +77,10 @@ usage(std::FILE *to)
 "                                  only the hole is re-run; needs\n"
 "                                  --doc\n"
 "      --doc FILE                  the original sweep document the\n"
-"                                  resume descriptor embeds\n");
+"                                  resume descriptor embeds\n"
+"  camj_sweep lint <spec-or-sweep.json> [options]\n"
+"      static analysis only: report diagnostics, simulate nothing\n"
+"      --werror                    treat warnings as errors\n");
     return to == stdout ? 0 : 2;
 }
 
@@ -181,7 +189,7 @@ cmdRun(int argc, char **argv)
     std::string input, out_path, shard_arg;
     spec::ShardMode mode = spec::ShardMode::Contiguous;
     int threads = 0, frames = 1;
-    bool incremental = true;
+    bool incremental = true, lint = true;
     for (int i = 0; i < argc; ++i) {
         const std::string arg = argv[i];
         if (arg == "--out")
@@ -192,6 +200,8 @@ cmdRun(int argc, char **argv)
             mode = spec::shardModeFromName(flagValue(argc, argv, i));
         else if (arg == "--full-rebuild")
             incremental = false;
+        else if (arg == "--no-lint")
+            lint = false;
         else if (arg == "--threads")
             threads = static_cast<int>(
                 parseCount(flagValue(argc, argv, i), "--threads"));
@@ -217,11 +227,36 @@ cmdRun(int argc, char **argv)
     if (!shard_arg.empty()) {
         size_t k = 0, n = 0;
         parseShardSpec(shard_arg, k, n);
+        if (k >= n) {
+            // An argument error, not a data error: usage + exit 2
+            // like every other malformed flag.
+            std::fprintf(stderr,
+                         "error: --shard %zu/%zu: k must be < N\n", k,
+                         n);
+            return usage(stderr);
+        }
         const spec::ShardPlan plan =
             spec::planShards(descriptor.shard.total, n, mode);
-        if (k >= n)
-            fatal("run: --shard %zu/%zu: k must be < N", k, n);
         descriptor.shard = plan.shards[k];
+    }
+
+    if (lint) {
+        // Pre-flight: a base spec the static analyzer can prove
+        // broken would fail on every design point — abort before
+        // spinning up workers. --no-lint opts out.
+        analysis::SpecAnalyzer analyzer;
+        const std::vector<analysis::Diagnostic> diags =
+            analyzer.analyze(descriptor.doc.base);
+        if (analysis::hasErrors(diags)) {
+            std::fputs(
+                analysis::formatDiagnostics(diags, input).c_str(),
+                stderr);
+            std::fprintf(stderr,
+                         "error: run: base spec fails static "
+                         "analysis (re-run with --no-lint to force, "
+                         "or see camj_sweep lint)\n");
+            return 1;
+        }
     }
 
     std::ofstream out(out_path, std::ios::binary);
@@ -350,6 +385,77 @@ cmdMerge(int argc, char **argv)
     return 0;
 }
 
+// ------------------------------------------------------------------ lint
+
+int
+cmdLint(int argc, char **argv)
+{
+    std::string input;
+    bool werror = false;
+    for (int i = 0; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--werror")
+            werror = true;
+        else if (input.empty() && arg[0] != '-')
+            input = arg;
+        else {
+            std::fprintf(stderr, "error: unexpected argument '%s'\n",
+                         arg.c_str());
+            return usage(stderr);
+        }
+    }
+    if (input.empty()) {
+        std::fprintf(stderr,
+                     "error: lint wants <spec-or-sweep.json>\n");
+        return usage(stderr);
+    }
+
+    std::ifstream in(input, std::ios::binary);
+    if (!in)
+        fatal("lint: cannot read '%s'", input.c_str());
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    const std::string text = buf.str();
+
+    std::vector<analysis::Diagnostic> diags;
+    bool parsed = false;
+    json::Value doc;
+    try {
+        doc = json::Value::parse(text);
+        parsed = true;
+    } catch (const ConfigError &e) {
+        diags.push_back(analysis::makeError(
+            analysis::classifyError(e.what()), "", e.what()));
+    }
+    if (parsed) {
+        analysis::SpecAnalyzer analyzer;
+        diags = analyzer.analyzeDocument(doc);
+    }
+    std::fputs(
+        analysis::formatDiagnostics(diags, input).c_str(), stdout);
+    size_t errors =
+        analysis::countSeverity(diags, analysis::Severity::Error);
+    const size_t warnings = analysis::countSeverity(
+        diags, analysis::Severity::Warning);
+
+    if (parsed && errors == 0) {
+        const spec::SweepDocument sweep =
+            spec::sweepDocumentFromJson(text);
+        if (sweep.grid.points() > 1) {
+            analysis::GridAnalyzer grid;
+            const analysis::GridAnalysis result = grid.analyze(sweep);
+            std::fputs(result.summary().c_str(), stdout);
+            std::printf("%s: grid expands to %zu point(s), %zu "
+                        "provably infeasible\n",
+                        input.c_str(), result.totalPoints(),
+                        result.prunedPoints());
+        }
+    }
+    std::printf("%s: %zu error(s), %zu warning(s)\n", input.c_str(),
+                errors, warnings);
+    return errors > 0 || (werror && warnings > 0) ? 1 : 0;
+}
+
 } // namespace
 
 int
@@ -368,6 +474,8 @@ main(int argc, char **argv)
             return cmdRun(argc - 2, argv + 2);
         if (cmd == "merge")
             return cmdMerge(argc - 2, argv + 2);
+        if (cmd == "lint")
+            return cmdLint(argc - 2, argv + 2);
     } catch (const std::exception &e) {
         std::fprintf(stderr, "error: %s\n", e.what());
         return 1;

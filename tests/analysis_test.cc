@@ -1,0 +1,640 @@
+/**
+ * @file
+ * Tests for the static spec analyzer: the golden corpus lints clean,
+ * every rule fires with its exact code and field path on an injected
+ * defect, dynamic ConfigError texts classify onto the catalogue, and
+ * the grid prefilter never prunes a point full simulation would have
+ * found feasible.
+ */
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "analysis/analyzer.h"
+#include "analysis/grid_analyzer.h"
+#include "common/logging.h"
+#include "explore/simulator.h"
+#include "spec/grid.h"
+#include "spec/samples.h"
+#include "spec/spec.h"
+
+namespace camj
+{
+namespace
+{
+
+namespace fs = std::filesystem;
+using analysis::Diagnostic;
+using analysis::GridAnalysis;
+using analysis::GridAnalyzer;
+using analysis::PrefilterSpecSource;
+using analysis::Severity;
+using analysis::SpecAnalyzer;
+
+class QuietLogging : public ::testing::Environment
+{
+  public:
+    void SetUp() override { setLoggingEnabled(false); }
+};
+
+::testing::Environment *const quiet_env =
+    ::testing::AddGlobalTestEnvironment(new QuietLogging);
+
+std::string
+readFile(const fs::path &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    EXPECT_TRUE(in) << "cannot read " << path;
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    return buf.str();
+}
+
+/** True when a diagnostic with exactly @p code at @p path exists. */
+bool
+hasDiag(const std::vector<Diagnostic> &diags, const std::string &code,
+        const std::string &path)
+{
+    for (const Diagnostic &d : diags) {
+        if (d.code == code && d.path == path)
+            return true;
+    }
+    return false;
+}
+
+std::string
+dumpDiags(const std::vector<Diagnostic> &diags)
+{
+    return analysis::formatDiagnostics(diags);
+}
+
+std::vector<Diagnostic>
+analyze(const spec::DesignSpec &spec)
+{
+    return SpecAnalyzer().analyze(spec);
+}
+
+spec::DesignSpec
+detector()
+{
+    return spec::sampleDetectorSpec(30.0, 65);
+}
+
+// ---------------------------------------------------------- golden corpus
+
+TEST(GoldenCorpus, LintsClean)
+{
+    SpecAnalyzer analyzer;
+    size_t corpus = 0;
+    for (const auto &entry : fs::directory_iterator(CAMJ_GOLDEN_DIR)) {
+        if (entry.path().extension() != ".json" ||
+            entry.path().filename() == "energies.json")
+            continue;
+        ++corpus;
+        const json::Value doc =
+            json::Value::parse(readFile(entry.path()));
+        const std::vector<Diagnostic> diags =
+            analyzer.analyzeDocument(doc);
+        EXPECT_EQ(analysis::countSeverity(diags, Severity::Error), 0u)
+            << entry.path().filename() << ":\n" << dumpDiags(diags);
+        // One known, faithful warning: the engine itself warns about
+        // the compressive readout's buffered throughput mismatch at
+        // simulate time; the lint mirrors it. Everything else must
+        // be warning-free.
+        for (const Diagnostic &d : diags) {
+            if (d.severity != Severity::Warning)
+                continue;
+            EXPECT_EQ(d.code, "CAMJ-W003")
+                << entry.path().filename() << ": " << d.format();
+            EXPECT_EQ(entry.path().stem().string(),
+                      "jssc21ii-compressive")
+                << entry.path().filename() << ": " << d.format();
+        }
+    }
+    EXPECT_EQ(corpus, 27u);
+}
+
+TEST(GoldenCorpus, DetectorSweepExampleLintsCleanAndPrunesNothing)
+{
+    const std::string text =
+        readFile(fs::path(CAMJ_EXAMPLES_DIR) / "detector_sweep.json");
+    const std::vector<Diagnostic> diags =
+        SpecAnalyzer().analyzeDocument(json::Value::parse(text));
+    EXPECT_EQ(analysis::countSeverity(diags, Severity::Error), 0u)
+        << dumpDiags(diags);
+    EXPECT_EQ(analysis::countSeverity(diags, Severity::Warning), 0u)
+        << dumpDiags(diags);
+
+    const spec::SweepDocument doc = spec::sweepDocumentFromJson(text);
+    const GridAnalysis grid = GridAnalyzer().analyze(doc);
+    EXPECT_EQ(grid.totalPoints(), 108u);
+    EXPECT_EQ(grid.prunedPoints(), 0u) << grid.summary();
+}
+
+TEST(GoldenCorpus, SampleDetectorAnalyzesClean)
+{
+    const std::vector<Diagnostic> diags = analyze(detector());
+    EXPECT_EQ(analysis::countSeverity(diags, Severity::Error), 0u)
+        << dumpDiags(diags);
+    EXPECT_EQ(analysis::countSeverity(diags, Severity::Warning), 0u)
+        << dumpDiags(diags);
+}
+
+// ------------------------------------------------------ injected defects
+
+TEST(InjectedDefect, TopLevelParams)
+{
+    spec::DesignSpec s = detector();
+    s.fps = -1.0;
+    EXPECT_TRUE(hasDiag(analyze(s), "CAMJ-E001", "fps"))
+        << dumpDiags(analyze(s));
+    s = detector();
+    s.digitalClock = 0.0;
+    EXPECT_TRUE(hasDiag(analyze(s), "CAMJ-E001", "digitalClock"));
+    s = detector();
+    s.name.clear();
+    EXPECT_TRUE(hasDiag(analyze(s), "CAMJ-E001", "name"));
+}
+
+TEST(InjectedDefect, DuplicateNames)
+{
+    spec::DesignSpec s = detector();
+    s.memories.push_back(s.memories[0]);
+    EXPECT_TRUE(
+        hasDiag(analyze(s), "CAMJ-E002", "memories[ActBuf]"));
+    s = detector();
+    s.stages[2].params.name = "Bin"; // now two stages named Bin
+    EXPECT_TRUE(hasDiag(analyze(s), "CAMJ-E002", "stages[Bin]"));
+}
+
+TEST(InjectedDefect, DanglingReferences)
+{
+    spec::DesignSpec s = detector();
+    s.units[0].inputMemories[0] = "ActBfu";
+    EXPECT_TRUE(hasDiag(analyze(s), "CAMJ-E003",
+                        "units[Classifier].inputMemories[0]"));
+    s = detector();
+    s.adcOutputMemory = "Nope";
+    EXPECT_TRUE(hasDiag(analyze(s), "CAMJ-E003", "adcOutputMemory"));
+    s = detector();
+    s.mapping[2].second = "Classifierz";
+    EXPECT_TRUE(hasDiag(analyze(s), "CAMJ-E003", "mapping[2].hw"));
+}
+
+TEST(InjectedDefect, StageArity)
+{
+    spec::DesignSpec s = detector();
+    s.stages[1].inputs.push_back("Conv"); // Binning is unary
+    EXPECT_TRUE(
+        hasDiag(analyze(s), "CAMJ-E004", "stages[Bin].inputs"));
+}
+
+TEST(InjectedDefect, StageGeometry)
+{
+    spec::DesignSpec s = detector();
+    s.stages[1].params.outputSize = {81, 60, 1}; // breaks the stencil
+    EXPECT_TRUE(hasDiag(analyze(s), "CAMJ-E005", "stages[Bin]"));
+}
+
+TEST(InjectedDefect, DagEdgeShapes)
+{
+    spec::DesignSpec s = detector();
+    // A self-consistent Conv whose input no longer matches Bin's
+    // output: the stage is valid, the edge is not.
+    s.stages[2].params.inputSize = {40, 30, 1};
+    s.stages[2].params.outputSize = {38, 28, 8};
+    EXPECT_TRUE(
+        hasDiag(analyze(s), "CAMJ-E006", "stages[Conv].inputSize"));
+}
+
+TEST(InjectedDefect, DagStructure)
+{
+    spec::DesignSpec s = detector();
+    s.stages[1].inputs = {"Bin"};
+    EXPECT_TRUE(
+        hasDiag(analyze(s), "CAMJ-E007", "stages[Bin].inputs[0]"));
+    s = detector();
+    s.stages[1].inputs = {"Conv"}; // Bin <-> Conv cycle
+    EXPECT_TRUE(hasDiag(analyze(s), "CAMJ-E007", "stages"));
+    s = detector();
+    s.stages.clear();
+    EXPECT_TRUE(hasDiag(analyze(s), "CAMJ-E007", "stages"));
+}
+
+TEST(InjectedDefect, Mapping)
+{
+    spec::DesignSpec s = detector();
+    s.mapping.pop_back(); // Classify unmapped
+    EXPECT_TRUE(hasDiag(analyze(s), "CAMJ-E008", "mapping"));
+    s = detector();
+    s.mapping[1].second = "Classifier"; // Binning on a systolic array
+    EXPECT_TRUE(hasDiag(analyze(s), "CAMJ-E008", "mapping[1].hw"));
+    s = detector();
+    s.mapping[1].second = "ActBuf"; // non-Input stage on a memory
+    EXPECT_TRUE(hasDiag(analyze(s), "CAMJ-E008", "mapping[1].hw"));
+}
+
+TEST(InjectedDefect, AnalogPresence)
+{
+    spec::DesignSpec s = detector();
+    s.analogArrays.clear();
+    EXPECT_TRUE(hasDiag(analyze(s), "CAMJ-E009", "analogArrays"));
+}
+
+TEST(InjectedDefect, AnalogChain)
+{
+    spec::DesignSpec s = detector();
+    // Voltage-output pixel array feeding an Optical-input component,
+    // and no ADC before the digital side: both are E010.
+    s.analogArrays[1].component.kind = spec::ComponentKind::Aps4T;
+    const std::vector<Diagnostic> diags = analyze(s);
+    EXPECT_TRUE(
+        hasDiag(diags, "CAMJ-E010", "analogArrays[Adc].component"))
+        << dumpDiags(diags);
+}
+
+TEST(InjectedDefect, AnalogThroughput)
+{
+    // Narrowing the ADC's input: a voltage consumer buffers the
+    // mismatch (warning), any other domain needs an explicit buffer
+    // (error).
+    spec::DesignSpec s = detector();
+    s.analogArrays[1].inputShape = {1, 40, 1};
+    EXPECT_TRUE(hasDiag(analyze(s), "CAMJ-W003",
+                        "analogArrays[Adc].inputShape"));
+
+    s = detector();
+    s.analogArrays[0].component.kind = spec::ComponentKind::PwmPixel;
+    s.analogArrays[1].component.kind =
+        spec::ComponentKind::TimeToVoltage;
+    s.analogArrays[1].inputShape = {1, 40, 1};
+    EXPECT_TRUE(hasDiag(analyze(s), "CAMJ-E011",
+                        "analogArrays[Adc].inputShape"));
+}
+
+TEST(InjectedDefect, DigitalWiring)
+{
+    spec::DesignSpec s = detector();
+    s.adcOutputMemory.clear();
+    EXPECT_TRUE(hasDiag(analyze(s), "CAMJ-E012", "adcOutputMemory"));
+    s = detector();
+    s.units[0].inputMemories.clear();
+    EXPECT_TRUE(hasDiag(analyze(s), "CAMJ-E012",
+                        "units[Classifier].inputMemories"));
+}
+
+TEST(InjectedDefect, MemoryRanges)
+{
+    spec::DesignSpec s = detector();
+    s.memories[0].nodeNm = 254;
+    EXPECT_TRUE(
+        hasDiag(analyze(s), "CAMJ-E013", "memories[ActBuf].nodeNm"));
+    s = detector();
+    s.memories[0].activeFraction = 1.5;
+    EXPECT_TRUE(hasDiag(analyze(s), "CAMJ-E013",
+                        "memories[ActBuf].activeFraction"));
+    s = detector();
+    s.memories[0].capacityWords = 0;
+    EXPECT_TRUE(hasDiag(analyze(s), "CAMJ-E013",
+                        "memories[ActBuf].capacityWords"));
+}
+
+TEST(InjectedDefect, ComponentParams)
+{
+    spec::DesignSpec s = detector();
+    s.analogArrays[1].component.adc.bits = 20;
+    EXPECT_TRUE(hasDiag(analyze(s), "CAMJ-E014",
+                        "analogArrays[Adc].component.adc.bits"));
+    s = detector();
+    s.analogArrays[0].component.aps.pixelsPerComponent = 0;
+    EXPECT_TRUE(hasDiag(
+        analyze(s), "CAMJ-E014",
+        "analogArrays[PixelArray].component.aps.pixelsPerComponent"));
+}
+
+TEST(InjectedDefect, AdcThroughputBound)
+{
+    // The detector's column ADC has no energy override, so its
+    // per-cell rate lower bound is FoM-surveyed: 60 accesses x 3
+    // slots x fps. Past 1e12 S/s the survey has no data at all
+    // (error); past 1e11 it extrapolates (warning).
+    spec::DesignSpec s = detector();
+    s.fps = 1e10; // bound 1.8e12 S/s
+    EXPECT_TRUE(hasDiag(analyze(s), "CAMJ-E015",
+                        "analogArrays[Adc].component"))
+        << dumpDiags(analyze(s));
+    s.fps = 1e9; // bound 1.8e11 S/s
+    EXPECT_TRUE(hasDiag(analyze(s), "CAMJ-W004",
+                        "analogArrays[Adc].component"));
+}
+
+TEST(InjectedDefect, CommBoundary)
+{
+    spec::DesignSpec s = detector();
+    s.mipi.present = false; // 4 output bytes must leave the package
+    EXPECT_TRUE(hasDiag(analyze(s), "CAMJ-E016", "mipi"));
+}
+
+TEST(InjectedDefect, UnitParams)
+{
+    spec::DesignSpec s = detector();
+    s.units[0].systolic.rows = 0;
+    EXPECT_TRUE(
+        hasDiag(analyze(s), "CAMJ-E017", "units[Classifier].rows"));
+    s = detector();
+    s.units[0].systolic.clock = 0.0;
+    EXPECT_TRUE(
+        hasDiag(analyze(s), "CAMJ-E017", "units[Classifier].clock"));
+}
+
+TEST(InjectedDefect, DeadComponents)
+{
+    spec::DesignSpec s = detector();
+    spec::MemorySpec spare;
+    spare.name = "Spare";
+    spare.capacityWords = 1024;
+    spare.wordBits = 64;
+    spare.nodeNm = 65;
+    s.memories.push_back(spare);
+    EXPECT_TRUE(hasDiag(analyze(s), "CAMJ-W001", "memories[Spare]"));
+
+    s = detector();
+    spec::UnitSpec idle;
+    idle.kind = spec::UnitKind::Systolic;
+    idle.systolic.name = "Idle";
+    idle.systolic.rows = 4;
+    idle.systolic.cols = 4;
+    idle.inputMemories = {"ActBuf"};
+    s.units.push_back(idle);
+    EXPECT_TRUE(hasDiag(analyze(s), "CAMJ-W001", "units[Idle]"));
+}
+
+TEST(InjectedDefect, SuspiciousMagnitudes)
+{
+    spec::DesignSpec s = detector();
+    s.digitalClock = 5e10;
+    EXPECT_TRUE(hasDiag(analyze(s), "CAMJ-W002", "digitalClock"));
+    s = detector();
+    s.units[0].systolic.energyPerMac = 1e-6;
+    EXPECT_TRUE(hasDiag(analyze(s), "CAMJ-W002",
+                        "units[Classifier].energyPerMac"));
+}
+
+TEST(InjectedDefect, ResidentInputFootprint)
+{
+    // Map the Input stage into ActBuf and shrink the buffer below
+    // one 320x240x8b frame: residency info plus footprint warning.
+    spec::DesignSpec s = detector();
+    s.mapping[0].second = "ActBuf";
+    s.memories[0].capacityWords = 1024; // 65536 b < 614400 b
+    const std::vector<Diagnostic> diags = analyze(s);
+    EXPECT_TRUE(hasDiag(diags, "CAMJ-I001", "mapping[0].hw"))
+        << dumpDiags(diags);
+    EXPECT_TRUE(hasDiag(diags, "CAMJ-W007",
+                        "memories[ActBuf].capacityWords"))
+        << dumpDiags(diags);
+}
+
+TEST(InjectedDefect, UnusedCommInterface)
+{
+    spec::DesignSpec s = detector();
+    s.tsv.present = true; // single-layer design: nothing crosses
+    EXPECT_TRUE(hasDiag(analyze(s), "CAMJ-I002", "tsv"));
+}
+
+// ----------------------------------------------------------- key lint
+
+TEST(KeyLint, UnknownKeyGetsDidYouMean)
+{
+    json::Value doc = spec::toJsonValue(detector());
+    doc.set("fpss", json::Value(60.0));
+    const std::vector<Diagnostic> diags =
+        analysis::lintDocumentKeys(doc);
+    ASSERT_TRUE(hasDiag(diags, "CAMJ-W005", "fpss"))
+        << dumpDiags(diags);
+    for (const Diagnostic &d : diags) {
+        if (d.code == "CAMJ-W005" && d.path == "fpss")
+            EXPECT_EQ(d.hint, "did you mean 'fps'?");
+    }
+}
+
+TEST(KeyLint, DeprecatedKeyNamesReplacement)
+{
+    json::Value doc = spec::toJsonValue(detector());
+    doc.set("frame_rate", json::Value(60.0));
+    const std::vector<Diagnostic> diags =
+        analysis::lintDocumentKeys(doc);
+    ASSERT_TRUE(hasDiag(diags, "CAMJ-W006", "frame_rate"))
+        << dumpDiags(diags);
+}
+
+TEST(KeyLint, NestedUnknownKeyCarriesElementPath)
+{
+    json::Value doc = spec::toJsonValue(detector());
+    json::Value &mem =
+        doc.find("memories")->mutableArray()[0];
+    mem.set("nodeNM", json::Value(65));
+    const std::vector<Diagnostic> diags =
+        analysis::lintDocumentKeys(doc);
+    EXPECT_TRUE(
+        hasDiag(diags, "CAMJ-W005", "memories[ActBuf].nodeNM"))
+        << dumpDiags(diags);
+}
+
+TEST(KeyLint, CleanDocumentHasNoFindings)
+{
+    const std::vector<Diagnostic> diags =
+        analysis::lintDocumentKeys(spec::toJsonValue(detector()));
+    EXPECT_TRUE(diags.empty()) << dumpDiags(diags);
+}
+
+// ----------------------------------------------- dynamic classification
+
+TEST(ClassifyError, MapsEngineTextsOntoCatalogue)
+{
+    EXPECT_EQ(analysis::classifyError(""), "");
+    EXPECT_EQ(analysis::classifyError(
+                  "EvalPipeline: pipeline stall: stage 'x'"),
+              "CAMJ-D001");
+    EXPECT_EQ(analysis::classifyError(
+                  "total latency 2 ms exceeds the frame budget"),
+              "CAMJ-D002");
+    EXPECT_EQ(analysis::classifyError(
+                  "design has no analog arrays (a CIS starts with a "
+                  "pixel array)"),
+              "CAMJ-E009");
+    EXPECT_EQ(analysis::classifyError(
+                  "stage 'Bin' is not mapped to hardware"),
+              "CAMJ-E008");
+    EXPECT_EQ(analysis::classifyError("something unprecedented"),
+              "CAMJ-D003");
+}
+
+TEST(ClassifyError, InfeasibleOutcomeCarriesRuleCode)
+{
+    spec::DesignSpec s = detector();
+    s.mapping.pop_back();
+    SimulationOptions options;
+    options.checkMode = CheckMode::Report;
+    const SimulationOutcome out = Simulator(options).run(s);
+    EXPECT_FALSE(out.feasible);
+    EXPECT_EQ(out.ruleCode, "CAMJ-E008") << out.error;
+}
+
+// -------------------------------------------------------- grid analysis
+
+/** The canonical detector study widened with provably infeasible
+ *  axis values (one per axis family the grid rules cover). */
+spec::SweepDocument
+widenedStudy()
+{
+    spec::SweepDocument doc;
+    doc.base = spec::sampleDetectorSpec(30.0, 65);
+    doc.grid.axes = {
+        {"rate", "fps",
+         {json::Value(30.0), json::Value(960.0), json::Value(-5.0)}},
+        {"bufnode", "memories[ActBuf].nodeNm",
+         {json::Value(65), json::Value(254)}},
+        {"duty", "memories[ActBuf].activeFraction",
+         {json::Value(0.5), json::Value(1.5)}},
+    };
+    return doc;
+}
+
+TEST(GridAnalysis, DoomsExactlyTheProvablyInfeasibleValues)
+{
+    const GridAnalysis result = GridAnalyzer().analyze(widenedStudy());
+    EXPECT_EQ(result.totalPoints(), 12u);
+    // fps=-5 dooms 4 points, nodeNm=254 dooms 6, duty=1.5 dooms 6;
+    // only the 2 all-good combinations survive.
+    EXPECT_EQ(result.prunedPoints(), 10u) << result.summary();
+    for (size_t i = 0; i < result.totalPoints(); ++i) {
+        if (result.doomed(i))
+            EXPECT_FALSE(result.justification(i).empty())
+                << "doomed point " << i << " without justification";
+    }
+}
+
+TEST(GridAnalysis, NeverPrunesAFeasiblePoint)
+{
+    const spec::SweepDocument doc = widenedStudy();
+    const GridAnalysis result = GridAnalyzer().analyze(doc);
+    spec::GridSpecSource grid = doc.source();
+    SimulationOptions options;
+    options.checkMode = CheckMode::Report;
+    const Simulator sim(options);
+    for (size_t i = 0; i < grid.totalPoints(); ++i) {
+        if (!result.doomed(i))
+            continue;
+        const SimulationOutcome out = sim.run(grid.at(i));
+        EXPECT_FALSE(out.feasible)
+            << "point " << i << " pruned but simulates feasibly:\n"
+            << analysis::formatDiagnostics(result.justification(i));
+    }
+}
+
+TEST(GridAnalysis, PointListModeEvaluatesEachPoint)
+{
+    spec::SweepDocument doc;
+    doc.base = spec::sampleDetectorSpec(30.0, 65);
+    doc.grid.axes = {{"rate", "fps", {}},
+                     {"bufnode", "memories[ActBuf].nodeNm", {}}};
+    doc.grid.pointList = {
+        {json::Value(30.0), json::Value(65)},
+        {json::Value(60.0), json::Value(254)},
+        {json::Value(-1.0), json::Value(65)},
+    };
+    const GridAnalysis result = GridAnalyzer().analyze(doc);
+    EXPECT_EQ(result.totalPoints(), 3u);
+    EXPECT_FALSE(result.doomed(0));
+    EXPECT_TRUE(result.doomed(1));
+    EXPECT_TRUE(result.doomed(2));
+    EXPECT_EQ(result.prunedPoints(), 2u);
+}
+
+// ------------------------------------------------------------ prefilter
+
+TEST(Prefilter, CanonicalStudyPassesThroughUntouched)
+{
+    const spec::SweepDocument doc = spec::sampleDetectorStudy();
+    PrefilterSpecSource filtered(doc);
+    EXPECT_EQ(filtered.totalPoints(), 108u);
+    EXPECT_TRUE(filtered.prunedIndices().empty())
+        << filtered.analysis().summary();
+    // Identity against the unfiltered grid, point by point.
+    spec::GridSpecSource grid = doc.source();
+    for (size_t i = 0; i < filtered.totalPoints(); ++i) {
+        EXPECT_EQ(filtered.globalIndex(i), i);
+        EXPECT_EQ(filtered.at(i).name, grid.at(i).name);
+    }
+}
+
+TEST(Prefilter, SkipsDoomedPointsAndKeepsGlobalIdentity)
+{
+    const spec::SweepDocument doc = widenedStudy();
+    PrefilterSpecSource filtered(doc);
+    EXPECT_EQ(filtered.totalPoints() + filtered.prunedIndices().size(),
+              12u);
+    EXPECT_EQ(filtered.totalPoints(), 2u);
+
+    spec::GridSpecSource grid = doc.source();
+    for (size_t local = 0; local < filtered.totalPoints(); ++local) {
+        const size_t global = filtered.globalIndex(local);
+        EXPECT_FALSE(filtered.analysis().doomed(global));
+        EXPECT_EQ(filtered.at(local).name, grid.at(global).name);
+    }
+    // Stream interface: local indices are dense and exhaustive.
+    size_t streamed = 0, index = 0;
+    while (filtered.nextIndexed(index)) {
+        EXPECT_EQ(index, streamed);
+        ++streamed;
+    }
+    EXPECT_EQ(streamed, filtered.totalPoints());
+    // changedPaths delegates through global indices.
+    if (filtered.totalPoints() >= 2) {
+        const auto paths = filtered.changedPaths(0, 1);
+        const auto expected = grid.changedPaths(
+            filtered.globalIndex(0), filtered.globalIndex(1));
+        ASSERT_TRUE(paths.has_value());
+        ASSERT_TRUE(expected.has_value());
+        EXPECT_EQ(*paths, *expected);
+    }
+}
+
+TEST(Prefilter, EveryPrunedPointIsActuallyInfeasible)
+{
+    const spec::SweepDocument doc = widenedStudy();
+    PrefilterSpecSource filtered(doc);
+    spec::GridSpecSource grid = doc.source();
+    SimulationOptions options;
+    options.checkMode = CheckMode::Report;
+    const Simulator sim(options);
+    for (size_t global : filtered.prunedIndices()) {
+        const SimulationOutcome out = sim.run(grid.at(global));
+        EXPECT_FALSE(out.feasible)
+            << "pruned point " << global << " simulates feasibly";
+    }
+}
+
+// ------------------------------------------------------------ formatting
+
+TEST(Diagnostic, FormatsLikeACompiler)
+{
+    const Diagnostic d = analysis::makeError(
+        "CAMJ-E003", "units[X].inputMemories[0]", "unknown memory",
+        "check the spelling");
+    EXPECT_EQ(d.format(),
+              "error CAMJ-E003 at units[X].inputMemories[0]: unknown "
+              "memory (hint: check the spelling)");
+    const Diagnostic bare =
+        analysis::makeWarning("CAMJ-W002", "", "odd");
+    EXPECT_EQ(bare.format(), "warning CAMJ-W002: odd");
+}
+
+} // namespace
+} // namespace camj

@@ -683,6 +683,76 @@ TEST(CamjSweepCli, FullRebuildFlagMatchesIncrementalDefault)
     EXPECT_EQ(readFile(dir / "inc.jsonl"), singleProcessJsonl(doc));
 }
 
+/** WEXITSTATUS of the CLI with stdout+stderr silenced; -1 on an
+ *  abnormal exit. */
+int
+cliExit(const std::string &args)
+{
+    const std::string cmd = std::string(CAMJ_SWEEP_BIN) + " " + args +
+                            " > /dev/null 2>&1";
+    const int status = std::system(cmd.c_str());
+    return WIFEXITED(status) ? WEXITSTATUS(status) : -1;
+}
+
+/** Argument errors are exit 2 (usage), everywhere — including the
+ *  historical exception `run --shard k/N` with k >= N, which used to
+ *  exit 1 through the generic fatal path. */
+TEST(CamjSweepCli, ArgumentErrorsExitTwoWithUsage)
+{
+    const fs::path dir = scratchDir("cli_argv");
+    writeFile(dir / "study.json", spec::toJson(smallStudy()));
+    const std::string study = (dir / "study.json").string();
+
+    EXPECT_EQ(cliExit("--help"), 0);
+    EXPECT_EQ(cliExit(""), 2);
+    EXPECT_EQ(cliExit("frobnicate"), 2);
+    EXPECT_EQ(cliExit("run " + study + " --frobnicate"), 2);
+    EXPECT_EQ(cliExit("run " + study + " --out"), 2); // missing value
+    EXPECT_EQ(cliExit("run " + study + " --shard 5/2"), 2);
+    EXPECT_EQ(cliExit("run " + study + " --shard 0/0"), 2);
+    EXPECT_EQ(cliExit("run " + study + " --shard nonsense"), 2);
+}
+
+TEST(CamjSweepCli, LintSubcommandReportsFindings)
+{
+    const fs::path dir = scratchDir("cli_lint");
+    spec::SweepDocument doc = smallStudy();
+    writeFile(dir / "clean.json", spec::toJson(doc));
+    EXPECT_EQ(cliExit("lint " + (dir / "clean.json").string()), 0);
+
+    doc.base.mapping.pop_back(); // Classify unmapped: CAMJ-E008
+    writeFile(dir / "broken.json", spec::toJson(doc));
+    EXPECT_EQ(cliExit("lint " + (dir / "broken.json").string()), 1);
+    EXPECT_EQ(cliExit("lint"), 2);
+}
+
+TEST(CamjSweepCli, RunPreflightAbortsOnBrokenBaseUnlessDisabled)
+{
+    const fs::path dir = scratchDir("cli_preflight");
+    spec::SweepDocument doc;
+    doc.base = spec::sampleDetectorSpec(30.0, 65);
+    doc.base.mapping.pop_back(); // statically detectable: CAMJ-E008
+    writeFile(dir / "broken.json", spec::toJson(doc));
+    const std::string out = (dir / "out.jsonl").string();
+
+    // On by default: the run refuses before simulating anything.
+    EXPECT_EQ(cliExit("run " + (dir / "broken.json").string() +
+                      " --out " + out),
+              1);
+    EXPECT_FALSE(fs::exists(out));
+
+    // --no-lint forces the run; the point then fails dynamically and
+    // its error line carries the same rule code the linter printed.
+    EXPECT_EQ(cliExit("run " + (dir / "broken.json").string() +
+                      " --no-lint --out " + out),
+              0);
+    JsonlReader reader(out);
+    const std::optional<JsonlRecord> record = reader.next();
+    ASSERT_TRUE(record.has_value());
+    EXPECT_FALSE(record->feasible);
+    EXPECT_EQ(record->ruleCode, "CAMJ-E008") << record->error;
+}
+
 #endif // CAMJ_SWEEP_BIN
 
 } // namespace
