@@ -11,13 +11,23 @@
  * run over the same spec batch, the streaming pipeline over that
  * batch, a lazily expanded SweepGrid, the sharded multi-process
  * pipeline (1 process vs. 4 forked shard workers over the 108-point
- * grid, plus the merge), and the statically prefiltered sweep (a
+ * grid, plus the merge), the statically prefiltered sweep (a
  * widened grid with provably infeasible axis values, pruned by
- * GridAnalyzer with zero tolerated false positives), so CI can track
- * the simulator's evaluation-throughput trajectory across PRs.
+ * GridAnalyzer with zero tolerated false positives), the strided
+ * sweep (the gen-2 compiled-point LRU under a stride-12 shard order,
+ * against a gen-1 last-point-only emulation), and the cached sweep
+ * (the content-addressed on-disk outcome store, cold vs. warm), so
+ * CI can track the simulator's evaluation-throughput trajectory
+ * across PRs. Every cached/incremental section hard-fails unless its
+ * output is byte-identical to a full rebuild.
  *
  * `--points N` scales the artifact workload (batch copies and grid
  * size) so CI can run a quick smoke sweep: perf_simulator --points 8.
+ * The strided and cached sections always run the full canonical
+ * 108-point study so their tracked numbers stay comparable.
+ * `--cache-dir DIR` makes the cached section reuse (and verify
+ * against) a persistent outcome store — CI runs the binary twice
+ * with a shared directory to prove cross-process reuse.
  */
 
 #include <benchmark/benchmark.h>
@@ -40,6 +50,7 @@
 #include "analysis/grid_analyzer.h"
 #include "common/logging.h"
 #include "digital/cyclesim.h"
+#include "explore/incremental.h"
 #include "explore/simulator.h"
 #include "explore/jsonl.h"
 #include "explore/sweep.h"
@@ -63,6 +74,9 @@ int g_points = 64;
 /** True when --points was given: smoke runs also shrink the
  *  (otherwise canonical 108-point) sharded section. */
 bool g_points_set = false;
+/** Persistent outcome-store directory for the cached-sweep section;
+ *  empty = use (and wipe) a local scratch directory. */
+std::string g_cache_dir;
 
 /** The sweep workload: the canonical sample detector over a fps x
  *  node grid spanning the feasibility boundary, repeated `copies`
@@ -499,6 +513,36 @@ timeForkedShards(const spec::SweepDocument &doc,
     return std::chrono::duration<double>(t1 - t0).count();
 }
 
+/** One JSONL line for a design point evaluated outside the engine —
+ *  the same bytes `camj_sweep run` would emit for it. */
+std::string
+lineFor(size_t index, const spec::DesignSpec &spec,
+        SimulationOutcome out)
+{
+    SweepResult r;
+    r.index = index;
+    r.designName = spec.name;
+    r.feasible = out.feasible;
+    r.error = std::move(out.error);
+    r.ruleCode = std::move(out.ruleCode);
+    r.report = std::move(out.report);
+    r.frames = out.frames;
+    r.snrPenaltyDb = out.snrPenaltyDb;
+    return sweepResultToJsonl(r);
+}
+
+/** Write a seconds/designsPerSec pair into @p obj under @p key. */
+void
+setTimedRun(json::Value &obj, const char *key, size_t points,
+            double seconds)
+{
+    json::Value run = json::Value::makeObject();
+    run.set("seconds", json::Value(seconds));
+    run.set("designsPerSec",
+            json::Value(static_cast<double>(points) / seconds));
+    obj.set(key, std::move(run));
+}
+
 /**
  * The CI artifact: serial vs. threaded sweep throughput over the same
  * batch, the streaming pipeline over that same spec set, and a lazily
@@ -804,6 +848,191 @@ writeBenchJson()
                     json::Value(unfiltered_seconds / filtered_seconds));
     doc.set("prefilteredSweep", std::move(prefiltered));
 
+    // Strided sweep: the canonical study visited column-major (every
+    // 12th point, then the next column) — the `camj_sweep plan --mode
+    // strided` shard order, where consecutive points revisit one
+    // structural family at a time across the full rate axis. Three
+    // passes over the SAME order: a from-scratch Simulator (the
+    // byte-identity reference), a gen-1 emulation (1-entry cache that
+    // drops its compiled point at every infeasible result, as the
+    // pre-LRU evaluator did), and the gen-2 LRU evaluator. Always the
+    // full 108-point grid, so the tracked speedup is comparable
+    // across runs; the gen-2 pass must beat the gen-1 emulation by
+    // >= 2x and both must reproduce the reference bytes exactly.
+    const spec::SweepDocument strided_doc = spec::sampleDetectorStudy();
+    spec::GridSpecSource strided_grid = strided_doc.source();
+    const size_t n_strided = strided_grid.totalPoints();
+    const size_t stride = 12; // 4 buffer nodes x 3 duty cycles
+    std::vector<size_t> strided_order;
+    for (size_t k = 0; k < stride; ++k)
+        for (size_t i = k; i < n_strided; i += stride)
+            strided_order.push_back(i);
+    SimulationOptions strided_opts;
+    strided_opts.checkMode = CheckMode::Report;
+
+    auto time_strided_reference = [&](std::string *bytes) {
+        const auto t0 = std::chrono::steady_clock::now();
+        Simulator sim(strided_opts);
+        std::string out;
+        size_t pos = 0;
+        for (size_t idx : strided_order) {
+            const spec::DesignSpec s = strided_grid.at(idx);
+            out += lineFor(pos++, s, sim.run(s));
+        }
+        const auto t1 = std::chrono::steady_clock::now();
+        if (bytes != nullptr)
+            *bytes = std::move(out);
+        return std::chrono::duration<double>(t1 - t0).count();
+    };
+    auto time_strided_incremental = [&](size_t cache_entries,
+                                        bool gen1_eviction,
+                                        std::string *bytes) {
+        const auto t0 = std::chrono::steady_clock::now();
+        IncrementalEvaluator inc(strided_opts, cache_entries);
+        std::string out;
+        std::optional<size_t> last;
+        size_t pos = 0;
+        for (size_t idx : strided_order) {
+            const spec::DesignSpec s = strided_grid.at(idx);
+            std::optional<std::vector<std::string>> hint;
+            if (last)
+                hint = strided_grid.changedPaths(*last, idx);
+            SimulationOutcome o =
+                hint ? inc.evaluate(s, *hint) : inc.evaluate(s);
+            if (gen1_eviction && !o.feasible)
+                inc.reset(); // the gen-1 infeasible-point cache thrash
+            out += lineFor(pos++, s, std::move(o));
+            last = idx;
+        }
+        const auto t1 = std::chrono::steady_clock::now();
+        if (bytes != nullptr)
+            *bytes = std::move(out);
+        return std::chrono::duration<double>(t1 - t0).count();
+    };
+
+    std::string strided_ref, gen1_bytes, gen2_bytes;
+    time_strided_reference(nullptr); // warm-up
+    double strided_ref_seconds = 1e30;
+    double gen1_seconds = 1e30, gen2_seconds = 1e30;
+    for (int rep = 0; rep < 2; ++rep) {
+        strided_ref_seconds =
+            std::min(strided_ref_seconds,
+                     time_strided_reference(&strided_ref));
+        gen1_seconds = std::min(
+            gen1_seconds,
+            time_strided_incremental(1, true, &gen1_bytes));
+        gen2_seconds = std::min(
+            gen2_seconds,
+            time_strided_incremental(
+                IncrementalEvaluator::kDefaultCacheEntries, false,
+                &gen2_bytes));
+    }
+    if (gen2_bytes != strided_ref || gen1_bytes != strided_ref) {
+        std::fprintf(stderr, "error: strided incremental sweep output "
+                     "differs from the full-rebuild reference\n");
+        return false;
+    }
+    const double strided_speedup = gen1_seconds / gen2_seconds;
+    if (strided_speedup < 2.0) {
+        std::fprintf(stderr, "error: strided-order LRU sweep is only "
+                     "%.2fx the gen-1 last-point-only emulation "
+                     "(bar: 2.0x)\n", strided_speedup);
+        return false;
+    }
+    json::Value strided = json::Value::makeObject();
+    strided.set("designPoints",
+                json::Value(static_cast<int64_t>(n_strided)));
+    strided.set("stride", json::Value(static_cast<int64_t>(stride)));
+    setTimedRun(strided, "fullRebuild", n_strided,
+                strided_ref_seconds);
+    setTimedRun(strided, "gen1LastPointOnly", n_strided, gen1_seconds);
+    setTimedRun(strided, "gen2Lru", n_strided, gen2_seconds);
+    strided.set("speedupVsGen1", json::Value(strided_speedup));
+    strided.set("speedupVsFullRebuild",
+                json::Value(strided_ref_seconds / gen2_seconds));
+    strided.set("identicalToFullRebuild", json::Value(true));
+    doc.set("stridedSweep", std::move(strided));
+
+    // Cached sweep: the on-disk outcome store end to end through the
+    // SweepEngine. A full-rebuild reference run fixes the expected
+    // bytes; a cold incremental run populates the store; a warm run
+    // re-answers every point from it. With --cache-dir the directory
+    // persists across invocations and a cachedSweep.jsonl marker
+    // written on first run is byte-compared on every later one — the
+    // cross-process reuse proof CI exercises by running this binary
+    // twice. All runs must be byte-identical to the reference.
+    const spec::SweepDocument cached_doc = spec::sampleDetectorStudy();
+    const size_t n_cachedpts = cached_doc.grid.points();
+    auto time_cached = [&](bool incremental, const std::string &dir,
+                           std::string *bytes) {
+        std::ostringstream out;
+        spec::GridSpecSource source = cached_doc.source();
+        JsonlSink lines(out);
+        InOrderSink ordered(lines);
+        SweepOptions o;
+        o.threads = 1;
+        o.incremental = incremental;
+        o.reuseMaterializations = !incremental;
+        o.cacheDir = dir;
+        SweepEngine cached_engine(o);
+        const auto t0 = std::chrono::steady_clock::now();
+        cached_engine.runStream(source, ordered);
+        const auto t1 = std::chrono::steady_clock::now();
+        if (bytes != nullptr)
+            *bytes = out.str();
+        return std::chrono::duration<double>(t1 - t0).count();
+    };
+    std::string cached_ref;
+    const double cached_full_seconds =
+        time_cached(false, "", &cached_ref);
+    const bool persistent_dir = !g_cache_dir.empty();
+    const std::string cache_dir =
+        persistent_dir ? g_cache_dir : "BENCH_cache";
+    if (!persistent_dir)
+        std::filesystem::remove_all(cache_dir); // guarantee a cold run
+    std::string cold_bytes, warm_bytes;
+    const double cold_seconds =
+        time_cached(true, cache_dir, &cold_bytes);
+    const double warm_seconds =
+        time_cached(true, cache_dir, &warm_bytes);
+    if (cold_bytes != cached_ref || warm_bytes != cached_ref) {
+        std::fprintf(stderr, "error: cached sweep output differs from "
+                     "the full-rebuild reference\n");
+        return false;
+    }
+    const std::string marker = cache_dir + "/cachedSweep.jsonl";
+    bool cross_process_verified = false;
+    if (std::filesystem::exists(marker)) {
+        std::ifstream in(marker, std::ios::binary);
+        std::ostringstream buf;
+        buf << in.rdbuf();
+        if (buf.str() != cached_ref) {
+            std::fprintf(stderr, "error: a previous process left "
+                         "different cachedSweep bytes in %s\n",
+                         marker.c_str());
+            return false;
+        }
+        cross_process_verified = true;
+    } else {
+        std::ofstream out(marker, std::ios::binary);
+        out << cached_ref;
+    }
+    json::Value cached = json::Value::makeObject();
+    cached.set("designPoints",
+               json::Value(static_cast<int64_t>(n_cachedpts)));
+    cached.set("cacheDir", json::Value(cache_dir));
+    cached.set("persistentCacheDir", json::Value(persistent_dir));
+    setTimedRun(cached, "fullRebuild", n_cachedpts,
+                cached_full_seconds);
+    setTimedRun(cached, "coldRun", n_cachedpts, cold_seconds);
+    setTimedRun(cached, "warmRun", n_cachedpts, warm_seconds);
+    cached.set("warmSpeedupVsFullRebuild",
+               json::Value(cached_full_seconds / warm_seconds));
+    cached.set("identicalToFullRebuild", json::Value(true));
+    cached.set("crossProcessVerified",
+               json::Value(cross_process_verified));
+    doc.set("cachedSweep", std::move(cached));
+
     const char *env_path = std::getenv("BENCH_JSON_PATH");
     const std::string path =
         env_path != nullptr ? env_path : "BENCH_simulator.json";
@@ -849,6 +1078,21 @@ writeBenchJson()
                 static_cast<double>(n_pre) / unfiltered_seconds,
                 static_cast<double>(n_pre) / filtered_seconds,
                 unfiltered_seconds / filtered_seconds);
+    std::printf("strided sweep: %zu points, %.1f designs/sec gen-1 "
+                "last-point-only vs %.1f gen-2 LRU (%.2fx, bar 2.0x; "
+                "%.2fx vs full rebuild), outputs byte-identical\n",
+                n_strided,
+                static_cast<double>(n_strided) / gen1_seconds,
+                static_cast<double>(n_strided) / gen2_seconds,
+                strided_speedup, strided_ref_seconds / gen2_seconds);
+    std::printf("cached sweep: %zu points through %s, %.3fs cold, "
+                "%.3fs warm (%.1fx vs full rebuild)%s, outputs "
+                "byte-identical\n", n_cachedpts, cache_dir.c_str(),
+                cold_seconds, warm_seconds,
+                cached_full_seconds / warm_seconds,
+                cross_process_verified
+                    ? ", verified against a previous process"
+                    : "");
     std::error_code abs_ec;
     const std::filesystem::path abs_path =
         std::filesystem::absolute(path, abs_ec);
@@ -858,7 +1102,9 @@ writeBenchJson()
 }
 
 /** Strip and apply `--points N` / `--points=N` (the CI smoke-sweep
- *  knob) before google-benchmark sees the argument list. */
+ *  knob) and `--cache-dir DIR` (the persistent outcome store of the
+ *  cached-sweep section) before google-benchmark sees the argument
+ *  list. */
 void
 parsePointsFlag(int &argc, char **argv)
 {
@@ -871,6 +1117,10 @@ parsePointsFlag(int &argc, char **argv)
         } else if (arg.rfind("--points=", 0) == 0) {
             g_points = std::atoi(arg.c_str() + std::strlen("--points="));
             g_points_set = true;
+        } else if (arg == "--cache-dir" && i + 1 < argc) {
+            g_cache_dir = argv[++i];
+        } else if (arg.rfind("--cache-dir=", 0) == 0) {
+            g_cache_dir = arg.substr(std::strlen("--cache-dir="));
         } else {
             argv[out++] = argv[i];
         }

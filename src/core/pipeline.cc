@@ -1,6 +1,7 @@
 #include "core/pipeline.h"
 
 #include <algorithm>
+#include <optional>
 
 #include "common/logging.h"
 #include "core/area.h"
@@ -518,27 +519,105 @@ EvalPipeline::runEnergy(const Design &d)
 
 // ------------------------------------------------------------- the run
 
+void
+EvalPipeline::runStage(const Design &design, EvalStage stage)
+{
+    switch (stage) {
+      case EvalStage::Map:
+        runMap(design);
+        break;
+      case EvalStage::Analog:
+        runAnalog(design);
+        break;
+      case EvalStage::Digital:
+        runDigital(design);
+        break;
+      case EvalStage::CycleSim:
+        runCycleSim(design);
+        break;
+      case EvalStage::Timing:
+        runTiming(design);
+        break;
+      case EvalStage::Energy:
+        runEnergy(design);
+        break;
+    }
+}
+
+bool
+EvalPipeline::sameOutputs(const EvalPipeline &cached, EvalStage stage) const
+{
+    // Exact (bit-for-bit) comparison on purpose: the cutoff may only
+    // fire when the re-run stage reproduced its cached output EXACTLY,
+    // otherwise downstream reuse would break the bit-identity bar.
+    switch (stage) {
+      case EvalStage::Map:
+        return topo_ == cached.topo_ && topoPos_ == cached.topoPos_ &&
+               analogStages_ == cached.analogStages_ &&
+               unitStages_ == cached.unitStages_ &&
+               memPrefilled_ == cached.memPrefilled_;
+      case EvalStage::Analog:
+        return analogOps_ == cached.analogOps_ &&
+               volume_ == cached.volume_ &&
+               volumeBits_ == cached.volumeBits_;
+      case EvalStage::Digital:
+        return ustats_ == cached.ustats_ &&
+               memReadWords_ == cached.memReadWords_ &&
+               memWriteWords_ == cached.memWriteWords_ &&
+               memWriteElems_ == cached.memWriteElems_ &&
+               mipiBytes_ == cached.mipiBytes_ &&
+               tsvBytes_ == cached.tsvBytes_ &&
+               haveDigital_ == cached.haveDigital_;
+      case EvalStage::CycleSim:
+        return cyclesA_ == cached.cyclesA_;
+      case EvalStage::Timing:
+        return delay_.frameTime == cached.delay_.frameTime &&
+               delay_.digitalLatency == cached.delay_.digitalLatency &&
+               delay_.analogUnitTime == cached.delay_.analogUnitTime &&
+               delay_.numSlots == cached.delay_.numSlots;
+      case EvalStage::Energy:
+        break; // never compared: Energy has no downstream consumer
+    }
+    return false;
+}
+
 EnergyReport
 EvalPipeline::runFrom(const Design &design, EvalStage first)
 {
-    switch (first) {
-      case EvalStage::Map:
-        runMap(design);
-        [[fallthrough]];
-      case EvalStage::Analog:
-        runAnalog(design);
-        [[fallthrough]];
-      case EvalStage::Digital:
-        runDigital(design);
-        [[fallthrough]];
-      case EvalStage::CycleSim:
-        runCycleSim(design);
-        [[fallthrough]];
-      case EvalStage::Timing:
-        runTiming(design);
-        [[fallthrough]];
-      case EvalStage::Energy:
-        runEnergy(design);
+    return runFrom(design, first, EvalStage::Energy);
+}
+
+EnergyReport
+EvalPipeline::runFrom(const Design &design, EvalStage first,
+                      EvalStage last_reader)
+{
+    stagesEntered_ = 0;
+    cutoff_ = false;
+    const int first_idx = static_cast<int>(first);
+    const int reader_idx = static_cast<int>(last_reader);
+    // A cutoff is only sound when the caller vouches (via the
+    // dependency table's lastStage) that no stage AFTER last_reader
+    // reads the changed design fields directly — then, if every
+    // re-run stage up to last_reader reproduces its cached output
+    // byte-for-byte, the remaining cached outputs (including the
+    // report) are already the right answer.
+    const bool try_cutoff = reader_idx >= first_idx &&
+                            reader_idx < kEvalStageCount - 1;
+    std::optional<EvalPipeline> before;
+    if (try_cutoff)
+        before.emplace(*this);
+    bool equal_so_far = try_cutoff;
+    for (int s = first_idx; s < kEvalStageCount; ++s) {
+        const EvalStage stage = static_cast<EvalStage>(s);
+        ++stagesEntered_;
+        runStage(design, stage);
+        if (equal_so_far && s <= reader_idx) {
+            equal_so_far = sameOutputs(*before, stage);
+            if (equal_so_far && s == reader_idx) {
+                cutoff_ = true;
+                return report_;
+            }
+        }
     }
     return report_;
 }

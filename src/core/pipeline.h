@@ -88,8 +88,28 @@ class EvalPipeline
      */
     EnergyReport runFrom(const Design &design, EvalStage first);
 
+    /**
+     * runFrom() with an equality cut-off. @p last_reader is the
+     * LATEST stage that reads the changed design fields directly
+     * (the dependency table's lastStage); when every re-run stage up
+     * to and including it reproduces its cached output byte-for-byte,
+     * the dirty suffix stops there and the cached report is returned
+     * unchanged — bit-identical by construction, since all remaining
+     * stages would have read only unchanged inputs.
+     */
+    EnergyReport runFrom(const Design &design, EvalStage first,
+                         EvalStage last_reader);
+
     /** The Energy stage's output (valid after a successful run). */
     const EnergyReport &report() const { return report_; }
+
+    /** Stages the last runFrom()/runAll() actually entered (counted
+     *  before each stage runs, so a mid-stage ConfigError still
+     *  counts the throwing stage). */
+    int stagesEntered() const { return stagesEntered_; }
+
+    /** True when the last runFrom() stopped at the equality cut-off. */
+    bool cutoffHit() const { return cutoff_; }
 
   private:
     /** Per-unit analytics of the Digital stage. */
@@ -102,6 +122,8 @@ class EvalPipeline
         std::vector<int64_t> portReadElems;
         int64_t writeElems = 0;
         int elemBits = 8;
+
+        bool operator==(const UnitStats &) const = default;
     };
 
     // ----- Map outputs -----
@@ -133,6 +155,14 @@ class EvalPipeline
 
     // ----- Energy output -----
     EnergyReport report_;
+
+    // ----- run bookkeeping (not stage state) -----
+    int stagesEntered_ = 0;
+    bool cutoff_ = false;
+
+    void runStage(const Design &d, EvalStage stage);
+    /** Stage @p stage's outputs equal @p cached's, bit-for-bit. */
+    bool sameOutputs(const EvalPipeline &cached, EvalStage stage) const;
 
     void runMap(const Design &d);
     void runAnalog(const Design &d);

@@ -1,0 +1,292 @@
+#include "explore/cache.h"
+
+#include <unistd.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <iterator>
+#include <sstream>
+#include <utility>
+
+#include "common/logging.h"
+#include "explore/incremental.h"
+
+namespace camj
+{
+
+namespace
+{
+
+namespace fs = std::filesystem;
+
+/** Bump when the on-disk record layout changes: old records then
+ *  read as key mismatches and degrade to rebuilds. */
+constexpr int kOutcomeStoreFormat = 1;
+
+/** fnv-1a over the key, as 16 lower-case hex digits — names the
+ *  cache file; the embedded key is what actually identifies it. */
+std::string
+fnv64Hex(const std::string &data)
+{
+    uint64_t h = 1469598103934665603ull;
+    for (const char c : data) {
+        h ^= static_cast<unsigned char>(c);
+        h *= 1099511628211ull;
+    }
+    char buf[17];
+    std::snprintf(buf, sizeof buf, "%016llx",
+                  static_cast<unsigned long long>(h));
+    return buf;
+}
+
+json::Value
+reportToJson(const EnergyReport &report)
+{
+    json::Value rep = json::Value::makeObject();
+    rep.set("designName", json::Value(report.designName));
+    rep.set("fps", json::Value(report.fps));
+    rep.set("frameTime", json::Value(report.frameTime));
+    rep.set("digitalLatency", json::Value(report.digitalLatency));
+    rep.set("analogUnitTime", json::Value(report.analogUnitTime));
+    rep.set("numAnalogSlots",
+            json::Value(static_cast<double>(report.numAnalogSlots)));
+    rep.set("mipiBytes",
+            json::Value(static_cast<double>(report.mipiBytes)));
+    rep.set("tsvBytes", json::Value(static_cast<double>(report.tsvBytes)));
+    rep.set("sensorLayerArea", json::Value(report.sensorLayerArea));
+    rep.set("computeLayerArea", json::Value(report.computeLayerArea));
+    rep.set("footprint", json::Value(report.footprint));
+    json::Value units = json::Value::makeArray();
+    for (const UnitEnergy &u : report.units) {
+        json::Value e = json::Value::makeObject();
+        e.set("name", json::Value(u.name));
+        e.set("category",
+              json::Value(static_cast<double>(
+                  static_cast<int>(u.category))));
+        e.set("layer",
+              json::Value(static_cast<double>(static_cast<int>(u.layer))));
+        e.set("energy", json::Value(u.energy));
+        units.push(std::move(e));
+    }
+    rep.set("units", std::move(units));
+    return rep;
+}
+
+/** @throws ConfigError on any missing/ill-typed/out-of-range field —
+ *  the caller converts that into a rejection. */
+EnergyReport
+reportFromJson(const json::Value &rep)
+{
+    EnergyReport report;
+    report.designName = rep.at("designName").asString();
+    report.fps = rep.at("fps").asNumber();
+    report.frameTime = rep.at("frameTime").asNumber();
+    report.digitalLatency = rep.at("digitalLatency").asNumber();
+    report.analogUnitTime = rep.at("analogUnitTime").asNumber();
+    report.numAnalogSlots =
+        static_cast<int>(rep.at("numAnalogSlots").asInt());
+    report.mipiBytes =
+        static_cast<int64_t>(rep.at("mipiBytes").asNumber());
+    report.tsvBytes = static_cast<int64_t>(rep.at("tsvBytes").asNumber());
+    report.sensorLayerArea = rep.at("sensorLayerArea").asNumber();
+    report.computeLayerArea = rep.at("computeLayerArea").asNumber();
+    report.footprint = rep.at("footprint").asNumber();
+    for (const json::Value &e : rep.at("units").asArray()) {
+        UnitEnergy u;
+        u.name = e.at("name").asString();
+        const int cat = static_cast<int>(e.at("category").asInt());
+        if (cat < 0 || cat > static_cast<int>(EnergyCategory::Tsv))
+            fatal("OutcomeStore: energy category %d out of range", cat);
+        u.category = static_cast<EnergyCategory>(cat);
+        const int layer = static_cast<int>(e.at("layer").asInt());
+        if (layer < 0 || layer > static_cast<int>(Layer::OffChip))
+            fatal("OutcomeStore: layer %d out of range", layer);
+        u.layer = static_cast<Layer>(layer);
+        u.energy = e.at("energy").asNumber();
+        report.units.push_back(std::move(u));
+    }
+    return report;
+}
+
+} // namespace
+
+// ------------------------------------------------------- structural keys
+
+std::string
+structuralCacheKey(const json::Value &spec_doc)
+{
+    json::Value masked = spec_doc;
+    // Null, not removed: "field present but patchable" and "field
+    // absent" must not collide into the same signature.
+    for (const char *field : {"name", "fps", "digitalClock"})
+        if (masked.has(field))
+            masked.set(field, json::Value());
+    return masked.dump(0);
+}
+
+std::string
+outcomeCacheKey(const json::Value &spec_doc)
+{
+    std::ostringstream key;
+    key << "camj-outcome-format-" << kOutcomeStoreFormat << "\n"
+        << spec_doc.dump(0);
+    return key.str();
+}
+
+// ------------------------------------------------------ CompiledDesignLru
+
+struct CompiledDesignLru::Entry
+{
+    std::string key;
+    CompiledDesign compiled;
+};
+
+CompiledDesignLru::CompiledDesignLru(size_t capacity)
+    : capacity_(capacity < 1 ? 1 : capacity)
+{
+}
+
+CompiledDesignLru::~CompiledDesignLru() = default;
+CompiledDesignLru::CompiledDesignLru(CompiledDesignLru &&) noexcept =
+    default;
+CompiledDesignLru &CompiledDesignLru::operator=(
+    CompiledDesignLru &&) noexcept = default;
+
+const std::string &
+CompiledDesignLru::keyAt(size_t i)
+{
+    auto it = entries_.begin();
+    std::advance(it, static_cast<std::ptrdiff_t>(i));
+    return it->key;
+}
+
+CompiledDesign *
+CompiledDesignLru::entryAt(size_t i)
+{
+    auto it = entries_.begin();
+    std::advance(it, static_cast<std::ptrdiff_t>(i));
+    return &it->compiled;
+}
+
+void
+CompiledDesignLru::promote(size_t i)
+{
+    auto it = entries_.begin();
+    std::advance(it, static_cast<std::ptrdiff_t>(i));
+    entries_.splice(entries_.begin(), entries_, it);
+}
+
+CompiledDesign *
+CompiledDesignLru::mostRecent()
+{
+    return entries_.empty() ? nullptr : &entries_.front().compiled;
+}
+
+void
+CompiledDesignLru::insert(std::string key, CompiledDesign compiled)
+{
+    ++stats_.inserts;
+    entries_.push_front(Entry{std::move(key), std::move(compiled)});
+    while (entries_.size() > capacity_) {
+        entries_.pop_back();
+        ++stats_.evictions;
+    }
+}
+
+void
+CompiledDesignLru::clear()
+{
+    entries_.clear();
+}
+
+// ----------------------------------------------------------- OutcomeStore
+
+OutcomeStore::OutcomeStore(std::string dir) : dir_(std::move(dir))
+{
+    std::error_code ec;
+    fs::create_directories(dir_, ec);
+    if (ec || !fs::is_directory(dir_, ec))
+        fatal("OutcomeStore: cannot create cache directory '%s'",
+              dir_.c_str());
+}
+
+std::string
+OutcomeStore::pathForKey(const std::string &key) const
+{
+    return (fs::path(dir_) / ("camj-" + fnv64Hex(key) + ".json"))
+        .string();
+}
+
+std::optional<StoredOutcome>
+OutcomeStore::load(const std::string &key)
+{
+    const std::string path = pathForKey(key);
+    std::ifstream in(path, std::ios::binary);
+    if (!in) {
+        ++stats_.misses;
+        return std::nullopt;
+    }
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    try {
+        const json::Value doc = json::Value::parse(buf.str());
+        if (doc.at("format").asInt() != kOutcomeStoreFormat ||
+            doc.at("key").asString() != key)
+            fatal("OutcomeStore: key/format mismatch in %s",
+                  path.c_str());
+        StoredOutcome rec;
+        rec.feasible = doc.at("feasible").asBool();
+        if (rec.feasible)
+            rec.report = reportFromJson(doc.at("report"));
+        else
+            rec.error = doc.at("error").asString();
+        ++stats_.hits;
+        return rec;
+    } catch (const ConfigError &) {
+        // Corrupted/truncated/foreign file: degrade to a rebuild.
+        ++stats_.rejected;
+        return std::nullopt;
+    }
+}
+
+void
+OutcomeStore::store(const std::string &key, const StoredOutcome &outcome)
+{
+    json::Value doc = json::Value::makeObject();
+    doc.set("format", json::Value(static_cast<double>(kOutcomeStoreFormat)));
+    doc.set("key", json::Value(key));
+    doc.set("feasible", json::Value(outcome.feasible));
+    if (outcome.feasible)
+        doc.set("report", reportToJson(outcome.report));
+    else
+        doc.set("error", json::Value(outcome.error));
+
+    const std::string path = pathForKey(key);
+    std::ostringstream temp_name;
+    temp_name << path << ".tmp." << ::getpid() << "." << ++tempCounter_;
+    const std::string temp = temp_name.str();
+    {
+        std::ofstream out(temp, std::ios::binary | std::ios::trunc);
+        out << doc.dump(0);
+        if (!out) {
+            ++stats_.storeFailures;
+            std::error_code ec;
+            fs::remove(temp, ec);
+            return;
+        }
+    }
+    // rename() is atomic on POSIX: concurrent shard processes never
+    // observe a torn record, only the old or the new one.
+    std::error_code ec;
+    fs::rename(temp, path, ec);
+    if (ec) {
+        ++stats_.storeFailures;
+        fs::remove(temp, ec);
+        return;
+    }
+    ++stats_.stores;
+}
+
+} // namespace camj

@@ -1,5 +1,7 @@
 #include "explore/incremental.h"
 
+#include <algorithm>
+
 #include "common/logging.h"
 #include "spec/diff.h"
 #include "spec/grid.h"
@@ -13,15 +15,15 @@ namespace
 {
 
 FieldImpact
-patch(EvalStage first)
+patch(EvalStage first, EvalStage last = EvalStage::Energy)
 {
-    return {false, first};
+    return {false, first, last};
 }
 
 FieldImpact
-remat(EvalStage first)
+remat(EvalStage first, EvalStage last = EvalStage::Energy)
 {
-    return {true, first};
+    return {true, first, last};
 }
 
 FieldImpact
@@ -33,6 +35,10 @@ mergeImpacts(FieldImpact a, FieldImpact b)
                              static_cast<int>(b.firstStage)
                          ? a.firstStage
                          : b.firstStage;
+    out.lastStage = static_cast<int>(a.lastStage) >
+                            static_cast<int>(b.lastStage)
+                        ? a.lastStage
+                        : b.lastStage;
     return out;
 }
 
@@ -44,10 +50,18 @@ classifyMemoryField(const std::string &field)
     // and the cross-layer traffic; layer feeds the same traffic.
     if (field == "wordBits" || field == "layer")
         return remat(EvalStage::Digital);
-    // Capacity, ports and buffering policy only shape the cycle-level
-    // model (kind also selects the double-buffer port groups).
-    if (field == "capacityWords" || field == "readPorts" ||
-        field == "writePorts" || field == "kind")
+    // Ports only shape the cycle-level model (pass A in the CycleSim
+    // stage, pass B's stall check in the Timing stage); the Energy
+    // stage prices word traffic and capacity, not ports — so when the
+    // re-run cycle counts and delays come out unchanged, the suffix
+    // may stop at Timing (the equality cut-off).
+    if (field == "readPorts" || field == "writePorts")
+        return remat(EvalStage::CycleSim, EvalStage::Timing);
+    // Capacity and buffering policy also shape the cycle-level model
+    // (kind selects the double-buffer port groups), and the Energy
+    // stage reads them again (SRAM-model leakage derives from
+    // capacity): no cut-off.
+    if (field == "capacityWords" || field == "kind")
         return remat(EvalStage::CycleSim);
     // Purely electrical: the access/leakage energies of the Energy
     // stage (the word traffic they multiply is already cached).
@@ -57,6 +71,40 @@ classifyMemoryField(const std::string &field)
         field == "model")
         return remat(EvalStage::Energy);
     return FieldImpact::full(); // "name" (identity) or unknown
+}
+
+void
+dedupe(std::vector<std::string> &paths)
+{
+    std::sort(paths.begin(), paths.end());
+    paths.erase(std::unique(paths.begin(), paths.end()), paths.end());
+}
+
+/** Which of the scalar-patchable fields differ between two documents
+ *  with EQUAL structural signatures (all other fields match by
+ *  construction of the signature). */
+std::vector<std::string>
+scalarDeltas(const json::Value &base_doc, const json::Value &doc)
+{
+    std::vector<std::string> changed;
+    for (const char *field : {"name", "fps", "digitalClock"}) {
+        const json::Value *a = base_doc.find(field);
+        const json::Value *b = doc.find(field);
+        bool equal = true;
+        if ((a == nullptr) != (b == nullptr))
+            equal = false;
+        else if (a != nullptr && b != nullptr) {
+            if (a->isString() && b->isString())
+                equal = a->asString() == b->asString();
+            else if (a->isNumber() && b->isNumber())
+                equal = a->asNumber() == b->asNumber();
+            else
+                equal = a->dump(0) == b->dump(0);
+        }
+        if (!equal)
+            changed.push_back(field);
+    }
+    return changed;
 }
 
 } // namespace
@@ -75,8 +123,13 @@ classifyFieldPath(const std::string &path)
     if (segs.size() == 1 && !top.hasSelector) {
         if (top.member == "name")
             return patch(EvalStage::Energy); // report identity only
-        if (top.member == "fps" || top.member == "digitalClock")
+        if (top.member == "fps")
             return patch(EvalStage::Timing);
+        // The clock feeds the delay estimation only; the Energy stage
+        // prices cached traffic volumes and the (re-run) delays. When
+        // the re-run Timing output is unchanged, the cut-off applies.
+        if (top.member == "digitalClock")
+            return patch(EvalStage::Timing, EvalStage::Timing);
         // The override is read by the Energy stage's final-output
         // accounting, but Design has no "unset" transition for it —
         // re-lowering keeps -1 <-> >= 0 flips correct.
@@ -147,11 +200,11 @@ classifyFieldPath(const std::string &path)
     return FieldImpact::full();
 }
 
-FieldImpact
+std::optional<FieldImpact>
 classifyFieldPaths(const std::vector<std::string> &paths)
 {
     if (paths.empty())
-        return patch(EvalStage::Energy); // callers special-case empty
+        return std::nullopt; // nothing changed: nothing to re-run
     FieldImpact impact = classifyFieldPath(paths.front());
     for (size_t i = 1; i < paths.size(); ++i) {
         if (impact.structural())
@@ -163,14 +216,26 @@ classifyFieldPaths(const std::vector<std::string> &paths)
 
 // ------------------------------------------------------------ evaluator
 
-IncrementalEvaluator::IncrementalEvaluator(SimulationOptions options)
-    : options_(options)
+IncrementalEvaluator::IncrementalEvaluator(SimulationOptions options,
+                                           size_t cache_entries,
+                                           const std::string &cache_dir)
+    : options_(options), lru_(cache_entries)
 {
     if (options_.frames < 1)
         fatal("IncrementalEvaluator: frames must be >= 1 (got %d)",
               options_.frames);
     if (options_.exposure < 0.0)
         fatal("IncrementalEvaluator: negative exposure");
+    if (!cache_dir.empty())
+        store_.emplace(cache_dir);
+}
+
+void
+IncrementalEvaluator::reset()
+{
+    lru_.clear();
+    hintBaseKey_.reset();
+    carriedPaths_.clear();
 }
 
 SimulationOutcome
@@ -179,69 +244,314 @@ IncrementalEvaluator::failed(const std::string &what)
     return failureOutcome(options_, what);
 }
 
+void
+IncrementalEvaluator::persist(const std::string &content_key,
+                              bool feasible, const std::string &error,
+                              const EnergyReport &report)
+{
+    if (!store_)
+        return;
+    StoredOutcome record;
+    record.feasible = feasible;
+    record.error = error;
+    if (feasible)
+        record.report = report;
+    store_->store(content_key, record);
+}
+
+SimulationOutcome
+IncrementalEvaluator::restoredOutcome(StoredOutcome record)
+{
+    if (record.feasible)
+        return finishOutcome(options_, std::move(record.report));
+    if (options_.checkMode == CheckMode::Strict)
+        throw ConfigError(record.error);
+    return failed(record.error);
+}
+
+void
+IncrementalEvaluator::noteUncompiledPoint(
+    const std::vector<std::string> *changed_paths)
+{
+    if (!hintBaseKey_)
+        return;
+    if (changed_paths == nullptr) {
+        // No record of this point's delta relative to the previous
+        // one: the hint chain is broken.
+        hintBaseKey_.reset();
+        carriedPaths_.clear();
+        return;
+    }
+    carriedPaths_.insert(carriedPaths_.end(), changed_paths->begin(),
+                         changed_paths->end());
+    dedupe(carriedPaths_);
+}
+
+SimulationOutcome
+IncrementalEvaluator::identicalHit(const CompiledDesign &base,
+                                   const std::string &structural_key)
+{
+    ++stats_.identicalHits;
+    stats_.stagesSkipped += static_cast<size_t>(kEvalStageCount);
+    hintBaseKey_ = structural_key;
+    carriedPaths_.clear();
+    return finishOutcome(options_, base.report);
+}
+
 SimulationOutcome
 IncrementalEvaluator::fullBuild(const spec::DesignSpec &spec,
-                                json::Value doc)
+                                json::Value doc,
+                                const std::string &structural_key,
+                                const std::string &content_key)
 {
     ++stats_.fullBuilds;
-    stats_.stagesRun += static_cast<size_t>(kEvalStageCount);
+    EvalPipeline pipeline;
+    bool pipeline_ran = false;
     try {
         Design design = spec.materialize(&cache_);
-        EvalPipeline pipeline;
+        pipeline_ran = true;
         EnergyReport report = pipeline.runAll(design);
+        stats_.stagesRun += static_cast<size_t>(pipeline.stagesEntered());
         SimulationOutcome out = finishOutcome(options_, report);
-        last_.emplace(CompiledDesign{std::move(doc),
-                                     std::move(design),
-                                     std::move(pipeline),
-                                     std::move(report)});
+        persist(content_key, true, {}, report);
+        lru_.insert(structural_key,
+                    CompiledDesign{std::move(doc), std::move(design),
+                                   std::move(pipeline),
+                                   std::move(report)});
+        hintBaseKey_ = structural_key;
+        carriedPaths_.clear();
         return out;
     } catch (const ConfigError &e) {
-        // A failed check aborts mid-pipeline: nothing reusable.
-        last_.reset();
+        // A failed check aborts mid-pipeline: this point leaves no
+        // compiled entry, but every cached entry stays valid.
+        if (pipeline_ran)
+            stats_.stagesRun +=
+                static_cast<size_t>(pipeline.stagesEntered());
+        persist(content_key, false, e.what(), {});
         if (options_.checkMode == CheckMode::Strict)
             throw;
         return failed(e.what());
-    } catch (...) {
-        last_.reset();
-        throw;
     }
 }
 
 SimulationOutcome
 IncrementalEvaluator::incrementalRun(const spec::DesignSpec &spec,
                                      json::Value doc,
+                                     const std::string &structural_key,
+                                     const std::string &content_key,
+                                     const CompiledDesign &base,
                                      FieldImpact impact)
 {
     ++stats_.incrementalRuns;
     const size_t first = static_cast<size_t>(impact.firstStage);
-    stats_.stagesRun += static_cast<size_t>(kEvalStageCount) - first;
-    stats_.stagesSkipped += first;
+    // Evaluate on SCRATCH copies: the cached base must survive an
+    // infeasible point, or every feasible point after an infeasible
+    // band degrades to a full rebuild.
+    EvalPipeline pipeline = base.pipeline;
+    bool pipeline_ran = false;
     try {
+        std::optional<Design> design;
         if (impact.rematerialize) {
             ++stats_.rematerializations;
-            last_->design = spec.materialize(&cache_);
+            design.emplace(spec.materialize(&cache_));
         } else {
             // Scalar patch. The full path validates the spec inside
             // materialize(); validating here first keeps a bad value's
             // error (and its exact text) identical to that path.
             spec.validate();
-            last_->design.setName(spec.name);
-            last_->design.setFps(spec.fps);
-            last_->design.setDigitalClock(spec.digitalClock);
+            design.emplace(base.design);
+            design->setName(spec.name);
+            design->setFps(spec.fps);
+            design->setDigitalClock(spec.digitalClock);
         }
-        EnergyReport report =
-            last_->pipeline.runFrom(last_->design, impact.firstStage);
+        pipeline_ran = true;
+        EnergyReport report = pipeline.runFrom(*design, impact.firstStage,
+                                               impact.lastStage);
+        const auto entered =
+            static_cast<size_t>(pipeline.stagesEntered());
+        stats_.stagesRun += entered;
+        stats_.stagesSkipped +=
+            static_cast<size_t>(kEvalStageCount) - entered;
+        if (pipeline.cutoffHit())
+            ++stats_.equalityCutoffs;
         SimulationOutcome out = finishOutcome(options_, report);
-        last_->specDoc = std::move(doc);
-        last_->report = std::move(report);
+        persist(content_key, true, {}, report);
+        lru_.insert(structural_key,
+                    CompiledDesign{std::move(doc), std::move(*design),
+                                   std::move(pipeline),
+                                   std::move(report)});
+        hintBaseKey_ = structural_key;
+        carriedPaths_.clear();
         return out;
     } catch (const ConfigError &e) {
-        last_.reset();
+        // Count only the stages actually entered (the throwing stage
+        // included); the base entry is untouched.
+        if (pipeline_ran)
+            stats_.stagesRun +=
+                static_cast<size_t>(pipeline.stagesEntered());
+        stats_.stagesSkipped += first;
+        persist(content_key, false, e.what(), {});
         if (options_.checkMode == CheckMode::Strict)
             throw;
         return failed(e.what());
+    }
+}
+
+namespace
+{
+
+/** Does re-running from @p a cost less than from @p b? Later first
+ *  stage = shorter suffix; a re-materialization is nearly free (the
+ *  MaterializeCache absorbs it) but breaks ties toward the patch. */
+bool
+cheaperBase(const FieldImpact &a, const FieldImpact &b)
+{
+    if (a.firstStage != b.firstStage)
+        return static_cast<int>(a.firstStage) >
+               static_cast<int>(b.firstStage);
+    return !a.rematerialize && b.rematerialize;
+}
+
+} // namespace
+
+SimulationOutcome
+IncrementalEvaluator::dispatch(
+    const spec::DesignSpec &spec, json::Value doc,
+    const std::string &structural_key, const std::string &content_key,
+    const std::vector<std::string> *changed_paths)
+{
+    // Scan the LRU — every entry, most recent first — for the
+    // CHEAPEST usable base, not merely the newest. In interleaved
+    // orders the best base is rarely the last point: a strided walk
+    // over a rate x memory-node grid revisits the previous column's
+    // same-rate sibling, against which only the Energy stage differs,
+    // while the last point differs in fps and would force the Timing
+    // stage (whose stall simulation dominates the cost at low frame
+    // rates). Per-entry deltas come from the cheapest sound source:
+    //   - same structural signature: compare the three scalar fields;
+    //   - the newest entry of the hint chain's signature: the caller's
+    //     changed paths plus carriedPaths_ (bridging points that left
+    //     no entry — a sound over-approximation of the delta);
+    //   - anything else: a JSON tree diff.
+    // An empty delta answers the point from the cache outright. The
+    // scan stops early once a base needs only the Energy stage — no
+    // later candidate can beat that by more than a materialization.
+    std::optional<size_t> best_idx;
+    FieldImpact best{};
+    enum class DeltaSource { Scalar, Hint, Diff };
+    DeltaSource best_source = DeltaSource::Diff;
+    bool hint_pending = changed_paths != nullptr && hintBaseKey_;
+    const size_t entry_count = lru_.size();
+    for (size_t i = 0; i < entry_count; ++i) {
+        const std::string &key = lru_.keyAt(i);
+        CompiledDesign &cand = *lru_.entryAt(i);
+        std::optional<FieldImpact> impact;
+        DeltaSource source = DeltaSource::Diff;
+        if (key == structural_key) {
+            const std::vector<std::string> changed =
+                scalarDeltas(cand.specDoc, doc);
+            if (changed.empty()) {
+                lru_.promote(i);
+                lru_.noteHit();
+                return identicalHit(cand, structural_key);
+            }
+            impact = classifyFieldPaths(changed); // never structural
+            source = DeltaSource::Scalar;
+        } else if (hint_pending && key == *hintBaseKey_) {
+            // The newest entry of that signature IS the hint's base
+            // (older same-signature entries fall through to a diff).
+            hint_pending = false;
+            std::vector<std::string> effective = carriedPaths_;
+            effective.insert(effective.end(), changed_paths->begin(),
+                             changed_paths->end());
+            dedupe(effective);
+            impact = classifyFieldPaths(effective);
+            if (!impact) {
+                lru_.promote(i);
+                lru_.noteHit();
+                return identicalHit(cand, *hintBaseKey_);
+            }
+            source = DeltaSource::Hint;
+        } else {
+            const std::vector<spec::SpecDifference> diffs =
+                spec::diffJsonValues(cand.specDoc, doc);
+            if (diffs.empty()) {
+                lru_.promote(i);
+                lru_.noteHit();
+                return identicalHit(cand, structural_key);
+            }
+            FieldImpact merged;
+            bool merged_any = false;
+            for (const spec::SpecDifference &d : diffs) {
+                // Added/Removed fields change the document SHAPE (an
+                // element appeared, an optional member toggled):
+                // always structural.
+                const FieldImpact fi =
+                    d.kind == spec::SpecDifference::Kind::Changed
+                        ? classifyFieldPath(d.path)
+                        : FieldImpact::full();
+                merged = merged_any ? mergeImpacts(merged, fi) : fi;
+                merged_any = true;
+                if (merged.structural())
+                    break;
+            }
+            impact = merged;
+        }
+        if (impact->structural())
+            continue; // unusable as a base; a later entry may do
+        if (!best_idx || cheaperBase(*impact, best)) {
+            best_idx = i;
+            best = *impact;
+            best_source = source;
+        }
+        if (best.firstStage == EvalStage::Energy)
+            break;
+    }
+
+    if (!best_idx) {
+        lru_.noteMiss();
+        return fullBuild(spec, std::move(doc), structural_key,
+                         content_key);
+    }
+    lru_.noteHit();
+    if (best_source == DeltaSource::Scalar)
+        ++stats_.signatureHits;
+    else if (best_source == DeltaSource::Diff)
+        ++stats_.diffsComputed;
+    return incrementalRun(spec, std::move(doc), structural_key,
+                          content_key, *lru_.entryAt(*best_idx), best);
+}
+
+SimulationOutcome
+IncrementalEvaluator::evaluateImpl(
+    const spec::DesignSpec &spec,
+    const std::vector<std::string> *changed_paths)
+{
+    ++stats_.points;
+    json::Value doc = spec::toJsonValue(spec);
+
+    std::string content_key;
+    if (store_) {
+        content_key = outcomeCacheKey(doc);
+        if (std::optional<StoredOutcome> record =
+                store_->load(content_key)) {
+            ++stats_.diskHits;
+            stats_.stagesSkipped += static_cast<size_t>(kEvalStageCount);
+            noteUncompiledPoint(changed_paths);
+            return restoredOutcome(std::move(*record));
+        }
+    }
+
+    const std::string structural_key = structuralCacheKey(doc);
+    try {
+        SimulationOutcome out =
+            dispatch(spec, std::move(doc), structural_key, content_key,
+                     changed_paths);
+        if (!out.feasible)
+            noteUncompiledPoint(changed_paths);
+        return out;
     } catch (...) {
-        last_.reset();
+        noteUncompiledPoint(changed_paths);
         throw;
     }
 }
@@ -249,36 +559,7 @@ IncrementalEvaluator::incrementalRun(const spec::DesignSpec &spec,
 SimulationOutcome
 IncrementalEvaluator::evaluate(const spec::DesignSpec &spec)
 {
-    ++stats_.points;
-    json::Value doc = spec::toJsonValue(spec);
-    if (!last_)
-        return fullBuild(spec, std::move(doc));
-
-    ++stats_.diffsComputed;
-    const std::vector<spec::SpecDifference> diffs =
-        spec::diffJsonValues(last_->specDoc, doc);
-    if (diffs.empty()) {
-        ++stats_.identicalHits;
-        stats_.stagesSkipped += static_cast<size_t>(kEvalStageCount);
-        return finishOutcome(options_, last_->report);
-    }
-    FieldImpact impact{false, EvalStage::Energy};
-    bool merged_any = false;
-    for (const spec::SpecDifference &d : diffs) {
-        // Added/Removed fields change the document SHAPE (an element
-        // appeared, an optional member toggled): always structural.
-        const FieldImpact fi =
-            d.kind == spec::SpecDifference::Kind::Changed
-                ? classifyFieldPath(d.path)
-                : FieldImpact::full();
-        impact = merged_any ? mergeImpacts(impact, fi) : fi;
-        merged_any = true;
-        if (impact.structural())
-            break;
-    }
-    if (impact.structural())
-        return fullBuild(spec, std::move(doc));
-    return incrementalRun(spec, std::move(doc), impact);
+    return evaluateImpl(spec, nullptr);
 }
 
 SimulationOutcome
@@ -286,19 +567,7 @@ IncrementalEvaluator::evaluate(
     const spec::DesignSpec &spec,
     const std::vector<std::string> &changed_paths)
 {
-    ++stats_.points;
-    if (!last_)
-        return fullBuild(spec, spec::toJsonValue(spec));
-    if (changed_paths.empty()) {
-        ++stats_.identicalHits;
-        stats_.stagesSkipped += static_cast<size_t>(kEvalStageCount);
-        return finishOutcome(options_, last_->report);
-    }
-    const FieldImpact impact = classifyFieldPaths(changed_paths);
-    json::Value doc = spec::toJsonValue(spec);
-    if (impact.structural())
-        return fullBuild(spec, std::move(doc));
-    return incrementalRun(spec, std::move(doc), impact);
+    return evaluateImpl(spec, &changed_paths);
 }
 
 } // namespace camj

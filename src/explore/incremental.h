@@ -6,17 +6,23 @@
  * A grid sweep's neighboring design points usually differ in one or
  * two spec fields, yet the classic path rebuilds each point from
  * scratch: validate -> materialize -> all six evaluation stages. The
- * IncrementalEvaluator instead keeps the LAST compiled point (spec
- * document + lowered Design + every persisted stage output), diffs
- * the next spec against it, maps the changed field paths through a
+ * IncrementalEvaluator instead keeps an LRU of compiled points (spec
+ * document + lowered Design + every persisted stage output) tagged by
+ * STRUCTURAL SIGNATURE (explore/cache.h), picks the CHEAPEST compiled
+ * base for the next spec, maps the changed field paths through a
  * field -> stage dependency table, and re-runs only the dirty stage
  * suffix. Scalar fields (fps, digitalClock, name) are patched onto
- * the cached Design without re-materializing at all; parametric
- * fields (a memory's node, an analog component's capacitance) force
- * a re-materialization (cheap through the MaterializeCache) but keep
- * every stage before their first dirty stage cached; structural
- * changes (components added/removed/renamed, kinds changed, unknown
- * fields) fall back to a full rebuild.
+ * a copy of the cached Design without re-materializing at all;
+ * parametric fields (a memory's node, an analog component's
+ * capacitance) force a re-materialization (cheap through the
+ * MaterializeCache) but keep every stage before their first dirty
+ * stage cached; structural changes (components added/removed/renamed,
+ * kinds changed, unknown fields) fall back to a full rebuild.
+ * Evaluation always runs on a SCRATCH copy of the base, so an
+ * infeasible point never invalidates the compiled state it was
+ * diffed against. With a cache directory configured, finished
+ * outcomes are additionally persisted content-addressed on disk and
+ * reused across evaluator instances, processes, and restarts.
  *
  * The dependency table is documented in docs/evaluation_pipeline.md;
  * classifyFieldPath() is its executable form, and
@@ -40,6 +46,7 @@
 
 #include "core/design.h"
 #include "core/pipeline.h"
+#include "explore/cache.h"
 #include "explore/simulator.h"
 #include "spec/json.h"
 #include "spec/spec.h"
@@ -59,6 +66,14 @@ struct FieldImpact
      *  stage and everything after it re-run. */
     EvalStage firstStage = EvalStage::Map;
 
+    /** LATEST stage that reads the field directly. Downstream stages
+     *  see it only through this stage's outputs, so when the re-run
+     *  stages up to here reproduce their cached outputs exactly, the
+     *  dirty suffix can stop early (EvalPipeline's equality cut-off).
+     *  Energy (the last stage) is the conservative default: no
+     *  cut-off. */
+    EvalStage lastStage = EvalStage::Energy;
+
     /** A full rebuild: re-materialize and re-run every stage. */
     bool structural() const
     {
@@ -77,16 +92,20 @@ struct FieldImpact
 FieldImpact classifyFieldPath(const std::string &path);
 
 /** Union of the impacts of several changed paths: re-materialize if
- *  any does, first stage = the earliest. Empty input = "nothing
- *  changed" ({false, Energy} with an identical report guaranteed —
- *  callers special-case it before running anything). */
-FieldImpact classifyFieldPaths(const std::vector<std::string> &paths);
+ *  any does, first stage = the earliest, last reader = the latest.
+ *  An empty input means "nothing changed" — there is no impact to
+ *  report, so the result is empty (the cached report is already the
+ *  answer; callers must not run anything). */
+std::optional<FieldImpact>
+classifyFieldPaths(const std::vector<std::string> &paths);
 
 /**
  * One compiled design point: the spec document it was compiled from,
  * the lowered Design, and the evaluation pipeline holding every
  * persisted stage output. Only FEASIBLE points are kept compiled —
- * a failed check aborts mid-pipeline, leaving nothing reusable.
+ * a failed check aborts mid-pipeline, leaving nothing reusable (the
+ * evaluator therefore runs each point on a scratch copy and only
+ * caches it on success).
  */
 struct CompiledDesign
 {
@@ -104,45 +123,82 @@ struct IncrementalStats
     /** evaluate() calls. */
     size_t points = 0;
     /** Points compiled from scratch (first point, structural changes,
-     *  recovery after an infeasible point). */
+     *  points with no usable compiled base). */
     size_t fullBuilds = 0;
     /** Points that reused at least one cached stage. */
     size_t incrementalRuns = 0;
-    /** Points whose spec was identical to the cached one (no stage
+    /** Points whose spec was identical to a cached one (no stage
      *  re-ran at all). */
     size_t identicalHits = 0;
     /** Incremental points that re-lowered the spec onto a fresh
      *  Design (parametric changes). */
     size_t rematerializations = 0;
-    /** Pipeline stages executed / skipped, over all points. */
+    /** Pipeline stages executed / skipped, over all points. Only
+     *  stages actually ENTERED count as run — a point aborted by a
+     *  mid-suffix ConfigError counts the throwing stage but not the
+     *  stages after it. */
     size_t stagesRun = 0;
     size_t stagesSkipped = 0;
-    /** Points that needed a JSON diff (no changed-path hint). */
+    /** Points whose CHOSEN base's delta came from a JSON tree diff
+     *  (exploratory diffs against candidates that lost the
+     *  cheapest-base scan are not counted). */
     size_t diffsComputed = 0;
+    /** Points whose chosen base shared their structural signature
+     *  (the delta was the exact scalar comparison); disjoint from
+     *  diffsComputed and from hint-sourced points. */
+    size_t signatureHits = 0;
+    /** Incremental runs stopped early by the stage-output equality
+     *  cut-off. */
+    size_t equalityCutoffs = 0;
+    /** Points answered from the on-disk outcome store without
+     *  touching the pipeline at all. */
+    size_t diskHits = 0;
 };
 
 /**
- * Evaluates a stream of DesignSpecs, reusing the previous point's
- * compiled state per the dependency table. Results are bit-identical
- * to a fresh Simulator::run(spec) per point — energies, feasibility
- * verdicts, and error text alike (pinned by tests/incremental_test).
+ * Evaluates a stream of DesignSpecs, reusing compiled state per the
+ * dependency table. Results are bit-identical to a fresh
+ * Simulator::run(spec) per point — energies, feasibility verdicts,
+ * and error text alike (pinned by tests/incremental_test and
+ * tests/cache_test).
  *
  * NOT thread-safe: give each sweep worker its own evaluator (the
- * SweepEngine does, under SweepOptions::incremental).
+ * SweepEngine does, under SweepOptions::incremental). Distinct
+ * evaluators MAY share one cache directory, concurrently and across
+ * processes (the on-disk store is append-only and self-verifying).
  */
 class IncrementalEvaluator
 {
   public:
-    /** @throws ConfigError on invalid options (as Simulator does). */
-    explicit IncrementalEvaluator(SimulationOptions options = {});
+    /** Default in-memory LRU capacity (compiled points). */
+    static constexpr size_t kDefaultCacheEntries = 8;
+
+    /**
+     * @param cache_entries In-memory LRU capacity (clamped to >= 1;
+     *        1 reproduces the gen-1 last-point-only behavior, minus
+     *        its infeasible-point eviction bug).
+     * @param cache_dir When non-empty, the content-addressed on-disk
+     *        outcome store directory (created if needed, shared
+     *        across processes).
+     * @throws ConfigError on invalid options (as Simulator does) or
+     *         an unusable cache directory.
+     */
+    explicit IncrementalEvaluator(SimulationOptions options = {},
+                                  size_t cache_entries =
+                                      kDefaultCacheEntries,
+                                  const std::string &cache_dir = {});
 
     const SimulationOptions &options() const { return options_; }
 
     /**
-     * Evaluate one design point, diffing its serialized form against
-     * the cached previous point to find the dirty stage suffix.
-     * CheckMode::Report folds failed checks into the outcome;
-     * CheckMode::Strict rethrows them (like Simulator::run).
+     * Evaluate one design point against the CHEAPEST compiled base in
+     * the LRU: every entry is a candidate, its delta computed from the
+     * cheapest sound source (exact scalar comparison for
+     * same-signature entries, the changed-path hint for the hint
+     * chain's entry, a JSON tree diff otherwise), and the base whose
+     * dirty stage suffix is shortest wins. CheckMode::Report folds
+     * failed checks into the outcome; CheckMode::Strict rethrows them
+     * (like Simulator::run).
      */
     SimulationOutcome evaluate(const spec::DesignSpec &spec);
 
@@ -160,24 +216,69 @@ class IncrementalEvaluator
 
     const IncrementalStats &stats() const { return stats_; }
 
-    /** Drop the compiled point (the next evaluate() fully rebuilds).
-     *  The materialization cache and stats survive. */
-    void reset() { last_.reset(); }
+    /** In-memory LRU traffic (hits/misses/evictions). */
+    const CompiledCacheStats &compiledCacheStats() const
+    {
+        return lru_.stats();
+    }
 
-    /** True when a compiled point is cached. */
-    bool hasCompiledPoint() const { return last_.has_value(); }
+    /** On-disk store traffic, or nullptr when no cache_dir is set. */
+    const OutcomeStoreStats *outcomeStoreStats() const
+    {
+        return store_ ? &store_->stats() : nullptr;
+    }
+
+    /** Drop every compiled point (the next evaluate() fully rebuilds
+     *  unless the on-disk store answers it). The materialization
+     *  cache, the on-disk store, and the stats survive. */
+    void reset();
+
+    /** True when at least one compiled point is cached in memory. */
+    bool hasCompiledPoint() const { return lru_.size() > 0; }
 
   private:
     SimulationOptions options_;
-    std::optional<CompiledDesign> last_;
+    CompiledDesignLru lru_;
+    std::optional<OutcomeStore> store_;
     spec::MaterializeCache cache_;
     IncrementalStats stats_;
+    /** LRU key of the entry whose document equals the PREVIOUSLY
+     *  evaluated spec — the base changed-path hints are relative to —
+     *  unioned with carriedPaths_ when recent points left no entry. */
+    std::optional<std::string> hintBaseKey_;
+    /** Changed paths accumulated since hintBaseKey_'s entry was
+     *  compiled, over points that produced no compiled entry
+     *  (infeasible points, disk hits). The union with the next hint
+     *  over-approximates the base -> current delta, which the hint
+     *  contract allows. */
+    std::vector<std::string> carriedPaths_;
 
+    SimulationOutcome evaluateImpl(
+        const spec::DesignSpec &spec,
+        const std::vector<std::string> *changed_paths);
+    SimulationOutcome dispatch(
+        const spec::DesignSpec &spec, json::Value doc,
+        const std::string &structural_key,
+        const std::string &content_key,
+        const std::vector<std::string> *changed_paths);
     SimulationOutcome fullBuild(const spec::DesignSpec &spec,
-                                json::Value doc);
+                                json::Value doc,
+                                const std::string &structural_key,
+                                const std::string &content_key);
     SimulationOutcome incrementalRun(const spec::DesignSpec &spec,
                                      json::Value doc,
+                                     const std::string &structural_key,
+                                     const std::string &content_key,
+                                     const CompiledDesign &base,
                                      FieldImpact impact);
+    SimulationOutcome identicalHit(const CompiledDesign &base,
+                                   const std::string &structural_key);
+    SimulationOutcome restoredOutcome(StoredOutcome record);
+    /** Bookkeeping for a point that left no compiled entry. */
+    void noteUncompiledPoint(
+        const std::vector<std::string> *changed_paths);
+    void persist(const std::string &content_key, bool feasible,
+                 const std::string &error, const EnergyReport &report);
     SimulationOutcome failed(const std::string &what);
 };
 

@@ -196,14 +196,17 @@ SweepEngine::runStream(spec::SpecSource &source, ResultSink &sink,
         // the changed paths first (free for grids) before falling
         // back to a JSON diff inside the evaluator.
         std::optional<IncrementalEvaluator> inc;
-        if (options_.incremental)
-            inc.emplace(options_.sim);
         std::optional<size_t> last_index;
         // Anything escaping the source or the sink (a generator
         // throwing, a JsonlSink write failure) must not unwind a
         // std::thread — that would terminate the process. Capture
         // the first error, stop the sweep, rethrow on the caller.
         try {
+            // Inside the try: an unusable cache directory throws
+            // from the evaluator constructor.
+            if (options_.incremental)
+                inc.emplace(options_.sim, options_.cacheEntries,
+                            options_.cacheDir);
             while (!stop.load(std::memory_order_relaxed)) {
                 if (cancel != nullptr && cancel->cancelled()) {
                     stop.store(true, std::memory_order_relaxed);

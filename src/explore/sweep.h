@@ -56,6 +56,14 @@ struct SweepOptions
      *  bit-identical to full rebuilds (pinned by
      *  tests/incremental_test.cc); subsumes reuseMaterializations. */
     bool incremental = false;
+    /** Per-worker compiled-point LRU capacity under incremental
+     *  (explore/cache.h): how many structural families a worker keeps
+     *  compiled at once. */
+    size_t cacheEntries = IncrementalEvaluator::kDefaultCacheEntries;
+    /** When non-empty (and incremental), the content-addressed
+     *  on-disk outcome store directory, shared across workers,
+     *  processes, and repeated runs (created if needed). */
+    std::string cacheDir;
 };
 
 /**

@@ -62,6 +62,8 @@ usage(std::FILE *to)
 "      --threads T                 worker threads (default: all cores)\n"
 "      --frames F                  frames per design point (default 1)\n"
 "      --no-lint                   skip the pre-flight static analysis\n"
+"      --cache-dir DIR             content-addressed outcome cache,\n"
+"                                  shared across shards and re-runs\n"
 "                                  of the base spec\n"
 "      --full-rebuild              evaluate every point from scratch\n"
 "                                  instead of the incremental staged\n"
@@ -186,7 +188,7 @@ cmdPlan(int argc, char **argv)
 int
 cmdRun(int argc, char **argv)
 {
-    std::string input, out_path, shard_arg;
+    std::string input, out_path, shard_arg, cache_dir;
     spec::ShardMode mode = spec::ShardMode::Contiguous;
     int threads = 0, frames = 1;
     bool incremental = true, lint = true;
@@ -196,6 +198,8 @@ cmdRun(int argc, char **argv)
             out_path = flagValue(argc, argv, i);
         else if (arg == "--shard")
             shard_arg = flagValue(argc, argv, i);
+        else if (arg == "--cache-dir")
+            cache_dir = flagValue(argc, argv, i);
         else if (arg == "--mode")
             mode = spec::shardModeFromName(flagValue(argc, argv, i));
         else if (arg == "--full-rebuild")
@@ -273,6 +277,9 @@ cmdRun(int argc, char **argv)
     // (bit-identical to full rebuilds; --full-rebuild opts out).
     options.incremental = incremental;
     options.reuseMaterializations = !incremental;
+    // Shard processes re-running (or re-trying) overlapping index
+    // ranges share finished outcomes through the on-disk store.
+    options.cacheDir = cache_dir;
     SweepEngine engine(options);
 
     // Local stream order -> global grid identity -> bytes: the

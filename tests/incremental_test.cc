@@ -102,6 +102,9 @@ struct TableRow
     const char *path;
     bool rematerialize;
     EvalStage firstStage;
+    /** Latest stage reading the field directly (the equality
+     *  cut-off bound); Energy = no cut-off possible. */
+    EvalStage lastStage = EvalStage::Energy;
 };
 
 TEST(DependencyTable, DocumentedRowsClassifyExactly)
@@ -110,7 +113,9 @@ TEST(DependencyTable, DocumentedRowsClassifyExactly)
         // Scalar patches (no re-materialization).
         {"name", false, EvalStage::Energy},
         {"fps", false, EvalStage::Timing},
-        {"digitalClock", false, EvalStage::Timing},
+        // Only the delay estimation reads the clock; the Energy stage
+        // prices its (re-run) output, enabling the equality cut-off.
+        {"digitalClock", false, EvalStage::Timing, EvalStage::Timing},
         // Parametric: re-lower, then re-run from the named stage.
         {"pipelineOutputBytes", true, EvalStage::Energy},
         {"adcOutputMemory", true, EvalStage::Digital},
@@ -129,8 +134,12 @@ TEST(DependencyTable, DocumentedRowsClassifyExactly)
         {"memories[Buf].wordBits", true, EvalStage::Digital},
         {"memories[Buf].layer", true, EvalStage::Digital},
         {"memories[Buf].capacityWords", true, EvalStage::CycleSim},
-        {"memories[Buf].readPorts", true, EvalStage::CycleSim},
-        {"memories[Buf].writePorts", true, EvalStage::CycleSim},
+        // Ports shape only the cycle model (pass A + pass B's stall
+        // check); the Energy stage never reads them.
+        {"memories[Buf].readPorts", true, EvalStage::CycleSim,
+         EvalStage::Timing},
+        {"memories[Buf].writePorts", true, EvalStage::CycleSim,
+         EvalStage::Timing},
         {"memories[Buf].kind", true, EvalStage::CycleSim},
         {"memories[Buf].nodeNm", true, EvalStage::Energy},
         {"memories[*].nodeNm", true, EvalStage::Energy},
@@ -150,6 +159,7 @@ TEST(DependencyTable, DocumentedRowsClassifyExactly)
         const FieldImpact impact = classifyFieldPath(row.path);
         EXPECT_EQ(impact.rematerialize, row.rematerialize) << row.path;
         EXPECT_EQ(impact.firstStage, row.firstStage) << row.path;
+        EXPECT_EQ(impact.lastStage, row.lastStage) << row.path;
         EXPECT_FALSE(impact.structural()) << row.path;
     }
 }
@@ -191,17 +201,32 @@ TEST(DependencyTable, IdentityAndUnknownFieldsForceFullRebuild)
 
 TEST(DependencyTable, PathUnionTakesEarliestStageAndAnyRemat)
 {
-    const FieldImpact fps_only = classifyFieldPaths({"fps", "name"});
-    EXPECT_FALSE(fps_only.rematerialize);
-    EXPECT_EQ(fps_only.firstStage, EvalStage::Timing);
+    const std::optional<FieldImpact> fps_only =
+        classifyFieldPaths({"fps", "name"});
+    ASSERT_TRUE(fps_only.has_value());
+    EXPECT_FALSE(fps_only->rematerialize);
+    EXPECT_EQ(fps_only->firstStage, EvalStage::Timing);
+    EXPECT_EQ(fps_only->lastStage, EvalStage::Energy);
 
-    const FieldImpact mixed = classifyFieldPaths(
+    const std::optional<FieldImpact> mixed = classifyFieldPaths(
         {"memories[Buf].nodeNm", "fps", "name"});
-    EXPECT_TRUE(mixed.rematerialize);
-    EXPECT_EQ(mixed.firstStage, EvalStage::Timing);
+    ASSERT_TRUE(mixed.has_value());
+    EXPECT_TRUE(mixed->rematerialize);
+    EXPECT_EQ(mixed->firstStage, EvalStage::Timing);
 
-    EXPECT_TRUE(
-        classifyFieldPaths({"fps", "memories[Buf].name"}).structural());
+    // The union's cut-off bound is the LATEST reader of any path.
+    const std::optional<FieldImpact> clock_and_ports =
+        classifyFieldPaths({"digitalClock", "memories[Buf].readPorts"});
+    ASSERT_TRUE(clock_and_ports.has_value());
+    EXPECT_EQ(clock_and_ports->firstStage, EvalStage::CycleSim);
+    EXPECT_EQ(clock_and_ports->lastStage, EvalStage::Timing);
+
+    EXPECT_TRUE(classifyFieldPaths({"fps", "memories[Buf].name"})
+                    ->structural());
+
+    // An empty path list means "nothing changed": there is no impact
+    // to report, which callers must not confuse with "re-run Energy".
+    EXPECT_FALSE(classifyFieldPaths({}).has_value());
 }
 
 // ------------------------------------------------- evaluator mechanics
@@ -326,14 +351,17 @@ TEST(IncrementalEvaluator, StageShapeEditReRunsTheDagValidation)
     EXPECT_EQ(bad.error, ref.error);
 }
 
-TEST(IncrementalEvaluator, InfeasiblePointDropsTheCompiledPoint)
+TEST(IncrementalEvaluator, InfeasiblePointKeepsTheFeasibleBase)
 {
     IncrementalEvaluator inc(reportOptions());
     spec::DesignSpec spec = spec::sampleDetectorSpec(30.0, 65);
     inc.evaluate(spec);
 
     // Push the frame rate over the feasibility boundary: the error
-    // text must match the full path's exactly.
+    // text must match the full path's exactly — and, because the
+    // failed point ran on a scratch copy, the feasible base must
+    // STAY compiled (the gen-1 evaluator evicted it here, turning
+    // every point after an infeasible band into a full rebuild).
     spec::DesignSpec fast = spec;
     fast.fps = 100000.0;
     fast.name = "detector-65nm-too-fast";
@@ -341,12 +369,14 @@ TEST(IncrementalEvaluator, InfeasiblePointDropsTheCompiledPoint)
     const SimulationOutcome ref = referenceOutcome(fast);
     ASSERT_FALSE(bad.feasible);
     EXPECT_EQ(bad.error, ref.error);
-    EXPECT_FALSE(inc.hasCompiledPoint());
+    EXPECT_TRUE(inc.hasCompiledPoint());
 
-    // Recovery: the next point full-builds and is correct.
+    // Recovery: the base answers the next point without rebuilding.
     expectIdenticalOutcome(inc.evaluate(spec), referenceOutcome(spec),
                            spec.name);
     EXPECT_TRUE(inc.hasCompiledPoint());
+    EXPECT_EQ(inc.stats().fullBuilds, 1u);
+    EXPECT_EQ(inc.stats().identicalHits, 1u);
 }
 
 TEST(IncrementalEvaluator, ChangedPathHintSkipsTheJsonDiff)
@@ -455,11 +485,16 @@ TEST(IncrementalIdentity, CanonicalGridDiffFallbackMatchesToo)
         expectIdenticalOutcome(inc.evaluate(spec),
                                referenceOutcome(spec), spec.name);
     }
-    // Every point with a cached predecessor diffs; points right
-    // after an infeasible one (dropped cache) full-build instead.
+    // Each point takes exactly one dispatch path: the first point
+    // full-builds, a same-signature LRU entry answers without any
+    // diff, and everything else JSON-diffs against the most recently
+    // compiled entry (infeasible points leave the cache intact, so
+    // nothing after the first point rebuilds from scratch).
     EXPECT_GT(inc.stats().diffsComputed, 0u);
     EXPECT_LE(inc.stats().diffsComputed, source.totalPoints() - 1);
-    EXPECT_EQ(inc.stats().diffsComputed + inc.stats().fullBuilds,
+    EXPECT_EQ(inc.stats().fullBuilds, 1u);
+    EXPECT_EQ(inc.stats().diffsComputed + inc.stats().fullBuilds +
+                  inc.stats().signatureHits + inc.stats().identicalHits,
               source.totalPoints());
 }
 
