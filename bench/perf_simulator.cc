@@ -7,9 +7,13 @@
  * Besides the interactive benchmark output, the binary always writes
  * BENCH_simulator.json (override the path with the BENCH_JSON_PATH
  * environment variable; the resolved absolute path is printed on
- * exit): designs/sec for a serial sweep vs. a >= 4-thread SweepEngine
- * run over the same spec batch, the streaming pipeline over that
- * batch, a lazily expanded SweepGrid, the sharded multi-process
+ * exit): per-op costs and heap-allocation counts for the JSON
+ * hot-path primitives (specOps: parse/dump/clone/compare/hash over
+ * the canonical detector document), designs/sec for a serial sweep
+ * vs. a >= 4-thread SweepEngine run over the same spec batch, the
+ * streaming pipeline over that batch, a lazily expanded SweepGrid
+ * (with in-place vs. legacy clone-per-point expansion bars — the
+ * in-place path must stay >= 2x), the sharded multi-process
  * pipeline (1 process vs. 4 forked shard workers over the 108-point
  * grid, plus the merge), the statically prefiltered sweep (a
  * widened grid with provably infeasible axis values, pruned by
@@ -36,12 +40,15 @@
 #include <unistd.h>
 
 #include <algorithm>
+#include <atomic>
 #include <chrono>
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <filesystem>
 #include <fstream>
+#include <new>
 #include <sstream>
 #include <string>
 #include <thread>
@@ -63,6 +70,54 @@
 #include "usecases/rhythmic.h"
 #include "usecases/studies.h"
 #include "validation/harness.h"
+
+// ----------------------------------------------------- allocation spy
+
+/** Heap-allocation counter behind the specOps section: this binary
+ *  overrides the global (non-aligned) new/delete pair so allocation
+ *  counts ride along with the per-op timings. Counting only — sizes
+ *  and latency are untouched. The counter is process-wide, so it is
+ *  only meaningful around single-threaded measurement loops. */
+static std::atomic<uint64_t> g_heapAllocs{0};
+
+void *
+operator new(std::size_t size)
+{
+    g_heapAllocs.fetch_add(1, std::memory_order_relaxed);
+    if (void *p = std::malloc(size != 0 ? size : 1))
+        return p;
+    throw std::bad_alloc();
+}
+
+void *
+operator new[](std::size_t size)
+{
+    return ::operator new(size);
+}
+
+void
+operator delete(void *p) noexcept
+{
+    std::free(p);
+}
+
+void
+operator delete[](void *p) noexcept
+{
+    std::free(p);
+}
+
+void
+operator delete(void *p, std::size_t) noexcept
+{
+    std::free(p);
+}
+
+void
+operator delete[](void *p, std::size_t) noexcept
+{
+    std::free(p);
+}
 
 using namespace camj;
 
@@ -111,6 +166,158 @@ gridDocument(int points)
                          json::Value(65), json::Value(45)}};
     doc.grid.axes = {std::move(rate), std::move(node)};
     return doc;
+}
+
+/** The pre-overhaul name rendering for grid-point suffixes (kept in
+ *  sync with GridSpecSource so legacy points carry identical
+ *  names). */
+std::string
+legacyRenderAxisValue(const json::Value &v)
+{
+    switch (v.type()) {
+      case json::Value::Type::String:
+        return v.asString();
+      case json::Value::Type::Number:
+        return strprintf("%g", v.asNumber());
+      case json::Value::Type::Bool:
+        return v.asBool() ? "true" : "false";
+      default:
+        return v.dump(0);
+    }
+}
+
+/**
+ * Pre-overhaul grid expansion, reproduced for the before/after bars:
+ * clone the whole base document, RE-PARSE every axis path, apply the
+ * overrides by walking the clone, then convert — exactly what
+ * GridSpecSource::at() did before the pooled in-place patching, on
+ * top of today's json::Value. Cartesian grids only (all bench grids
+ * are). Every point it yields is byte-compared against the new
+ * source each run, so the before/after bars are guaranteed to price
+ * the same work.
+ */
+class LegacyGridSource : public spec::IndexableSpecSource
+{
+  public:
+    LegacyGridSource(const spec::DesignSpec &base, spec::SweepGrid grid)
+        : baseDoc_(spec::toJsonValue(base)), baseName_(base.name),
+          grid_(std::move(grid)), total_(grid_.points())
+    {
+    }
+
+    spec::DesignSpec at(size_t index) const override
+    {
+        json::Value doc = baseDoc_;
+        std::string suffix;
+        size_t stride = total_;
+        for (const spec::GridAxis &axis : grid_.axes) {
+            stride /= axis.values.size();
+            const json::Value &v =
+                axis.values[(index / stride) % axis.values.size()];
+            spec::applySpecOverride(doc, axis.path, v);
+            suffix += (suffix.empty() ? "" : ",") + axis.name + "=" +
+                      legacyRenderAxisValue(v);
+        }
+        if (!suffix.empty())
+            doc.set("name", json::Value(baseName_ + "/" + suffix));
+        return spec::fromJsonValue(doc);
+    }
+
+    size_t totalPoints() const override { return total_; }
+    std::optional<size_t> sizeHint() const override { return total_; }
+    bool concurrentPulls() const override { return true; }
+
+    std::optional<spec::DesignSpec> next() override
+    {
+        size_t index = 0;
+        return nextIndexed(index);
+    }
+
+    std::optional<spec::DesignSpec> nextIndexed(size_t &index) override
+    {
+        const size_t i =
+            cursor_.fetch_add(1, std::memory_order_relaxed);
+        if (i >= total_)
+            return std::nullopt;
+        index = i;
+        return at(i);
+    }
+
+    std::optional<std::vector<std::string>> changedPaths(
+        size_t from, size_t to) const override
+    {
+        if (from >= total_ || to >= total_)
+            return std::nullopt;
+        std::vector<std::string> paths;
+        if (from == to)
+            return paths;
+        size_t stride = total_;
+        for (const spec::GridAxis &axis : grid_.axes) {
+            stride /= axis.values.size();
+            const json::Value &va =
+                axis.values[(from / stride) % axis.values.size()];
+            const json::Value &vb =
+                axis.values[(to / stride) % axis.values.size()];
+            // The pre-overhaul serialized comparison.
+            if (va.dump(0) != vb.dump(0))
+                paths.push_back(axis.path);
+        }
+        if (!paths.empty())
+            paths.push_back("name");
+        return paths;
+    }
+
+  private:
+    json::Value baseDoc_;
+    std::string baseName_;
+    spec::SweepGrid grid_;
+    size_t total_ = 0;
+    std::atomic<size_t> cursor_{0};
+};
+
+// -------------------------------------------------- per-op measuring
+
+/** One measured operation: wall-clock and heap allocations, both per
+ *  call. */
+struct OpCost
+{
+    double nsPerOp = 0.0;
+    double allocsPerOp = 0.0;
+};
+
+/** Time @p fn(i) over @p iters calls on this thread, counting heap
+ *  allocations through the binary's operator-new spy. */
+template <typename Fn>
+OpCost
+measureOp(size_t iters, Fn &&fn)
+{
+    for (size_t i = 0; i < 3 && i < iters; ++i)
+        fn(i); // warm-up
+    const uint64_t allocs0 =
+        g_heapAllocs.load(std::memory_order_relaxed);
+    const auto t0 = std::chrono::steady_clock::now();
+    for (size_t i = 0; i < iters; ++i)
+        fn(i);
+    const auto t1 = std::chrono::steady_clock::now();
+    const uint64_t allocs1 =
+        g_heapAllocs.load(std::memory_order_relaxed);
+    OpCost c;
+    const double n = static_cast<double>(iters);
+    c.nsPerOp =
+        std::chrono::duration<double, std::nano>(t1 - t0).count() / n;
+    c.allocsPerOp = static_cast<double>(allocs1 - allocs0) / n;
+    return c;
+}
+
+/** Write one {nsPerOp, allocsPerOp, opsPerSec} group under @p key. */
+void
+setOpCost(json::Value &obj, const char *key, const OpCost &c)
+{
+    json::Value op = json::Value::makeObject();
+    op.set("nsPerOp", json::Value(c.nsPerOp));
+    op.set("allocsPerOp", json::Value(c.allocsPerOp));
+    op.set("opsPerSec", json::Value(1e9 / c.nsPerOp));
+    obj.set(key, std::move(op));
 }
 
 void
@@ -571,6 +778,55 @@ writeBenchJson()
                 std::thread::hardware_concurrency())));
     setSweepMembers(doc, specs.size(), threads, sample);
 
+    // Spec ops: the JSON hot-path primitives every sweep leans on —
+    // parse, render, clone, structural compare, hash — priced per
+    // operation over the canonical detector document, with heap
+    // allocations counted through the binary's operator-new spy.
+    // These are the numbers the compact tagged-union Value and the
+    // hashed cache keys exist to improve, tracked directly so a
+    // regression shows up here before it blurs into the end-to-end
+    // sweep sections.
+    {
+        const spec::DesignSpec op_spec =
+            spec::sampleDetectorSpec(30.0, 65);
+        const std::string op_text = spec::toJson(op_spec);
+        const json::Value op_doc = json::Value::parse(op_text);
+        const json::Value op_doc2 = json::Value::parse(op_text);
+        json::Value spec_ops = json::Value::makeObject();
+        spec_ops.set("valueBytes",
+                     json::Value(static_cast<int64_t>(
+                         sizeof(json::Value))));
+        spec_ops.set("documentBytes",
+                     json::Value(static_cast<int64_t>(
+                         op_text.size())));
+        setOpCost(spec_ops, "parse",
+                  measureOp(2000, [&](size_t) {
+                      json::Value v = json::Value::parse(op_text);
+                      benchmark::DoNotOptimize(v.type());
+                  }));
+        setOpCost(spec_ops, "dump",
+                  measureOp(2000, [&](size_t) {
+                      std::string s = op_doc.dump(0);
+                      benchmark::DoNotOptimize(s.size());
+                  }));
+        setOpCost(spec_ops, "clone",
+                  measureOp(2000, [&](size_t) {
+                      json::Value v = op_doc;
+                      benchmark::DoNotOptimize(v.type());
+                  }));
+        setOpCost(spec_ops, "compare",
+                  measureOp(20000, [&](size_t) {
+                      bool eq = op_doc == op_doc2;
+                      benchmark::DoNotOptimize(eq);
+                  }));
+        setOpCost(spec_ops, "hash",
+                  measureOp(20000, [&](size_t) {
+                      uint64_t h = op_doc.hash();
+                      benchmark::DoNotOptimize(h);
+                  }));
+        doc.set("specOps", std::move(spec_ops));
+    }
+
     // Usecase-spec sweep: the 27 paper studies (Rhythmic, Ed-Gaze,
     // validation chips, samples) through the same engines — tracks
     // the throughput of the heavyweight production workloads.
@@ -623,7 +879,114 @@ writeBenchJson()
     grid.set("threads", json::Value(threads));
     grid.set("seconds", json::Value(grid_seconds));
     grid.set("designsPerSec", json::Value(n_grid / grid_seconds));
+
+    // Expansion bars: the in-place pooled-workspace expansion against
+    // the pre-overhaul clone-per-point path (LegacyGridSource), both
+    // producing every point of the canonical 108-point study (always
+    // the full grid, so the tracked numbers stay comparable across
+    // runs). Every point must be byte-identical across the two
+    // paths, and the in-place path must be >= 2x the legacy one —
+    // the PR-level acceptance bar, enforced on every bench run.
+    const spec::SweepDocument exp_doc = spec::sampleDetectorStudy();
+    spec::GridSpecSource exp_new = exp_doc.source();
+    const LegacyGridSource exp_legacy(exp_doc.base, exp_doc.grid);
+    const size_t n_exp = exp_new.totalPoints();
+    for (size_t i = 0; i < n_exp; ++i) {
+        if (spec::toJson(exp_new.at(i)) !=
+            spec::toJson(exp_legacy.at(i))) {
+            std::fprintf(stderr, "error: in-place grid expansion "
+                         "diverges from the legacy clone-per-point "
+                         "path at point %zu\n", i);
+            return false;
+        }
+    }
+    auto time_expansion = [&](const spec::IndexableSpecSource &src) {
+        const auto t0 = std::chrono::steady_clock::now();
+        for (size_t i = 0; i < n_exp; ++i) {
+            const spec::DesignSpec s = src.at(i);
+            benchmark::DoNotOptimize(s.fps);
+        }
+        const auto t1 = std::chrono::steady_clock::now();
+        return std::chrono::duration<double>(t1 - t0).count();
+    };
+    time_expansion(exp_new); // warm-up (also seeds the pool)
+    double exp_new_seconds = 1e30, exp_legacy_seconds = 1e30;
+    for (int rep = 0; rep < 3; ++rep) {
+        exp_new_seconds =
+            std::min(exp_new_seconds, time_expansion(exp_new));
+        exp_legacy_seconds =
+            std::min(exp_legacy_seconds, time_expansion(exp_legacy));
+    }
+    const double expansion_speedup =
+        exp_legacy_seconds / exp_new_seconds;
+    if (expansion_speedup < 2.0) {
+        std::fprintf(stderr, "error: in-place grid expansion is only "
+                     "%.2fx the legacy clone-per-point path "
+                     "(bar: 2.0x)\n", expansion_speedup);
+        return false;
+    }
+    json::Value expansion = json::Value::makeObject();
+    expansion.set("designPoints",
+                  json::Value(static_cast<int64_t>(n_exp)));
+    setTimedRun(expansion, "inPlace", n_exp, exp_new_seconds);
+    setTimedRun(expansion, "legacyClone", n_exp, exp_legacy_seconds);
+    expansion.set("speedupVsLegacy", json::Value(expansion_speedup));
+    expansion.set("identicalToLegacy", json::Value(true));
+    grid.set("expansion", std::move(expansion));
+
+    // Pipeline bars: the product-default grid pipeline (incremental
+    // evaluation over the lazily expanded grid) through both
+    // expansion paths, single thread each, in-order JSONL. The two
+    // outputs must be byte-identical — hashed dispatch keys plus
+    // in-place expansion are optimizations, never different answers.
+    auto time_grid_pipeline = [&](bool legacy, std::string *bytes) {
+        std::ostringstream out;
+        JsonlSink lines(out);
+        InOrderSink ordered(lines);
+        SweepOptions o;
+        o.threads = 1;
+        o.incremental = true;
+        SweepEngine pipeline_engine(o);
+        const auto t0 = std::chrono::steady_clock::now();
+        if (legacy) {
+            LegacyGridSource src(exp_doc.base, exp_doc.grid);
+            pipeline_engine.runStream(src, ordered);
+        } else {
+            spec::GridSpecSource src = exp_doc.source();
+            pipeline_engine.runStream(src, ordered);
+        }
+        const auto t1 = std::chrono::steady_clock::now();
+        if (bytes != nullptr)
+            *bytes = out.str();
+        return std::chrono::duration<double>(t1 - t0).count();
+    };
+    std::string pipeline_bytes, legacy_pipeline_bytes;
+    time_grid_pipeline(false, nullptr); // warm-up
+    double pipeline_seconds = 1e30, legacy_pipeline_seconds = 1e30;
+    for (int rep = 0; rep < 2; ++rep) {
+        pipeline_seconds = std::min(
+            pipeline_seconds,
+            time_grid_pipeline(false, &pipeline_bytes));
+        legacy_pipeline_seconds = std::min(
+            legacy_pipeline_seconds,
+            time_grid_pipeline(true, &legacy_pipeline_bytes));
+    }
+    if (pipeline_bytes != legacy_pipeline_bytes) {
+        std::fprintf(stderr, "error: incremental grid pipeline output "
+                     "differs between the in-place and legacy "
+                     "expansion paths\n");
+        return false;
+    }
+    const double n_expd = static_cast<double>(n_exp);
+    setTimedRun(grid, "incrementalPipeline", n_exp, pipeline_seconds);
+    setTimedRun(grid, "legacyExpansionPipeline", n_exp,
+                legacy_pipeline_seconds);
+    grid.set("pipelineSpeedupVsLegacy",
+             json::Value(legacy_pipeline_seconds / pipeline_seconds));
+    grid.set("pipelineIdenticalAcrossPaths", json::Value(true));
     doc.set("gridSweep", std::move(grid));
+    const double exp_newd = n_expd / exp_new_seconds;
+    const double exp_legacyd = n_expd / exp_legacy_seconds;
 
     // Incremental sweep: the canonical grid once through the classic
     // full-rebuild path and once through per-worker
@@ -1060,6 +1423,16 @@ writeBenchJson()
                 sample.threadedSeconds / stream_seconds);
     std::printf("grid sweep: %.0f lazily expanded points, %.1f "
                 "designs/sec\n", n_grid, n_grid / grid_seconds);
+    std::printf("grid expansion: %zu points, %.0f points/sec legacy "
+                "clone-per-point vs %.0f in-place (%.2fx, bar 2.0x), "
+                "points byte-identical\n", n_exp, exp_legacyd,
+                exp_newd, expansion_speedup);
+    std::printf("grid pipeline (incremental): %.1f designs/sec "
+                "in-place vs %.1f with legacy expansion (%.2fx), "
+                "outputs byte-identical\n",
+                n_expd / pipeline_seconds,
+                n_expd / legacy_pipeline_seconds,
+                legacy_pipeline_seconds / pipeline_seconds);
     std::printf("incremental sweep: %zu points, %.1f designs/sec "
                 "full rebuild vs %.1f incremental (%.2fx), outputs "
                 "byte-identical\n", n_inc, n_incd / full_seconds,

@@ -6,7 +6,6 @@
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
-#include <iterator>
 #include <sstream>
 #include <utility>
 
@@ -22,19 +21,30 @@ namespace
 namespace fs = std::filesystem;
 
 /** Bump when the on-disk record layout changes: old records then
- *  read as key mismatches and degrade to rebuilds. */
-constexpr int kOutcomeStoreFormat = 1;
+ *  land in differently-named files (the format seeds the content
+ *  hash) or read as spec mismatches — either way they degrade to
+ *  rebuilds. Format 2 embeds the spec DOCUMENT instead of a
+ *  serialized key string. */
+constexpr int kOutcomeStoreFormat = 2;
 
-/** fnv-1a over the key, as 16 lower-case hex digits — names the
- *  cache file; the embedded key is what actually identifies it. */
-std::string
-fnv64Hex(const std::string &data)
+/** The evaluator can patch these onto a cached Design without
+ *  re-materializing; the structural signature masks them out. */
+constexpr const char *kPatchableFields[] = {"name", "fps",
+                                            "digitalClock"};
+
+bool
+isPatchableField(const std::string &key)
 {
-    uint64_t h = 1469598103934665603ull;
-    for (const char c : data) {
-        h ^= static_cast<unsigned char>(c);
-        h *= 1099511628211ull;
-    }
+    for (const char *field : kPatchableFields)
+        if (key == field)
+            return true;
+    return false;
+}
+
+/** A uint64 as 16 lower-case hex digits (cache file names). */
+std::string
+hex64(uint64_t h)
+{
     char buf[17];
     std::snprintf(buf, sizeof buf, "%016llx",
                   static_cast<unsigned long long>(h));
@@ -45,6 +55,7 @@ json::Value
 reportToJson(const EnergyReport &report)
 {
     json::Value rep = json::Value::makeObject();
+    rep.reserve(12);
     rep.set("designName", json::Value(report.designName));
     rep.set("fps", json::Value(report.fps));
     rep.set("frameTime", json::Value(report.frameTime));
@@ -59,8 +70,10 @@ reportToJson(const EnergyReport &report)
     rep.set("computeLayerArea", json::Value(report.computeLayerArea));
     rep.set("footprint", json::Value(report.footprint));
     json::Value units = json::Value::makeArray();
+    units.reserve(report.units.size());
     for (const UnitEnergy &u : report.units) {
         json::Value e = json::Value::makeObject();
+        e.reserve(4);
         e.set("name", json::Value(u.name));
         e.set("category",
               json::Value(static_cast<double>(
@@ -114,32 +127,68 @@ reportFromJson(const json::Value &rep)
 
 // ------------------------------------------------------- structural keys
 
-std::string
+uint64_t
 structuralCacheKey(const json::Value &spec_doc)
 {
-    json::Value masked = spec_doc;
-    // Null, not removed: "field present but patchable" and "field
-    // absent" must not collide into the same signature.
-    for (const char *field : {"name", "fps", "digitalClock"})
-        if (masked.has(field))
-            masked.set(field, json::Value());
-    return masked.dump(0);
+    // Domain-separate from plain Value::hash chains so a signature
+    // never collides with a content hash of the same document by
+    // construction.
+    uint64_t h = json::hashBytes(json::kHashSeed, "camj-structural", 15);
+    if (!spec_doc.isObject())
+        return spec_doc.hash(h);
+    // Mirror Value::hash's object encoding, but hash each patchable
+    // member's value as null: "present but patchable" and "absent"
+    // keep distinct signatures, and no masked copy of the document
+    // is ever built.
+    static const json::Value null_value;
+    const json::Value::Object &obj = spec_doc.asObject();
+    const uint64_t n = obj.size();
+    h = json::hashBytes(h, &n, sizeof(n));
+    for (const auto &[key, value] : obj) {
+        const uint64_t kn = key.size();
+        h = json::hashBytes(h, &kn, sizeof(kn));
+        h = json::hashBytes(h, key.data(), key.size());
+        h = (isPatchableField(key) ? null_value : value).hash(h);
+    }
+    return h;
 }
 
-std::string
+bool
+structurallyEqual(const json::Value &a, const json::Value &b)
+{
+    if (!a.isObject() || !b.isObject())
+        return a == b;
+    const json::Value::Object &oa = a.asObject();
+    const json::Value::Object &ob = b.asObject();
+    if (oa.size() != ob.size())
+        return false;
+    for (size_t i = 0; i < oa.size(); ++i) {
+        if (oa[i].first != ob[i].first)
+            return false;
+        if (isPatchableField(oa[i].first))
+            continue;
+        if (oa[i].second != ob[i].second)
+            return false;
+    }
+    return true;
+}
+
+uint64_t
 outcomeCacheKey(const json::Value &spec_doc)
 {
-    std::ostringstream key;
-    key << "camj-outcome-format-" << kOutcomeStoreFormat << "\n"
-        << spec_doc.dump(0);
-    return key.str();
+    std::ostringstream seed;
+    seed << "camj-outcome-format-" << kOutcomeStoreFormat;
+    const std::string s = seed.str();
+    return spec_doc.hash(
+        json::hashBytes(json::kHashSeed, s.data(), s.size()));
 }
 
 // ------------------------------------------------------ CompiledDesignLru
 
 struct CompiledDesignLru::Entry
 {
-    std::string key;
+    uint64_t key;
+    uint64_t id;
     CompiledDesign compiled;
 };
 
@@ -154,12 +203,20 @@ CompiledDesignLru::CompiledDesignLru(CompiledDesignLru &&) noexcept =
 CompiledDesignLru &CompiledDesignLru::operator=(
     CompiledDesignLru &&) noexcept = default;
 
-const std::string &
+uint64_t
 CompiledDesignLru::keyAt(size_t i)
 {
     auto it = entries_.begin();
     std::advance(it, static_cast<std::ptrdiff_t>(i));
     return it->key;
+}
+
+uint64_t
+CompiledDesignLru::idAt(size_t i)
+{
+    auto it = entries_.begin();
+    std::advance(it, static_cast<std::ptrdiff_t>(i));
+    return it->id;
 }
 
 CompiledDesign *
@@ -184,15 +241,17 @@ CompiledDesignLru::mostRecent()
     return entries_.empty() ? nullptr : &entries_.front().compiled;
 }
 
-void
-CompiledDesignLru::insert(std::string key, CompiledDesign compiled)
+uint64_t
+CompiledDesignLru::insert(uint64_t key, CompiledDesign compiled)
 {
     ++stats_.inserts;
-    entries_.push_front(Entry{std::move(key), std::move(compiled)});
+    const uint64_t id = nextId_++;
+    entries_.push_front(Entry{key, id, std::move(compiled)});
     while (entries_.size() > capacity_) {
         entries_.pop_back();
         ++stats_.evictions;
     }
+    return id;
 }
 
 void
@@ -213,16 +272,17 @@ OutcomeStore::OutcomeStore(std::string dir) : dir_(std::move(dir))
 }
 
 std::string
-OutcomeStore::pathForKey(const std::string &key) const
+OutcomeStore::pathForDoc(const json::Value &spec_doc) const
 {
-    return (fs::path(dir_) / ("camj-" + fnv64Hex(key) + ".json"))
+    return (fs::path(dir_) /
+            ("camj-" + hex64(outcomeCacheKey(spec_doc)) + ".json"))
         .string();
 }
 
 std::optional<StoredOutcome>
-OutcomeStore::load(const std::string &key)
+OutcomeStore::load(const json::Value &spec_doc)
 {
-    const std::string path = pathForKey(key);
+    const std::string path = pathForDoc(spec_doc);
     std::ifstream in(path, std::ios::binary);
     if (!in) {
         ++stats_.misses;
@@ -232,9 +292,12 @@ OutcomeStore::load(const std::string &key)
     buf << in.rdbuf();
     try {
         const json::Value doc = json::Value::parse(buf.str());
+        // The embedded document is compared STRUCTURALLY (operator==,
+        // no serialization): a filename-hash collision or a foreign
+        // record reads as a mismatch, never as the wrong outcome.
         if (doc.at("format").asInt() != kOutcomeStoreFormat ||
-            doc.at("key").asString() != key)
-            fatal("OutcomeStore: key/format mismatch in %s",
+            doc.at("spec") != spec_doc)
+            fatal("OutcomeStore: spec/format mismatch in %s",
                   path.c_str());
         StoredOutcome rec;
         rec.feasible = doc.at("feasible").asBool();
@@ -252,18 +315,20 @@ OutcomeStore::load(const std::string &key)
 }
 
 void
-OutcomeStore::store(const std::string &key, const StoredOutcome &outcome)
+OutcomeStore::store(const json::Value &spec_doc,
+                    const StoredOutcome &outcome)
 {
     json::Value doc = json::Value::makeObject();
+    doc.reserve(4);
     doc.set("format", json::Value(static_cast<double>(kOutcomeStoreFormat)));
-    doc.set("key", json::Value(key));
+    doc.set("spec", spec_doc);
     doc.set("feasible", json::Value(outcome.feasible));
     if (outcome.feasible)
         doc.set("report", reportToJson(outcome.report));
     else
         doc.set("error", json::Value(outcome.error));
 
-    const std::string path = pathForKey(key);
+    const std::string path = pathForDoc(spec_doc);
     std::ostringstream temp_name;
     temp_name << path << ".tmp." << ::getpid() << "." << ++tempCounter_;
     const std::string temp = temp_name.str();

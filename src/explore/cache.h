@@ -5,7 +5,7 @@
  * content-addressed on-disk store of finished outcomes shared across
  * processes and restarts.
  *
- * The structural signature is the serialized spec document with the
+ * The structural signature covers the spec document with the
  * scalar-patchable fields (name, fps, digitalClock) masked out: two
  * specs with equal signatures differ at most in fields the evaluator
  * can patch onto a cached Design without re-materializing. A worker
@@ -14,17 +14,22 @@
  * produces a compiled entry, cannot evict the feasible base it was
  * evaluated against.
  *
- * Keys are the FULL masked/serialized documents, not hashes: a 64-bit
- * hash collision would silently patch the wrong base and break the
- * bit-identity guarantee. The hash (fnv-1a) only names on-disk files;
- * each file embeds its full key, which is verified on load, so a
- * filename collision or a corrupted file degrades to a cache miss.
+ * Signatures are 64-bit structural hashes used as a FAST-PATH only:
+ * every hash match is re-verified with a full masked tree equality
+ * (structurallyEqual) before a base is trusted, so a hash collision
+ * degrades to a diff/rebuild and can never patch the wrong base —
+ * the bit-identity guarantee does not rest on hash uniqueness. The
+ * on-disk store works the same way: the content hash only names the
+ * file; each record embeds the full spec document, which is verified
+ * structurally on load, so a filename collision or a corrupted file
+ * degrades to a cache miss.
  */
 
 #ifndef CAMJ_EXPLORE_CACHE_H
 #define CAMJ_EXPLORE_CACHE_H
 
 #include <cstddef>
+#include <cstdint>
 #include <list>
 #include <optional>
 #include <string>
@@ -38,21 +43,33 @@ namespace camj
 struct CompiledDesign;
 
 /**
- * Structural cache key of a spec document: the document serialized
- * with the scalar-patchable fields (name, fps, digitalClock) nulled
- * out. Equal keys guarantee the documents differ at most in those
- * three fields.
+ * Structural cache signature of a spec document: a streamed 64-bit
+ * hash of the document with the scalar-patchable fields (name, fps,
+ * digitalClock) hashed as null. A masked field hashes as null rather
+ * than vanishing, so "field present but patchable" and "field absent"
+ * stay distinct signatures. Equal signatures are NECESSARY but not
+ * sufficient for structural equality — verify with
+ * structurallyEqual() before trusting a match.
  */
-std::string structuralCacheKey(const json::Value &spec_doc);
+uint64_t structuralCacheKey(const json::Value &spec_doc);
 
 /**
- * Content-address of a finished outcome: the full serialized spec
- * document plus a store-format version line. The document embeds
- * camjSpecVersion, so a spec-schema bump invalidates every stored
- * outcome automatically; the version line invalidates them when the
- * RECORD format changes.
+ * Full masked tree equality: do two spec documents differ at most in
+ * the scalar-patchable fields? This is the verification behind every
+ * structuralCacheKey fast-path match; structurallyEqual(a, b) implies
+ * structuralCacheKey(a) == structuralCacheKey(b).
  */
-std::string outcomeCacheKey(const json::Value &spec_doc);
+bool structurallyEqual(const json::Value &a, const json::Value &b);
+
+/**
+ * Content-address of a finished outcome: a streamed 64-bit hash of
+ * the full spec document seeded with the store-format version. The
+ * document embeds camjSpecVersion, so a spec-schema bump invalidates
+ * every stored outcome automatically; the format seed invalidates
+ * them when the RECORD format changes. Names the on-disk file only —
+ * each record embeds the full document, verified on load.
+ */
+uint64_t outcomeCacheKey(const json::Value &spec_doc);
 
 /** Counters of CompiledDesignLru traffic. */
 struct CompiledCacheStats
@@ -70,11 +87,11 @@ struct CompiledCacheStats
 
 /**
  * A small LRU of compiled design points, each tagged with its
- * structural signature. Capacity is a handful of entries (one per
- * point a sweep order interleaves before revisiting a neighborhood),
- * so base selection scans the list — the move-to-front list IS the
- * recency order, exposed by index (keyAt/entryAt) for the
- * evaluator's cheapest-base scan.
+ * structural signature hash and a unique entry id. Capacity is a
+ * handful of entries (one per point a sweep order interleaves before
+ * revisiting a neighborhood), so base selection scans the list — the
+ * move-to-front list IS the recency order, exposed by index
+ * (keyAt/idAt/entryAt) for the evaluator's cheapest-base scan.
  *
  * Distinct points of one structural family coexist (the same
  * signature at two frame rates is two entries): the cheapest base
@@ -83,6 +100,10 @@ struct CompiledCacheStats
  * both is what lets strided sweep orders patch only the Energy
  * stage. Identical re-evaluations never insert (they are answered
  * from the cache), so duplicate entries do not accumulate.
+ *
+ * Entry ids are monotonic and never reused, so an id names one
+ * specific compiled point forever — the evaluator's changed-path
+ * hint chain tracks its base by id, immune to signature collisions.
  *
  * Not thread-safe; each sweep worker owns one (inside its
  * IncrementalEvaluator).
@@ -96,9 +117,13 @@ class CompiledDesignLru
     CompiledDesignLru(CompiledDesignLru &&) noexcept;
     CompiledDesignLru &operator=(CompiledDesignLru &&) noexcept;
 
-    /** The signature of the @p i-th entry in recency order (0 = most
-     *  recently used). Precondition: i < size(). */
-    const std::string &keyAt(size_t i);
+    /** The signature hash of the @p i-th entry in recency order
+     *  (0 = most recently used). Precondition: i < size(). */
+    uint64_t keyAt(size_t i);
+
+    /** The unique id of the @p i-th entry in recency order.
+     *  Precondition: i < size(). */
+    uint64_t idAt(size_t i);
 
     /** The @p i-th entry in recency order. The pointer is stable
      *  until the entry is evicted (list nodes do not move). */
@@ -112,8 +137,9 @@ class CompiledDesignLru
     CompiledDesign *mostRecent();
 
     /** Insert a new entry as most-recently-used, evicting the
-     *  least-recently-used entry when over capacity. */
-    void insert(std::string key, CompiledDesign compiled);
+     *  least-recently-used entry when over capacity. Returns the new
+     *  entry's unique id. */
+    uint64_t insert(uint64_t key, CompiledDesign compiled);
 
     /** Count one reuse of a cached entry / one evaluation that found
      *  no usable base (the evaluator's base selection spans several
@@ -130,6 +156,7 @@ class CompiledDesignLru
   private:
     struct Entry;
     size_t capacity_;
+    uint64_t nextId_ = 0;
     std::list<Entry> entries_; // front = most recently used
     CompiledCacheStats stats_;
 };
@@ -154,7 +181,7 @@ struct OutcomeStoreStats
     size_t hits = 0;
     /** load() calls that found no file. */
     size_t misses = 0;
-    /** Files present but rejected: parse failure, key/version
+    /** Files present but rejected: parse failure, spec/version
      *  mismatch, or out-of-range fields (corruption, filename-hash
      *  collisions, stale formats) — all degrade to a rebuild. */
     size_t rejected = 0;
@@ -166,12 +193,13 @@ struct OutcomeStoreStats
 
 /**
  * Content-addressed on-disk outcome store: one JSON file per design
- * point under a cache directory, named camj-<fnv64(key)>.json and
- * embedding the full key. Concurrent writers are safe: records are
- * written to a temp file and atomically renamed into place, and every
- * load re-verifies the embedded key, so torn or foreign files read as
- * misses. Serialization uses src/spec/json only (%.17g doubles
- * round-trip bit-exactly).
+ * point under a cache directory, named camj-<hex64(outcomeCacheKey)>
+ * .json and embedding the full spec document. Concurrent writers are
+ * safe: records are written to a temp file and atomically renamed
+ * into place, and every load re-verifies the embedded document
+ * structurally, so torn or foreign files read as misses.
+ * Serialization uses src/spec/json only (%.17g doubles round-trip
+ * bit-exactly).
  */
 class OutcomeStore
 {
@@ -182,15 +210,17 @@ class OutcomeStore
 
     const std::string &dir() const { return dir_; }
 
-    /** The record for @p key, or nullopt on miss/rejection. */
-    std::optional<StoredOutcome> load(const std::string &key);
+    /** The record for @p spec_doc, or nullopt on miss/rejection. */
+    std::optional<StoredOutcome> load(const json::Value &spec_doc);
 
-    /** Persist @p outcome under @p key (best-effort: an I/O failure
-     *  only bumps storeFailures). */
-    void store(const std::string &key, const StoredOutcome &outcome);
+    /** Persist @p outcome for @p spec_doc (best-effort: an I/O
+     *  failure only bumps storeFailures). */
+    void store(const json::Value &spec_doc,
+               const StoredOutcome &outcome);
 
-    /** The file a key lives in (exposed for corruption tests). */
-    std::string pathForKey(const std::string &key) const;
+    /** The file a spec's outcome lives in (exposed for corruption
+     *  tests). */
+    std::string pathForDoc(const json::Value &spec_doc) const;
 
     const OutcomeStoreStats &stats() const { return stats_; }
 

@@ -93,14 +93,8 @@ scalarDeltas(const json::Value &base_doc, const json::Value &doc)
         bool equal = true;
         if ((a == nullptr) != (b == nullptr))
             equal = false;
-        else if (a != nullptr && b != nullptr) {
-            if (a->isString() && b->isString())
-                equal = a->asString() == b->asString();
-            else if (a->isNumber() && b->isNumber())
-                equal = a->asNumber() == b->asNumber();
-            else
-                equal = a->dump(0) == b->dump(0);
-        }
+        else if (a != nullptr && b != nullptr)
+            equal = *a == *b;
         if (!equal)
             changed.push_back(field);
     }
@@ -234,7 +228,7 @@ void
 IncrementalEvaluator::reset()
 {
     lru_.clear();
-    hintBaseKey_.reset();
+    hintBaseId_.reset();
     carriedPaths_.clear();
 }
 
@@ -245,8 +239,8 @@ IncrementalEvaluator::failed(const std::string &what)
 }
 
 void
-IncrementalEvaluator::persist(const std::string &content_key,
-                              bool feasible, const std::string &error,
+IncrementalEvaluator::persist(const json::Value &doc, bool feasible,
+                              const std::string &error,
                               const EnergyReport &report)
 {
     if (!store_)
@@ -256,7 +250,7 @@ IncrementalEvaluator::persist(const std::string &content_key,
     record.error = error;
     if (feasible)
         record.report = report;
-    store_->store(content_key, record);
+    store_->store(doc, record);
 }
 
 SimulationOutcome
@@ -273,12 +267,12 @@ void
 IncrementalEvaluator::noteUncompiledPoint(
     const std::vector<std::string> *changed_paths)
 {
-    if (!hintBaseKey_)
+    if (!hintBaseId_)
         return;
     if (changed_paths == nullptr) {
         // No record of this point's delta relative to the previous
         // one: the hint chain is broken.
-        hintBaseKey_.reset();
+        hintBaseId_.reset();
         carriedPaths_.clear();
         return;
     }
@@ -289,11 +283,11 @@ IncrementalEvaluator::noteUncompiledPoint(
 
 SimulationOutcome
 IncrementalEvaluator::identicalHit(const CompiledDesign &base,
-                                   const std::string &structural_key)
+                                   uint64_t entry_id)
 {
     ++stats_.identicalHits;
     stats_.stagesSkipped += static_cast<size_t>(kEvalStageCount);
-    hintBaseKey_ = structural_key;
+    hintBaseId_ = entry_id;
     carriedPaths_.clear();
     return finishOutcome(options_, base.report);
 }
@@ -301,8 +295,7 @@ IncrementalEvaluator::identicalHit(const CompiledDesign &base,
 SimulationOutcome
 IncrementalEvaluator::fullBuild(const spec::DesignSpec &spec,
                                 json::Value doc,
-                                const std::string &structural_key,
-                                const std::string &content_key)
+                                uint64_t structural_hash)
 {
     ++stats_.fullBuilds;
     EvalPipeline pipeline;
@@ -313,12 +306,11 @@ IncrementalEvaluator::fullBuild(const spec::DesignSpec &spec,
         EnergyReport report = pipeline.runAll(design);
         stats_.stagesRun += static_cast<size_t>(pipeline.stagesEntered());
         SimulationOutcome out = finishOutcome(options_, report);
-        persist(content_key, true, {}, report);
-        lru_.insert(structural_key,
-                    CompiledDesign{std::move(doc), std::move(design),
-                                   std::move(pipeline),
-                                   std::move(report)});
-        hintBaseKey_ = structural_key;
+        persist(doc, true, {}, report);
+        hintBaseId_ = lru_.insert(
+            structural_hash,
+            CompiledDesign{std::move(doc), std::move(design),
+                           std::move(pipeline), std::move(report)});
         carriedPaths_.clear();
         return out;
     } catch (const ConfigError &e) {
@@ -327,7 +319,7 @@ IncrementalEvaluator::fullBuild(const spec::DesignSpec &spec,
         if (pipeline_ran)
             stats_.stagesRun +=
                 static_cast<size_t>(pipeline.stagesEntered());
-        persist(content_key, false, e.what(), {});
+        persist(doc, false, e.what(), {});
         if (options_.checkMode == CheckMode::Strict)
             throw;
         return failed(e.what());
@@ -337,8 +329,7 @@ IncrementalEvaluator::fullBuild(const spec::DesignSpec &spec,
 SimulationOutcome
 IncrementalEvaluator::incrementalRun(const spec::DesignSpec &spec,
                                      json::Value doc,
-                                     const std::string &structural_key,
-                                     const std::string &content_key,
+                                     uint64_t structural_hash,
                                      const CompiledDesign &base,
                                      FieldImpact impact)
 {
@@ -375,12 +366,11 @@ IncrementalEvaluator::incrementalRun(const spec::DesignSpec &spec,
         if (pipeline.cutoffHit())
             ++stats_.equalityCutoffs;
         SimulationOutcome out = finishOutcome(options_, report);
-        persist(content_key, true, {}, report);
-        lru_.insert(structural_key,
-                    CompiledDesign{std::move(doc), std::move(*design),
-                                   std::move(pipeline),
-                                   std::move(report)});
-        hintBaseKey_ = structural_key;
+        persist(doc, true, {}, report);
+        hintBaseId_ = lru_.insert(
+            structural_hash,
+            CompiledDesign{std::move(doc), std::move(*design),
+                           std::move(pipeline), std::move(report)});
         carriedPaths_.clear();
         return out;
     } catch (const ConfigError &e) {
@@ -390,7 +380,7 @@ IncrementalEvaluator::incrementalRun(const spec::DesignSpec &spec,
             stats_.stagesRun +=
                 static_cast<size_t>(pipeline.stagesEntered());
         stats_.stagesSkipped += first;
-        persist(content_key, false, e.what(), {});
+        persist(doc, false, e.what(), {});
         if (options_.checkMode == CheckMode::Strict)
             throw;
         return failed(e.what());
@@ -417,7 +407,7 @@ cheaperBase(const FieldImpact &a, const FieldImpact &b)
 SimulationOutcome
 IncrementalEvaluator::dispatch(
     const spec::DesignSpec &spec, json::Value doc,
-    const std::string &structural_key, const std::string &content_key,
+    uint64_t structural_hash,
     const std::vector<std::string> *changed_paths)
 {
     // Scan the LRU — every entry, most recent first — for the
@@ -428,10 +418,14 @@ IncrementalEvaluator::dispatch(
     // while the last point differs in fps and would force the Timing
     // stage (whose stall simulation dominates the cost at low frame
     // rates). Per-entry deltas come from the cheapest sound source:
-    //   - same structural signature: compare the three scalar fields;
-    //   - the newest entry of the hint chain's signature: the caller's
-    //     changed paths plus carriedPaths_ (bridging points that left
-    //     no entry — a sound over-approximation of the delta);
+    //   - same structural signature (hash fast-path, then the full
+    //     masked tree-equality verify — a hash collision falls
+    //     through to a diff, never patches the wrong base): compare
+    //     the three scalar fields;
+    //   - the hint chain's entry (matched by its unique id): the
+    //     caller's changed paths plus carriedPaths_ (bridging points
+    //     that left no entry — a sound over-approximation of the
+    //     delta);
     //   - anything else: a JSON tree diff.
     // An empty delta answers the point from the cache outright. The
     // scan stops early once a base needs only the Energy stage — no
@@ -440,26 +434,24 @@ IncrementalEvaluator::dispatch(
     FieldImpact best{};
     enum class DeltaSource { Scalar, Hint, Diff };
     DeltaSource best_source = DeltaSource::Diff;
-    bool hint_pending = changed_paths != nullptr && hintBaseKey_;
+    bool hint_pending = changed_paths != nullptr && hintBaseId_;
     const size_t entry_count = lru_.size();
     for (size_t i = 0; i < entry_count; ++i) {
-        const std::string &key = lru_.keyAt(i);
         CompiledDesign &cand = *lru_.entryAt(i);
         std::optional<FieldImpact> impact;
         DeltaSource source = DeltaSource::Diff;
-        if (key == structural_key) {
+        if (lru_.keyAt(i) == structural_hash &&
+            structurallyEqual(cand.specDoc, doc)) {
             const std::vector<std::string> changed =
                 scalarDeltas(cand.specDoc, doc);
             if (changed.empty()) {
                 lru_.promote(i);
                 lru_.noteHit();
-                return identicalHit(cand, structural_key);
+                return identicalHit(cand, lru_.idAt(0));
             }
             impact = classifyFieldPaths(changed); // never structural
             source = DeltaSource::Scalar;
-        } else if (hint_pending && key == *hintBaseKey_) {
-            // The newest entry of that signature IS the hint's base
-            // (older same-signature entries fall through to a diff).
+        } else if (hint_pending && lru_.idAt(i) == *hintBaseId_) {
             hint_pending = false;
             std::vector<std::string> effective = carriedPaths_;
             effective.insert(effective.end(), changed_paths->begin(),
@@ -469,7 +461,7 @@ IncrementalEvaluator::dispatch(
             if (!impact) {
                 lru_.promote(i);
                 lru_.noteHit();
-                return identicalHit(cand, *hintBaseKey_);
+                return identicalHit(cand, lru_.idAt(0));
             }
             source = DeltaSource::Hint;
         } else {
@@ -478,7 +470,7 @@ IncrementalEvaluator::dispatch(
             if (diffs.empty()) {
                 lru_.promote(i);
                 lru_.noteHit();
-                return identicalHit(cand, structural_key);
+                return identicalHit(cand, lru_.idAt(0));
             }
             FieldImpact merged;
             bool merged_any = false;
@@ -510,16 +502,15 @@ IncrementalEvaluator::dispatch(
 
     if (!best_idx) {
         lru_.noteMiss();
-        return fullBuild(spec, std::move(doc), structural_key,
-                         content_key);
+        return fullBuild(spec, std::move(doc), structural_hash);
     }
     lru_.noteHit();
     if (best_source == DeltaSource::Scalar)
         ++stats_.signatureHits;
     else if (best_source == DeltaSource::Diff)
         ++stats_.diffsComputed;
-    return incrementalRun(spec, std::move(doc), structural_key,
-                          content_key, *lru_.entryAt(*best_idx), best);
+    return incrementalRun(spec, std::move(doc), structural_hash,
+                          *lru_.entryAt(*best_idx), best);
 }
 
 SimulationOutcome
@@ -530,11 +521,8 @@ IncrementalEvaluator::evaluateImpl(
     ++stats_.points;
     json::Value doc = spec::toJsonValue(spec);
 
-    std::string content_key;
     if (store_) {
-        content_key = outcomeCacheKey(doc);
-        if (std::optional<StoredOutcome> record =
-                store_->load(content_key)) {
+        if (std::optional<StoredOutcome> record = store_->load(doc)) {
             ++stats_.diskHits;
             stats_.stagesSkipped += static_cast<size_t>(kEvalStageCount);
             noteUncompiledPoint(changed_paths);
@@ -542,10 +530,10 @@ IncrementalEvaluator::evaluateImpl(
         }
     }
 
-    const std::string structural_key = structuralCacheKey(doc);
+    const uint64_t structural_hash = structuralCacheKey(doc);
     try {
         SimulationOutcome out =
-            dispatch(spec, std::move(doc), structural_key, content_key,
+            dispatch(spec, std::move(doc), structural_hash,
                      changed_paths);
         if (!out.feasible)
             noteUncompiledPoint(changed_paths);

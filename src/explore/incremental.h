@@ -40,6 +40,7 @@
 #define CAMJ_EXPLORE_INCREMENTAL_H
 
 #include <cstddef>
+#include <cstdint>
 #include <optional>
 #include <string>
 #include <vector>
@@ -242,11 +243,14 @@ class IncrementalEvaluator
     std::optional<OutcomeStore> store_;
     spec::MaterializeCache cache_;
     IncrementalStats stats_;
-    /** LRU key of the entry whose document equals the PREVIOUSLY
-     *  evaluated spec — the base changed-path hints are relative to —
-     *  unioned with carriedPaths_ when recent points left no entry. */
-    std::optional<std::string> hintBaseKey_;
-    /** Changed paths accumulated since hintBaseKey_'s entry was
+    /** Unique LRU entry id of the entry whose document equals the
+     *  PREVIOUSLY evaluated spec — the base changed-path hints are
+     *  relative to — unioned with carriedPaths_ when recent points
+     *  left no entry. An id (never reused, collision-free) rather
+     *  than a signature: the hint chain must name ONE compiled
+     *  point. */
+    std::optional<uint64_t> hintBaseId_;
+    /** Changed paths accumulated since hintBaseId_'s entry was
      *  compiled, over points that produced no compiled entry
      *  (infeasible points, disk hits). The union with the next hint
      *  over-approximates the base -> current delta, which the hint
@@ -258,26 +262,25 @@ class IncrementalEvaluator
         const std::vector<std::string> *changed_paths);
     SimulationOutcome dispatch(
         const spec::DesignSpec &spec, json::Value doc,
-        const std::string &structural_key,
-        const std::string &content_key,
+        uint64_t structural_hash,
         const std::vector<std::string> *changed_paths);
     SimulationOutcome fullBuild(const spec::DesignSpec &spec,
                                 json::Value doc,
-                                const std::string &structural_key,
-                                const std::string &content_key);
+                                uint64_t structural_hash);
     SimulationOutcome incrementalRun(const spec::DesignSpec &spec,
                                      json::Value doc,
-                                     const std::string &structural_key,
-                                     const std::string &content_key,
+                                     uint64_t structural_hash,
                                      const CompiledDesign &base,
                                      FieldImpact impact);
     SimulationOutcome identicalHit(const CompiledDesign &base,
-                                   const std::string &structural_key);
+                                   uint64_t entry_id);
     SimulationOutcome restoredOutcome(StoredOutcome record);
     /** Bookkeeping for a point that left no compiled entry. */
     void noteUncompiledPoint(
         const std::vector<std::string> *changed_paths);
-    void persist(const std::string &content_key, bool feasible,
+    /** Persist the outcome for @p doc to the on-disk store, if one
+     *  is configured. */
+    void persist(const json::Value &doc, bool feasible,
                  const std::string &error, const EnergyReport &report);
     SimulationOutcome failed(const std::string &what);
 };

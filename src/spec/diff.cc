@@ -36,10 +36,11 @@ nameKeyed(const Value::Array &arr)
 bool
 sameValue(const Value &a, const Value &b)
 {
-    // Structural equality via the deterministic writer: same type,
-    // same members in the same order, numbers via %.17g (bit-exact
-    // doubles). Exactly the notion of equality save/load preserves.
-    return a.dump(0) == b.dump(0);
+    // Structural equality: same type, same members in the same order
+    // — for serializable values exactly the notion of equality the
+    // deterministic writer (and therefore save/load) preserves, but
+    // computed on the trees, with no serialization.
+    return a == b;
 }
 
 void

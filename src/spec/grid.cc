@@ -1,8 +1,9 @@
 #include "spec/grid.h"
 
+#include <algorithm>
 #include <fstream>
-#include <set>
 #include <sstream>
+#include <unordered_map>
 
 #include "common/logging.h"
 
@@ -126,9 +127,13 @@ selectElements(Value &child, const SpecPathSegment &seg,
     return selected;
 }
 
+/** Resolve the nodes a parsed path addresses within @p node, without
+ *  writing anything — expansion resolves once and assigns per point.
+ *  @throws ConfigError naming the path and the failing segment. */
 void
-applySegments(Value &node, const std::vector<SpecPathSegment> &segments,
-              size_t i, const Value &value, const std::string &path)
+collectTargets(Value &node, const std::vector<SpecPathSegment> &segments,
+               size_t i, const std::string &path,
+               std::vector<Value *> &out)
 {
     const SpecPathSegment &seg = segments[i];
     if (!node.isObject())
@@ -144,17 +149,60 @@ applySegments(Value &node, const std::vector<SpecPathSegment> &segments,
     const bool last = i + 1 == segments.size();
     if (!seg.hasSelector) {
         if (last)
-            *child = value;
+            out.push_back(child);
         else
-            applySegments(*child, segments, i + 1, value, path);
+            collectTargets(*child, segments, i + 1, path, out);
         return;
     }
     for (Value *element : selectElements(*child, seg, path)) {
         if (last)
-            *element = value;
+            out.push_back(element);
         else
-            applySegments(*element, segments, i + 1, value, path);
+            collectTargets(*element, segments, i + 1, path, out);
     }
+}
+
+/** One parsed-path override: resolve, then assign @p value to every
+ *  addressed node. */
+void
+applyParsed(Value &doc, const std::vector<SpecPathSegment> &segments,
+            const Value &value, const std::string &path)
+{
+    std::vector<Value *> targets;
+    collectTargets(doc, segments, 0, path, targets);
+    for (Value *target : targets)
+        *target = value;
+}
+
+/**
+ * Could two parsed axis paths resolve to targets that are NOT
+ * pairwise disjoint — one target containing the other (a path a
+ * strict prefix of another), or two paths naming the very same node?
+ * Conservative: false only when some level proves the paths diverge
+ * (different members, or concrete same-kind selectors that differ).
+ * An interference sends expansion down the clone-per-point path, so
+ * a false positive costs speed, never correctness.
+ */
+bool
+pathsMayInterfere(const std::vector<SpecPathSegment> &a,
+                  const std::vector<SpecPathSegment> &b)
+{
+    const size_t n = std::min(a.size(), b.size());
+    for (size_t i = 0; i < n; ++i) {
+        if (a[i].member != b[i].member)
+            return false;
+        // Two concrete selectors of one kind (both indices or both
+        // element names) that differ pick distinct elements. A "*",
+        // a member-vs-element mismatch, or an index-vs-name pair may
+        // alias, so they prove nothing.
+        if (a[i].hasSelector && b[i].hasSelector &&
+            a[i].selector != "*" && b[i].selector != "*" &&
+            a[i].selector != b[i].selector &&
+            isIndexSelector(a[i].selector) ==
+                isIndexSelector(b[i].selector))
+            return false;
+    }
+    return true;
 }
 
 /** Render an axis value for a point name ("30", "sram", "true"). */
@@ -292,10 +340,23 @@ void
 applySpecOverride(json::Value &doc, const std::string &path,
                   const json::Value &value)
 {
-    applySegments(doc, parseSpecPath(path), 0, value, path);
+    applyParsed(doc, parseSpecPath(path), value, path);
 }
 
 // ---------------------------------------------------------- expansion
+
+/** One reusable expansion buffer: a copy of the base document plus
+ *  the per-axis override targets resolved into it once. Only valid
+ *  while no write replaces a subtree containing a target — which is
+ *  why interfering axes bypass the pool entirely. */
+struct GridSpecSource::Workspace
+{
+    json::Value doc;
+    /** Override targets per axis, resolved into doc (axis order). */
+    std::vector<std::vector<json::Value *>> targets;
+    /** The top-level "name" member (guaranteed present). */
+    json::Value *name = nullptr;
+};
 
 GridSpecSource::GridSpecSource(const DesignSpec &base, SweepGrid grid)
     : baseDoc_(toJsonValue(base)), baseName_(base.name),
@@ -303,6 +364,23 @@ GridSpecSource::GridSpecSource(const DesignSpec &base, SweepGrid grid)
 {
     grid_.validate();
     total_ = grid_.points();
+    // Every point overwrites the top-level "name"; make sure the
+    // member exists up front so that write never GROWS the top-level
+    // object (growth reallocates the member vector, which would
+    // dangle any cached target that addresses a top-level member).
+    if (baseDoc_.find("name") == nullptr)
+        baseDoc_.set("name", Value(baseName_));
+    axisPaths_.reserve(grid_.axes.size());
+    for (const GridAxis &axis : grid_.axes)
+        axisPaths_.push_back(parseSpecPath(axis.path));
+    for (size_t a = 0; a < axisPaths_.size() && !axesMayInterfere_; ++a) {
+        for (size_t b = a + 1; b < axisPaths_.size(); ++b) {
+            if (pathsMayInterfere(axisPaths_[a], axisPaths_[b])) {
+                axesMayInterfere_ = true;
+                break;
+            }
+        }
+    }
     if (!grid_.pointList.empty()) {
         // Explicit point list: probe each DISTINCT value per axis
         // against the base document, so a bad path or value fails
@@ -311,15 +389,37 @@ GridSpecSource::GridSpecSource(const DesignSpec &base, SweepGrid grid)
         // per tuple (a 100k-point list stays cheap to open). This
         // matches the cartesian branch's coverage: per-value
         // validity is checked up front, cross-axis interactions
-        // surface at expansion.
+        // surface at expansion. One shared probe document, patched
+        // in place and restored after each axis: targets are
+        // re-resolved against the pristine document per axis, so
+        // this is safe even for interfering axis paths.
+        Value probe = baseDoc_;
         for (size_t a = 0; a < grid_.axes.size(); ++a) {
-            std::set<std::string> seen;
+            std::vector<Value *> targets;
+            collectTargets(probe, axisPaths_[a], 0,
+                           grid_.axes[a].path, targets);
+            std::vector<Value> saved;
+            saved.reserve(targets.size());
+            for (Value *t : targets)
+                saved.push_back(*t);
+            // Dedup by hash fast-path + structural equality.
+            std::unordered_map<uint64_t, std::vector<const Value *>>
+                seen;
             for (const auto &tuple : grid_.pointList) {
                 const Value &v = tuple[a];
-                if (!seen.insert(v.dump(0)).second)
+                auto &bucket = seen[v.hash()];
+                bool dup = false;
+                for (const Value *p : bucket) {
+                    if (*p == v) {
+                        dup = true;
+                        break;
+                    }
+                }
+                if (dup)
                     continue;
-                Value probe = baseDoc_;
-                applySpecOverride(probe, grid_.axes[a].path, v);
+                bucket.push_back(&v);
+                for (Value *t : targets)
+                    *t = v;
                 try {
                     fromJsonValue(probe);
                 } catch (const ConfigError &e) {
@@ -329,6 +429,8 @@ GridSpecSource::GridSpecSource(const DesignSpec &base, SweepGrid grid)
                           v.dump(0).c_str(), e.what());
                 }
             }
+            for (size_t i = 0; i < targets.size(); ++i)
+                *targets[i] = saved[i];
         }
         return;
     }
@@ -336,13 +438,44 @@ GridSpecSource::GridSpecSource(const DesignSpec &base, SweepGrid grid)
     // must resolve AND the overridden document must still parse as a
     // spec (a value of the wrong type, or an unknown enum token,
     // fails here with its axis named — not mid-sweep on a worker).
+    // The probe document carries every axis's FRONT value; each
+    // candidate value is patched in, checked, and the front
+    // restored. With disjoint targets that is order-independent and
+    // equal to the old clone-per-probe document.
+    if (!axesMayInterfere_) {
+        Value probe = baseDoc_;
+        std::vector<std::vector<Value *>> targets(grid_.axes.size());
+        for (size_t a = 0; a < grid_.axes.size(); ++a) {
+            collectTargets(probe, axisPaths_[a], 0,
+                           grid_.axes[a].path, targets[a]);
+            for (Value *t : targets[a])
+                *t = grid_.axes[a].values.front();
+        }
+        for (size_t a = 0; a < grid_.axes.size(); ++a) {
+            for (const Value &v : grid_.axes[a].values) {
+                for (Value *t : targets[a])
+                    *t = v;
+                try {
+                    fromJsonValue(probe);
+                } catch (const ConfigError &e) {
+                    fatal("sweepGrid: axis '%s' value %s does not "
+                          "produce a valid spec: %s",
+                          grid_.axes[a].name.c_str(),
+                          v.dump(0).c_str(), e.what());
+                }
+            }
+            for (Value *t : targets[a])
+                *t = grid_.axes[a].values.front();
+        }
+        return;
+    }
     for (size_t a = 0; a < grid_.axes.size(); ++a) {
         for (const Value &v : grid_.axes[a].values) {
             Value probe = baseDoc_;
             for (size_t b = 0; b < grid_.axes.size(); ++b)
-                applySpecOverride(probe, grid_.axes[b].path,
-                                  b == a ? v
-                                         : grid_.axes[b].values.front());
+                applyParsed(probe, axisPaths_[b],
+                            b == a ? v : grid_.axes[b].values.front(),
+                            grid_.axes[b].path);
             try {
                 fromJsonValue(probe);
             } catch (const ConfigError &e) {
@@ -356,9 +489,42 @@ GridSpecSource::GridSpecSource(const DesignSpec &base, SweepGrid grid)
 
 GridSpecSource::GridSpecSource(const GridSpecSource &other)
     : baseDoc_(other.baseDoc_), baseName_(other.baseName_),
-      grid_(other.grid_), total_(other.total_),
+      grid_(other.grid_), axisPaths_(other.axisPaths_),
+      axesMayInterfere_(other.axesMayInterfere_), total_(other.total_),
       cursor_(other.cursor_.load(std::memory_order_relaxed))
 {
+    // The workspace pool is per-instance (its targets point into its
+    // owner's workspaces): the copy starts with an empty pool.
+}
+
+GridSpecSource::~GridSpecSource() = default;
+
+std::unique_ptr<GridSpecSource::Workspace>
+GridSpecSource::acquireWorkspace() const
+{
+    {
+        std::lock_guard<std::mutex> lock(poolMutex_);
+        if (!pool_.empty()) {
+            std::unique_ptr<Workspace> ws = std::move(pool_.back());
+            pool_.pop_back();
+            return ws;
+        }
+    }
+    auto ws = std::make_unique<Workspace>();
+    ws->doc = baseDoc_;
+    ws->targets.resize(grid_.axes.size());
+    for (size_t a = 0; a < grid_.axes.size(); ++a)
+        collectTargets(ws->doc, axisPaths_[a], 0, grid_.axes[a].path,
+                       ws->targets[a]);
+    ws->name = ws->doc.find("name");
+    return ws;
+}
+
+void
+GridSpecSource::releaseWorkspace(std::unique_ptr<Workspace> ws) const
+{
+    std::lock_guard<std::mutex> lock(poolMutex_);
+    pool_.push_back(std::move(ws));
 }
 
 DesignSpec
@@ -367,26 +533,49 @@ GridSpecSource::at(size_t index) const
     if (index >= total_)
         fatal("GridSpecSource: point %zu out of range (grid has %zu "
               "points)", index, total_);
-    Value doc = baseDoc_;
+    // Resolve this point's coordinates (row-major for cartesian
+    // grids: first axis outermost) and its encoded name suffix.
+    std::vector<const Value *> coords(grid_.axes.size());
     std::string suffix;
     if (!grid_.pointList.empty()) {
-        for (size_t a = 0; a < grid_.axes.size(); ++a) {
-            const Value &v = grid_.pointList[index][a];
-            applySpecOverride(doc, grid_.axes[a].path, v);
-            suffix += (suffix.empty() ? "" : ",") +
-                      grid_.axes[a].name + "=" + renderAxisValue(v);
-        }
+        for (size_t a = 0; a < grid_.axes.size(); ++a)
+            coords[a] = &grid_.pointList[index][a];
     } else {
         size_t stride = total_;
-        for (const GridAxis &axis : grid_.axes) {
+        for (size_t a = 0; a < grid_.axes.size(); ++a) {
+            const GridAxis &axis = grid_.axes[a];
             stride /= axis.values.size();
-            const Value &v = axis.values[(index / stride) %
-                                         axis.values.size()];
-            applySpecOverride(doc, axis.path, v);
-            suffix += (suffix.empty() ? "" : ",") + axis.name + "=" +
-                      renderAxisValue(v);
+            coords[a] = &axis.values[(index / stride) %
+                                     axis.values.size()];
         }
     }
+    for (size_t a = 0; a < grid_.axes.size(); ++a)
+        suffix += (suffix.empty() ? "" : ",") + grid_.axes[a].name +
+                  "=" + renderAxisValue(*coords[a]);
+
+    if (!axesMayInterfere_) {
+        // Fast path: patch a pooled workspace in place. Every target
+        // plus the name is overwritten, so nothing from the previous
+        // point survives and no undo records are needed. A throwing
+        // spec parse simply drops the workspace (the pool re-seeds).
+        std::unique_ptr<Workspace> ws = acquireWorkspace();
+        for (size_t a = 0; a < grid_.axes.size(); ++a) {
+            for (Value *t : ws->targets[a])
+                *t = *coords[a];
+        }
+        if (!suffix.empty())
+            *ws->name = Value(baseName_ + "/" + suffix);
+        DesignSpec spec = fromJsonValue(ws->doc);
+        releaseWorkspace(std::move(ws));
+        return spec;
+    }
+    // Interfering axis paths (one a prefix of another, or two that
+    // may alias one target): cached target pointers could dangle
+    // inside a replaced subtree, so clone and re-resolve per point.
+    Value doc = baseDoc_;
+    for (size_t a = 0; a < grid_.axes.size(); ++a)
+        applyParsed(doc, axisPaths_[a], *coords[a],
+                    grid_.axes[a].path);
     if (!suffix.empty())
         doc.set("name", Value(baseName_ + "/" + suffix));
     return fromJsonValue(doc);
@@ -400,12 +589,12 @@ GridSpecSource::changedPaths(size_t from, size_t to) const
     std::vector<std::string> paths;
     if (from == to)
         return paths;
-    // Values are compared through the deterministic writer (the same
-    // equality save/load preserves), so an axis listing the same
-    // value twice correctly reports "unchanged" between those two
+    // Structural equality matches what the deterministic writer
+    // preserves across save/load, so an axis listing the same value
+    // twice correctly reports "unchanged" between those two
     // coordinates — and equal values render into equal name parts.
     auto differs = [](const Value &a, const Value &b) {
-        return a.dump(0) != b.dump(0);
+        return a != b;
     };
     if (!grid_.pointList.empty()) {
         for (size_t a = 0; a < grid_.axes.size(); ++a) {

@@ -33,6 +33,8 @@
 
 #include <atomic>
 #include <cstddef>
+#include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -135,10 +137,17 @@ void applySpecOverride(json::Value &doc, const std::string &path,
 /**
  * The lazy cartesian expander: yields one DesignSpec per grid point
  * in row-major order (first axis outermost, last axis fastest).
- * Cheap per point — the base document is parsed once and cloned per
- * point; no text re-parse, no pre-materialized vector. Supports
+ * Cheap per point — the base document is parsed once, every axis
+ * path is parsed and resolved once, and each point PATCHES a pooled
+ * workspace copy of the document in place (every axis target plus
+ * the point name is overwritten per point, so no undo records are
+ * needed); no text re-parse, no per-point document clone, no
+ * pre-materialized vector. When axis paths may interfere (one a
+ * prefix of another, or two paths that may alias one target),
+ * expansion falls back to the clone-per-point path — resolved
+ * targets would dangle inside a replaced subtree. Supports
  * concurrent pulls (sweep workers expand points in parallel off an
- * atomic cursor).
+ * atomic cursor; workspaces are handed out under a mutex).
  */
 class GridSpecSource : public IndexableSpecSource
 {
@@ -155,6 +164,10 @@ class GridSpecSource : public IndexableSpecSource
     GridSpecSource(const DesignSpec &base, SweepGrid grid);
 
     GridSpecSource(const GridSpecSource &other);
+
+    /** Out-of-line: the workspace pool holds an incomplete type
+     *  here. */
+    ~GridSpecSource() override;
 
     std::optional<DesignSpec> next() override;
     std::optional<size_t> sizeHint() const override { return total_; }
@@ -178,11 +191,27 @@ class GridSpecSource : public IndexableSpecSource
     size_t totalPoints() const override { return total_; }
 
   private:
+    /** One reusable expansion buffer: a copy of the base document
+     *  plus the per-axis override targets resolved into it once. */
+    struct Workspace;
+
     json::Value baseDoc_;
     std::string baseName_;
     SweepGrid grid_;
+    /** Axis paths parsed once at construction (same order as
+     *  grid_.axes). */
+    std::vector<std::vector<SpecPathSegment>> axisPaths_;
+    /** True when two axis paths may resolve to non-disjoint targets:
+     *  expansion then clones per point instead of caching resolved
+     *  target pointers. */
+    bool axesMayInterfere_ = false;
     size_t total_ = 0;
     std::atomic<size_t> cursor_{0};
+    mutable std::mutex poolMutex_;
+    mutable std::vector<std::unique_ptr<Workspace>> pool_;
+
+    std::unique_ptr<Workspace> acquireWorkspace() const;
+    void releaseWorkspace(std::unique_ptr<Workspace> ws) const;
 };
 
 /** Eager expansion, for small grids and tests. @throws ConfigError. */

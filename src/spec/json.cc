@@ -3,17 +3,95 @@
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
+#include <limits>
 
 #include "common/logging.h"
 
 namespace camj::json
 {
 
+uint64_t
+hashBytes(uint64_t h, const void *data, size_t len)
+{
+    const auto *p = static_cast<const unsigned char *>(data);
+    for (size_t i = 0; i < len; ++i) {
+        h ^= p[i];
+        h *= 1099511628211ull; // fnv-1a prime
+    }
+    return h;
+}
+
+// ----------------------------------------------------- special members
+
+void
+Value::destroy() noexcept
+{
+    switch (type_) {
+      case Type::String: delete payload_.str; break;
+      case Type::Array: delete payload_.arr; break;
+      case Type::Object: delete payload_.obj; break;
+      default: break;
+    }
+}
+
+void
+Value::copyFrom(const Value &other)
+{
+    type_ = other.type_;
+    switch (type_) {
+      case Type::String:
+        payload_.str = new std::string(*other.payload_.str);
+        break;
+      case Type::Array:
+        payload_.arr = new Array(*other.payload_.arr);
+        break;
+      case Type::Object:
+        payload_.obj = new Object(*other.payload_.obj);
+        break;
+      default:
+        payload_ = other.payload_;
+        break;
+    }
+}
+
+Value::Value(const Value &other) { copyFrom(other); }
+
+Value &
+Value::operator=(const Value &other)
+{
+    if (this != &other) {
+        // Copy before destroy: self-referential assignments like
+        // `doc = doc.at("child")` must read the source intact.
+        Value tmp(other);
+        destroy();
+        type_ = tmp.type_;
+        payload_ = tmp.payload_;
+        tmp.type_ = Type::Null;
+        tmp.payload_.num = 0.0;
+    }
+    return *this;
+}
+
+Value &
+Value::operator=(Value &&other) noexcept
+{
+    if (this != &other) {
+        destroy();
+        type_ = other.type_;
+        payload_ = other.payload_;
+        other.type_ = Type::Null;
+        other.payload_.num = 0.0;
+    }
+    return *this;
+}
+
 Value
 Value::makeArray()
 {
     Value v;
     v.type_ = Type::Array;
+    v.payload_.arr = new Array();
     return v;
 }
 
@@ -22,6 +100,7 @@ Value::makeObject()
 {
     Value v;
     v.type_ = Type::Object;
+    v.payload_.obj = new Object();
     return v;
 }
 
@@ -49,7 +128,7 @@ Value::asBool() const
 {
     if (type_ != Type::Bool)
         fatal("json: expected bool, got %s", typeName(type_));
-    return bool_;
+    return payload_.boolean;
 }
 
 double
@@ -57,7 +136,7 @@ Value::asNumber() const
 {
     if (type_ != Type::Number)
         fatal("json: expected number, got %s", typeName(type_));
-    return num_;
+    return payload_.num;
 }
 
 int64_t
@@ -71,7 +150,7 @@ Value::asString() const
 {
     if (type_ != Type::String)
         fatal("json: expected string, got %s", typeName(type_));
-    return str_;
+    return *payload_.str;
 }
 
 const Value::Array &
@@ -79,7 +158,7 @@ Value::asArray() const
 {
     if (type_ != Type::Array)
         fatal("json: expected array, got %s", typeName(type_));
-    return arr_;
+    return *payload_.arr;
 }
 
 const Value::Object &
@@ -87,17 +166,139 @@ Value::asObject() const
 {
     if (type_ != Type::Object)
         fatal("json: expected object, got %s", typeName(type_));
-    return obj_;
+    return *payload_.obj;
 }
+
+// --------------------------------------------------------- comparison
+
+bool
+Value::operator==(const Value &other) const
+{
+    if (this == &other)
+        return true;
+    if (type_ != other.type_)
+        return false;
+    switch (type_) {
+      case Type::Null:
+        return true;
+      case Type::Bool:
+        return payload_.boolean == other.payload_.boolean;
+      case Type::Number: {
+        const double a = payload_.num;
+        const double b = other.payload_.num;
+        // Numeric equality makes -0.0 == 0.0 (both dump as "0");
+        // NaN == NaN keeps == an equivalence relation (NaN never
+        // serializes — dump() rejects non-finite numbers).
+        return a == b || (std::isnan(a) && std::isnan(b));
+      }
+      case Type::String:
+        return *payload_.str == *other.payload_.str;
+      case Type::Array: {
+        const Array &a = *payload_.arr;
+        const Array &b = *other.payload_.arr;
+        if (a.size() != b.size())
+            return false;
+        for (size_t i = 0; i < a.size(); ++i) {
+            if (a[i] != b[i])
+                return false;
+        }
+        return true;
+      }
+      case Type::Object: {
+        const Object &a = *payload_.obj;
+        const Object &b = *other.payload_.obj;
+        if (a.size() != b.size())
+            return false;
+        for (size_t i = 0; i < a.size(); ++i) {
+            if (a[i].first != b[i].first ||
+                a[i].second != b[i].second)
+                return false;
+        }
+        return true;
+      }
+    }
+    return false;
+}
+
+uint64_t
+Value::hash(uint64_t seed) const
+{
+    uint64_t h = seed;
+    const auto tag = static_cast<unsigned char>(type_);
+    h = hashBytes(h, &tag, 1);
+    switch (type_) {
+      case Type::Null:
+        break;
+      case Type::Bool: {
+        const unsigned char b = payload_.boolean ? 1 : 0;
+        h = hashBytes(h, &b, 1);
+        break;
+      }
+      case Type::Number: {
+        // Canonicalize the cases where distinct bit patterns compare
+        // equal, so a == b implies equal hashes.
+        double d = payload_.num;
+        if (d == 0.0)
+            d = 0.0;
+        else if (std::isnan(d))
+            d = std::numeric_limits<double>::quiet_NaN();
+        h = hashBytes(h, &d, sizeof(d));
+        break;
+      }
+      case Type::String: {
+        const std::string &s = *payload_.str;
+        const uint64_t n = s.size();
+        h = hashBytes(h, &n, sizeof(n));
+        h = hashBytes(h, s.data(), s.size());
+        break;
+      }
+      case Type::Array: {
+        const Array &a = *payload_.arr;
+        const uint64_t n = a.size();
+        h = hashBytes(h, &n, sizeof(n));
+        for (const Value &v : a)
+            h = v.hash(h);
+        break;
+      }
+      case Type::Object: {
+        const Object &o = *payload_.obj;
+        const uint64_t n = o.size();
+        h = hashBytes(h, &n, sizeof(n));
+        for (const auto &[k, v] : o) {
+            const uint64_t kn = k.size();
+            h = hashBytes(h, &kn, sizeof(kn));
+            h = hashBytes(h, k.data(), k.size());
+            h = v.hash(h);
+        }
+        break;
+      }
+    }
+    return h;
+}
+
+// ----------------------------------------------------------- mutation
 
 void
 Value::push(Value v)
 {
-    if (type_ == Type::Null)
+    if (type_ == Type::Null) {
         type_ = Type::Array;
+        payload_.arr = new Array();
+    }
     if (type_ != Type::Array)
         fatal("json: push on a %s value", typeName(type_));
-    arr_.push_back(std::move(v));
+    payload_.arr->push_back(std::move(v));
+}
+
+void
+Value::reserve(size_t n)
+{
+    if (type_ == Type::Array)
+        payload_.arr->reserve(n);
+    else if (type_ == Type::Object)
+        payload_.obj->reserve(n);
+    else
+        fatal("json: reserve on a %s value", typeName(type_));
 }
 
 bool
@@ -111,7 +312,7 @@ Value::find(const std::string &key) const
 {
     if (type_ != Type::Object)
         return nullptr;
-    for (const auto &[k, v] : obj_) {
+    for (const auto &[k, v] : *payload_.obj) {
         if (k == key)
             return &v;
     }
@@ -130,7 +331,7 @@ Value::mutableArray()
 {
     if (type_ != Type::Array)
         fatal("json: expected array, got %s", typeName(type_));
-    return arr_;
+    return *payload_.arr;
 }
 
 Value::Object &
@@ -138,7 +339,7 @@ Value::mutableObject()
 {
     if (type_ != Type::Object)
         fatal("json: expected object, got %s", typeName(type_));
-    return obj_;
+    return *payload_.obj;
 }
 
 const Value &
@@ -150,26 +351,28 @@ Value::at(const std::string &key) const
     if (const Value *v = find(key))
         return *v;
     std::string keys;
-    for (const auto &[k, v] : obj_)
+    for (const auto &[k, v] : *payload_.obj)
         keys += (keys.empty() ? "" : ", ") + k;
     fatal("json: missing member '%s' (object has: %s)", key.c_str(),
           keys.empty() ? "<empty>" : keys.c_str());
 }
 
 void
-Value::set(const std::string &key, Value v)
+Value::set(std::string key, Value v)
 {
-    if (type_ == Type::Null)
+    if (type_ == Type::Null) {
         type_ = Type::Object;
+        payload_.obj = new Object();
+    }
     if (type_ != Type::Object)
         fatal("json: set on a %s value", typeName(type_));
-    for (auto &[k, old] : obj_) {
+    for (auto &[k, old] : *payload_.obj) {
         if (k == key) {
             old = std::move(v);
             return;
         }
     }
-    obj_.emplace_back(key, std::move(v));
+    payload_.obj->emplace_back(std::move(key), std::move(v));
 }
 
 double
@@ -210,8 +413,17 @@ void
 appendEscaped(std::string &out, const std::string &s)
 {
     out += '"';
-    for (char c : s) {
-        switch (c) {
+    // Single pass: copy maximal runs of plain characters in one
+    // append; only the rare escape goes through the switch.
+    size_t start = 0;
+    const size_t n = s.size();
+    for (size_t i = 0; i < n; ++i) {
+        const auto c = static_cast<unsigned char>(s[i]);
+        if (c != '"' && c != '\\' && c >= 0x20)
+            continue;
+        out.append(s, start, i - start);
+        start = i + 1;
+        switch (s[i]) {
           case '"': out += "\\\""; break;
           case '\\': out += "\\\\"; break;
           case '\b': out += "\\b"; break;
@@ -219,16 +431,14 @@ appendEscaped(std::string &out, const std::string &s)
           case '\n': out += "\\n"; break;
           case '\r': out += "\\r"; break;
           case '\t': out += "\\t"; break;
-          default:
-            if (static_cast<unsigned char>(c) < 0x20) {
-                char buf[8];
-                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
-                out += buf;
-            } else {
-                out += c;
-            }
+          default: {
+            char buf[8];
+            std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+            out += buf;
+          }
         }
     }
+    out.append(s, start, n - start);
     out += '"';
 }
 
@@ -270,46 +480,50 @@ Value::dumpTo(std::string &out, int indent, int depth) const
         out += "null";
         break;
       case Type::Bool:
-        out += bool_ ? "true" : "false";
+        out += payload_.boolean ? "true" : "false";
         break;
       case Type::Number:
-        appendNumber(out, num_);
+        appendNumber(out, payload_.num);
         break;
       case Type::String:
-        appendEscaped(out, str_);
+        appendEscaped(out, *payload_.str);
         break;
-      case Type::Array:
-        if (arr_.empty()) {
+      case Type::Array: {
+        const Array &arr = *payload_.arr;
+        if (arr.empty()) {
             out += "[]";
             break;
         }
         out += '[';
-        for (size_t i = 0; i < arr_.size(); ++i) {
+        for (size_t i = 0; i < arr.size(); ++i) {
             if (i > 0)
                 out += ',';
             appendNewline(out, indent, depth + 1);
-            arr_[i].dumpTo(out, indent, depth + 1);
+            arr[i].dumpTo(out, indent, depth + 1);
         }
         appendNewline(out, indent, depth);
         out += ']';
         break;
-      case Type::Object:
-        if (obj_.empty()) {
+      }
+      case Type::Object: {
+        const Object &obj = *payload_.obj;
+        if (obj.empty()) {
             out += "{}";
             break;
         }
         out += '{';
-        for (size_t i = 0; i < obj_.size(); ++i) {
+        for (size_t i = 0; i < obj.size(); ++i) {
             if (i > 0)
                 out += ',';
             appendNewline(out, indent, depth + 1);
-            appendEscaped(out, obj_[i].first);
+            appendEscaped(out, obj[i].first);
             out += indent > 0 ? ": " : ":";
-            obj_[i].second.dumpTo(out, indent, depth + 1);
+            obj[i].second.dumpTo(out, indent, depth + 1);
         }
         appendNewline(out, indent, depth);
         out += '}';
         break;
+      }
     }
 }
 
@@ -432,6 +646,12 @@ class Parser
         }
     }
 
+    // Spec documents are dominated by small component objects and
+    // axis-value arrays; pre-sizing their member vectors to a few
+    // slots removes most of the grow-reallocate churn without
+    // over-reserving leaf containers.
+    static constexpr size_t kContainerReserve = 8;
+
     Value
     parseObject()
     {
@@ -439,6 +659,7 @@ class Parser
         Value obj = Value::makeObject();
         if (consumeIf('}'))
             return obj;
+        obj.reserve(kContainerReserve);
         while (true) {
             if (peek() != '"')
                 fail("expected a string object key");
@@ -446,7 +667,7 @@ class Parser
             expect(':');
             if (obj.has(key))
                 fail("duplicate object key '" + key + "'");
-            obj.set(key, parseValue());
+            obj.set(std::move(key), parseValue());
             if (consumeIf(','))
                 continue;
             expect('}');
@@ -461,6 +682,7 @@ class Parser
         Value arr = Value::makeArray();
         if (consumeIf(']'))
             return arr;
+        arr.reserve(kContainerReserve);
         while (true) {
             arr.push(parseValue());
             if (consumeIf(','))
@@ -476,6 +698,16 @@ class Parser
         expect('"');
         std::string out;
         while (true) {
+            // Copy the maximal run of plain characters in one append.
+            size_t run = pos_;
+            while (run < text_.size()) {
+                const auto c = static_cast<unsigned char>(text_[run]);
+                if (c == '"' || c == '\\' || c < 0x20)
+                    break;
+                ++run;
+            }
+            out.append(text_, pos_, run - pos_);
+            pos_ = run;
             if (pos_ >= text_.size())
                 fail("unterminated string");
             char c = text_[pos_++];
@@ -483,10 +715,6 @@ class Parser
                 return out;
             if (static_cast<unsigned char>(c) < 0x20)
                 fail("raw control character in string");
-            if (c != '\\') {
-                out += c;
-                continue;
-            }
             if (pos_ >= text_.size())
                 fail("unterminated escape sequence");
             char e = text_[pos_++];
@@ -575,11 +803,23 @@ class Parser
         }
         if (!digits)
             fail("invalid value");
-        std::string token = text_.substr(start, pos_ - start);
+        // The token shape is validated, so strtod can run directly on
+        // the NUL-terminated source buffer with no substr copy.
+        const char *tok = text_.c_str() + start;
         char *end = nullptr;
-        double d = std::strtod(token.c_str(), &end);
-        if (end != token.c_str() + token.size())
-            fail("malformed number '" + token + "'");
+        double d = std::strtod(tok, &end);
+        const size_t len = pos_ - start;
+        if (end != tok + len) {
+            // strtod accepts a wider grammar (hex floats, inf/nan);
+            // when it reads past our token, re-parse just the token
+            // so "0x12" still reports "trailing characters" exactly
+            // like the shape validator implies.
+            std::string token = text_.substr(start, len);
+            end = nullptr;
+            d = std::strtod(token.c_str(), &end);
+            if (end != token.c_str() + token.size())
+                fail("malformed number '" + token + "'");
+        }
         return Value(d);
     }
 };

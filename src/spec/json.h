@@ -6,6 +6,24 @@
  * insertion-ordered objects (stable round-trips), and %.17g number
  * formatting so doubles survive save/load bit-exactly.
  *
+ * Storage is COMPACT: a Value is a type tag plus an 8-byte payload
+ * (the bool/double inline, strings/arrays/objects behind one owning
+ * pointer), so a Number node costs 16 bytes instead of the ~120 of
+ * the old every-payload-inline layout, and moving a container Value
+ * is a pointer swap. Sweep expansion clones and compares millions of
+ * these; the layout is a measured hot-path win (bench/perf_simulator
+ * `specOps` section).
+ *
+ * Structural comparison is first-class: operator== and a streamed
+ * 64-bit hash() agree with the deterministic writer — for any two
+ * serializable values, a == b exactly when a.dump(0) == b.dump(0)
+ * (pinned by tests/json_test.cc). Numbers compare numerically with
+ * -0.0 == 0.0 (the writer renders both as "0") and NaN == NaN (so ==
+ * stays an equivalence relation; NaN cannot be serialized at all).
+ * hash() canonicalizes -0.0 and NaN accordingly: a == b implies
+ * hash() equality, so hashes are sound cache-key fast-paths as long
+ * as a full structural-equality verify backs them.
+ *
  * Errors are reported through the library-wide ConfigError (a malformed
  * spec file is a user configuration problem, like any other bad design
  * description).
@@ -14,6 +32,7 @@
 #ifndef CAMJ_SPEC_JSON_H
 #define CAMJ_SPEC_JSON_H
 
+#include <cstddef>
 #include <cstdint>
 #include <string>
 #include <utility>
@@ -21,6 +40,12 @@
 
 namespace camj::json
 {
+
+/** fnv-1a offset basis: the seed of every streamed hash chain. */
+inline constexpr uint64_t kHashSeed = 1469598103934665603ull;
+
+/** Mix @p len bytes into an fnv-1a chain started from @p h. */
+uint64_t hashBytes(uint64_t h, const void *data, size_t len);
 
 /** One JSON value; a tree of these represents a document. */
 class Value
@@ -40,13 +65,34 @@ class Value
     using Object = std::vector<std::pair<std::string, Value>>;
     using Array = std::vector<Value>;
 
-    Value() : type_(Type::Null) {}
-    Value(bool b) : type_(Type::Bool), bool_(b) {}
-    Value(double d) : type_(Type::Number), num_(d) {}
-    Value(int i) : type_(Type::Number), num_(i) {}
-    Value(int64_t i) : type_(Type::Number), num_(static_cast<double>(i)) {}
-    Value(const char *s) : type_(Type::String), str_(s) {}
-    Value(std::string s) : type_(Type::String), str_(std::move(s)) {}
+    Value() noexcept : type_(Type::Null) { payload_.num = 0.0; }
+    Value(bool b) : type_(Type::Bool) { payload_.boolean = b; }
+    Value(double d) : type_(Type::Number) { payload_.num = d; }
+    Value(int i) : type_(Type::Number) { payload_.num = i; }
+    Value(int64_t i) : type_(Type::Number)
+    {
+        payload_.num = static_cast<double>(i);
+    }
+    Value(const char *s) : type_(Type::String)
+    {
+        payload_.str = new std::string(s);
+    }
+    Value(std::string s) : type_(Type::String)
+    {
+        payload_.str = new std::string(std::move(s));
+    }
+
+    ~Value() { destroy(); }
+
+    Value(const Value &other);
+    Value(Value &&other) noexcept
+        : type_(other.type_), payload_(other.payload_)
+    {
+        other.type_ = Type::Null;
+        other.payload_.num = 0.0;
+    }
+    Value &operator=(const Value &other);
+    Value &operator=(Value &&other) noexcept;
 
     /** An empty array value. */
     static Value makeArray();
@@ -70,10 +116,36 @@ class Value
     const Array &asArray() const;
     const Object &asObject() const;
 
+    // ----- structural comparison -----
+
+    /**
+     * Structural equality: same type, same members in the same order.
+     * Numbers compare numerically with -0.0 == 0.0 and NaN == NaN;
+     * for any two serializable values this is exactly dump(0)
+     * equality, without serializing anything.
+     */
+    bool operator==(const Value &other) const;
+    bool operator!=(const Value &other) const
+    {
+        return !(*this == other);
+    }
+
+    /**
+     * Streamed 64-bit structural hash (fnv-1a over a canonical byte
+     * encoding; no intermediate string is built). a == b implies
+     * a.hash(s) == b.hash(s) for any seed @p seed. A hash is a cache
+     * FAST-PATH only — always verify candidates with operator==.
+     */
+    uint64_t hash(uint64_t seed = kHashSeed) const;
+
     // ----- array building -----
 
     /** Append to an array (converts a Null value into an array). */
     void push(Value v);
+
+    /** Pre-size an array's or object's member storage.
+     *  @throws ConfigError on any other value type. */
+    void reserve(size_t n);
 
     // ----- object access -----
 
@@ -101,8 +173,9 @@ class Value
      *  @throws ConfigError unless an object. */
     Object &mutableObject();
 
-    /** Set/overwrite a member (converts a Null value into an object). */
-    void set(const std::string &key, Value v);
+    /** Set/overwrite a member (converts a Null value into an object).
+     *  Move-aware in both the key and the value. */
+    void set(std::string key, Value v);
 
     // ----- typed object getters with defaults -----
 
@@ -126,13 +199,20 @@ class Value
     static Value parse(const std::string &text);
 
   private:
-    Type type_;
-    bool bool_ = false;
-    double num_ = 0.0;
-    std::string str_;
-    Array arr_;
-    Object obj_;
+    union Payload
+    {
+        bool boolean;
+        double num;
+        std::string *str;
+        Array *arr;
+        Object *obj;
+    };
 
+    Type type_;
+    Payload payload_;
+
+    void destroy() noexcept;
+    void copyFrom(const Value &other);
     void dumpTo(std::string &out, int indent, int depth) const;
 };
 

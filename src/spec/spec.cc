@@ -1142,27 +1142,32 @@ json::Value
 toJsonValue(const DesignSpec &spec)
 {
     Value o = Value::makeObject();
+    o.reserve(13);
     o.set("camjSpecVersion", Value(1));
     o.set("name", Value(spec.name));
     o.set("fps", Value(spec.fps));
     o.set("digitalClock", Value(spec.digitalClock));
 
     Value stages = Value::makeArray();
+    stages.reserve(spec.stages.size());
     for (const StageSpec &s : spec.stages)
         stages.push(stageToJson(s));
     o.set("stages", std::move(stages));
 
     Value analog = Value::makeArray();
+    analog.reserve(spec.analogArrays.size());
     for (const AnalogArraySpec &a : spec.analogArrays)
         analog.push(analogArrayToJson(a));
     o.set("analogArrays", std::move(analog));
 
     Value mems = Value::makeArray();
+    mems.reserve(spec.memories.size());
     for (const MemorySpec &m : spec.memories)
         mems.push(memoryToJson(m));
     o.set("memories", std::move(mems));
 
     Value units = Value::makeArray();
+    units.reserve(spec.units.size());
     for (const UnitSpec &u : spec.units)
         units.push(unitToJson(u));
     o.set("units", std::move(units));
@@ -1183,6 +1188,7 @@ toJsonValue(const DesignSpec &spec)
         o.set("pipelineOutputBytes", Value(spec.pipelineOutputBytes));
 
     Value mapping = Value::makeArray();
+    mapping.reserve(spec.mapping.size());
     for (const auto &[stage, hw] : spec.mapping) {
         Value pair = Value::makeObject();
         pair.set("stage", Value(stage));
@@ -1259,24 +1265,32 @@ fromJson(const std::string &text)
 const AComponent &
 MaterializeCache::component(const ComponentSpec &component)
 {
-    // The single-line dump of the serialized parameters is a complete,
-    // deterministic key: two specs with equal keys instantiate
-    // bit-identical components.
-    std::string key = componentToJson(component).dump(0);
-    auto it = components_.find(key);
-    if (it != components_.end()) {
-        ++hits_;
-        return it->second;
+    // The serialized parameter tree is a complete, deterministic key:
+    // two specs with equal trees instantiate bit-identical components.
+    // Its structural hash buckets the lookup; full tree equality
+    // verifies each candidate, so a collision costs one comparison,
+    // never a wrong component.
+    json::Value params = componentToJson(component);
+    std::vector<CachedComponent> &bucket =
+        components_[params.hash()];
+    for (const CachedComponent &entry : bucket) {
+        if (entry.params == params) {
+            ++hits_;
+            return entry.component;
+        }
     }
     ++misses_;
-    return components_.emplace(std::move(key), component.instantiate())
-        .first->second;
+    bucket.push_back(
+        CachedComponent{std::move(params), component.instantiate()});
+    ++count_;
+    return bucket.back().component;
 }
 
 void
 MaterializeCache::clear()
 {
     components_.clear();
+    count_ = 0;
     hits_ = 0;
     misses_ = 0;
 }

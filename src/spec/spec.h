@@ -318,10 +318,13 @@ struct DesignSpec
 
 /**
  * Reusable store of instantiated analog components, keyed by the
- * component's serialized spec. Sweeps over spec deltas (one grid axis
- * changing at a time) rebuild only the sub-structures the delta
- * touches; unchanged components are shared (AComponents are cheap to
- * copy and their cells are immutable).
+ * component's serialized parameter TREE — a structural hash buckets
+ * the lookup, and a full tree equality verifies every candidate, so
+ * a hash collision can never hand back the wrong component. Sweeps
+ * over spec deltas (one grid axis changing at a time) rebuild only
+ * the sub-structures the delta touches; unchanged components are
+ * shared (AComponents are cheap to copy and their cells are
+ * immutable).
  *
  * NOT thread-safe: give each sweep worker its own cache.
  */
@@ -334,11 +337,19 @@ class MaterializeCache
 
     size_t hits() const { return hits_; }
     size_t misses() const { return misses_; }
-    size_t size() const { return components_.size(); }
+    size_t size() const { return count_; }
     void clear();
 
   private:
-    std::unordered_map<std::string, AComponent> components_;
+    struct CachedComponent
+    {
+        /** The serialized parameter tree (the verified key). */
+        json::Value params;
+        AComponent component;
+    };
+    std::unordered_map<uint64_t, std::vector<CachedComponent>>
+        components_;
+    size_t count_ = 0;
     size_t hits_ = 0;
     size_t misses_ = 0;
 };

@@ -148,20 +148,27 @@ TEST(CacheKeys, StructuralKeyMasksOnlyTheScalarPatchableFields)
     spec::DesignSpec a = spec::sampleDetectorSpec(30.0, 65);
     spec::DesignSpec b = spec::sampleDetectorSpec(120.0, 65);
     b.digitalClock = 40e6;
-    // Same structure at different name/fps/clock: one signature.
+    // Same structure at different name/fps/clock: one signature, and
+    // the tree-equality verify behind the hash fast-path agrees.
     EXPECT_EQ(structuralCacheKey(spec::toJsonValue(a)),
               structuralCacheKey(spec::toJsonValue(b)));
+    EXPECT_TRUE(
+        structurallyEqual(spec::toJsonValue(a), spec::toJsonValue(b)));
 
     // Any other field splits the signature.
     spec::DesignSpec c = spec::sampleDetectorSpec(30.0, 65);
     c.memories.front().capacityWords *= 2;
     EXPECT_NE(structuralCacheKey(spec::toJsonValue(a)),
               structuralCacheKey(spec::toJsonValue(c)));
+    EXPECT_FALSE(
+        structurallyEqual(spec::toJsonValue(a), spec::toJsonValue(c)));
 
-    // The signature is not the document: masked fields are nulled,
-    // not serialized verbatim.
+    // The signature is not the plain content hash: masked fields are
+    // hashed as null, not verbatim (and the chains are
+    // domain-separated), so a signature never doubles as a content
+    // address.
     EXPECT_NE(structuralCacheKey(spec::toJsonValue(a)),
-              spec::toJsonValue(a).dump(0));
+              spec::toJsonValue(a).hash());
 }
 
 TEST(CacheKeys, OutcomeKeySeparatesWhatTheSignatureMerges)

@@ -1,0 +1,497 @@
+/**
+ * @file
+ * Pins the json::Value structural-comparison contract the caches are
+ * built on: equality must agree with the deterministic writer
+ * (a == b exactly when a.dump(0) == b.dump(0), for every value the
+ * writer accepts), hashes must be a pure function of that same
+ * structure, and move construction must not change round-trip bytes.
+ * The corpus is the checked-in golden spec documents plus
+ * deterministically mutated variants and hand-picked number edges
+ * (-0.0, NaN, integer-formatted doubles). A final suite re-runs the
+ * strided canonical-grid scan through the incremental evaluator and
+ * pins the same base-selection statistics the string-key dispatch
+ * produced, so the hashed LRU scan is observably the same policy.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <limits>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/logging.h"
+#include "explore/incremental.h"
+#include "spec/grid.h"
+#include "spec/json.h"
+#include "spec/samples.h"
+
+namespace camj
+{
+namespace
+{
+
+namespace fs = std::filesystem;
+using json::Value;
+
+class QuietLogging : public ::testing::Environment
+{
+  public:
+    void SetUp() override { setLoggingEnabled(false); }
+};
+
+::testing::Environment *const quiet_env =
+    ::testing::AddGlobalTestEnvironment(new QuietLogging);
+
+std::string
+readFile(const fs::path &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    return buf.str();
+}
+
+/** The golden spec documents (every .json fixture except the
+ *  expected-energy table). */
+std::vector<fs::path>
+goldenDocs()
+{
+    std::vector<fs::path> docs;
+    for (const auto &entry : fs::directory_iterator(CAMJ_GOLDEN_DIR)) {
+        if (entry.path().extension() != ".json" ||
+            entry.path().filename() == "energies.json")
+            continue;
+        docs.push_back(entry.path());
+    }
+    std::sort(docs.begin(), docs.end());
+    return docs;
+}
+
+/** Deterministic PRNG (xorshift64) — the suite must not depend on
+ *  wall-clock seeding, and the mutations must replay identically. */
+struct Rng
+{
+    uint64_t state;
+    uint64_t next()
+    {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        return state;
+    }
+    size_t below(size_t n) { return n == 0 ? 0 : next() % n; }
+};
+
+/** Collect every node of the tree (including the root). */
+void
+collectNodes(Value &v, std::vector<Value *> &out)
+{
+    out.push_back(&v);
+    if (v.isArray()) {
+        for (Value &e : v.mutableArray())
+            collectNodes(e, out);
+    } else if (v.isObject()) {
+        for (auto &[k, e] : v.mutableObject())
+            collectNodes(e, out);
+    }
+}
+
+/** Mutate one pseudo-randomly chosen node in place. Some mutations
+ *  deliberately produce a STRUCTURALLY EQUAL value (negating zero,
+ *  clearing an empty string), so callers must assert the
+ *  equality <=> dump-equality equivalence, not plain inequality. */
+void
+mutateOnce(Value &doc, Rng &rng)
+{
+    std::vector<Value *> nodes;
+    collectNodes(doc, nodes);
+    Value &v = *nodes[rng.below(nodes.size())];
+    switch (v.type()) {
+      case Value::Type::Number: {
+        double d = v.asNumber();
+        switch (rng.below(3)) {
+          case 0: v = Value(d + 1.0); break;
+          case 1: v = Value(-d); break;
+          default: v = Value(d * 0.5 + 0.25); break;
+        }
+        break;
+      }
+      case Value::Type::String: {
+        std::string s = v.asString();
+        if (rng.below(2) == 0)
+            s += "x";
+        else
+            s.clear();
+        v = Value(s);
+        break;
+      }
+      case Value::Type::Bool:
+        v = Value(!v.asBool());
+        break;
+      case Value::Type::Null:
+        v = Value(1.0);
+        break;
+      case Value::Type::Array: {
+        auto &arr = v.mutableArray();
+        if (!arr.empty() && rng.below(2) == 0)
+            arr.pop_back();
+        else
+            v.push(Value(42.0));
+        break;
+      }
+      case Value::Type::Object: {
+        auto &obj = v.mutableObject();
+        if (!obj.empty()) {
+            switch (rng.below(3)) {
+              case 0:
+                obj.pop_back();
+                break;
+              case 1:
+                obj[rng.below(obj.size())].first += "_mut";
+                break;
+              default:
+                // Reorder: objects are insertion-ordered, so a swap
+                // changes the structure AND the rendered bytes.
+                if (obj.size() >= 2)
+                    std::swap(obj.front(), obj.back());
+                else
+                    obj.front().first += "_mut";
+                break;
+            }
+        } else {
+            v.set("mut", Value(true));
+        }
+        break;
+      }
+    }
+}
+
+/** The property at the heart of the hashed cache keys: equality
+ *  agrees with the deterministic writer, and hashing is a function
+ *  of the same structure. */
+void
+expectWriterAgreement(const Value &a, const Value &b,
+                      const std::string &what)
+{
+    const bool eq = a == b;
+    EXPECT_EQ(eq, a.dump(0) == b.dump(0)) << what;
+    EXPECT_EQ(eq, !(a != b)) << what;
+    if (eq) {
+        EXPECT_EQ(a.hash(), b.hash()) << what;
+        EXPECT_EQ(a.hash(7u), b.hash(7u)) << what << " (seeded)";
+    }
+}
+
+// ------------------------------------------------- equality semantics
+
+TEST(JsonEquality, GoldenCorpusRoundTripsCompareEqual)
+{
+    const std::vector<fs::path> docs = goldenDocs();
+    ASSERT_GE(docs.size(), 20u);
+    for (const fs::path &path : docs) {
+        const std::string text = readFile(path);
+        const Value a = Value::parse(text);
+        const Value b = Value::parse(text);
+        const Value c = Value::parse(a.dump(2));
+        EXPECT_TRUE(a == b) << path.filename();
+        EXPECT_TRUE(a == c) << path.filename();
+        EXPECT_EQ(a.hash(), c.hash()) << path.filename();
+        expectWriterAgreement(a, c, path.filename().string());
+    }
+}
+
+TEST(JsonEquality, GoldenCorpusDocsAreMutuallyDistinct)
+{
+    const std::vector<fs::path> docs = goldenDocs();
+    std::vector<Value> parsed;
+    for (const fs::path &path : docs)
+        parsed.push_back(Value::parse(readFile(path)));
+    for (size_t i = 0; i < parsed.size(); ++i) {
+        for (size_t j = i + 1; j < parsed.size(); ++j) {
+            EXPECT_TRUE(parsed[i] != parsed[j])
+                << docs[i].filename() << " vs " << docs[j].filename();
+            // Distinct documents must split the hash — fnv-1a over
+            // full multi-kilobyte specs colliding here would mean
+            // the hash ignores part of the structure.
+            EXPECT_NE(parsed[i].hash(), parsed[j].hash())
+                << docs[i].filename() << " vs " << docs[j].filename();
+            expectWriterAgreement(parsed[i], parsed[j],
+                                  docs[i].filename().string());
+        }
+    }
+}
+
+TEST(JsonEquality, MutatedVariantsAgreeWithTheWriter)
+{
+    const std::vector<fs::path> docs = goldenDocs();
+    size_t mutants = 0;
+    for (size_t d = 0; d < docs.size(); ++d) {
+        const Value original = Value::parse(readFile(docs[d]));
+        Rng rng{0x9e3779b97f4a7c15ull + d};
+        for (int round = 0; round < 8; ++round, ++mutants) {
+            Value mutant = original;
+            mutateOnce(mutant, rng);
+            expectWriterAgreement(original, mutant,
+                                  docs[d].filename().string());
+            // Stacked mutations too — mutants vs mutants.
+            Value second = mutant;
+            mutateOnce(second, rng);
+            expectWriterAgreement(mutant, second,
+                                  docs[d].filename().string());
+        }
+    }
+    EXPECT_GE(mutants, 160u);
+}
+
+TEST(JsonEquality, ObjectsAreOrderSensitive)
+{
+    const Value a = Value::parse(R"({"x": 1, "y": 2})");
+    const Value b = Value::parse(R"({"y": 2, "x": 1})");
+    EXPECT_TRUE(a != b);
+    expectWriterAgreement(a, b, "member order");
+}
+
+TEST(JsonEquality, TypeMismatchesAreUnequal)
+{
+    EXPECT_TRUE(Value(1.0) != Value("1"));
+    EXPECT_TRUE(Value(true) != Value(1.0));
+    EXPECT_TRUE(Value() != Value(false));
+    EXPECT_TRUE(Value::makeArray() != Value::makeObject());
+    // Same-type structural differences.
+    Value arr1 = Value::makeArray();
+    arr1.push(Value(1.0));
+    Value arr2 = arr1;
+    arr2.push(Value(2.0));
+    EXPECT_TRUE(arr1 != arr2);
+    expectWriterAgreement(arr1, arr2, "array length");
+}
+
+// ----------------------------------------------------- number edges
+
+TEST(JsonNumbers, NegativeZeroEqualsZeroEverywhere)
+{
+    const Value pos(0.0);
+    const Value neg(-0.0);
+    EXPECT_TRUE(pos == neg);
+    EXPECT_EQ(pos.hash(), neg.hash());
+    // The writer agrees: both render as "0" (integer-formatted).
+    expectWriterAgreement(pos, neg, "-0.0 vs 0.0");
+
+    // Nested, where the container hash folds the canonicalized
+    // member hash in.
+    Value a = Value::makeObject();
+    a.set("v", Value(0.0));
+    Value b = Value::makeObject();
+    b.set("v", Value(-0.0));
+    EXPECT_TRUE(a == b);
+    EXPECT_EQ(a.hash(), b.hash());
+    expectWriterAgreement(a, b, "nested -0.0");
+}
+
+TEST(JsonNumbers, NanIsSelfEqualAndHashStable)
+{
+    const double nan = std::numeric_limits<double>::quiet_NaN();
+    const Value a(nan);
+    const Value b(-nan); // a different NaN bit pattern
+    // Reflexivity keeps cache verification sane: a compiled point
+    // holding a NaN field must match ITSELF on re-lookup.
+    EXPECT_TRUE(a == a);
+    EXPECT_TRUE(a == b);
+    EXPECT_EQ(a.hash(), b.hash());
+    EXPECT_TRUE(a != Value(1.0));
+    // NaN is outside the writer's domain (the dump <=> equality
+    // equivalence is quantified over serializable values only).
+    EXPECT_THROW(a.dump(0), ConfigError);
+}
+
+TEST(JsonNumbers, FormattingEdgesAgreeWithEquality)
+{
+    // Integer-formatted doubles, the %.17g band, and values parsed
+    // back from their own rendering.
+    const double edges[] = {0.0,     -0.0,   1.0,      -1.0,
+                            0.1,     -0.1,   1e-300,   8.9e15,
+                            9.1e15,  2.5,    1.0 / 3., 123456789.0,
+                            1e100,   -1e100, 5e-324};
+    for (double x : edges) {
+        for (double y : edges) {
+            const Value a(x);
+            const Value b(y);
+            expectWriterAgreement(
+                a, b, "x=" + std::to_string(x) +
+                          " y=" + std::to_string(y));
+            // Round-trip through the writer preserves equality and
+            // hash (exact double round-trips are a writer
+            // guarantee).
+            const Value back = Value::parse(a.dump(0));
+            EXPECT_TRUE(a == back) << x;
+            EXPECT_EQ(a.hash(), back.hash()) << x;
+        }
+    }
+}
+
+// ------------------------------------------------------------- hashing
+
+TEST(JsonHash, SeedChainingSeparatesDomains)
+{
+    const Value v = Value::parse(R"({"a": [1, 2, {"b": "c"}]})");
+    EXPECT_NE(v.hash(), v.hash(12345u));
+    // Chaining is deterministic.
+    EXPECT_EQ(v.hash(12345u), v.hash(12345u));
+    // hashBytes seeding matches what the cache-key builders do.
+    const uint64_t seeded =
+        json::hashBytes(json::kHashSeed, "domain", 6);
+    EXPECT_EQ(v.hash(seeded), v.hash(seeded));
+    EXPECT_NE(v.hash(seeded), v.hash());
+}
+
+TEST(JsonHash, StructureDistinguishesContainerBoundaries)
+{
+    // Same leaf bytes, different shapes — the count/length prefixes
+    // in the hash encoding must keep these apart.
+    const Value a = Value::parse(R"([["x"], ["y"]])");
+    const Value b = Value::parse(R"([["x", "y"]])");
+    const Value c = Value::parse(R"(["x", "y"])");
+    EXPECT_NE(a.hash(), b.hash());
+    EXPECT_NE(b.hash(), c.hash());
+    EXPECT_NE(a.hash(), c.hash());
+    const Value d = Value::parse(R"({"ab": ""})");
+    const Value e = Value::parse(R"({"a": "b"})");
+    EXPECT_NE(d.hash(), e.hash());
+}
+
+// ------------------------------------------------------ move semantics
+
+TEST(JsonMove, MoveConstructionPreservesRoundTripBytes)
+{
+    const std::vector<fs::path> docs = goldenDocs();
+    ASSERT_FALSE(docs.empty());
+    const std::string text = readFile(docs.front());
+    Value original = Value::parse(text);
+    const std::string before = original.dump(2);
+    const uint64_t hash_before = original.hash();
+
+    Value moved = std::move(original);
+    EXPECT_EQ(moved.dump(2), before);
+    EXPECT_EQ(moved.hash(), hash_before);
+    // The moved-from value is a well-defined Null, reusable.
+    EXPECT_TRUE(original.isNull());
+    original = moved; // copy back
+    EXPECT_TRUE(original == moved);
+    EXPECT_EQ(original.dump(2), before);
+}
+
+TEST(JsonMove, MoveAwarePushAndSetMatchCopyingBuilds)
+{
+    // Build the same document twice — once moving subtrees in, once
+    // copying them — and require byte-identical rendering.
+    auto subtree = [] {
+        Value inner = Value::makeObject();
+        inner.set("k", Value("v"));
+        Value arr = Value::makeArray();
+        arr.push(Value(1.0));
+        arr.push(Value("two"));
+        inner.set("list", std::move(arr));
+        return inner;
+    };
+
+    Value moved = Value::makeObject();
+    {
+        Value s = subtree();
+        std::string key = "child";
+        moved.set(std::move(key), std::move(s));
+        Value arr = Value::makeArray();
+        Value elem = subtree();
+        arr.push(std::move(elem));
+        moved.set("children", std::move(arr));
+    }
+    Value copied = Value::makeObject();
+    {
+        const Value s = subtree();
+        copied.set("child", s);
+        Value arr = Value::makeArray();
+        const Value elem = subtree();
+        arr.push(elem);
+        copied.set("children", arr);
+    }
+    EXPECT_TRUE(moved == copied);
+    EXPECT_EQ(moved.dump(2), copied.dump(2));
+    EXPECT_EQ(moved.hash(), copied.hash());
+}
+
+TEST(JsonMove, SelfReferentialCopyAssignIsSafe)
+{
+    Value doc = Value::parse(R"({"child": {"x": 1, "y": [2, 3]}})");
+    const Value expect = doc.at("child");
+    doc = doc.at("child"); // aliasing assignment
+    EXPECT_TRUE(doc == expect);
+}
+
+// -------------------------------------------------------- reserve API
+
+TEST(JsonReserve, OnlyContainersAcceptReserve)
+{
+    Value arr = Value::makeArray();
+    arr.reserve(64);
+    Value obj = Value::makeObject();
+    obj.reserve(64);
+    Value num(1.0);
+    EXPECT_THROW(num.reserve(4), ConfigError);
+    Value null;
+    EXPECT_THROW(null.reserve(4), ConfigError);
+}
+
+// ------------------------------------- hashed dispatch equivalence
+
+TEST(JsonDispatch, HashedLruScanMatchesStringKeyBaseSelection)
+{
+    // The strided scan over the canonical 108-point study is the
+    // base-selection stress test: consecutive points differ in a
+    // scalar axis, the cheapest base is usually a cross-signature
+    // sibling found by an exploratory diff, and exactly one full
+    // build must happen. These statistics are pinned to the values
+    // the old serialized-string cache keys produced — the hashed
+    // scan (hash fast-path + structural-equality verify) must make
+    // the same choices, not merely correct ones.
+    const spec::SweepDocument doc = spec::sampleDetectorStudy();
+    spec::GridSpecSource source = doc.source();
+    const size_t total = source.totalPoints();
+    ASSERT_EQ(total, 108u);
+    const size_t stride = 12;
+
+    SimulationOptions opts;
+    opts.checkMode = CheckMode::Report;
+    IncrementalEvaluator inc(opts);
+    std::optional<size_t> last;
+    size_t visited = 0;
+    for (size_t k = 0; k < stride; ++k) {
+        for (size_t idx = k; idx < total; idx += stride, ++visited) {
+            const spec::DesignSpec spec = source.at(idx);
+            std::optional<std::vector<std::string>> hint;
+            if (last)
+                hint = source.changedPaths(*last, idx);
+            const SimulationOutcome out =
+                hint ? inc.evaluate(spec, *hint) : inc.evaluate(spec);
+            EXPECT_TRUE(out.feasible || !out.error.empty());
+            last = idx;
+        }
+    }
+
+    ASSERT_EQ(visited, total);
+    EXPECT_EQ(inc.stats().points, total);
+    EXPECT_EQ(inc.stats().fullBuilds, 1u);
+    EXPECT_GT(inc.stats().diffsComputed, total / 2);
+    EXPECT_GT(inc.stats().signatureHits, 0u);
+    EXPECT_EQ(inc.compiledCacheStats().misses, 1u);
+    EXPECT_EQ(inc.compiledCacheStats().hits, total - 1);
+    EXPECT_LT(inc.stats().stagesRun, 2 * total);
+}
+
+} // namespace
+} // namespace camj
