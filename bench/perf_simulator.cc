@@ -56,6 +56,8 @@
 
 #include "analysis/grid_analyzer.h"
 #include "common/logging.h"
+#include "serve/client.h"
+#include "serve/server.h"
 #include "digital/cyclesim.h"
 #include "explore/incremental.h"
 #include "explore/simulator.h"
@@ -1396,6 +1398,85 @@ writeBenchJson()
                json::Value(cross_process_verified));
     doc.set("cachedSweep", std::move(cached));
 
+    // Served sweep: the camj_serve service end to end — a loopback
+    // Server (2 in-process shard workers), a Client submitting the
+    // canonical study over TCP and streaming the merged results —
+    // against the same study through a plain in-process runStream.
+    // The tracked numbers are the service's throughput and its
+    // overhead ratio over the library path; the streamed bytes must
+    // be byte-identical to the local run, because that identity IS
+    // the service contract.
+    const spec::SweepDocument served_doc = shardedStudyDocument();
+    const size_t n_served = served_doc.grid.points();
+    std::string served_ref;
+    timeSingleProcessShard(served_doc, nullptr); // warm-up
+    double served_local_seconds = 1e30;
+    for (int rep = 0; rep < 2; ++rep)
+        served_local_seconds = std::min(
+            served_local_seconds,
+            timeSingleProcessShard(served_doc, &served_ref));
+    const std::string served_work = "BENCH_serve_work";
+    std::filesystem::remove_all(served_work);
+    double served_seconds = 1e30;
+    std::string served_bytes;
+    try {
+        serve::ServerOptions server_options;
+        server_options.port = 0;
+        server_options.scheduler.shards = 2;
+        server_options.scheduler.threadsPerWorker = 1;
+        server_options.scheduler.workDir = served_work;
+        serve::Server server(std::move(server_options));
+        std::thread accept_thread([&server] { server.serve(); });
+        const std::string served_text = spec::toJson(served_doc);
+        bool served_done = true;
+        for (int rep = 0; rep < 2 && served_done; ++rep) {
+            std::ostringstream out;
+            serve::Client client(server.port());
+            const auto t0 = std::chrono::steady_clock::now();
+            const serve::Client::SubmitOutcome outcome =
+                client.submitAndStream(served_text, out);
+            const auto t1 = std::chrono::steady_clock::now();
+            served_seconds = std::min(
+                served_seconds,
+                std::chrono::duration<double>(t1 - t0).count());
+            served_bytes = out.str();
+            served_done =
+                outcome.end.getString("state", "") == "done";
+        }
+        server.requestStop();
+        accept_thread.join();
+        if (!served_done) {
+            std::fprintf(stderr,
+                         "error: a served sweep did not finish\n");
+            std::filesystem::remove_all(served_work);
+            return false;
+        }
+    } catch (const std::exception &e) {
+        std::fprintf(stderr, "error: served sweep failed: %s\n",
+                     e.what());
+        std::filesystem::remove_all(served_work);
+        return false;
+    }
+    std::filesystem::remove_all(served_work);
+    if (served_bytes != served_ref) {
+        std::fprintf(stderr, "error: served sweep stream differs "
+                     "from the in-process run\n");
+        return false;
+    }
+    const double served_overhead =
+        served_seconds / served_local_seconds;
+    json::Value served = json::Value::makeObject();
+    served.set("designPoints",
+               json::Value(static_cast<int64_t>(n_served)));
+    served.set("shards", json::Value(static_cast<int64_t>(2)));
+    served.set("threadsPerWorker",
+               json::Value(static_cast<int64_t>(1)));
+    setTimedRun(served, "inProcess", n_served, served_local_seconds);
+    setTimedRun(served, "served", n_served, served_seconds);
+    served.set("overheadRatio", json::Value(served_overhead));
+    served.set("identicalToInProcess", json::Value(true));
+    doc.set("servedSweep", std::move(served));
+
     const char *env_path = std::getenv("BENCH_JSON_PATH");
     const std::string path =
         env_path != nullptr ? env_path : "BENCH_simulator.json";
@@ -1466,6 +1547,12 @@ writeBenchJson()
                 cross_process_verified
                     ? ", verified against a previous process"
                     : "");
+    std::printf("served sweep: %zu points over loopback TCP, %.1f "
+                "designs/sec served vs %.1f in-process (%.2fx "
+                "overhead), stream byte-identical\n", n_served,
+                static_cast<double>(n_served) / served_seconds,
+                static_cast<double>(n_served) / served_local_seconds,
+                served_overhead);
     std::error_code abs_ec;
     const std::filesystem::path abs_path =
         std::filesystem::absolute(path, abs_ec);

@@ -57,6 +57,12 @@ FLOORS = [
     # The on-disk outcome store must stay an optimization, never a
     # different answer.
     ("cachedSweep.identicalToFullRebuild", None, "true"),
+    # The sweep service: a served stream is the same bytes as a local
+    # run (the service contract), and the daemon's loopback round
+    # trip stays a bounded overhead over the library path.
+    ("servedSweep.identicalToInProcess", None, "true"),
+    ("servedSweep.overheadRatio", 25.0, "max"),
+    ("servedSweep.served.designsPerSec", 10, "min"),
 ]
 
 

@@ -49,6 +49,14 @@ JsonlReader::next()
     std::string line;
     while (std::getline(in_, line)) {
         ++lineNo_;
+        // Shard files produced on CRLF hosts (or piped through tools
+        // that rewrite line endings) carry a trailing \r per line;
+        // strip it so the record parses and raw stays the canonical
+        // LF bytes the merge re-emits. A final record with no
+        // trailing newline at all is already handled: getline
+        // delivers the unterminated tail as a normal line.
+        if (!line.empty() && line.back() == '\r')
+            line.pop_back();
         if (line.empty())
             continue;
         try {
@@ -92,9 +100,10 @@ struct ShardCursor
     }
 };
 
-/** Fold one record into the summary's running statistics. */
+} // namespace
+
 void
-accumulate(MergeSummary &summary, JsonlRecord record)
+accumulateMergeRecord(MergeSummary &summary, JsonlRecord record)
 {
     ++summary.records;
     if (!record.feasible) {
@@ -121,8 +130,6 @@ accumulate(MergeSummary &summary, JsonlRecord record)
     if (summary.topK.size() > summary.topKLimit)
         summary.topK.pop_back();
 }
-
-} // namespace
 
 MergeSummary
 mergeShardFiles(const std::vector<std::string> &paths,
@@ -169,7 +176,7 @@ mergeShardFiles(const std::vector<std::string> &paths,
         if (!out)
             fatal("merge: write failed after %zu line(s)",
                   summary.records);
-        accumulate(summary, std::move(*min_cursor->head));
+        accumulateMergeRecord(summary, std::move(*min_cursor->head));
         min_cursor->advance();
         ++expected;
     }

@@ -54,7 +54,15 @@ struct JsonlRecord
  *  or a missing/negative "index". */
 JsonlRecord parseJsonlLine(const std::string &line);
 
-/** Streaming reader over one shard JSONL file; skips blank lines. */
+/**
+ * Streaming reader over one shard JSONL file; skips blank lines.
+ * Tolerates the two transport mutations a shard file picks up moving
+ * between hosts: CRLF line endings (the \r is stripped, so raw stays
+ * the canonical LF-file bytes merge re-emits) and a missing trailing
+ * newline on the final record (a stream truncated exactly at a record
+ * boundary, then resumed). A record torn mid-JSON still fails loudly
+ * with the file and line named.
+ */
 class JsonlReader
 {
   public:
@@ -109,6 +117,15 @@ MergeSummary mergeShardFiles(const std::vector<std::string> &paths,
 /** Human-readable report of a merge (counts, category totals, the
  *  top-K table). */
 std::string formatMergeSummary(const MergeSummary &summary);
+
+/**
+ * Fold one record into @p summary's running statistics (counts,
+ * energy totals, the top-K table; topKLimit must be set first). The
+ * shared reducer behind mergeShardFiles and the sweep service's
+ * incremental job merger (src/serve/scheduler.h), so a streamed merge
+ * and a batch merge cannot drift.
+ */
+void accumulateMergeRecord(MergeSummary &summary, JsonlRecord record);
 
 /**
  * Gap scan: the global indices of [0, @p total) that no line of the

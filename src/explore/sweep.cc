@@ -136,6 +136,7 @@ SweepEngine::runStream(spec::SpecSource &source, ResultSink &sink,
     std::atomic<bool> stop{false};
     std::atomic<size_t> produced{0};
     std::atomic<size_t> delivered{0};
+    std::atomic<size_t> cache_hits{0};
     std::atomic<bool> sink_cancelled{false};
     std::mutex source_mutex; // serial sources only
     std::mutex sink_mutex;
@@ -234,6 +235,9 @@ SweepEngine::runStream(spec::SpecSource &source, ResultSink &sink,
                 first_error = std::current_exception();
             stop.store(true, std::memory_order_relaxed);
         }
+        if (inc && inc->outcomeStoreStats() != nullptr)
+            cache_hits.fetch_add(inc->outcomeStoreStats()->hits,
+                                 std::memory_order_relaxed);
     };
 
     if (workers <= 1) {
@@ -249,6 +253,8 @@ SweepEngine::runStream(spec::SpecSource &source, ResultSink &sink,
 
     stats.produced = produced.load(std::memory_order_relaxed);
     stats.delivered = delivered.load(std::memory_order_relaxed);
+    stats.outcomeCacheHits =
+        cache_hits.load(std::memory_order_relaxed);
     stats.cancelled = sink_cancelled.load(std::memory_order_relaxed);
     if (cancel != nullptr && cancel->cancelled())
         stats.cancelled = true;

@@ -93,6 +93,10 @@ struct StreamStats
     size_t delivered = 0;
     /** True when the sink or a CancelToken stopped the sweep early. */
     bool cancelled = false;
+    /** Points answered from the on-disk outcome store, summed over
+     *  all workers; 0 unless SweepOptions::cacheDir named one. The
+     *  sweep service reports this per job. */
+    size_t outcomeCacheHits = 0;
 };
 
 /** Parallel design-space evaluator. */

@@ -1,0 +1,146 @@
+#include "serve/protocol.h"
+
+#include <cerrno>
+#include <cstring>
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "common/logging.h"
+
+namespace camj::serve
+{
+
+LineReader::LineReader(int fd, size_t max_line,
+                       const std::atomic<bool> *stop)
+    : fd_(fd), maxLine_(max_line), stop_(stop)
+{
+}
+
+std::optional<std::string>
+LineReader::next()
+{
+    for (;;) {
+        const size_t pos = buf_.find('\n', scanned_);
+        if (pos != std::string::npos) {
+            std::string line = buf_.substr(0, pos);
+            buf_.erase(0, pos + 1);
+            scanned_ = 0;
+            if (!line.empty() && line.back() == '\r')
+                line.pop_back();
+            if (line.empty())
+                continue;
+            return line;
+        }
+        scanned_ = buf_.size();
+        if (buf_.size() > maxLine_)
+            fatal("serve: line exceeds the %zu-byte frame budget",
+                  maxLine_);
+        if (eof_) {
+            // The unterminated tail of the stream is the final line
+            // (a peer that wrote its last frame without a newline,
+            // or a stream cut exactly at a frame boundary).
+            if (buf_.empty())
+                return std::nullopt;
+            std::string line = std::move(buf_);
+            buf_.clear();
+            scanned_ = 0;
+            if (!line.empty() && line.back() == '\r')
+                line.pop_back();
+            if (line.empty())
+                return std::nullopt;
+            return line;
+        }
+        struct pollfd p;
+        p.fd = fd_;
+        p.events = POLLIN;
+        p.revents = 0;
+        const int rc = ::poll(&p, 1, 200);
+        if (stop_ != nullptr &&
+            stop_->load(std::memory_order_relaxed))
+            return std::nullopt;
+        if (rc < 0) {
+            if (errno == EINTR)
+                continue;
+            fatal("serve: poll failed: %s", std::strerror(errno));
+        }
+        if (rc == 0)
+            continue;
+        char chunk[4096];
+        const ssize_t n = ::read(fd_, chunk, sizeof chunk);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            // A reset peer is an end of stream, not a server error.
+            eof_ = true;
+            continue;
+        }
+        if (n == 0) {
+            eof_ = true;
+            continue;
+        }
+        buf_.append(chunk, static_cast<size_t>(n));
+    }
+}
+
+bool
+writeAll(int fd, const void *data, size_t len)
+{
+    const char *p = static_cast<const char *>(data);
+    while (len > 0) {
+        ssize_t n = ::send(fd, p, len, MSG_NOSIGNAL);
+        if (n < 0 && errno == ENOTSOCK)
+            n = ::write(fd, p, len); // pipes/files in tests
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            return false;
+        }
+        p += n;
+        len -= static_cast<size_t>(n);
+    }
+    return true;
+}
+
+bool
+writeLine(int fd, const std::string &line)
+{
+    std::string framed = line;
+    framed.push_back('\n');
+    return writeAll(fd, framed.data(), framed.size());
+}
+
+json::Value
+makeFrame(const std::string &type)
+{
+    json::Value frame = json::Value::makeObject();
+    frame.set("type", type);
+    return frame;
+}
+
+bool
+isControlFrame(const std::string &line)
+{
+    static const std::string prefix = "{\"type\":";
+    return line.compare(0, prefix.size(), prefix) == 0;
+}
+
+json::Value
+parseFrame(const std::string &line)
+{
+    json::Value frame = json::Value::parse(line);
+    if (!frame.isObject())
+        fatal("serve: control frame is not a JSON object");
+    if (frame.find("type") == nullptr)
+        fatal("serve: control frame has no \"type\" member");
+    return frame;
+}
+
+std::string
+frameLine(const json::Value &frame)
+{
+    return frame.dump(0);
+}
+
+} // namespace camj::serve

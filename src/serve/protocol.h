@@ -1,0 +1,101 @@
+/**
+ * @file
+ * The wire layer of the sweep service: line-oriented JSONL over a
+ * stream socket, dependency-free (BSD sockets + the spec/json value
+ * type), in the same no-external-deps discipline as the JSON parser
+ * itself. One frame per LF-terminated line, two kinds of lines:
+ *
+ *   - CONTROL frames: JSON objects whose first member is "type"
+ *     ({"type":"submit",...}, {"type":"status",...}). Built with
+ *     makeFrame(), so the insertion-ordered writer guarantees the
+ *     '{"type":' prefix isControlFrame() keys on.
+ *   - RESULT lines: sweepResultToJsonl() output copied VERBATIM,
+ *     which always leads with '{"index":'. A streaming client never
+ *     parses these — it forwards the exact bytes, which is what makes
+ *     a served stream byte-identical to a local `camj_sweep run`.
+ *
+ * LineReader is the read side: buffered reads off a file descriptor
+ * with a poll loop, tolerant of partial reads, CRLF line endings, and
+ * a missing trailing newline on the final line (mirroring
+ * JsonlReader's file-side tolerance), and loud — ConfigError — on a
+ * line exceeding the frame budget, so a stuck or hostile peer cannot
+ * buffer the server into the ground.
+ */
+
+#ifndef CAMJ_SERVE_PROTOCOL_H
+#define CAMJ_SERVE_PROTOCOL_H
+
+#include <atomic>
+#include <cstddef>
+#include <optional>
+#include <string>
+
+#include "spec/json.h"
+
+namespace camj::serve
+{
+
+/** Largest accepted line, control or result (a submitted sweep
+ *  document rides one line). */
+inline constexpr size_t kDefaultMaxFrameBytes = 8u << 20;
+
+/**
+ * Buffered line reader over a socket (or pipe) file descriptor.
+ * next() blocks in 200 ms poll slices; an optional stop flag turns a
+ * blocked reader into a clean end-of-stream, which is how server
+ * shutdown unblocks idle connection threads without closing fds out
+ * from under them.
+ */
+class LineReader
+{
+  public:
+    /** Does not own @p fd. @p stop, when given, must outlive the
+     *  reader. */
+    explicit LineReader(int fd,
+                        size_t max_line = kDefaultMaxFrameBytes,
+                        const std::atomic<bool> *stop = nullptr);
+
+    /**
+     * The next non-empty line (without its newline; a trailing \r is
+     * stripped), the unterminated final line at EOF, or nullopt at
+     * end of stream / when the stop flag fires.
+     *
+     * @throws ConfigError when a line exceeds the frame budget.
+     */
+    std::optional<std::string> next();
+
+  private:
+    int fd_;
+    size_t maxLine_;
+    const std::atomic<bool> *stop_;
+    std::string buf_;
+    size_t scanned_ = 0;
+    bool eof_ = false;
+};
+
+/** Write all of @p len bytes to @p fd (MSG_NOSIGNAL — a dead peer is
+ *  a false return, never a SIGPIPE). */
+bool writeAll(int fd, const void *data, size_t len);
+
+/** Write @p line plus the terminating newline. */
+bool writeLine(int fd, const std::string &line);
+
+/** A fresh control frame: an object whose FIRST member is "type" —
+ *  the member order is what distinguishes control lines from result
+ *  lines on the wire. */
+json::Value makeFrame(const std::string &type);
+
+/** True when @p line is a control frame ('{"type":' prefix) rather
+ *  than a verbatim result line ('{"index":'). */
+bool isControlFrame(const std::string &line);
+
+/** Parse a control frame. @throws ConfigError on malformed JSON, a
+ *  non-object, or a missing "type" member. */
+json::Value parseFrame(const std::string &line);
+
+/** Serialize a frame for the wire (single line, compact). */
+std::string frameLine(const json::Value &frame);
+
+} // namespace camj::serve
+
+#endif // CAMJ_SERVE_PROTOCOL_H

@@ -1,0 +1,270 @@
+#include "serve/server.h"
+
+#include <cerrno>
+#include <cstring>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "analysis/diagnostic.h"
+#include "common/logging.h"
+
+namespace camj::serve
+{
+
+namespace
+{
+
+/**
+ * Stream @p job's spool from byte 0, then the terminal end frame.
+ * The spool only ever grows and is retained after completion, so a
+ * late attacher replays the identical byte sequence.
+ *
+ * @return false when the peer went away mid-stream.
+ */
+bool
+streamJob(int fd, JobRecord &job)
+{
+    size_t offset = 0;
+    for (;;) {
+        std::string chunk;
+        const bool more = job.waitSpool(offset, chunk);
+        if (!chunk.empty() &&
+            !writeAll(fd, chunk.data(), chunk.size()))
+            return false;
+        if (!more)
+            break;
+    }
+    return writeLine(fd, frameLine(job.endFrame()));
+}
+
+bool
+sendError(int fd, const std::string &message)
+{
+    json::Value err = makeFrame("error");
+    err.set("message", message);
+    return writeLine(fd, frameLine(err));
+}
+
+} // namespace
+
+Server::Server(ServerOptions options)
+    : options_(std::move(options)),
+      scheduler_(options_.scheduler, registry_)
+{
+    listenFd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (listenFd_ < 0)
+        fatal("serve: socket failed: %s", std::strerror(errno));
+    const int one = 1;
+    ::setsockopt(listenFd_, SOL_SOCKET, SO_REUSEADDR, &one,
+                 sizeof one);
+    struct sockaddr_in addr;
+    std::memset(&addr, 0, sizeof addr);
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(static_cast<uint16_t>(options_.port));
+    if (::bind(listenFd_, reinterpret_cast<struct sockaddr *>(&addr),
+               sizeof addr) < 0) {
+        const int err = errno;
+        ::close(listenFd_);
+        listenFd_ = -1;
+        fatal("serve: cannot bind 127.0.0.1:%d: %s", options_.port,
+              std::strerror(err));
+    }
+    if (::listen(listenFd_, 16) < 0) {
+        const int err = errno;
+        ::close(listenFd_);
+        listenFd_ = -1;
+        fatal("serve: listen failed: %s", std::strerror(err));
+    }
+    socklen_t len = sizeof addr;
+    if (::getsockname(listenFd_,
+                      reinterpret_cast<struct sockaddr *>(&addr),
+                      &len) < 0)
+        fatal("serve: getsockname failed: %s",
+              std::strerror(errno));
+    port_ = static_cast<int>(ntohs(addr.sin_port));
+}
+
+Server::~Server()
+{
+    requestStop();
+    if (listenFd_ >= 0) {
+        ::close(listenFd_);
+        listenFd_ = -1;
+    }
+    scheduler_.drain();
+    std::vector<std::thread> taken;
+    {
+        std::lock_guard<std::mutex> lock(connMutex_);
+        taken.swap(connections_);
+    }
+    for (std::thread &t : taken)
+        t.join();
+}
+
+void
+Server::serve()
+{
+    while (!stop_.load(std::memory_order_relaxed)) {
+        struct pollfd p;
+        p.fd = listenFd_;
+        p.events = POLLIN;
+        p.revents = 0;
+        const int rc = ::poll(&p, 1, 200);
+        if (stop_.load(std::memory_order_relaxed))
+            break;
+        if (rc <= 0)
+            continue;
+        const int fd = ::accept(listenFd_, nullptr, nullptr);
+        if (fd < 0)
+            continue;
+        std::lock_guard<std::mutex> lock(connMutex_);
+        connections_.emplace_back([this, fd] {
+            handleConnection(fd);
+            ::close(fd);
+        });
+    }
+    // Drain: running jobs finish and flush their streams; new
+    // submits have been rejected since stop_ fired (the scheduler
+    // refuses once drained). Then the connection threads — streamers
+    // complete naturally, idle readers observe stop_ within one poll
+    // slice.
+    scheduler_.drain();
+    std::vector<std::thread> taken;
+    {
+        std::lock_guard<std::mutex> lock(connMutex_);
+        taken.swap(connections_);
+    }
+    for (std::thread &t : taken)
+        t.join();
+}
+
+void
+Server::handleConnection(int fd)
+{
+    try {
+        LineReader reader(fd, options_.maxFrameBytes, &stop_);
+        while (std::optional<std::string> line = reader.next()) {
+            json::Value frame;
+            try {
+                frame = parseFrame(*line);
+            } catch (const ConfigError &e) {
+                if (!sendError(fd, e.what()))
+                    return;
+                continue;
+            }
+            const std::string type = frame.at("type").asString();
+            if (type == "ping") {
+                if (!writeLine(fd, frameLine(makeFrame("pong"))))
+                    return;
+            } else if (type == "submit") {
+                handleSubmit(fd, frame);
+            } else if (type == "status") {
+                const std::string id = frame.getString("job", "");
+                const auto job = registry_.find(id);
+                if (job == nullptr) {
+                    if (!sendError(fd, strprintf("unknown job '%s'",
+                                                 id.c_str())))
+                        return;
+                } else if (!writeLine(fd,
+                                      frameLine(job->statusFrame()))) {
+                    return;
+                }
+            } else if (type == "cancel") {
+                const std::string id = frame.getString("job", "");
+                const auto job = registry_.find(id);
+                if (job == nullptr) {
+                    if (!sendError(fd, strprintf("unknown job '%s'",
+                                                 id.c_str())))
+                        return;
+                } else {
+                    job->cancel.cancel();
+                    json::Value ack = makeFrame("cancelled");
+                    ack.set("job", id);
+                    if (!writeLine(fd, frameLine(ack)))
+                        return;
+                }
+            } else if (type == "stream") {
+                const std::string id = frame.getString("job", "");
+                const auto job = registry_.find(id);
+                if (job == nullptr) {
+                    if (!sendError(fd, strprintf("unknown job '%s'",
+                                                 id.c_str())))
+                        return;
+                } else if (!streamJob(fd, *job)) {
+                    // A re-streamer going away does not cancel the
+                    // job — the submitter may still be attached.
+                    return;
+                }
+            } else if (type == "jobs") {
+                json::Value reply = makeFrame("jobs");
+                json::Value arr = json::Value::makeArray();
+                for (const auto &job : registry_.jobs())
+                    arr.push(job->statusFrame());
+                reply.set("jobs", std::move(arr));
+                if (!writeLine(fd, frameLine(reply)))
+                    return;
+            } else {
+                if (!sendError(fd,
+                               strprintf("unknown frame type '%s'",
+                                         type.c_str())))
+                    return;
+            }
+        }
+    } catch (const std::exception &e) {
+        // An oversized line or a protocol invariant violation:
+        // answer best-effort, then drop the connection.
+        sendError(fd, e.what());
+    }
+}
+
+void
+Server::handleSubmit(int fd, const json::Value &frame)
+{
+    const json::Value *doc = frame.find("doc");
+    if (doc == nullptr) {
+        sendError(fd, "submit needs a \"doc\" member carrying the "
+                      "sweep document");
+        return;
+    }
+    const int frames = static_cast<int>(frame.getInt("frames", 0));
+    const int threads = static_cast<int>(frame.getInt("threads", 0));
+    Scheduler::Admission adm =
+        scheduler_.submit(doc->dump(0), frames, threads);
+    if (adm.job == nullptr) {
+        json::Value rej = makeFrame("rejected");
+        rej.set("reason", adm.reason);
+        json::Value diags = json::Value::makeArray();
+        for (const analysis::Diagnostic &d : adm.diagnostics) {
+            json::Value item = json::Value::makeObject();
+            item.set("code", d.code);
+            item.set("severity",
+                     analysis::severityName(d.severity));
+            if (!d.path.empty())
+                item.set("path", d.path);
+            item.set("message", d.message);
+            diags.push(std::move(item));
+        }
+        rej.set("diagnostics", std::move(diags));
+        writeLine(fd, frameLine(rej));
+        return;
+    }
+    json::Value acc = makeFrame("accepted");
+    acc.set("job", adm.job->id());
+    acc.set("points", static_cast<int64_t>(adm.points));
+    acc.set("pruned", static_cast<int64_t>(adm.pruned));
+    if (!writeLine(fd, frameLine(acc))) {
+        adm.job->cancel.cancel();
+        return;
+    }
+    // The submitter going away cancels its job: nobody is left to
+    // read the stream.
+    if (!streamJob(fd, *adm.job))
+        adm.job->cancel.cancel();
+}
+
+} // namespace camj::serve

@@ -434,6 +434,62 @@ TEST(ShardMerge, FailsLoudlyOnShortOrOverfullTotal)
               2u);
 }
 
+TEST(ShardMerge, CrlfShardFilesMergeByteIdentical)
+{
+    // Shard files written on (or round-tripped through) a CRLF
+    // platform merge to the same LF-terminated bytes: JsonlReader
+    // strips the \r before the raw line is stored.
+    const fs::path dir = scratchDir("merge_crlf");
+    const spec::SweepDocument doc = smallStudy();
+    const std::string reference = singleProcessJsonl(doc);
+    const spec::ShardPlan plan = spec::planShards(doc.grid.points(), 2);
+    std::vector<std::string> paths;
+    for (const spec::ShardAssignment &a : plan.shards) {
+        std::string body = shardJsonl(doc, a);
+        std::string crlf;
+        for (char c : body) {
+            if (c == '\n')
+                crlf += '\r';
+            crlf += c;
+        }
+        fs::path p = dir / strprintf("s%zu.jsonl", a.shardIndex);
+        writeFile(p, crlf);
+        paths.push_back(p.string());
+    }
+    std::ostringstream merged;
+    mergeShardFiles(paths, merged, 5, doc.grid.points());
+    EXPECT_EQ(merged.str(), reference);
+}
+
+TEST(ShardMerge, MissingTrailingNewlineOnFinalRecordIsTolerated)
+{
+    const fs::path dir = scratchDir("merge_no_final_lf");
+    const spec::SweepDocument doc = smallStudy();
+    std::string body = shardJsonl(doc, spec::planShards(
+        doc.grid.points(), 1).shards[0]);
+    ASSERT_EQ(body.back(), '\n');
+    body.pop_back();
+    writeFile(dir / "s0.jsonl", body);
+    std::ostringstream merged;
+    const MergeSummary s = mergeShardFiles(
+        {(dir / "s0.jsonl").string()}, merged, 5, doc.grid.points());
+    EXPECT_EQ(s.records, doc.grid.points());
+    EXPECT_EQ(merged.str(), singleProcessJsonl(doc));
+}
+
+TEST(ShardMerge, TornFinalLineStillFailsLoudly)
+{
+    // Tolerating a missing newline must NOT quietly accept a line a
+    // dying worker wrote half of.
+    const fs::path dir = scratchDir("merge_torn");
+    writeFile(dir / "s0.jsonl",
+              "{\"index\": 0}\n{\"index\": 1, \"feasib");
+    std::ostringstream out;
+    EXPECT_THROW(
+        mergeShardFiles({(dir / "s0.jsonl").string()}, out),
+        ConfigError);
+}
+
 TEST(ShardMerge, NamesFileAndLineOnMalformedInput)
 {
     const fs::path dir = scratchDir("merge_malformed");
