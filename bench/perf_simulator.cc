@@ -19,8 +19,12 @@
  * widened grid with provably infeasible axis values, pruned by
  * GridAnalyzer with zero tolerated false positives), the strided
  * sweep (the gen-2 compiled-point LRU under a stride-12 shard order,
- * against a gen-1 last-point-only emulation), and the cached sweep
- * (the content-addressed on-disk outcome store, cold vs. warm), so
+ * against a gen-1 last-point-only emulation), the cached sweep
+ * (the content-addressed on-disk outcome store, cold vs. warm), the
+ * cycle-sim engine pair (a cycle-dominated frame through the
+ * fast-forward engine vs. the tick-loop reference — counters must be
+ * bit-identical and the speedup must clear 5x), and a per-stage
+ * wall-clock profile of EvalPipeline over the canonical grid, so
  * CI can track the simulator's evaluation-throughput trajectory
  * across PRs. Every cached/incremental section hard-fails unless its
  * output is byte-identical to a full rebuild.
@@ -42,6 +46,7 @@
 #include <algorithm>
 #include <atomic>
 #include <chrono>
+#include <cinttypes>
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
@@ -56,6 +61,8 @@
 
 #include "analysis/grid_analyzer.h"
 #include "common/logging.h"
+#include "core/design.h"
+#include "core/pipeline.h"
 #include "serve/client.h"
 #include "serve/server.h"
 #include "digital/cyclesim.h"
@@ -1477,6 +1484,155 @@ writeBenchJson()
     served.set("identicalToInProcess", json::Value(true));
     doc.set("servedSweep", std::move(served));
 
+    // Cycle-sim engines: one cycle-dominated frame — a slow
+    // fractional-rate ADC (5/8 word/cycle) feeding a sliding-window
+    // unit (retire 5/8) chained into a 2:1 reducer, ~6.7M digital
+    // cycles — through the reference tick loop and the fast-forward
+    // engine, best-of-3 each. Two in-binary acceptance bars: the
+    // counters must be bit-identical across engines (fast-forward is
+    // an execution strategy, never a different simulation), and the
+    // single-core speedup must clear 5x.
+    auto build_cyclesim_frame = [] {
+        CycleSim sim;
+        const int line = sim.addMemory(
+            {.name = "line", .capacityWords = 4096});
+        const int mid = sim.addMemory(
+            {.name = "mid", .capacityWords = 4096});
+        const int64_t words = 1 << 22;
+        sim.addSource({.name = "adc", .totalWords = words,
+                       .wordsPerCycle = 0.625, .memIdx = line});
+        SimUnit win;
+        win.name = "win";
+        win.inputs.push_back(
+            {.memIdx = line, .needWords = 9, .readWords = 3,
+             .retireWords = 0.625,
+             .expectedWords = static_cast<double>(words)});
+        win.outMemIdx = mid;
+        win.outWords = 1;
+        win.totalFires = (words - 9) * 8 / 5; // arrivals / retire
+        win.latency = 8;
+        sim.addUnit(win);
+        SimUnit reduce;
+        reduce.name = "reduce";
+        reduce.inputs.push_back({.memIdx = mid, .needWords = 4,
+                                 .readWords = 2, .retireWords = 2.0});
+        reduce.outMemIdx = -1;
+        reduce.outWords = 1;
+        reduce.totalFires = (win.totalFires - 4) / 2;
+        reduce.latency = 16;
+        sim.addUnit(reduce);
+        return sim;
+    };
+    auto time_cyclesim = [&](CycleSim::Mode mode,
+                             CycleSimResult *result) {
+        CycleSim sim = build_cyclesim_frame();
+        sim.setMode(mode);
+        sim.run(); // warm-up
+        double best = 1e30;
+        for (int rep = 0; rep < 3; ++rep) {
+            const auto t0 = std::chrono::steady_clock::now();
+            CycleSimResult r = sim.run();
+            const auto t1 = std::chrono::steady_clock::now();
+            best = std::min(
+                best,
+                std::chrono::duration<double>(t1 - t0).count());
+            if (result != nullptr)
+                *result = std::move(r);
+        }
+        return best;
+    };
+    CycleSimResult cs_tick, cs_ffwd;
+    const double cs_tick_seconds =
+        time_cyclesim(CycleSim::Mode::TickLoop, &cs_tick);
+    const double cs_ffwd_seconds =
+        time_cyclesim(CycleSim::Mode::FastForward, &cs_ffwd);
+    if (!sameCounters(cs_tick, cs_ffwd)) {
+        std::fprintf(stderr, "error: fast-forward cycle-sim counters "
+                     "differ from the tick loop\n");
+        return false;
+    }
+    const double cs_speedup = cs_tick_seconds / cs_ffwd_seconds;
+    if (cs_speedup < 5.0) {
+        std::fprintf(stderr, "error: fast-forward cycle sim is only "
+                     "%.2fx the tick loop (bar: 5.0x)\n", cs_speedup);
+        return false;
+    }
+    const double cs_cycles = static_cast<double>(cs_tick.cycles);
+    json::Value cyclesim = json::Value::makeObject();
+    cyclesim.set("frameCycles", json::Value(cs_tick.cycles));
+    json::Value cs_tick_run = json::Value::makeObject();
+    cs_tick_run.set("seconds", json::Value(cs_tick_seconds));
+    cs_tick_run.set("cyclesPerSec",
+                    json::Value(cs_cycles / cs_tick_seconds));
+    cyclesim.set("tickLoop", std::move(cs_tick_run));
+    json::Value cs_ffwd_run = json::Value::makeObject();
+    cs_ffwd_run.set("seconds", json::Value(cs_ffwd_seconds));
+    cs_ffwd_run.set("cyclesPerSec",
+                    json::Value(cs_cycles / cs_ffwd_seconds));
+    cs_ffwd_run.set("cyclesTicked",
+                    json::Value(cs_ffwd.stats.cyclesTicked));
+    cs_ffwd_run.set("cyclesFastForwarded",
+                    json::Value(cs_ffwd.stats.cyclesFastForwarded));
+    cs_ffwd_run.set("periodsDetected",
+                    json::Value(cs_ffwd.stats.periodsDetected));
+    cs_ffwd_run.set("fallbacks",
+                    json::Value(cs_ffwd.stats.fallbacks));
+    cyclesim.set("fastForward", std::move(cs_ffwd_run));
+    cyclesim.set("speedup", json::Value(cs_speedup));
+    cyclesim.set("identicalToTickLoop", json::Value(true));
+    doc.set("cycleSim", std::move(cyclesim));
+
+    // Stage profile: where one-at-a-time evaluation time goes. Every
+    // point of the (--points-scaled) canonical study through
+    // EvalPipeline::runAllTimed, per-stage wall-clock accumulated
+    // across the grid — the breakdown that shows cyclesim's share of
+    // the pipeline (the fast-forward engine's target) and flags any
+    // stage creeping back up.
+    const spec::SweepDocument prof_doc = shardedStudyDocument();
+    std::vector<spec::DesignSpec> prof_pts =
+        spec::expandGrid(prof_doc.base, prof_doc.grid);
+    double stage_seconds[kEvalStageCount] = {0};
+    int64_t prof_feasible = 0, prof_infeasible = 0;
+    const auto prof_t0 = std::chrono::steady_clock::now();
+    for (const spec::DesignSpec &s : prof_pts) {
+        try {
+            Design prof_design = s.materialize();
+            EvalPipeline prof_pipeline;
+            prof_pipeline.runAllTimed(prof_design, stage_seconds);
+            ++prof_feasible;
+        } catch (const std::exception &) {
+            ++prof_infeasible;
+        }
+    }
+    const auto prof_t1 = std::chrono::steady_clock::now();
+    const double prof_seconds =
+        std::chrono::duration<double>(prof_t1 - prof_t0).count();
+    double staged_seconds = 0.0;
+    for (double s : stage_seconds)
+        staged_seconds += s;
+    json::Value profile = json::Value::makeObject();
+    profile.set("designPoints",
+                json::Value(static_cast<int64_t>(prof_pts.size())));
+    profile.set("feasiblePoints", json::Value(prof_feasible));
+    profile.set("infeasiblePoints", json::Value(prof_infeasible));
+    profile.set("seconds", json::Value(prof_seconds));
+    profile.set("designsPerSec",
+                json::Value(static_cast<double>(prof_pts.size()) /
+                            prof_seconds));
+    json::Value prof_stages = json::Value::makeObject();
+    for (int i = 0; i < kEvalStageCount; ++i) {
+        json::Value stage = json::Value::makeObject();
+        stage.set("seconds", json::Value(stage_seconds[i]));
+        stage.set("share",
+                  json::Value(staged_seconds > 0.0
+                                  ? stage_seconds[i] / staged_seconds
+                                  : 0.0));
+        prof_stages.set(evalStageName(static_cast<EvalStage>(i)),
+                        std::move(stage));
+    }
+    profile.set("stages", std::move(prof_stages));
+    doc.set("stageProfile", std::move(profile));
+
     const char *env_path = std::getenv("BENCH_JSON_PATH");
     const std::string path =
         env_path != nullptr ? env_path : "BENCH_simulator.json";
@@ -1553,6 +1709,22 @@ writeBenchJson()
                 static_cast<double>(n_served) / served_seconds,
                 static_cast<double>(n_served) / served_local_seconds,
                 served_overhead);
+    std::printf("cycle sim: %" PRId64 " frame cycles, %.3fs tick "
+                "loop vs %.4fs fast-forward (%.1fx, bar 5.0x; %"
+                PRId64 " jumps, %" PRId64 " cycles ticked), counters "
+                "bit-identical\n", cs_tick.cycles, cs_tick_seconds,
+                cs_ffwd_seconds, cs_speedup,
+                cs_ffwd.stats.periodsDetected,
+                cs_ffwd.stats.cyclesTicked);
+    std::printf("stage profile: %zu points in %.3fs;", prof_pts.size(),
+                prof_seconds);
+    for (int i = 0; i < kEvalStageCount; ++i)
+        std::printf(" %s %.0f%%",
+                    evalStageName(static_cast<EvalStage>(i)),
+                    100.0 * (staged_seconds > 0.0
+                                 ? stage_seconds[i] / staged_seconds
+                                 : 0.0));
+    std::printf("\n");
     std::error_code abs_ec;
     const std::filesystem::path abs_path =
         std::filesystem::absolute(path, abs_ec);

@@ -200,13 +200,16 @@ Design::setPipelineOutputBytes(int64_t bytes)
 }
 
 EnergyReport
-Design::simulate() const
+Design::simulate(CycleSimStats *sim_stats) const
 {
     // The staged evaluation pipeline run end to end — see
     // core/pipeline.h for the stage decomposition the incremental
     // evaluator re-runs suffixes of.
     EvalPipeline pipeline;
-    return pipeline.runAll(*this);
+    EnergyReport report = pipeline.runAll(*this);
+    if (sim_stats != nullptr)
+        *sim_stats = pipeline.simStats();
+    return report;
 }
 
 void

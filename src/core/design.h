@@ -31,6 +31,8 @@
 namespace camj
 {
 
+struct CycleSimStats;
+
 /** Role of an analog array, for energy-category accounting. */
 enum class AnalogRole
 {
@@ -121,10 +123,13 @@ class Design
      * Run all checks and the energy estimation for one frame — every
      * stage of the evaluation pipeline (core/pipeline.h) in order.
      *
+     * @param sim_stats When non-null, receives the cycle-sim
+     *        execution diagnostics of the run (how the digital
+     *        simulation executed, not what it computed).
      * @throws ConfigError on any failed pre-simulation check, a
      *         pipeline stall, or a missed FPS target.
      */
-    EnergyReport simulate() const;
+    EnergyReport simulate(CycleSimStats *sim_stats = nullptr) const;
 
     // ----- incremental patch points -----
     //

@@ -1,6 +1,7 @@
 #include "core/pipeline.h"
 
 #include <algorithm>
+#include <chrono>
 #include <optional>
 
 #include "common/logging.h"
@@ -350,6 +351,7 @@ EvalPipeline::runCycleSim(const Design &d)
     // Pass A: latency with a source matched to the first consumer's
     // appetite (the digital side is never input-bound).
     cyclesA_ = 0;
+    simBuilt_ = false;
     if (!haveDigital_)
         return;
     double fast_rate = 1.0;
@@ -364,9 +366,11 @@ EvalPipeline::runCycleSim(const Design &d)
             }
         }
     }
-    CycleSim simA = buildSim(d, fast_rate);
-    CycleSimResult ra = simA.run();
+    sim_ = buildSim(d, fast_rate);
+    simBuilt_ = true;
+    CycleSimResult ra = sim_.run();
     cyclesA_ = ra.cycles;
+    statsA_ = ra.stats;
 }
 
 // --------------------------------------------------------------- Timing
@@ -387,8 +391,16 @@ EvalPipeline::runTiming(const Design &d)
         double adc_rate = static_cast<double>(volume_) /
                           (delay_.analogUnitTime *
                            d.params_.digitalClock);
-        CycleSim simB = buildSim(d, adc_rate);
-        CycleSimResult rb = simB.run();
+        // Pass B reuses pass A's built topology; the two passes only
+        // differ in the source rate. (A re-run starting at Timing on
+        // a pipeline without a built sim rebuilds it on demand.)
+        if (!simBuilt_) {
+            sim_ = buildSim(d, adc_rate);
+            simBuilt_ = true;
+        }
+        sim_.setSourceRate(0, adc_rate);
+        CycleSimResult rb = sim_.run();
+        statsB_ = rb.stats;
         if (rb.sourceBlocked) {
             fatal("Design %s: pipeline stall — the ADC output memory "
                   "fills up at the required frame rate (%lld blocked "
@@ -593,6 +605,8 @@ EvalPipeline::runFrom(const Design &design, EvalStage first,
 {
     stagesEntered_ = 0;
     cutoff_ = false;
+    statsA_ = {};
+    statsB_ = {};
     const int first_idx = static_cast<int>(first);
     const int reader_idx = static_cast<int>(last_reader);
     // A cutoff is only sound when the caller vouches (via the
@@ -626,6 +640,25 @@ EnergyReport
 EvalPipeline::runAll(const Design &design)
 {
     return runFrom(design, EvalStage::Map);
+}
+
+EnergyReport
+EvalPipeline::runAllTimed(const Design &design,
+                          double seconds_out[/*kEvalStageCount*/])
+{
+    stagesEntered_ = 0;
+    cutoff_ = false;
+    statsA_ = {};
+    statsB_ = {};
+    for (int s = 0; s < kEvalStageCount; ++s) {
+        ++stagesEntered_;
+        const auto t0 = std::chrono::steady_clock::now();
+        runStage(design, static_cast<EvalStage>(s));
+        seconds_out[s] += std::chrono::duration<double>(
+                              std::chrono::steady_clock::now() - t0)
+                              .count();
+    }
+    return report_;
 }
 
 } // namespace camj

@@ -100,8 +100,27 @@ class EvalPipeline
     EnergyReport runFrom(const Design &design, EvalStage first,
                          EvalStage last_reader);
 
+    /**
+     * runAll() with a per-stage wall-clock breakdown: the time spent
+     * inside each stage is ADDED to @p seconds_out (indexed by
+     * EvalStage), so a caller can accumulate a profile over many
+     * designs. Bench-only instrumentation; results are identical to
+     * runAll().
+     */
+    EnergyReport runAllTimed(const Design &design,
+                             double seconds_out[/*kEvalStageCount*/]);
+
     /** The Energy stage's output (valid after a successful run). */
     const EnergyReport &report() const { return report_; }
+
+    /** Cycle-sim execution diagnostics of the last run: pass A plus
+     *  pass B, zero for passes the run skipped. */
+    CycleSimStats simStats() const
+    {
+        CycleSimStats s = statsA_;
+        s += statsB_;
+        return s;
+    }
 
     /** Stages the last runFrom()/runAll() actually entered (counted
      *  before each stage runs, so a mid-stage ConfigError still
@@ -149,6 +168,16 @@ class EvalPipeline
 
     // ----- CycleSim outputs -----
     int64_t cyclesA_ = 0;
+    /**
+     * Pass A's built topology, reused by the Timing stage's pass B
+     * through CycleSim::setSourceRate() instead of a second
+     * buildSim(). Deliberately NOT part of sameOutputs(CycleSim) —
+     * the incremental cutoff contract only needs cyclesA_, and a
+     * re-run that starts at Timing rebuilds the sim on demand when
+     * this instance does not carry one.
+     */
+    CycleSim sim_;
+    bool simBuilt_ = false;
 
     // ----- Timing outputs -----
     DelayEstimate delay_;
@@ -159,6 +188,9 @@ class EvalPipeline
     // ----- run bookkeeping (not stage state) -----
     int stagesEntered_ = 0;
     bool cutoff_ = false;
+    /** Cycle-sim diagnostics of the last run (pass A / pass B). */
+    CycleSimStats statsA_;
+    CycleSimStats statsB_;
 
     void runStage(const Design &d, EvalStage stage);
     /** Stage @p stage's outputs equal @p cached's, bit-for-bit. */

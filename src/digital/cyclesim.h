@@ -14,13 +14,30 @@
  *
  * The model is transaction-level: every unit moves its declared
  * per-cycle shapes; pipeline depth delays the landing of outputs.
+ *
+ * Because every rate in the model is constant, the simulation
+ * becomes AFFINE-PERIODIC once the pipeline reaches steady state:
+ * the discrete skeleton (reserved words, in-flight landings,
+ * drained/done flags) repeats exactly while occupancies, credits,
+ * and arrival counters advance by a fixed per-period delta. Rates
+ * are snapped to 8 significant binary digits on entry (addSource /
+ * addUnit / setSourceRate; at most 0.2% relative error), which makes
+ * every per-cycle double operation exact, so a verified period
+ * replays bit-identically any number of times. The default
+ * Mode::FastForward engine detects the period from a skeleton
+ * fingerprint, verifies the deltas over two more periods, and then
+ * jumps whole periods at once in closed form, bounded by the nearest
+ * discrete event (a source draining, a unit reaching totalFires) and
+ * by every recorded float-comparison margin — turning
+ * O(frame-cycles) ticking into O(events) while producing counters
+ * bit-identical to the Mode::TickLoop reference (pinned by
+ * tests/cyclesim_diff_test.cc; see docs/performance.md).
  */
 
 #ifndef CAMJ_DIGITAL_CYCLESIM_H
 #define CAMJ_DIGITAL_CYCLESIM_H
 
 #include <cstdint>
-#include <deque>
 #include <string>
 #include <vector>
 
@@ -40,6 +57,8 @@ struct SimMemory
      * not deplete occupancy; writes overwrite in place.
      */
     bool prefilled = false;
+
+    bool operator==(const SimMemory &) const = default;
 };
 
 /** A data producer at the analog/digital boundary (ADC output). */
@@ -49,10 +68,13 @@ struct SimSource
     /** Words pushed per frame. */
     int64_t totalWords = 0;
     /** Production rate [words/cycle]; may be fractional (a slow ADC
-     *  produces less than one word per digital cycle). */
+     *  produces less than one word per digital cycle). Snapped to 8
+     *  significant binary digits by addSource/setSourceRate. */
     double wordsPerCycle = 1.0;
     /** Destination memory index. */
     int memIdx = -1;
+
+    bool operator==(const SimSource &) const = default;
 };
 
 /** One input port of a compute unit. */
@@ -66,7 +88,8 @@ struct SimPort
     /** Words actually read per fire (memory read accesses). */
     int64_t readWords = 1;
     /** Words retired (freed) per fire; fractional for sliding-window
-     *  reuse where a fire advances by less than it reads. */
+     *  reuse where a fire advances by less than it reads. Snapped to
+     *  8 significant binary digits by addUnit. */
     double retireWords = 1.0;
     /**
      * Total words that will arrive in the source memory over the
@@ -76,6 +99,8 @@ struct SimPort
      * zero, readiness falls back to current occupancy.
      */
     double expectedWords = 0.0;
+
+    bool operator==(const SimPort &) const = default;
 };
 
 /** A pipelined compute unit. */
@@ -91,6 +116,38 @@ struct SimUnit
     int64_t totalFires = 0;
     /** Pipeline depth in cycles. */
     int latency = 1;
+
+    bool operator==(const SimUnit &) const = default;
+};
+
+/**
+ * How one run() executed — diagnostics, not semantics. The counters
+ * depend on CycleSim::Mode (the tick loop never fast-forwards), so
+ * they are deliberately EXCLUDED from sameCounters() and from every
+ * serialized result format.
+ */
+struct CycleSimStats
+{
+    /** Cycles simulated one at a time. */
+    int64_t cyclesTicked = 0;
+    /** Cycles skipped in closed form by period jumps. */
+    int64_t cyclesFastForwarded = 0;
+    /** Verified periods jumped over (one count per jump). */
+    int64_t periodsDetected = 0;
+    /** Candidate periods rejected by delta verification or by the
+     *  event/precision jump bounds (each fell back to ticking). */
+    int64_t fallbacks = 0;
+
+    CycleSimStats &operator+=(const CycleSimStats &o)
+    {
+        cyclesTicked += o.cyclesTicked;
+        cyclesFastForwarded += o.cyclesFastForwarded;
+        periodsDetected += o.periodsDetected;
+        fallbacks += o.fallbacks;
+        return *this;
+    }
+
+    bool operator==(const CycleSimStats &) const = default;
 };
 
 /** Result of simulating one frame. */
@@ -110,15 +167,37 @@ struct CycleSimResult
     int64_t portConflictCycles = 0;
     /** True if any source was ever blocked. */
     bool sourceBlocked = false;
+    /** Execution diagnostics (mode-dependent; see CycleSimStats). */
+    CycleSimStats stats;
 };
+
+/** Every semantic field of @p a equals @p b's (stats excluded: they
+ *  describe how the engine ran, not what the pipeline did). */
+bool sameCounters(const CycleSimResult &a, const CycleSimResult &b);
 
 /**
  * The pipeline simulator. Build with addMemory/addSource/addUnit
- * (units in topological order), then run().
+ * (units in topological order), then run(). run() does not consume
+ * the topology: the same instance can run() repeatedly (the Timing
+ * stage's pass B reuses pass A's topology with setSourceRate()
+ * instead of rebuilding it).
  */
 class CycleSim
 {
   public:
+    /** Which engine run() uses. Counters are bit-identical across
+     *  modes; only CycleSimResult::stats differs. */
+    enum class Mode
+    {
+        /** Periodic steady-state detection with closed-form jumps
+         *  (the default). Degrades to plain ticking whenever no
+         *  period verifies. */
+        FastForward,
+        /** The reference cycle-at-a-time loop, kept compiled-in as
+         *  the differential-testing baseline. */
+        TickLoop,
+    };
+
     /** @return memory index. @throws ConfigError on bad params. */
     int addMemory(SimMemory mem);
 
@@ -127,6 +206,35 @@ class CycleSim
 
     /** @return unit index. @throws ConfigError on bad params. */
     int addUnit(SimUnit unit);
+
+    /** Re-point source @p idx at a new production rate, keeping the
+     *  rest of the topology (pass A -> pass B reuse).
+     *  @throws ConfigError on a bad index or rate. */
+    void setSourceRate(int idx, double words_per_cycle);
+
+    /** Override the process-wide default mode for this instance. */
+    void setMode(Mode mode)
+    {
+        mode_ = mode;
+        modeSet_ = true;
+    }
+
+    /** The mode run() will use (instance override, else the
+     *  process-wide default). */
+    Mode mode() const { return modeSet_ ? mode_ : defaultMode(); }
+
+    /** Process-wide default mode (Mode::FastForward unless changed);
+     *  differential suites flip it to drive whole pipelines through
+     *  the reference engine. Thread-safe. */
+    static Mode defaultMode();
+    static void setDefaultMode(Mode mode);
+
+    /** The topologies are identical (memories, sources, units). */
+    bool sameTopology(const CycleSim &o) const
+    {
+        return mems_ == o.mems_ && sources_ == o.sources_ &&
+               units_ == o.units_;
+    }
 
     /**
      * Simulate one frame.
@@ -141,6 +249,11 @@ class CycleSim
     std::vector<SimMemory> mems_;
     std::vector<SimSource> sources_;
     std::vector<SimUnit> units_;
+    Mode mode_ = Mode::FastForward;
+    bool modeSet_ = false;
+
+    CycleSimResult runTickLoop(int64_t max_cycles);
+    CycleSimResult runFastForward(int64_t max_cycles);
 };
 
 } // namespace camj

@@ -306,6 +306,7 @@ IncrementalEvaluator::fullBuild(const spec::DesignSpec &spec,
         EnergyReport report = pipeline.runAll(design);
         stats_.stagesRun += static_cast<size_t>(pipeline.stagesEntered());
         SimulationOutcome out = finishOutcome(options_, report);
+        out.simStats = pipeline.simStats();
         persist(doc, true, {}, report);
         hintBaseId_ = lru_.insert(
             structural_hash,
@@ -366,6 +367,7 @@ IncrementalEvaluator::incrementalRun(const spec::DesignSpec &spec,
         if (pipeline.cutoffHit())
             ++stats_.equalityCutoffs;
         SimulationOutcome out = finishOutcome(options_, report);
+        out.simStats = pipeline.simStats();
         persist(doc, true, {}, report);
         hintBaseId_ = lru_.insert(
             structural_hash,

@@ -66,10 +66,19 @@ Simulator::failure(const std::string &what) const
 SimulationOutcome
 Simulator::run(const Design &design) const
 {
-    if (options_.checkMode == CheckMode::Strict)
-        return finish(design.simulate());
+    // Stats are attached to feasible outcomes only: a throwing check
+    // abandons the pipeline mid-run, so there is nothing coherent to
+    // report for infeasible points.
+    CycleSimStats stats;
+    if (options_.checkMode == CheckMode::Strict) {
+        SimulationOutcome out = finish(design.simulate(&stats));
+        out.simStats = stats;
+        return out;
+    }
     try {
-        return finish(design.simulate());
+        SimulationOutcome out = finish(design.simulate(&stats));
+        out.simStats = stats;
+        return out;
     } catch (const ConfigError &e) {
         return failure(e.what());
     }
@@ -79,10 +88,18 @@ SimulationOutcome
 Simulator::run(const spec::DesignSpec &spec,
                spec::MaterializeCache *cache) const
 {
-    if (options_.checkMode == CheckMode::Strict)
-        return finish(spec.materialize(cache).simulate());
+    CycleSimStats stats;
+    if (options_.checkMode == CheckMode::Strict) {
+        SimulationOutcome out =
+            finish(spec.materialize(cache).simulate(&stats));
+        out.simStats = stats;
+        return out;
+    }
     try {
-        return finish(spec.materialize(cache).simulate());
+        SimulationOutcome out =
+            finish(spec.materialize(cache).simulate(&stats));
+        out.simStats = stats;
+        return out;
     } catch (const ConfigError &e) {
         return failure(e.what());
     }

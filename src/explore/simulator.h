@@ -17,6 +17,7 @@
 #include <string>
 
 #include "core/design.h"
+#include "digital/cyclesim.h"
 #include "noise/noise.h"
 #include "spec/spec.h"
 
@@ -68,6 +69,14 @@ struct SimulationOutcome
     int frames = 1;
     /** SNR penalty from self-heating [dB]; set when withNoise. */
     double snrPenaltyDb = 0.0;
+    /**
+     * Cycle-sim execution diagnostics of the evaluation that produced
+     * this outcome (zero when no simulation actually ran — cache and
+     * store hits, infeasible points). Never serialized: the same
+     * outcome can legitimately carry different stats depending on
+     * which evaluation path produced it.
+     */
+    CycleSimStats simStats;
 
     /** Energy over all simulated frames [J]. */
     Energy totalEnergy() const;

@@ -86,6 +86,7 @@ SweepEngine::evaluateOne(const spec::DesignSpec &spec, size_t index,
         r.report = std::move(out.report);
         r.frames = out.frames;
         r.snrPenaltyDb = out.snrPenaltyDb;
+        r.simStats = out.simStats;
     } catch (const std::exception &e) {
         r.feasible = false;
         r.error = std::string("internal error: ") + e.what();
@@ -115,6 +116,7 @@ SweepEngine::evaluateIncremental(
         r.report = std::move(out.report);
         r.frames = out.frames;
         r.snrPenaltyDb = out.snrPenaltyDb;
+        r.simStats = out.simStats;
     } catch (const std::exception &e) {
         r.feasible = false;
         r.error = std::string("internal error: ") + e.what();
@@ -137,6 +139,12 @@ SweepEngine::runStream(spec::SpecSource &source, ResultSink &sink,
     std::atomic<size_t> produced{0};
     std::atomic<size_t> delivered{0};
     std::atomic<size_t> cache_hits{0};
+    // CycleSimStats aggregate, one atomic per field (workers batch
+    // their local sums into these once, on exit).
+    std::atomic<int64_t> sim_ticked{0};
+    std::atomic<int64_t> sim_ffwd{0};
+    std::atomic<int64_t> sim_periods{0};
+    std::atomic<int64_t> sim_fallbacks{0};
     std::atomic<bool> sink_cancelled{false};
     std::mutex source_mutex; // serial sources only
     std::mutex sink_mutex;
@@ -191,6 +199,7 @@ SweepEngine::runStream(spec::SpecSource &source, ResultSink &sink,
         spec::MaterializeCache cache;
         spec::MaterializeCache *cache_ptr =
             options_.reuseMaterializations ? &cache : nullptr;
+        CycleSimStats local_sim;
         // Under SweepOptions::incremental each worker instead owns an
         // IncrementalEvaluator: consecutive pulls of THIS worker diff
         // against its last compiled point, with the source asked for
@@ -223,10 +232,15 @@ SweepEngine::runStream(spec::SpecSource &source, ResultSink &sink,
                         changed =
                             source.changedPaths(*last_index, index);
                     last_index = index;
-                    deliver(evaluateIncremental(*spec, index, *inc,
-                                                changed));
+                    SweepResult result = evaluateIncremental(
+                        *spec, index, *inc, changed);
+                    local_sim += result.simStats;
+                    deliver(std::move(result));
                 } else {
-                    deliver(evaluateOne(*spec, index, cache_ptr));
+                    SweepResult result =
+                        evaluateOne(*spec, index, cache_ptr);
+                    local_sim += result.simStats;
+                    deliver(std::move(result));
                 }
             }
         } catch (...) {
@@ -238,6 +252,14 @@ SweepEngine::runStream(spec::SpecSource &source, ResultSink &sink,
         if (inc && inc->outcomeStoreStats() != nullptr)
             cache_hits.fetch_add(inc->outcomeStoreStats()->hits,
                                  std::memory_order_relaxed);
+        sim_ticked.fetch_add(local_sim.cyclesTicked,
+                             std::memory_order_relaxed);
+        sim_ffwd.fetch_add(local_sim.cyclesFastForwarded,
+                           std::memory_order_relaxed);
+        sim_periods.fetch_add(local_sim.periodsDetected,
+                              std::memory_order_relaxed);
+        sim_fallbacks.fetch_add(local_sim.fallbacks,
+                                std::memory_order_relaxed);
     };
 
     if (workers <= 1) {
@@ -255,6 +277,14 @@ SweepEngine::runStream(spec::SpecSource &source, ResultSink &sink,
     stats.delivered = delivered.load(std::memory_order_relaxed);
     stats.outcomeCacheHits =
         cache_hits.load(std::memory_order_relaxed);
+    stats.cycleSim.cyclesTicked =
+        sim_ticked.load(std::memory_order_relaxed);
+    stats.cycleSim.cyclesFastForwarded =
+        sim_ffwd.load(std::memory_order_relaxed);
+    stats.cycleSim.periodsDetected =
+        sim_periods.load(std::memory_order_relaxed);
+    stats.cycleSim.fallbacks =
+        sim_fallbacks.load(std::memory_order_relaxed);
     stats.cancelled = sink_cancelled.load(std::memory_order_relaxed);
     if (cancel != nullptr && cancel->cancelled())
         stats.cancelled = true;

@@ -97,6 +97,10 @@ struct StreamStats
      *  all workers; 0 unless SweepOptions::cacheDir named one. The
      *  sweep service reports this per job. */
     size_t outcomeCacheHits = 0;
+    /** Cycle-sim execution diagnostics summed over every evaluation
+     *  the run performed (camj_sweep run --verbose prints these).
+     *  Diagnostics only — never part of any serialized result. */
+    CycleSimStats cycleSim;
 };
 
 /** Parallel design-space evaluator. */

@@ -38,6 +38,10 @@ struct SweepResult
     int frames = 1;
     /** SNR penalty [dB] when the sweep ran with noise enabled. */
     double snrPenaltyDb = 0.0;
+    /** Cycle-sim execution diagnostics of this point's evaluation
+     *  (zero for cache/store hits and infeasible points). Never
+     *  serialized — how the engine ran, not what it computed. */
+    CycleSimStats simStats;
 
     /** Category breakdown row ("" label = the design name). */
     BreakdownRow breakdown(const std::string &label = "") const;

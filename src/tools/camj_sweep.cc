@@ -68,6 +68,9 @@ usage(std::FILE *to)
 "      --full-rebuild              evaluate every point from scratch\n"
 "                                  instead of the incremental staged\n"
 "                                  pipeline (results are identical)\n"
+"      --verbose                   also print cycle-sim execution\n"
+"                                  stats (cycles ticked vs fast-\n"
+"                                  forwarded, periods, fallbacks)\n"
 "  camj_sweep merge <shard.jsonl>... --out FILE [options]\n"
 "      reduce shard files into one in-order result file + summary\n"
 "      --top K                     top-K table size (default 5)\n"
@@ -191,7 +194,7 @@ cmdRun(int argc, char **argv)
     std::string input, out_path, shard_arg, cache_dir;
     spec::ShardMode mode = spec::ShardMode::Contiguous;
     int threads = 0, frames = 1;
-    bool incremental = true, lint = true;
+    bool incremental = true, lint = true, verbose = false;
     for (int i = 0; i < argc; ++i) {
         const std::string arg = argv[i];
         if (arg == "--out")
@@ -206,6 +209,8 @@ cmdRun(int argc, char **argv)
             incremental = false;
         else if (arg == "--no-lint")
             lint = false;
+        else if (arg == "--verbose")
+            verbose = true;
         else if (arg == "--threads")
             threads = static_cast<int>(
                 parseCount(flagValue(argc, argv, i), "--threads"));
@@ -297,6 +302,18 @@ cmdRun(int argc, char **argv)
                 descriptor.shard.shardCount, stats.delivered,
                 descriptor.shard.total, out_path.c_str(),
                 lines.written());
+    if (verbose) {
+        const CycleSimStats &cs = stats.cycleSim;
+        const int64_t total = cs.cyclesTicked + cs.cyclesFastForwarded;
+        std::printf("cycle-sim: %lld cycle(s) simulated (%lld ticked, "
+                    "%lld fast-forwarded), %lld period jump(s), "
+                    "%lld fallback(s)\n",
+                    static_cast<long long>(total),
+                    static_cast<long long>(cs.cyclesTicked),
+                    static_cast<long long>(cs.cyclesFastForwarded),
+                    static_cast<long long>(cs.periodsDetected),
+                    static_cast<long long>(cs.fallbacks));
+    }
     return 0;
 }
 
